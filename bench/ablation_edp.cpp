@@ -1,0 +1,51 @@
+// Ablation: efficiency-metric choice. The paper notes (Section II) that
+// the TGI methodology works with "any other energy-efficient metric, such
+// as the energy-delay product". This harness runs the same sweep with
+// perf/W and with inverse EDP plugged into the same pipeline and compares
+// the resulting trends.
+#include "bench_common.h"
+
+#include "stats/correlation.h"
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Ablation",
+                          "EE metric choice: perf/W vs inverse EDP");
+    const auto reference = bench::reference_suite(e);
+    const core::TgiCalculator perf_calc(
+        reference, core::EfficiencyMetric::kPerformancePerWatt);
+    const core::TgiCalculator edp_calc(
+        reference, core::EfficiencyMetric::kInverseEnergyDelay);
+    const auto points = bench::run_sweep(e);
+
+    util::TextTable table(
+        {"cores", "TGI perf/W", "TGI 1/EDP", "least REE (perf/W)",
+         "least REE (1/EDP)"});
+    std::vector<double> perf_tgi;
+    std::vector<double> edp_tgi;
+    for (const auto& pt : points) {
+      const auto a = perf_calc.compute(pt.measurements,
+                                       core::WeightScheme::kArithmeticMean);
+      const auto b = edp_calc.compute(pt.measurements,
+                                      core::WeightScheme::kArithmeticMean);
+      perf_tgi.push_back(a.tgi);
+      edp_tgi.push_back(b.tgi);
+      table.add_row({std::to_string(pt.processes), util::fixed(a.tgi, 4),
+                     util::fixed(b.tgi, 4), a.least_ree().benchmark,
+                     b.least_ree().benchmark});
+    }
+    std::cout << table;
+
+    const double agreement = stats::pearson(perf_tgi, edp_tgi);
+    std::cout << "\nPCC(TGI_perf/W, TGI_1/EDP) across the sweep: "
+              << util::fixed(agreement, 3) << "\n";
+    std::cout <<
+        "Reading: 1/EDP penalizes long runtimes quadratically, so it\n"
+        "re-weights the suite toward the fast benchmarks; the two metrics\n"
+        "need not even agree on the trend. TGI is metric-parametric, and\n"
+        "consumers must state which EE metric a published index used.\n";
+    bench::print_check("both metrics produce positive finite TGI",
+                       perf_tgi.back() > 0.0 && edp_tgi.back() > 0.0);
+  });
+}

@@ -1,0 +1,142 @@
+// Shared machinery for the experiment harnesses.
+//
+// Every figure/table binary accepts `key=value` overrides on the command
+// line (seed=…, sweep=…, csv=path, meter=wattsup|model) and funnels through
+// run_sweep() so all eight experiments measure the same way the paper did:
+// Fire behind the plug meter, SystemG as the SPEC-style reference.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tgi.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+#include "sim/catalog.h"
+#include "stats/correlation.h"
+#include "stats/regression.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace tgi::bench {
+
+/// The paper's Fire sweep grid (16..128 MPI processes).
+inline std::vector<std::size_t> default_sweep() {
+  return {16, 32, 48, 64, 80, 96, 112, 128};
+}
+
+/// Everything one experiment needs.
+struct Experiment {
+  util::Config config;
+  std::vector<std::size_t> sweep;
+  std::unique_ptr<power::PowerMeter> meter;
+  std::unique_ptr<power::PowerMeter> reference_meter;
+  sim::ClusterSpec system_under_test;
+  sim::ClusterSpec reference_system;
+  std::optional<std::string> csv_path;
+};
+
+/// Parses argv into an Experiment (throws on malformed arguments).
+inline Experiment make_experiment(int argc, const char* const* argv) {
+  Experiment e;
+  e.config = util::Config::from_args(argc, argv);
+  std::vector<long long> sweep_raw;
+  for (std::size_t p : default_sweep()) {
+    sweep_raw.push_back(static_cast<long long>(p));
+  }
+  for (long long p : e.config.get_int_list("sweep", sweep_raw)) {
+    e.sweep.push_back(static_cast<std::size_t>(p));
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(e.config.get_int("seed", 0x9e3779b9LL));
+  const std::string meter_kind = e.config.get_string("meter", "wattsup");
+  auto make_meter = [&](std::uint64_t salt) -> std::unique_ptr<power::PowerMeter> {
+    if (meter_kind == "model") {
+      return std::make_unique<power::ModelMeter>(util::seconds(0.5));
+    }
+    if (meter_kind == "wattsup") {
+      power::WattsUpConfig cfg;
+      cfg.seed = seed + salt;
+      return std::make_unique<power::WattsUpMeter>(cfg);
+    }
+    throw util::PreconditionError("meter must be 'wattsup' or 'model', got '" +
+                                  meter_kind + "'");
+  };
+  e.meter = make_meter(0);
+  e.reference_meter = make_meter(0x517cc1b7ULL);
+  e.system_under_test = sim::fire_cluster();
+  e.reference_system = sim::system_g();
+  e.csv_path = e.config.get("csv");
+  return e;
+}
+
+/// Runs the full suite sweep on the system under test.
+inline std::vector<harness::SuitePoint> run_sweep(Experiment& e) {
+  harness::SuiteRunner runner(e.system_under_test, *e.meter);
+  return runner.sweep(e.sweep);
+}
+
+/// Per-benchmark EE (performance per watt) pulled out of a sweep.
+inline std::vector<double> ee_series(
+    const std::vector<harness::SuitePoint>& points, const std::string& name) {
+  std::vector<double> out;
+  for (const auto& pt : points) {
+    const auto& m = core::find_measurement(pt.measurements, name);
+    out.push_back(m.performance / m.average_power.value());
+  }
+  return out;
+}
+
+/// x axis (process counts) as doubles.
+inline std::vector<double> x_axis(const std::vector<std::size_t>& sweep) {
+  return {sweep.begin(), sweep.end()};
+}
+
+/// Prints a qualitative shape check ("who wins / which way does it trend")
+/// so a regression in the model fails loudly in the bench output.
+inline void print_check(const std::string& what, bool ok) {
+  std::cout << "[check] " << what << ": " << (ok ? "OK" : "FAILED") << "\n";
+}
+
+/// Reference suite measured once (SystemG, subset-metered I/O).
+inline std::vector<core::BenchmarkMeasurement> reference_suite(Experiment& e) {
+  return harness::reference_measurements(e.reference_system,
+                                         *e.reference_meter);
+}
+
+/// Writes CSV when the user passed csv=path.
+inline void maybe_write_csv(const Experiment& e,
+                            const harness::Series& series) {
+  if (e.csv_path) {
+    harness::write_csv(series, *e.csv_path);
+    std::cout << "wrote " << *e.csv_path << "\n";
+  }
+}
+
+inline void maybe_write_csv(const Experiment& e,
+                            const harness::MultiSeries& multi) {
+  if (e.csv_path) {
+    harness::write_csv(multi, *e.csv_path);
+    std::cout << "wrote " << *e.csv_path << "\n";
+  }
+}
+
+/// Common main() wrapper: uniform error reporting across the harnesses.
+template <typename Body>
+int run_harness(int argc, const char* const* argv, Body body) {
+  try {
+    Experiment e = make_experiment(argc, argv);
+    body(e);
+    return 0;
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tgi::bench

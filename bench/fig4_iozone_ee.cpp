@@ -1,0 +1,44 @@
+// Figure 4 — "Energy Efficiency of IOzone": MB/s per watt of the IOzone
+// write test on Fire as the number of participating nodes sweeps 1..8.
+//
+// Paper shape: efficiency FALLS with node count — the shared storage
+// backend saturates (and degrades under interleaved writers) while wall
+// power keeps climbing. This is the curve the paper's TGI is expected to
+// track, so its monotone decline is the most load-bearing shape check in
+// the whole reproduction.
+#include "bench_common.h"
+
+#include "stats/regression.h"
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Figure 4",
+                          "Energy Efficiency of IOzone (Fire cluster)");
+    harness::SuiteRunner runner(e.system_under_test, *e.meter);
+
+    harness::Series series;
+    series.x_label = "nodes";
+    series.y_label = "MBPS/W";
+    util::TextTable detail(
+        {"nodes", "aggregate MB/s", "power (W)", "time (s)"});
+    for (std::size_t nodes = 1; nodes <= e.system_under_test.nodes;
+         ++nodes) {
+      const auto m = runner.run_iozone(nodes);
+      series.x.push_back(static_cast<double>(nodes));
+      series.y.push_back(m.performance / m.average_power.value());
+      detail.add_row({std::to_string(nodes), util::fixed(m.performance, 1),
+                      util::fixed(m.average_power.value(), 0),
+                      util::fixed(m.execution_time.value(), 0)});
+    }
+    harness::print_series(std::cout, series, 4);
+    std::cout << "\n" << detail;
+
+    const auto fit = stats::linear_fit(series.x, series.y);
+    bench::print_check("IOzone efficiency falls with node count",
+                       fit.slope < 0.0);
+    bench::print_check("decline is strong (last < 60% of first)",
+                       series.y.back() < 0.6 * series.y.front());
+    bench::maybe_write_csv(e, series);
+  });
+}

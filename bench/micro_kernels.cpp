@@ -1,0 +1,181 @@
+// google-benchmark microbenchmarks of the computational kernels: the real
+// LU factorization, the STREAM kernels, and the statistics hot paths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kernels/blas.h"
+#include "kernels/dgemm.h"
+#include "kernels/fft.h"
+#include "kernels/gups.h"
+#include "kernels/hpl.h"
+#include "kernels/hpl2d.h"
+#include "kernels/ptrans.h"
+#include "kernels/stream.h"
+#include "stats/correlation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tgi;
+
+void BM_LuFactorSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto nb = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    kernels::HplProblem problem = kernels::make_hpl_problem(n, 7);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kernels::lu_factor(problem.a, nb));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kernels::hpl_flop_count(n).value()));
+}
+BENCHMARK(BM_LuFactorSerial)
+    ->Args({64, 16})
+    ->Args({128, 32})
+    ->Args({256, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedHpl(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_hpl_mpisim(128, 16, procs, 3));
+  }
+  state.SetLabel("n=128 nb=16");
+}
+BENCHMARK(BM_DistributedHpl)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Hpl2d(benchmark::State& state) {
+  kernels::Hpl2dConfig cfg;
+  cfg.n = 128;
+  cfg.block_size = 16;
+  cfg.prows = static_cast<int>(state.range(0));
+  cfg.pcols = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_hpl_mpisim_2d(cfg));
+  }
+  state.SetLabel("n=128 nb=16");
+}
+BENCHMARK(BM_Hpl2d)->Args({1, 1})->Args({2, 2})->Args({2, 3})->Unit(
+    benchmark::kMillisecond);
+
+void BM_Gups(benchmark::State& state) {
+  kernels::GupsConfig cfg;
+  cfg.log2_table_words = static_cast<unsigned>(state.range(0));
+  cfg.updates = 1u << 18;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_gups(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (2LL << 18));  // timed pass + verification pass
+}
+BENCHMARK(BM_Gups)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_Ptrans(benchmark::State& state) {
+  kernels::PtransConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.block_size = 16;
+  cfg.prows = 2;
+  cfg.pcols = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_ptrans_mpisim(cfg));
+  }
+}
+BENCHMARK(BM_Ptrans)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Dgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  std::vector<double> a(n * n);
+  std::vector<double> b(n * n);
+  std::vector<double> c(n * n);
+  for (double& v : a) v = rng.uniform();
+  for (double& v : b) v = rng.uniform();
+  for (auto _ : state) {
+    kernels::dgemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_StreamTriadKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n, 2.0);
+  std::vector<double> c(n, 0.5);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 3.0 * c[i];
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(
+          static_cast<double>(n) *
+          kernels::stream_bytes_per_element_triad()));
+}
+BENCHMARK(BM_StreamTriadKernel)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StreamFullSuite(benchmark::State& state) {
+  kernels::StreamConfig cfg;
+  cfg.array_elements = 1 << 18;
+  cfg.iterations = 2;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_stream(cfg));
+  }
+}
+BENCHMARK(BM_StreamFullSuite)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = std::size_t{1} << static_cast<unsigned>(state.range(0));
+  util::Xoshiro256 rng(2);
+  std::vector<std::complex<double>> base(n);
+  for (auto& x : base) x = {rng.uniform(), rng.uniform()};
+  std::vector<std::complex<double>> work;
+  for (auto _ : state) {
+    work = base;
+    kernels::fft_radix2(work, false);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kernels::fft_flop_count(n).value()));
+}
+BENCHMARK(BM_FftRadix2)->Arg(12)->Arg(16)->Arg(20)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_DgemmVerified(benchmark::State& state) {
+  kernels::DgemmConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::run_dgemm(cfg));
+  }
+}
+BENCHMARK(BM_DgemmVerified)->Arg(64)->Arg(128)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Pearson(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(5);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::pearson(x, y));
+  }
+}
+BENCHMARK(BM_Pearson)->Arg(64)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the substrates: meter sampling, the
+// simulated filesystem's write path, the page cache, the cluster
+// simulator's pricing loop, and mpisim collectives.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "kernels/hpl_model.h"
+#include "mpisim/runtime.h"
+#include "power/meter.h"
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace tgi;
+
+void BM_WattsUpMeasure(benchmark::State& state) {
+  const auto duration = static_cast<double>(state.range(0));
+  power::WattsUpMeter meter;
+  const power::PowerSource source = [](util::Seconds t) {
+    return util::watts(1000.0 + 50.0 * (t.value() - 10.0 > 0 ? 1.0 : 0.0));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meter.measure(source, util::seconds(duration)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));  // samples at 1 Hz
+}
+BENCHMARK(BM_WattsUpMeasure)->Arg(60)->Arg(600)->Arg(3600);
+
+void BM_FsSequentialWrite(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint8_t> record(64 * 1024, 0xAB);
+  for (auto _ : state) {
+    fs::SimFilesystem filesystem;
+    const auto fd = filesystem.open("bench");
+    for (std::uint64_t off = 0; off < bytes; off += record.size()) {
+      filesystem.write(fd, off, record);
+    }
+    filesystem.fsync(fd);
+    benchmark::DoNotOptimize(filesystem.now());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FsSequentialWrite)
+    ->Arg(1 << 20)
+    ->Arg(16 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageCacheAccess(benchmark::State& state) {
+  fs::PageCache cache(1024, util::bytes(4096.0));
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access({1, page % 2048}, true));
+    ++page;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageCacheAccess);
+
+void BM_SimulateHplWorkload(benchmark::State& state) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  const sim::ExecutionSimulator simulator(fire);
+  kernels::HplModelParams params;
+  params.processes = static_cast<std::size_t>(state.range(0));
+  const sim::Workload wl = kernels::make_hpl_workload(fire, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(wl));
+  }
+}
+BENCHMARK(BM_SimulateHplWorkload)->Arg(16)->Arg(128);
+
+void BM_MpisimAllreduce(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::run(procs, [](mpisim::Rank& rank) {
+      std::vector<double> v(1024, 1.0);
+      rank.allreduce_sum(std::span<double>(v));
+    });
+  }
+  state.SetLabel("1024 doubles");
+}
+BENCHMARK(BM_MpisimAllreduce)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_MpisimPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mpisim::run(2, [bytes](mpisim::Rank& rank) {
+      std::vector<std::uint8_t> buf(bytes, 1);
+      if (rank.rank() == 0) {
+        rank.send_bytes(1, 0, buf);
+        benchmark::DoNotOptimize(rank.recv_bytes(1, 1));
+      } else {
+        benchmark::DoNotOptimize(rank.recv_bytes(0, 0));
+        rank.send_bytes(0, 1, buf);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * bytes));
+}
+BENCHMARK(BM_MpisimPingPong)->Arg(64)->Arg(65536)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Supplementary report: where the joules go.
+//
+// The paper's introduction leans on the exascale study's warning that
+// non-computational energy (data movement) is overtaking compute energy.
+// This report attributes every joule of each suite benchmark's run on Fire
+// to CPU / memory / disk / network / board / PSU loss, making that claim a
+// measured number instead of a citation.
+#include "bench_common.h"
+
+#include "kernels/iozone_model.h"
+#include "power/breakdown.h"
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Report",
+                          "component energy breakdown (Fire, 128 cores)");
+    const sim::ExecutionSimulator simulator(e.system_under_test);
+
+    auto show = [&](const char* name, const sim::Workload& wl) {
+      const sim::SimulatedRun run = simulator.run(wl);
+      const power::EnergyBreakdown breakdown =
+          power::energy_breakdown(run.timeline);
+      std::cout << "\n--- " << name << " ("
+                << util::format(run.elapsed) << ", "
+                << util::format(breakdown.total()) << ") ---\n"
+                << power::render_breakdown(breakdown);
+      return breakdown;
+    };
+
+    kernels::HplModelParams hpl;
+    hpl.processes = 128;
+    const auto hpl_b =
+        show("HPL", kernels::make_hpl_workload(e.system_under_test, hpl));
+    kernels::StreamModelParams stream;
+    stream.processes = 128;
+    const auto stream_b = show(
+        "STREAM", kernels::make_stream_workload(e.system_under_test, stream));
+    kernels::IozoneModelParams iozone;
+    iozone.nodes = 8;
+    const auto io_b = show(
+        "IOzone", kernels::make_iozone_workload(e.system_under_test, iozone));
+
+    std::cout << "\nnon-compute energy share: HPL "
+              << util::percent(hpl_b.non_compute_fraction(), 1)
+              << ", STREAM "
+              << util::percent(stream_b.non_compute_fraction(), 1)
+              << ", IOzone "
+              << util::percent(io_b.non_compute_fraction(), 1) << "\n";
+    bench::print_check(
+        "even compute-bound HPL burns a large non-compute share",
+        hpl_b.non_compute_fraction() > 0.25);
+    bench::print_check("IOzone is dominated by non-compute energy",
+                       io_b.non_compute_fraction() > 0.7);
+  });
+}

@@ -1,0 +1,59 @@
+// Center-wide view: the paper's future-work extension made concrete.
+//
+// "We would like to extend TGI metric to give a center-wide view of the
+// energy efficiency by including components such as cooling
+// infrastructure." The same Fire cluster hosted in three facilities — a
+// modern free-cooled hall (PUE 1.15), a typical machine room (PUE 1.6),
+// and a legacy closet with CRAC units (PUE 2.2) — gets three different
+// center-wide Green Indices from identical IT measurements.
+#include <iostream>
+
+#include "core/tgi.h"
+#include "harness/suite.h"
+#include "sim/catalog.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tgi;
+
+  power::ModelMeter meter(util::seconds(0.5));
+  harness::SuiteRunner runner(sim::fire_cluster(), meter);
+  const auto suite = runner.run_suite(128).measurements;
+
+  power::ModelMeter ref_meter(util::seconds(0.5));
+  // Reference measured in its own facility at PUE 1.8 (SystemG's era).
+  const core::TgiCalculator calc(
+      harness::reference_measurements(sim::system_g(), ref_meter),
+      core::EfficiencyMetric::kPerformancePerWatt,
+      core::CoolingModel{1.8});
+
+  struct Facility {
+    const char* name;
+    double pue;
+  };
+  const Facility facilities[] = {
+      {"free-cooled hall", 1.15},
+      {"typical machine room", 1.60},
+      {"legacy CRAC closet", 2.20},
+  };
+
+  util::TextTable table({"facility", "PUE", "IT power", "facility power",
+                         "center-wide TGI(AM)"});
+  const auto& hpl = core::find_measurement(suite, "HPL");
+  for (const auto& f : facilities) {
+    const core::TgiResult r = calc.compute(
+        suite, core::WeightScheme::kArithmeticMean, core::CoolingModel{f.pue});
+    table.add_row({f.name, util::fixed(f.pue, 2),
+                   util::format(hpl.average_power),
+                   util::format(hpl.average_power * f.pue),
+                   util::fixed(r.tgi, 4)});
+  }
+  std::cout << table;
+  std::cout <<
+      "\nReading: identical IT hardware, identical benchmarks — the\n"
+      "center-wide index differs by the facilities' PUE ratio alone\n"
+      "(free-cooled beats the CRAC closet by " << util::fixed(2.20 / 1.15, 2)
+      << "x), which is exactly the lever the paper's extension exposes.\n";
+  return 0;
+}

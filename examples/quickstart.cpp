@@ -1,0 +1,64 @@
+// Quickstart: compute The Green Index of one cluster against a reference.
+//
+// This is the 60-second tour of the public API:
+//   1. describe (or pick from the catalog) the machines,
+//   2. run the benchmark suite behind a power meter,
+//   3. hand the measurements to TgiCalculator.
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "core/tgi.h"
+#include "harness/suite.h"
+#include "sim/catalog.h"
+#include "util/format.h"
+
+int main() {
+  using namespace tgi;
+
+  // 1. Machines: the paper's system under test (Fire) and reference
+  //    (SystemG), straight from the catalog.
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  const sim::ClusterSpec reference = sim::system_g();
+
+  // 2. A power meter. WattsUpMeter reproduces the paper's plug meter;
+  //    swap in ModelMeter for a perfect instrument.
+  power::WattsUpMeter meter;
+
+  // Reference suite: HPL + STREAM at full scale, IOzone on a slice.
+  power::WattsUpMeter reference_meter;
+  const auto reference_suite =
+      harness::reference_measurements(reference, reference_meter);
+
+  // System-under-test suite at 128 cores.
+  harness::SuiteRunner runner(fire, meter);
+  const harness::SuitePoint point = runner.run_suite(128);
+
+  // 3. TGI (Eqs. 2-4): EE -> REE -> weighted sum.
+  const core::TgiCalculator calc(reference_suite);
+  const core::TgiResult result = calc.compute(
+      point.measurements, core::WeightScheme::kArithmeticMean);
+
+  std::cout << "The Green Index of " << fire.name << " vs "
+            << reference.name << " (arithmetic mean): "
+            << util::fixed(result.tgi, 4) << "\n\n";
+  std::cout << "benchmark   EE(sys)      EE(ref)      REE     weight\n";
+  for (const auto& c : result.components) {
+    std::cout << c.benchmark << (c.benchmark.size() < 8 ? "\t    " : "    ")
+              << util::fixed(c.ee, 4) << "\t " << util::fixed(c.ref_ee, 4)
+              << "\t      " << util::fixed(c.ree, 3) << "   "
+              << util::fixed(c.weight, 3) << "\n";
+  }
+  std::cout << "\nleast-REE benchmark (the one TGI should track): "
+            << result.least_ree().benchmark << "\n";
+
+  // Bonus: the same measurements under the paper's other weight schemes.
+  for (const auto scheme :
+       {core::WeightScheme::kTime, core::WeightScheme::kEnergy,
+        core::WeightScheme::kPower}) {
+    std::cout << "TGI with " << core::weight_scheme_name(scheme) << ": "
+              << util::fixed(calc.compute(point.measurements, scheme).tgi, 4)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "core/efficiency.h"
+
+#include "util/error.h"
+
+namespace tgi::core {
+
+const char* efficiency_metric_name(EfficiencyMetric metric) {
+  switch (metric) {
+    case EfficiencyMetric::kPerformancePerWatt:
+      return "performance/watt";
+    case EfficiencyMetric::kInverseEnergyDelay:
+      return "1/(energy*delay)";
+  }
+  return "?";
+}
+
+double energy_efficiency(const BenchmarkMeasurement& m,
+                         EfficiencyMetric metric,
+                         const CoolingModel& cooling) {
+  m.validate();
+  TGI_REQUIRE(cooling.pue >= 1.0, "PUE must be >= 1, got " << cooling.pue);
+  switch (metric) {
+    case EfficiencyMetric::kPerformancePerWatt:
+      return m.performance / (m.average_power.value() * cooling.pue);
+    case EfficiencyMetric::kInverseEnergyDelay:
+      return 1.0 / (m.energy.value() * cooling.pue *
+                    m.execution_time.value());
+  }
+  throw util::InternalError("unknown efficiency metric");
+}
+
+}  // namespace tgi::core

@@ -1,0 +1,157 @@
+#include "core/tgi.h"
+
+#include <algorithm>
+
+#include <cmath>
+
+#include "stats/means.h"
+#include "util/error.h"
+
+namespace tgi::core {
+
+const char* weight_scheme_name(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kArithmeticMean:
+      return "arithmetic-mean";
+    case WeightScheme::kTime:
+      return "time-weighted";
+    case WeightScheme::kEnergy:
+      return "energy-weighted";
+    case WeightScheme::kPower:
+      return "power-weighted";
+    case WeightScheme::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+const char* aggregation_name(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kWeightedArithmetic:
+      return "weighted-arithmetic";
+    case Aggregation::kWeightedHarmonic:
+      return "weighted-harmonic";
+    case Aggregation::kWeightedGeometric:
+      return "weighted-geometric";
+  }
+  return "?";
+}
+
+const TgiComponent& TgiResult::least_ree() const {
+  TGI_REQUIRE(!components.empty(), "empty TGI result");
+  return *std::min_element(components.begin(), components.end(),
+                           [](const TgiComponent& a, const TgiComponent& b) {
+                             return a.ree < b.ree;
+                           });
+}
+
+TgiCalculator::TgiCalculator(std::vector<BenchmarkMeasurement> reference,
+                             EfficiencyMetric metric,
+                             CoolingModel reference_cooling)
+    : reference_(std::move(reference)),
+      metric_(metric),
+      reference_cooling_(reference_cooling) {
+  TGI_REQUIRE(!reference_.empty(), "reference suite must be non-empty");
+  for (const auto& m : reference_) m.validate();
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    for (std::size_t j = i + 1; j < reference_.size(); ++j) {
+      TGI_REQUIRE(reference_[i].benchmark != reference_[j].benchmark,
+                  "duplicate reference benchmark '"
+                      << reference_[i].benchmark << "'");
+    }
+  }
+}
+
+std::vector<double> TgiCalculator::derive_weights(
+    const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme) {
+  std::vector<double> raw;
+  raw.reserve(system.size());
+  switch (scheme) {
+    case WeightScheme::kArithmeticMean:
+      return stats::equal_weights(system.size());
+    case WeightScheme::kTime:
+      for (const auto& m : system) raw.push_back(m.execution_time.value());
+      break;
+    case WeightScheme::kEnergy:
+      for (const auto& m : system) raw.push_back(m.energy.value());
+      break;
+    case WeightScheme::kPower:
+      for (const auto& m : system) raw.push_back(m.average_power.value());
+      break;
+    case WeightScheme::kCustom:
+      throw util::PreconditionError(
+          "use compute_custom() for caller-supplied weights");
+  }
+  return stats::proportional_weights(raw);
+}
+
+TgiResult TgiCalculator::compute_with_weights(
+    const std::vector<BenchmarkMeasurement>& system,
+    std::span<const double> weights, WeightScheme scheme,
+    const CoolingModel& system_cooling, Aggregation aggregation) const {
+  TGI_REQUIRE(system.size() == reference_.size(),
+              "system suite has " << system.size() << " benchmarks; reference has "
+                                  << reference_.size());
+  TGI_REQUIRE(weights.size() == system.size(),
+              "weight count mismatches benchmark count");
+  TGI_REQUIRE(stats::weights_valid(weights),
+              "weights must be non-negative and sum to 1");
+
+  TgiResult result;
+  result.scheme = scheme;
+  result.aggregation = aggregation;
+  result.metric = metric_;
+  result.components.reserve(system.size());
+  std::vector<double> rees;
+  rees.reserve(system.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const BenchmarkMeasurement& m = system[i];
+    const BenchmarkMeasurement& ref =
+        find_measurement(reference_, m.benchmark);
+    TGI_REQUIRE(m.metric_unit == ref.metric_unit,
+                m.benchmark << ": system reports " << m.metric_unit
+                            << " but reference reports " << ref.metric_unit);
+    TgiComponent comp;
+    comp.benchmark = m.benchmark;
+    comp.ee = energy_efficiency(m, metric_, system_cooling);
+    comp.ref_ee = energy_efficiency(ref, metric_, reference_cooling_);
+    TGI_CHECK(comp.ref_ee > 0.0, "reference EE must be positive");
+    comp.ree = comp.ee / comp.ref_ee;  // Eq. 3
+    comp.weight = weights[i];
+    comp.contribution = comp.weight * comp.ree;  // one term of Eq. 4
+    total += comp.contribution;
+    rees.push_back(comp.ree);
+    result.components.push_back(std::move(comp));
+  }
+  switch (aggregation) {
+    case Aggregation::kWeightedArithmetic:
+      result.tgi = total;
+      break;
+    case Aggregation::kWeightedHarmonic:
+      result.tgi = stats::weighted_harmonic_mean(rees, weights);
+      break;
+    case Aggregation::kWeightedGeometric:
+      result.tgi = stats::weighted_geometric_mean(rees, weights);
+      break;
+  }
+  return result;
+}
+
+TgiResult TgiCalculator::compute(
+    const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme,
+    const CoolingModel& system_cooling, Aggregation aggregation) const {
+  const std::vector<double> weights = derive_weights(system, scheme);
+  return compute_with_weights(system, weights, scheme, system_cooling,
+                              aggregation);
+}
+
+TgiResult TgiCalculator::compute_custom(
+    const std::vector<BenchmarkMeasurement>& system,
+    std::span<const double> weights,
+    const CoolingModel& system_cooling, Aggregation aggregation) const {
+  return compute_with_weights(system, weights, WeightScheme::kCustom,
+                              system_cooling, aggregation);
+}
+
+}  // namespace tgi::core

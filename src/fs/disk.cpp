@@ -1,0 +1,53 @@
+#include "fs/disk.h"
+
+#include "util/error.h"
+
+namespace tgi::fs {
+
+util::Seconds DiskSpec::rotational_latency() const {
+  TGI_REQUIRE(rpm > 0.0, "rpm must be positive");
+  return util::Seconds(30.0 / rpm);
+}
+
+BlockDevice::BlockDevice(DiskSpec spec) : spec_(spec) {
+  TGI_REQUIRE(spec_.transfer_rate.value() > 0.0,
+              "transfer rate must be positive");
+  TGI_REQUIRE(spec_.capacity.value() > 0.0, "capacity must be positive");
+}
+
+util::Seconds BlockDevice::access(std::uint64_t offset, std::uint64_t length,
+                                  bool is_write) {
+  TGI_REQUIRE(length > 0, "zero-length access");
+  TGI_REQUIRE(static_cast<double>(offset) + static_cast<double>(length) <=
+                  spec_.capacity.value(),
+              "access past end of device");
+  util::Seconds cost{0.0};
+  const bool sequential = has_position_ && offset == head_offset_;
+  if (sequential) {
+    ++stats_.sequential_accesses;
+  } else {
+    cost += spec_.avg_seek + spec_.rotational_latency();
+    ++stats_.seeks;
+  }
+  cost += util::bytes(static_cast<double>(length)) / spec_.transfer_rate;
+
+  head_offset_ = offset + length;
+  has_position_ = true;
+  stats_.busy_time += cost;
+  if (is_write) {
+    stats_.bytes_written += util::bytes(static_cast<double>(length));
+  } else {
+    stats_.bytes_read += util::bytes(static_cast<double>(length));
+  }
+  return cost;
+}
+
+util::Seconds BlockDevice::sequential_stream_time(
+    std::uint64_t length) const {
+  return spec_.avg_seek + spec_.rotational_latency() +
+         util::bytes(static_cast<double>(length)) / spec_.transfer_rate;
+}
+
+void BlockDevice::reset_stats() { stats_ = DiskStats{}; }
+
+}  // namespace tgi::fs

@@ -1,0 +1,71 @@
+// Rotational block-device timing model.
+//
+// IOzone stresses the I/O subsystem; the shape of the paper's Figure 4
+// (energy efficiency of IOzone *falling* with node count) comes from disk
+// throughput failing to scale while cluster power does. This device model
+// supplies that throughput from the classic mechanical parameters: average
+// seek, rotational latency (half a revolution), and sustained media rate.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace tgi::fs {
+
+/// Mechanical and interface parameters of one disk.
+struct DiskSpec {
+  /// Average seek time for a random access.
+  util::Seconds avg_seek{util::milliseconds(8.5)};
+  /// Spindle speed; rotational latency is half a revolution on average.
+  double rpm = 7200.0;
+  /// Sustained sequential media transfer rate.
+  util::ByteRate transfer_rate{util::megabytes_per_sec(100.0)};
+  /// Addressable capacity.
+  util::ByteCount capacity{util::gibibytes(500.0)};
+
+  /// Average rotational latency = 30 / rpm seconds.
+  [[nodiscard]] util::Seconds rotational_latency() const;
+};
+
+/// Cumulative activity counters for utilization and power accounting.
+struct DiskStats {
+  util::Seconds busy_time{0.0};
+  util::ByteCount bytes_read{0.0};
+  util::ByteCount bytes_written{0.0};
+  std::uint64_t seeks = 0;
+  std::uint64_t sequential_accesses = 0;
+};
+
+/// A block device with positional state: back-to-back accesses at adjacent
+/// offsets stream at media rate; discontiguous accesses pay seek plus
+/// rotational latency.
+class BlockDevice {
+ public:
+  explicit BlockDevice(DiskSpec spec);
+
+  /// Models one transfer of `length` bytes at byte `offset`.
+  /// Returns the service time and updates stats/head position.
+  /// Preconditions: length > 0, offset + length <= capacity.
+  util::Seconds access(std::uint64_t offset, std::uint64_t length,
+                       bool is_write);
+
+  /// Pure cost query (no state change): time for a sequential stream of
+  /// `length` bytes including one initial positioning.
+  [[nodiscard]] util::Seconds sequential_stream_time(
+      std::uint64_t length) const;
+
+  [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+  [[nodiscard]] const DiskStats& stats() const { return stats_; }
+
+  /// Clears counters (new measurement epoch); head position is kept.
+  void reset_stats();
+
+ private:
+  DiskSpec spec_;
+  DiskStats stats_;
+  std::uint64_t head_offset_ = 0;
+  bool has_position_ = false;
+};
+
+}  // namespace tgi::fs

@@ -1,0 +1,178 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace tgi::fs {
+
+SimFilesystem::SimFilesystem(FilesystemSpec spec)
+    : spec_(spec),
+      disk_(spec.disk),
+      cache_(spec.cache_pages, spec.page_size),
+      page_bytes_(static_cast<std::uint64_t>(spec.page_size.value())) {
+  TGI_REQUIRE(page_bytes_ > 0, "page size must be a positive byte count");
+  TGI_REQUIRE(spec_.extent_pages > 0, "extent must hold at least one page");
+  TGI_REQUIRE(spec_.memory_bandwidth.value() > 0.0,
+              "memory bandwidth must be positive");
+}
+
+FileDescriptor SimFilesystem::open(const std::string& name) {
+  TGI_REQUIRE(!name.empty(), "file name must be non-empty");
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    const std::uint64_t id = next_id_++;
+    File file;
+    file.id = id;
+    file.name = name;
+    files_[id] = std::move(file);
+    it = names_.emplace(name, id).first;
+  }
+  File& file = files_.at(it->second);
+  file.open = true;
+  return file.id;
+}
+
+SimFilesystem::File& SimFilesystem::file_for(FileDescriptor fd) {
+  const auto it = files_.find(fd);
+  TGI_REQUIRE(it != files_.end() && it->second.open,
+              "bad or closed file descriptor " << fd);
+  return it->second;
+}
+
+const SimFilesystem::File& SimFilesystem::file_for(FileDescriptor fd) const {
+  const auto it = files_.find(fd);
+  TGI_REQUIRE(it != files_.end() && it->second.open,
+              "bad or closed file descriptor " << fd);
+  return it->second;
+}
+
+std::uint64_t SimFilesystem::disk_offset_for(File& file,
+                                             std::uint64_t page_index) {
+  const std::uint64_t extent_index = page_index / spec_.extent_pages;
+  const std::uint64_t extent_bytes = spec_.extent_pages * page_bytes_;
+  while (file.extents.size() <= extent_index) {
+    TGI_REQUIRE(static_cast<double>(next_free_disk_byte_ + extent_bytes) <=
+                    spec_.disk.capacity.value(),
+                "simulated disk is full");
+    file.extents.push_back(next_free_disk_byte_);
+    next_free_disk_byte_ += extent_bytes;
+  }
+  const std::uint64_t within = page_index % spec_.extent_pages;
+  return file.extents[extent_index] + within * page_bytes_;
+}
+
+void SimFilesystem::charge_memory(std::uint64_t bytes) {
+  clock_.advance(util::bytes(static_cast<double>(bytes)) /
+                 spec_.memory_bandwidth);
+}
+
+void SimFilesystem::write_back(const std::vector<PageKey>& pages) {
+  // Coalesce pages whose backing disk ranges are contiguous into single
+  // device accesses, mirroring the kernel's request merging.
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    File& file = files_.at(pages[i].file_id);
+    const std::uint64_t start_offset =
+        disk_offset_for(file, pages[i].page_index);
+    std::uint64_t run_pages = 1;
+    while (i + run_pages < pages.size()) {
+      const PageKey& next = pages[i + run_pages];
+      if (next.file_id != pages[i].file_id) break;
+      const std::uint64_t expected =
+          start_offset + run_pages * page_bytes_;
+      if (disk_offset_for(file, next.page_index) != expected) break;
+      ++run_pages;
+    }
+    clock_.advance(
+        disk_.access(start_offset, run_pages * page_bytes_, /*is_write=*/true));
+    i += run_pages;
+  }
+}
+
+void SimFilesystem::touch_pages(File& file, std::uint64_t offset,
+                                std::uint64_t length, bool is_write) {
+  const std::uint64_t first_page = offset / page_bytes_;
+  const std::uint64_t last_page = (offset + length - 1) / page_bytes_;
+  const std::uint64_t file_pages =
+      (file.data.size() + page_bytes_ - 1) / page_bytes_;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    const bool full_page_write =
+        is_write && offset <= p * page_bytes_ &&
+        offset + length >= (p + 1) * page_bytes_;
+    const bool page_exists_on_disk = p < file_pages;
+    const CacheAccess result = cache_.access({file.id, p}, is_write);
+    if (!result.evicted_dirty.empty()) write_back(result.evicted_dirty);
+    if (result.hit) {
+      charge_memory(page_bytes_);
+      continue;
+    }
+    // Miss: a full-page overwrite needs no read; everything else loads the
+    // page from disk if it has ever been materialized there.
+    if (!full_page_write && page_exists_on_disk) {
+      clock_.advance(disk_.access(disk_offset_for(file, p), page_bytes_,
+                                  /*is_write=*/false));
+    }
+    charge_memory(page_bytes_);
+  }
+}
+
+void SimFilesystem::write(FileDescriptor fd, std::uint64_t offset,
+                          std::span<const std::uint8_t> data) {
+  TGI_REQUIRE(!data.empty(), "zero-length write");
+  File& file = file_for(fd);
+  // Cost model first (so "page exists" reflects pre-write size), then data.
+  touch_pages(file, offset, data.size(), /*is_write=*/true);
+  const std::uint64_t end = offset + data.size();
+  if (end > file.data.size()) file.data.resize(end);
+  std::memcpy(file.data.data() + offset, data.data(), data.size());
+}
+
+void SimFilesystem::read(FileDescriptor fd, std::uint64_t offset,
+                         std::span<std::uint8_t> out) {
+  TGI_REQUIRE(!out.empty(), "zero-length read");
+  File& file = file_for(fd);
+  TGI_REQUIRE(offset + out.size() <= file.data.size(),
+              "read past end of file '" << file.name << "'");
+  touch_pages(file, offset, out.size(), /*is_write=*/false);
+  std::memcpy(out.data(), file.data.data() + offset, out.size());
+}
+
+void SimFilesystem::fsync(FileDescriptor fd) {
+  File& file = file_for(fd);
+  write_back(cache_.collect_dirty(file.id));
+}
+
+void SimFilesystem::close(FileDescriptor fd) {
+  File& file = file_for(fd);
+  file.open = false;
+}
+
+void SimFilesystem::unlink(const std::string& name) {
+  const auto it = names_.find(name);
+  TGI_REQUIRE(it != names_.end(), "unlink of missing file '" << name << "'");
+  cache_.drop_file(it->second);
+  files_.erase(it->second);
+  names_.erase(it);
+}
+
+FileStat SimFilesystem::stat(FileDescriptor fd) const {
+  const File& file = file_for(fd);
+  return {file.name,
+          util::bytes(static_cast<double>(file.data.size()))};
+}
+
+double SimFilesystem::disk_utilization() const {
+  const double elapsed = clock_.now().value();
+  if (elapsed <= 0.0) return 0.0;
+  return std::min(1.0, disk_.stats().busy_time.value() / elapsed);
+}
+
+void SimFilesystem::reset_accounting() {
+  clock_.reset();
+  disk_.reset_stats();
+  cache_.reset_stats();
+}
+
+}  // namespace tgi::fs

@@ -1,0 +1,128 @@
+// An in-memory simulated filesystem with hardware-faithful timing.
+//
+// This is the substrate under the IOzone-like benchmark: files hold real
+// bytes (so tests can verify read-back integrity), while every operation's
+// *cost* is modeled — page-cache hits charge memory-copy time, misses and
+// write-backs charge block-device time — and accumulates on a SimClock.
+// Extents are bump-allocated so sequentially written files occupy
+// sequential disk ranges, which is what lets fsync flush at media rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/disk.h"
+#include "fs/page_cache.h"
+#include "util/sim_clock.h"
+#include "util/units.h"
+
+namespace tgi::fs {
+
+/// Tunables of the simulated I/O stack.
+struct FilesystemSpec {
+  DiskSpec disk;
+  /// OS page size used for caching granularity.
+  util::ByteCount page_size{4096.0};
+  /// Page-cache capacity in pages (default 64 Mi of 4-KiB pages = 256 MiB).
+  std::size_t cache_pages = 65536;
+  /// Memory copy bandwidth charged for cache hits.
+  util::ByteRate memory_bandwidth{util::gigabytes_per_sec(4.0)};
+  /// Contiguous on-disk extent granularity in pages (default 4 MiB).
+  std::size_t extent_pages = 1024;
+};
+
+/// File descriptor handle.
+using FileDescriptor = std::uint64_t;
+
+/// Per-file metadata snapshot.
+struct FileStat {
+  std::string name;
+  util::ByteCount size{0.0};
+};
+
+/// POSIX-flavoured simulated filesystem. Single-threaded by design: the
+/// parallel IOzone harness gives each simulated node its own filesystem
+/// instance, mirroring node-local disks on the Fire cluster.
+class SimFilesystem {
+ public:
+  explicit SimFilesystem(FilesystemSpec spec = {});
+
+  /// Opens (creating if absent) a file and returns its descriptor.
+  FileDescriptor open(const std::string& name);
+
+  /// Writes `data` at byte `offset`, extending the file as needed.
+  /// Advances the simulated clock by the modeled cost.
+  void write(FileDescriptor fd, std::uint64_t offset,
+             std::span<const std::uint8_t> data);
+
+  /// Reads `out.size()` bytes at `offset` into `out`.
+  /// Precondition: the range is within the file.
+  void read(FileDescriptor fd, std::uint64_t offset,
+            std::span<std::uint8_t> out);
+
+  /// Flushes the file's dirty pages to the device.
+  void fsync(FileDescriptor fd);
+
+  /// Closes the descriptor (does not flush; call fsync first, as IOzone's
+  /// -e option does).
+  void close(FileDescriptor fd);
+
+  /// Removes a file and drops its cached pages.
+  void unlink(const std::string& name);
+
+  /// Metadata for an open descriptor.
+  [[nodiscard]] FileStat stat(FileDescriptor fd) const;
+
+  /// Simulated time consumed by all operations so far.
+  [[nodiscard]] util::Seconds now() const { return clock_.now(); }
+
+  /// Fraction of elapsed simulated time the disk spent busy.
+  [[nodiscard]] double disk_utilization() const;
+
+  [[nodiscard]] const DiskStats& disk_stats() const { return disk_.stats(); }
+  [[nodiscard]] const CacheStats& cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] const FilesystemSpec& spec() const { return spec_; }
+
+  /// Starts a new measurement epoch: zeroes the clock and all counters.
+  void reset_accounting();
+
+ private:
+  struct File {
+    std::uint64_t id = 0;
+    std::string name;
+    std::vector<std::uint8_t> data;
+    /// Disk byte offset of each extent, indexed by extent number.
+    std::vector<std::uint64_t> extents;
+    bool open = false;
+  };
+
+  File& file_for(FileDescriptor fd);
+  const File& file_for(FileDescriptor fd) const;
+  /// Disk byte offset backing `page_index` of `file` (allocating extents).
+  std::uint64_t disk_offset_for(File& file, std::uint64_t page_index);
+  /// Charges memory-copy time for `bytes`.
+  void charge_memory(std::uint64_t bytes);
+  /// Writes back the given dirty pages, coalescing contiguous disk runs.
+  void write_back(const std::vector<PageKey>& pages);
+  /// Page-granular cache walk common to read/write.
+  void touch_pages(File& file, std::uint64_t offset, std::uint64_t length,
+                   bool is_write);
+
+  FilesystemSpec spec_;
+  BlockDevice disk_;
+  PageCache cache_;
+  util::SimClock clock_;
+  std::map<std::string, std::uint64_t> names_;  // name -> file id
+  std::map<std::uint64_t, File> files_;         // id -> file
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_free_disk_byte_ = 0;
+  std::uint64_t page_bytes_;
+};
+
+}  // namespace tgi::fs

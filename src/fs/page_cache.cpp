@@ -1,0 +1,84 @@
+#include "fs/page_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tgi::fs {
+
+PageCache::PageCache(std::size_t capacity_pages, util::ByteCount page_size)
+    : capacity_(capacity_pages), page_size_(page_size) {
+  TGI_REQUIRE(capacity_ > 0, "cache needs at least one page");
+  TGI_REQUIRE(page_size_.value() > 0.0, "page size must be positive");
+}
+
+void PageCache::evict_one(CacheAccess& out) {
+  TGI_CHECK(!lru_.empty(), "evicting from empty cache");
+  const Entry victim = lru_.back();
+  if (victim.dirty) {
+    out.evicted_dirty.push_back(victim.key);
+    ++stats_.dirty_evictions;
+    TGI_CHECK(dirty_count_ > 0, "dirty count underflow");
+    --dirty_count_;
+  } else {
+    ++stats_.clean_evictions;
+  }
+  map_.erase(victim.key);
+  lru_.pop_back();
+}
+
+CacheAccess PageCache::access(PageKey key, bool is_write) {
+  CacheAccess out;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    out.hit = true;
+    ++stats_.hits;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (is_write && !it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    return out;
+  }
+  ++stats_.misses;
+  while (map_.size() >= capacity_) evict_one(out);
+  lru_.push_front(Entry{key, is_write});
+  map_[key] = lru_.begin();
+  if (is_write) ++dirty_count_;
+  return out;
+}
+
+std::vector<PageKey> PageCache::collect_dirty(std::uint64_t file_id) {
+  std::vector<PageKey> dirty;
+  for (auto& entry : lru_) {
+    if (entry.key.file_id == file_id && entry.dirty) {
+      dirty.push_back(entry.key);
+      entry.dirty = false;
+      TGI_CHECK(dirty_count_ > 0, "dirty count underflow");
+      --dirty_count_;
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const PageKey& a, const PageKey& b) {
+              return a.page_index < b.page_index;
+            });
+  return dirty;
+}
+
+void PageCache::drop_file(std::uint64_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_id == file_id) {
+      if (it->dirty) {
+        TGI_CHECK(dirty_count_ > 0, "dirty count underflow");
+        --dirty_count_;
+      }
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tgi::fs

@@ -1,0 +1,103 @@
+// LRU page cache with write-back, modeled after the OS buffer cache that
+// sits between IOzone and the disk.
+//
+// IOzone's write test is dominated by page-cache behaviour: record-sized
+// writes land in memory and are flushed in large sequential runs. Getting
+// this layer right is what makes the simulated MB/s-vs-file-size curve look
+// like the real tool's.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tgi::fs {
+
+/// Identifies a cached page: (file id, page index within file).
+struct PageKey {
+  std::uint64_t file_id = 0;
+  std::uint64_t page_index = 0;
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const {
+    // Splitmix-style mix of the two ids.
+    std::uint64_t x = k.file_id * 0x9e3779b97f4a7c15ULL ^ k.page_index;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Outcome of one page access.
+struct CacheAccess {
+  bool hit = false;
+  /// Pages that had to be written back to make room (dirty evictions).
+  std::vector<PageKey> evicted_dirty;
+};
+
+/// Cumulative cache counters.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t dirty_evictions = 0;
+  std::uint64_t clean_evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity LRU cache of pages with dirty tracking.
+///
+/// The cache stores bookkeeping only; page *data* lives in the filesystem's
+/// file buffers. Timing is the caller's job: the filesystem charges memory
+/// time for hits and disk time for misses/evictions/flushes.
+class PageCache {
+ public:
+  /// `capacity_pages` > 0; `page_size` is the charging granularity.
+  PageCache(std::size_t capacity_pages, util::ByteCount page_size);
+
+  /// Touches a page (load on miss), marking dirty when `is_write`.
+  /// Eviction happens here; dirty victims are returned for write-back.
+  CacheAccess access(PageKey key, bool is_write);
+
+  /// Removes and returns all dirty pages of `file_id` in ascending page
+  /// order (what fsync flushes). Pages stay cached but become clean.
+  std::vector<PageKey> collect_dirty(std::uint64_t file_id);
+
+  /// Drops every page of the file (unlink/close semantics); dirty pages of
+  /// a dropped file are discarded, not flushed — callers fsync first.
+  void drop_file(std::uint64_t file_id);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] util::ByteCount page_size() const { return page_size_; }
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_count_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Entry {
+    PageKey key;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_one(CacheAccess& out);
+
+  std::size_t capacity_;
+  util::ByteCount page_size_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageKey, LruList::iterator, PageKeyHash> map_;
+  std::size_t dirty_count_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace tgi::fs

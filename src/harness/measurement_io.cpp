@@ -1,0 +1,128 @@
+#include "harness/measurement_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace tgi::harness {
+
+void write_measurements(std::ostream& out,
+                        const std::vector<core::BenchmarkMeasurement>& ms) {
+  util::CsvWriter csv(out);
+  csv.write_row({"benchmark", "performance", "unit", "watts", "seconds",
+                 "joules"});
+  for (const auto& m : ms) {
+    m.validate();
+    std::ostringstream perf;
+    std::ostringstream watts;
+    std::ostringstream secs;
+    std::ostringstream joules;
+    perf.precision(17);
+    watts.precision(17);
+    secs.precision(17);
+    joules.precision(17);
+    perf << m.performance;
+    watts << m.average_power.value();
+    secs << m.execution_time.value();
+    joules << m.energy.value();
+    csv.write_row({m.benchmark, perf.str(), m.metric_unit, watts.str(),
+                   secs.str(), joules.str()});
+  }
+}
+
+void write_measurements_file(
+    const std::string& path,
+    const std::vector<core::BenchmarkMeasurement>& ms) {
+  std::ofstream out(path);
+  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write_measurements(out, ms);
+}
+
+std::vector<std::string> split_csv_record(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+  }
+  TGI_REQUIRE(!in_quotes, "unterminated quote in CSV record: " << line);
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::vector<core::BenchmarkMeasurement> read_measurements(std::istream& in) {
+  std::string line;
+  TGI_REQUIRE(std::getline(in, line), "empty measurement CSV");
+  {
+    const auto header = split_csv_record(line);
+    const std::vector<std::string> expected{"benchmark", "performance",
+                                            "unit",      "watts",
+                                            "seconds",   "joules"};
+    TGI_REQUIRE(header == expected,
+                "unexpected CSV header (want '" << kMeasurementCsvHeader
+                                                << "')");
+  }
+  std::vector<core::BenchmarkMeasurement> out;
+  int row = 1;
+  auto parse_double = [&](const std::string& cell, const char* what) {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(cell, &pos);
+      TGI_REQUIRE(pos == cell.size(), "trailing characters");
+      return v;
+    } catch (const std::exception&) {
+      throw util::PreconditionError("row " + std::to_string(row) +
+                                    ": bad " + what + " value '" + cell +
+                                    "'");
+    }
+  };
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto cells = split_csv_record(line);
+    TGI_REQUIRE(cells.size() == 6,
+                "row " << row << " has " << cells.size()
+                       << " cells, expected 6");
+    core::BenchmarkMeasurement m;
+    m.benchmark = cells[0];
+    m.performance = parse_double(cells[1], "performance");
+    m.metric_unit = cells[2];
+    m.average_power = util::watts(parse_double(cells[3], "watts"));
+    m.execution_time = util::seconds(parse_double(cells[4], "seconds"));
+    m.energy = util::joules(parse_double(cells[5], "joules"));
+    m.validate();
+    out.push_back(std::move(m));
+  }
+  TGI_REQUIRE(!out.empty(), "measurement CSV has no data rows");
+  return out;
+}
+
+std::vector<core::BenchmarkMeasurement> read_measurements_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  TGI_REQUIRE(in.good(), "cannot open '" << path << "' for reading");
+  return read_measurements(in);
+}
+
+}  // namespace tgi::harness

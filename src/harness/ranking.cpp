@@ -1,0 +1,76 @@
+#include "harness/ranking.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace tgi::harness {
+
+std::size_t Ranking::disagreements() const {
+  std::size_t count = 0;
+  for (const auto& e : entries) {
+    if (e.tgi_rank != e.flops_per_watt_rank) ++count;
+  }
+  return count;
+}
+
+Ranking rank_machines(const core::TgiCalculator& calculator,
+                      const std::vector<RankingSubmission>& submissions,
+                      core::WeightScheme scheme) {
+  TGI_REQUIRE(!submissions.empty(), "nothing to rank");
+  Ranking ranking;
+  ranking.scheme = scheme;
+  ranking.entries.reserve(submissions.size());
+  for (const auto& sub : submissions) {
+    TGI_REQUIRE(!sub.machine.empty(), "submission without a machine name");
+    const core::TgiResult result =
+        calculator.compute(sub.measurements, scheme);
+    const auto& hpl = core::find_measurement(sub.measurements, "HPL");
+    RankingEntry entry;
+    entry.machine = sub.machine;
+    entry.tgi = result.tgi;
+    entry.flops_per_watt = hpl.performance / hpl.average_power.value();
+    entry.least_ree_benchmark = result.least_ree().benchmark;
+    ranking.entries.push_back(std::move(entry));
+  }
+
+  // Assign FLOPS/W ranks first, then order the list by TGI.
+  std::sort(ranking.entries.begin(), ranking.entries.end(),
+            [](const RankingEntry& a, const RankingEntry& b) {
+              return a.flops_per_watt > b.flops_per_watt;
+            });
+  for (std::size_t i = 0; i < ranking.entries.size(); ++i) {
+    ranking.entries[i].flops_per_watt_rank = i + 1;
+  }
+  std::sort(ranking.entries.begin(), ranking.entries.end(),
+            [](const RankingEntry& a, const RankingEntry& b) {
+              return a.tgi > b.tgi;
+            });
+  for (std::size_t i = 0; i < ranking.entries.size(); ++i) {
+    ranking.entries[i].tgi_rank = i + 1;
+  }
+  return ranking;
+}
+
+std::string render_ranking(const Ranking& ranking) {
+  util::TextTable table({"rank", "machine", "TGI", "MFLOPS/W",
+                         "FLOPS/W rank", "least REE"});
+  for (const auto& e : ranking.entries) {
+    table.add_row({std::to_string(e.tgi_rank), e.machine,
+                   util::fixed(e.tgi, 4), util::fixed(e.flops_per_watt, 1),
+                   std::to_string(e.flops_per_watt_rank),
+                   e.least_ree_benchmark});
+  }
+  std::string out = "Greener500 list (";
+  out += core::weight_scheme_name(ranking.scheme);
+  out += ")\n";
+  out += table.to_string();
+  out += "rank disagreements vs FLOPS/W: " +
+         std::to_string(ranking.disagreements()) + " of " +
+         std::to_string(ranking.entries.size()) + "\n";
+  return out;
+}
+
+}  // namespace tgi::harness

@@ -1,0 +1,56 @@
+// Green500/Top500-style ranking reports over TGI.
+//
+// The paper's framing problem: lists need a single rankable number. This
+// module turns a set of (machine, suite measurements) pairs into a ranked
+// list under any weight scheme, side by side with the FLOPS/W rank the
+// Green500 would assign — the disagreement between the two columns is the
+// paper's whole motivation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tgi.h"
+
+namespace tgi::harness {
+
+/// One machine's suite results, as submitted to the list.
+struct RankingSubmission {
+  std::string machine;
+  std::vector<core::BenchmarkMeasurement> measurements;
+};
+
+/// One row of the computed list.
+struct RankingEntry {
+  std::string machine;
+  double tgi = 0.0;
+  /// HPL performance / power — the Green500 column.
+  double flops_per_watt = 0.0;
+  std::string least_ree_benchmark;
+  /// 1-based positions under each ordering.
+  std::size_t tgi_rank = 0;
+  std::size_t flops_per_watt_rank = 0;
+};
+
+/// A computed list.
+struct Ranking {
+  core::WeightScheme scheme = core::WeightScheme::kArithmeticMean;
+  std::vector<RankingEntry> entries;  ///< sorted by TGI, descending
+
+  /// Number of machines whose TGI rank differs from their FLOPS/W rank —
+  /// the "what FLOPS/W hides" headline statistic.
+  [[nodiscard]] std::size_t disagreements() const;
+};
+
+/// Ranks submissions by TGI against `calculator`'s reference.
+/// Requires every submission to include an "HPL" measurement (for the
+/// FLOPS/W column) and to cover the reference's benchmark set.
+[[nodiscard]] Ranking rank_machines(
+    const core::TgiCalculator& calculator,
+    const std::vector<RankingSubmission>& submissions,
+    core::WeightScheme scheme = core::WeightScheme::kArithmeticMean);
+
+/// Renders the list as an aligned text table.
+[[nodiscard]] std::string render_ranking(const Ranking& ranking);
+
+}  // namespace tgi::harness

@@ -1,0 +1,105 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace tgi::harness {
+
+void print_banner(std::ostream& os, const std::string& artifact,
+                  const std::string& caption) {
+  os << "\n== " << artifact << ": " << caption << " ==\n";
+}
+
+void print_series(std::ostream& os, const Series& series, int precision) {
+  TGI_REQUIRE(series.x.size() == series.y.size(), "series length mismatch");
+  util::TextTable table({series.x_label, series.y_label});
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    table.add_row({util::fixed(series.x[i], 0),
+                   util::fixed(series.y[i], precision)});
+  }
+  os << table << "trend: " << sparkline(series.y) << "\n";
+}
+
+void print_multi_series(std::ostream& os, const MultiSeries& multi,
+                        int precision) {
+  std::vector<std::string> header{multi.x_label};
+  for (const auto& [label, ys] : multi.series) {
+    TGI_REQUIRE(ys.size() == multi.x.size(),
+                "series '" << label << "' length mismatch");
+    header.push_back(label);
+  }
+  util::TextTable table(header);
+  for (std::size_t i = 0; i < multi.x.size(); ++i) {
+    std::vector<std::string> row{util::fixed(multi.x[i], 0)};
+    for (const auto& [label, ys] : multi.series) {
+      row.push_back(util::fixed(ys[i], precision));
+    }
+    table.add_row(std::move(row));
+  }
+  os << table;
+}
+
+void write_csv(const Series& series, const std::string& path) {
+  TGI_REQUIRE(series.x.size() == series.y.size(), "series length mismatch");
+  std::ofstream out(path);
+  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  util::CsvWriter csv(out);
+  csv.write_row({series.x_label, series.y_label});
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    csv.write_row({util::fixed(series.x[i], 6), util::fixed(series.y[i], 6)});
+  }
+}
+
+void write_csv(const MultiSeries& multi, const std::string& path) {
+  std::ofstream out(path);
+  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{multi.x_label};
+  for (const auto& [label, _] : multi.series) header.push_back(label);
+  csv.write_row(header);
+  for (std::size_t i = 0; i < multi.x.size(); ++i) {
+    std::vector<std::string> row{util::fixed(multi.x[i], 6)};
+    for (const auto& [label, ys] : multi.series) {
+      TGI_REQUIRE(ys.size() == multi.x.size(),
+                  "series '" << label << "' length mismatch");
+      row.push_back(util::fixed(ys[i], 6));
+    }
+    csv.write_row(row);
+  }
+}
+
+void write_trace_csv(const power::PowerTrace& trace,
+                     const std::string& path) {
+  std::ofstream out(path);
+  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  util::CsvWriter csv(out);
+  csv.write_row({"seconds", "watts"});
+  for (const auto& sample : trace.samples()) {
+    csv.write_row({util::fixed(sample.t.value(), 6),
+                   util::fixed(sample.watts.value(), 3)});
+  }
+}
+
+std::string sparkline(const std::vector<double>& y) {
+  if (y.empty()) return "";
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  const double lo = *std::min_element(y.begin(), y.end());
+  const double hi = *std::max_element(y.begin(), y.end());
+  std::string out;
+  for (double v : y) {
+    std::size_t idx = 0;
+    if (hi > lo) {
+      idx = static_cast<std::size_t>((v - lo) / (hi - lo) * 7.0 + 0.5);
+      idx = std::min<std::size_t>(idx, 7);
+    }
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+}  // namespace tgi::harness

@@ -1,0 +1,58 @@
+// Figure/table rendering shared by all experiment harnesses.
+//
+// Every bench binary emits (a) a banner naming the paper artifact it
+// reproduces, (b) an aligned text table of the series, and (c) optional CSV
+// for replotting — all through these helpers so output is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tgi::harness {
+
+/// A single y(x) series.
+struct Series {
+  std::string x_label;
+  std::string y_label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Several y series over a shared x grid (Figure 6's panels).
+struct MultiSeries {
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+/// Prints "== Figure N: caption ==" style banner.
+void print_banner(std::ostream& os, const std::string& artifact,
+                  const std::string& caption);
+
+/// Renders a series as an aligned two-column table.
+void print_series(std::ostream& os, const Series& series, int precision = 3);
+
+/// Renders a multi-series as an aligned table, one column per series.
+void print_multi_series(std::ostream& os, const MultiSeries& multi,
+                        int precision = 4);
+
+/// Writes a series (or multi-series) as CSV to `path`.
+void write_csv(const Series& series, const std::string& path);
+void write_csv(const MultiSeries& multi, const std::string& path);
+
+/// A crude text sparkline of y (for eyeballing trends in terminal output).
+[[nodiscard]] std::string sparkline(const std::vector<double>& y);
+
+}  // namespace tgi::harness
+
+#include "power/trace.h"
+
+namespace tgi::harness {
+
+/// Writes a power trace as (seconds, watts) CSV — the raw meter log a
+/// real Watts Up? session would leave behind.
+void write_trace_csv(const power::PowerTrace& trace, const std::string& path);
+
+}  // namespace tgi::harness

@@ -1,0 +1,148 @@
+#include "harness/suite.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace tgi::harness {
+
+SuiteRunner::SuiteRunner(sim::ClusterSpec cluster, power::PowerMeter& meter,
+                         SuiteConfig config)
+    : simulator_(std::move(cluster), config.tuning),
+      meter_(meter),
+      config_(config) {}
+
+core::BenchmarkMeasurement SuiteRunner::measure(const sim::Workload& workload,
+                                                double performance,
+                                                const std::string& unit,
+                                                const sim::SimulatedRun& run) {
+  const power::MeterReading reading =
+      meter_.measure(run.timeline.as_source(), run.elapsed);
+  TGI_LOG_DEBUG(workload.benchmark
+                << ": " << performance << " " << unit << " over "
+                << run.elapsed.value() << " s at "
+                << reading.average_power.value() << " W");
+  return core::make_measurement(workload.benchmark, performance, unit,
+                                reading);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_hpl(std::size_t processes) {
+  kernels::HplModelParams params = config_.hpl;
+  params.processes = processes;
+  const sim::Workload wl = kernels::make_hpl_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const double mflops =
+      wl.total_flops().value() / run.elapsed.value() / 1e6;
+  return measure(wl, mflops, "MFLOPS", run);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_stream(std::size_t processes) {
+  kernels::StreamModelParams params = config_.stream;
+  params.processes = processes;
+  const sim::Workload wl = kernels::make_stream_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const double mbps =
+      wl.total_memory_bytes().value() / run.elapsed.value() / 1e6;
+  return measure(wl, mbps, "MBPS", run);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_iozone(std::size_t nodes) {
+  kernels::IozoneModelParams params = config_.iozone;
+  params.nodes = nodes;
+  const sim::Workload wl = kernels::make_iozone_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const double mbps =
+      wl.total_io_bytes().value() / run.elapsed.value() / 1e6;
+  return measure(wl, mbps, "MBPS", run);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_gups(std::size_t processes) {
+  kernels::GupsModelParams params = config_.gups;
+  params.processes = processes;
+  const sim::Workload wl = kernels::make_gups_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const kernels::RankLayout layout =
+      kernels::layout_for(cluster(), processes, params.placement);
+  const double total_updates = params.updates_per_node(cluster()) *
+                               static_cast<double>(layout.nodes);
+  const double gups = total_updates / run.elapsed.value() / 1e9;
+  return measure(wl, gups, "GUPS", run);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_ptrans(std::size_t processes) {
+  kernels::PtransModelParams params = config_.ptrans;
+  params.processes = processes;
+  const sim::Workload wl = kernels::make_ptrans_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const kernels::RankLayout layout =
+      kernels::layout_for(cluster(), processes, params.placement);
+  const double total_bytes = params.matrix_bytes_per_node(cluster()) *
+                             static_cast<double>(layout.nodes);
+  const double mbps = total_bytes / run.elapsed.value() / 1e6;
+  return measure(wl, mbps, "MBPS", run);
+}
+
+core::BenchmarkMeasurement SuiteRunner::run_fft(std::size_t processes) {
+  kernels::FftModelParams params = config_.fft;
+  params.processes = processes;
+  const sim::Workload wl = kernels::make_fft_workload(cluster(), params);
+  const sim::SimulatedRun run = simulator_.run(wl);
+  const double mflops =
+      wl.total_flops().value() / run.elapsed.value() / 1e6;
+  return measure(wl, mflops, "MFLOPS", run);
+}
+
+SuitePoint SuiteRunner::run_extended_suite(std::size_t processes) {
+  SuitePoint point;
+  point.processes = processes;
+  point.nodes = cluster().nodes_for(processes);
+  point.measurements.push_back(run_hpl(processes));
+  point.measurements.push_back(run_stream(processes));
+  point.measurements.push_back(run_iozone(point.nodes));
+  point.measurements.push_back(run_gups(processes));
+  point.measurements.push_back(run_ptrans(processes));
+  point.measurements.push_back(run_fft(processes));
+  return point;
+}
+
+SuitePoint SuiteRunner::run_suite(std::size_t processes) {
+  SuitePoint point;
+  point.processes = processes;
+  point.nodes = cluster().nodes_for(processes);
+  point.measurements.push_back(run_hpl(processes));
+  point.measurements.push_back(run_stream(processes));
+  point.measurements.push_back(run_iozone(point.nodes));
+  if (config_.include_gups) {
+    point.measurements.push_back(run_gups(processes));
+  }
+  return point;
+}
+
+std::vector<SuitePoint> SuiteRunner::sweep(
+    const std::vector<std::size_t>& process_counts) {
+  TGI_REQUIRE(!process_counts.empty(), "empty sweep");
+  std::vector<SuitePoint> points;
+  points.reserve(process_counts.size());
+  for (const std::size_t p : process_counts) {
+    points.push_back(run_suite(p));
+  }
+  return points;
+}
+
+std::vector<core::BenchmarkMeasurement> reference_measurements(
+    const sim::ClusterSpec& reference_cluster, power::PowerMeter& meter,
+    SuiteConfig config) {
+  // Reference runs meter the participating subset (see SuiteConfig docs).
+  config.tuning.meter_active_nodes_only = true;
+  SuiteRunner runner(reference_cluster, meter, config);
+  std::vector<core::BenchmarkMeasurement> measurements;
+  measurements.push_back(runner.run_hpl(reference_cluster.total_cores()));
+  measurements.push_back(runner.run_stream(reference_cluster.total_cores()));
+  measurements.push_back(runner.run_iozone(
+      std::min(config.reference_iozone_nodes, reference_cluster.nodes)));
+  if (config.include_gups) {
+    measurements.push_back(runner.run_gups(reference_cluster.total_cores()));
+  }
+  return measurements;
+}
+
+}  // namespace tgi::harness

@@ -1,0 +1,93 @@
+#include "kernels/blas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  TGI_REQUIRE(x.size() == y.size(), "daxpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::size_t idamax(std::span<const double> x) {
+  TGI_REQUIRE(!x.empty(), "idamax of empty vector");
+  std::size_t best = 0;
+  double best_abs = std::fabs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double a = std::fabs(x[i]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void dgemm_minus(std::size_t m, std::size_t n, std::size_t k,
+                 const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  TGI_REQUIRE(lda >= m && ldc >= m && ldb >= k, "bad leading dimension");
+  // jik order with 4-wide j unrolling keeps columns of C hot and lets the
+  // inner i-loop vectorize; good enough without an external BLAS.
+  constexpr std::size_t kColBlock = 4;
+  std::size_t j = 0;
+  for (; j + kColBlock <= n; j += kColBlock) {
+    double* c0 = c + (j + 0) * ldc;
+    double* c1 = c + (j + 1) * ldc;
+    double* c2 = c + (j + 2) * ldc;
+    double* c3 = c + (j + 3) * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* ap = a + p * lda;
+      const double b0 = b[p + (j + 0) * ldb];
+      const double b1 = b[p + (j + 1) * ldb];
+      const double b2 = b[p + (j + 2) * ldb];
+      const double b3 = b[p + (j + 3) * ldb];
+      for (std::size_t i = 0; i < m; ++i) {
+        const double av = ap[i];
+        c0[i] -= av * b0;
+        c1[i] -= av * b1;
+        c2[i] -= av * b2;
+        c3[i] -= av * b3;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* ap = a + p * lda;
+      const double bv = b[p + j * ldb];
+      for (std::size_t i = 0; i < m; ++i) cj[i] -= ap[i] * bv;
+    }
+  }
+}
+
+void dtrsm_unit_lower(std::size_t m, std::size_t n, const double* l,
+                      std::size_t lda, double* b, std::size_t ldb) {
+  if (m == 0 || n == 0) return;
+  TGI_REQUIRE(lda >= m && ldb >= m, "bad leading dimension");
+  for (std::size_t j = 0; j < n; ++j) {
+    double* bj = b + j * ldb;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double bp = bj[p];  // diagonal is unit: no division
+      const double* lp = l + p * lda;
+      for (std::size_t i = p + 1; i < m; ++i) bj[i] -= lp[i] * bp;
+    }
+  }
+}
+
+double inf_norm(std::span<const double> x) {
+  TGI_REQUIRE(!x.empty(), "inf_norm of empty vector");
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,38 @@
+// Micro-BLAS: the handful of dense linear-algebra primitives the HPL-like
+// solver is built from.
+//
+// Implemented from scratch (no external BLAS): plain, cache-blocked C++
+// that the compiler can vectorize. Column-major throughout, matching the
+// convention of the reference HPL.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tgi::kernels {
+
+/// y += alpha * x (vectors of equal length).
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Index of the element with the largest absolute value.
+/// Precondition: x non-empty.
+[[nodiscard]] std::size_t idamax(std::span<const double> x);
+
+/// Scales x by alpha.
+void dscal(double alpha, std::span<double> x);
+
+/// C(m×n) -= A(m×k) · B(k×n); column-major with explicit leading
+/// dimensions. This is the trailing-matrix update (the ~100% of HPL time).
+void dgemm_minus(std::size_t m, std::size_t n, std::size_t k,
+                 const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double* c, std::size_t ldc);
+
+/// Solves L · X = B in place, where L (m×m, column-major, leading dim lda)
+/// is *unit* lower triangular and B is m×n with leading dim ldb.
+void dtrsm_unit_lower(std::size_t m, std::size_t n, const double* l,
+                      std::size_t lda, double* b, std::size_t ldb);
+
+/// Infinity norm of a vector (max |x_i|). Precondition: non-empty.
+[[nodiscard]] double inf_norm(std::span<const double> x);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,35 @@
+// DGEMM benchmark (HPCC's single-node compute probe): C := alpha·A·B +
+// beta·C with verification against a probabilistic Freivalds check plus a
+// deterministic spot comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct DgemmConfig {
+  std::size_t n = 256;
+  int iterations = 3;
+  double alpha = 1.0;
+  double beta = 1.0;
+  std::uint64_t seed = 0xd9e88;
+};
+
+struct DgemmResult {
+  /// Best sustained rate over the iterations (2·n³ flops per multiply).
+  util::FlopRate rate{0.0};
+  util::Seconds elapsed{0.0};
+  /// Freivalds residual ‖(A·B)x − C'x‖∞ scaled by magnitudes.
+  double check_residual = 0.0;
+  bool validated = false;
+};
+
+/// Runs the benchmark on host memory.
+[[nodiscard]] DgemmResult run_dgemm(const DgemmConfig& config);
+
+/// Operation count 2·n³ + 2·n² for the full update.
+[[nodiscard]] util::FlopCount dgemm_flop_count(std::size_t n);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,86 @@
+#include "kernels/extended_models.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+sim::Workload make_ptrans_workload(const sim::ClusterSpec& cluster,
+                                   const PtransModelParams& params) {
+  TGI_REQUIRE(params.processes >= 1 &&
+                  params.processes <= cluster.total_cores(),
+              "process count out of range");
+  TGI_REQUIRE(params.memory_fraction > 0.0 && params.memory_fraction <= 0.6,
+              "memory fraction must be in (0, 0.6]");
+  const RankLayout layout =
+      layout_for(cluster, params.processes, params.placement);
+  const double bytes_per_node = params.matrix_bytes_per_node(cluster);
+
+  sim::Workload wl;
+  wl.benchmark = "PTRANS";
+  sim::Phase ph;
+  ph.label = "transpose-exchange";
+  ph.active_nodes = layout.nodes;
+  ph.cores_per_node = layout.cores_per_node;
+  // Pack + unpack: each byte through DRAM twice.
+  ph.memory_bytes_per_node = util::bytes(2.0 * bytes_per_node);
+  // The transpose is a full personalized exchange: model as an allreduce-
+  // sized volume (each rank both sends and receives its whole partition).
+  ph.comms.push_back({sim::CommOp::Kind::kAllreduce,
+                      util::bytes(bytes_per_node), 1.0});
+  // The adds of beta·A + alpha·Bᵀ: 2 flops per 8-byte element.
+  ph.flops_per_node = util::flops(bytes_per_node / 8.0 * 2.0);
+  wl.phases.push_back(std::move(ph));
+  return wl;
+}
+
+sim::Workload make_fft_workload(const sim::ClusterSpec& cluster,
+                                const FftModelParams& params) {
+  TGI_REQUIRE(params.processes >= 1 &&
+                  params.processes <= cluster.total_cores(),
+              "process count out of range");
+  TGI_REQUIRE(params.memory_fraction > 0.0 && params.memory_fraction <= 0.6,
+              "memory fraction must be in (0, 0.6]");
+  const RankLayout layout =
+      layout_for(cluster, params.processes, params.placement);
+  const double n = params.elements_total(cluster, layout.nodes);
+  TGI_REQUIRE(n >= 2.0, "transform too small");
+  const double log2n = std::log2(n);
+  const double vector_bytes_per_node =
+      n * 16.0 / static_cast<double>(layout.nodes);
+
+  sim::Workload wl;
+  wl.benchmark = "FFT";
+
+  // Phase 1: local butterflies on each partition (the six-step algorithm
+  // does ~half the stages before and half after the transpose; we lump
+  // them into two compute phases around the exchange).
+  sim::Phase butterflies;
+  butterflies.label = "local-butterflies";
+  butterflies.active_nodes = layout.nodes;
+  butterflies.cores_per_node = layout.cores_per_node;
+  butterflies.flops_per_node =
+      util::flops(5.0 * n * log2n / 2.0 / static_cast<double>(layout.nodes));
+  // Out-of-cache FFT streams the vector ~1.5× per half.
+  butterflies.memory_bytes_per_node =
+      util::bytes(1.5 * vector_bytes_per_node);
+
+  // Phase 2: the global transpose — every element crosses the fabric.
+  sim::Phase transpose;
+  transpose.label = "all-to-all-transpose";
+  transpose.active_nodes = layout.nodes;
+  transpose.cores_per_node = layout.cores_per_node;
+  transpose.memory_bytes_per_node =
+      util::bytes(2.0 * vector_bytes_per_node);  // pack + unpack
+  transpose.comms.push_back({sim::CommOp::Kind::kAllreduce,
+                             util::bytes(vector_bytes_per_node), 1.0});
+
+  wl.phases.push_back(butterflies);
+  wl.phases.push_back(transpose);
+  wl.phases.push_back(butterflies);  // second half of the stages
+  wl.phases.back().label = "local-butterflies-2";
+  return wl;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,52 @@
+// Analytic workload models for the extended (HPCC-flavored) suite members:
+// PTRANS (network-bisection-bound) and FFT (mixed compute/memory with a
+// global transpose), complementing the paper's HPL/STREAM/IOzone trio and
+// the GUPS latency probe.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/hpl_model.h"  // Placement / layout_for
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace tgi::kernels {
+
+struct PtransModelParams {
+  std::size_t processes = 16;
+  Placement placement = Placement::kScatter;
+  /// Fraction of node memory holding the (square) matrix.
+  double memory_fraction = 0.2;
+
+  /// Matrix bytes per node under this configuration.
+  [[nodiscard]] double matrix_bytes_per_node(
+      const sim::ClusterSpec& c) const {
+    return c.node.memory.value() * memory_fraction;
+  }
+};
+
+/// PTRANS: every matrix byte crosses the network once (pairwise
+/// exchanges across the grid diagonal) and DRAM twice (pack + unpack).
+[[nodiscard]] sim::Workload make_ptrans_workload(
+    const sim::ClusterSpec& cluster, const PtransModelParams& params);
+
+struct FftModelParams {
+  std::size_t processes = 16;
+  Placement placement = Placement::kScatter;
+  /// Fraction of node memory holding the complex vector.
+  double memory_fraction = 0.2;
+
+  /// Transform length (complex elements) across the active nodes.
+  [[nodiscard]] double elements_total(const sim::ClusterSpec& c,
+                                      std::size_t nodes) const {
+    return c.node.memory.value() * memory_fraction *
+           static_cast<double>(nodes) / 16.0;  // 16 B per complex double
+  }
+};
+
+/// Distributed 1D FFT: 5·n·log2(n) flops, ~3 passes over the data in
+/// DRAM, and one all-to-all transpose of the whole vector.
+[[nodiscard]] sim::Workload make_fft_workload(const sim::ClusterSpec& cluster,
+                                              const FftModelParams& params);
+
+}  // namespace tgi::kernels

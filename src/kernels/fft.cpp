@@ -1,0 +1,115 @@
+#include "kernels/fft.h"
+
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::kernels {
+
+namespace {
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+util::FlopCount fft_flop_count(std::size_t n) {
+  TGI_REQUIRE(is_power_of_two(n), "FFT length must be a power of two");
+  const auto nd = static_cast<double>(n);
+  return util::flops(5.0 * nd * std::log2(nd));
+}
+
+void fft_radix2(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  TGI_REQUIRE(is_power_of_two(n) && n >= 2,
+              "FFT length must be a power of two >= 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies with per-stage twiddle recurrence.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+FftResult run_fft(const FftConfig& config) {
+  TGI_REQUIRE(config.log2_size >= 4 && config.log2_size <= 28,
+              "transform length must be 2^4..2^28");
+  TGI_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  const std::size_t n = std::size_t{1} << config.log2_size;
+
+  util::Xoshiro256 rng(config.seed);
+  std::vector<std::complex<double>> original(n);
+  for (auto& x : original) {
+    x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+
+  FftResult result;
+  const double t_begin = now_seconds();
+  double best = 1e300;
+  std::vector<std::complex<double>> work;
+  for (int it = 0; it < config.iterations; ++it) {
+    work = original;
+    const double t0 = now_seconds();
+    fft_radix2(work, /*inverse=*/false);
+    best = std::min(best, std::max(now_seconds() - t0, 1e-9));
+  }
+  result.rate = fft_flop_count(n) / util::seconds(best);
+
+  // Verification on the last transform: Parseval, then round trip.
+  double energy_time = 0.0;
+  double energy_freq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    energy_time += std::norm(original[i]);
+    energy_freq += std::norm(work[i]);
+  }
+  energy_freq /= static_cast<double>(n);
+  result.parseval_error = std::fabs(1.0 - energy_freq / energy_time);
+
+  fft_radix2(work, /*inverse=*/true);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(work[i] - original[i]));
+  }
+  result.roundtrip_error = max_err;
+  result.elapsed = util::seconds(now_seconds() - t_begin);
+  // log2(n) stages each contribute O(eps) amplification.
+  const double tol =
+      1e-12 * static_cast<double>(config.log2_size);
+  result.validated =
+      result.roundtrip_error < tol && result.parseval_error < tol;
+  return result;
+}
+
+}  // namespace tgi::kernels

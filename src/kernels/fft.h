@@ -1,0 +1,50 @@
+// 1D complex FFT benchmark (HPCC FFTE's role): measures the flop rate of
+// an out-of-cache radix-2 transform, the classic latency+bandwidth-mixed
+// kernel between HPL's compute-bound and STREAM's bandwidth-bound
+// extremes.
+//
+// Implemented from scratch: iterative in-place radix-2 Cooley-Tukey with a
+// bit-reversal permutation and precomputed twiddle factors. Verified two
+// ways per run: an inverse-transform round trip (max elementwise error)
+// and Parseval's theorem (energy conservation between domains).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct FftConfig {
+  /// log2 of the transform length.
+  unsigned log2_size = 16;
+  /// Timed repetitions (fresh data each time); best rate is reported.
+  int iterations = 3;
+  std::uint64_t seed = 0xfff7;
+};
+
+struct FftResult {
+  /// Sustained rate using the standard 5·n·log2(n) operation count.
+  util::FlopRate rate{0.0};
+  util::Seconds elapsed{0.0};
+  /// Max elementwise |x - IFFT(FFT(x))| over the verification pass.
+  double roundtrip_error = 0.0;
+  /// |1 - energy_freq / energy_time| (Parseval).
+  double parseval_error = 0.0;
+  bool validated = false;
+};
+
+/// In-place forward (inverse when `inverse`) radix-2 FFT.
+/// Precondition: data.size() is a power of two >= 2.
+void fft_radix2(std::span<std::complex<double>> data, bool inverse);
+
+/// Runs the benchmark.
+[[nodiscard]] FftResult run_fft(const FftConfig& config);
+
+/// Operation count 5·n·log2(n) for a complex length-n radix-2 FFT.
+[[nodiscard]] util::FlopCount fft_flop_count(std::size_t n);
+
+}  // namespace tgi::kernels

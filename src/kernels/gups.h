@@ -1,0 +1,47 @@
+// RandomAccess (GUPS) benchmark: random 64-bit XOR updates to a large
+// table, measured in Giga-Updates Per Second.
+//
+// The paper's introduction motivates TGI with the HPC Challenge suite,
+// whose memory-latency probe is RandomAccess. TGI explicitly supports any
+// number of benchmarks ("TGI is neither limited by the metrics used in
+// each benchmark nor by the number of benchmarks" — Section IV-A), and
+// this kernel is the fourth suite member exercising that claim: it
+// stresses memory *latency* where STREAM stresses memory *bandwidth*.
+//
+// The update stream follows the HPCC generator (x <- (x << 1) ^ (x < 0 ?
+// POLY : 0)); verification replays the stream — XOR is an involution, so
+// a second pass must restore the table exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct GupsConfig {
+  /// log2 of the table size in 64-bit words (HPCC: half of memory;
+  /// defaults small enough for CI hosts: 2^20 words = 8 MiB).
+  unsigned log2_table_words = 20;
+  /// Updates to perform; HPCC uses 4× the table size.
+  std::uint64_t updates = 4ull << 20;
+  /// Worker threads; each owns a contiguous table partition and applies
+  /// only the updates that land in it (exact, race-free decomposition).
+  int threads = 1;
+};
+
+struct GupsResult {
+  double gups = 0.0;  ///< billions of updates per second
+  util::Seconds elapsed{0.0};
+  /// Table restored exactly by the verification replay.
+  bool validated = false;
+};
+
+/// Runs the RandomAccess benchmark on host memory.
+[[nodiscard]] GupsResult run_gups(const GupsConfig& config);
+
+/// The HPCC RandomAccess update-stream generator: returns the k-th value
+/// of the sequence (exposed for tests).
+[[nodiscard]] std::uint64_t gups_starts(std::int64_t n);
+
+}  // namespace tgi::kernels

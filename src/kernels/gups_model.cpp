@@ -1,0 +1,39 @@
+#include "kernels/gups_model.h"
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+sim::Workload make_gups_workload(const sim::ClusterSpec& cluster,
+                                 const GupsModelParams& params) {
+  TGI_REQUIRE(params.processes >= 1 &&
+                  params.processes <= cluster.total_cores(),
+              "process count out of range");
+  TGI_REQUIRE(params.memory_fraction > 0.0 && params.memory_fraction <= 0.6,
+              "memory fraction must be in (0, 0.6]");
+  TGI_REQUIRE(params.updates_per_word > 0.0,
+              "updates per word must be positive");
+
+  const RankLayout layout =
+      layout_for(cluster, params.processes, params.placement);
+
+  sim::Workload wl;
+  wl.benchmark = "GUPS";
+  sim::Phase ph;
+  ph.label = "random-updates";
+  ph.active_nodes = layout.nodes;
+  ph.cores_per_node = layout.cores_per_node;
+  // Each 8-byte update misses to DRAM: one 64-byte line read plus one
+  // written back = 128 bytes of traffic per update, delivered at the
+  // random-access-derated bandwidth (SimTuning::random_access_efficiency).
+  ph.memory_bytes_per_node =
+      util::bytes(params.updates_per_node(cluster) * 128.0);
+  ph.memory_random = true;
+  // The generator itself is a couple of ALU ops per update.
+  ph.flops_per_node = util::flops(params.updates_per_node(cluster) * 2.0);
+  ph.comms.push_back({sim::CommOp::Kind::kBarrier, util::bytes(0.0), 2.0});
+  wl.phases.push_back(std::move(ph));
+  return wl;
+}
+
+}  // namespace tgi::kernels

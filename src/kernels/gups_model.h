@@ -1,0 +1,33 @@
+// Analytic RandomAccess (GUPS) workload builder for cluster-scale
+// simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/hpl_model.h"  // Placement / layout_for
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace tgi::kernels {
+
+struct GupsModelParams {
+  std::size_t processes = 16;
+  Placement placement = Placement::kScatter;
+  /// Fraction of node memory occupied by the table (HPCC uses ~half).
+  double memory_fraction = 0.25;
+  /// Updates per table word (HPCC: 4).
+  double updates_per_word = 4.0;
+
+  /// Updates each node performs under this configuration.
+  [[nodiscard]] double updates_per_node(const sim::ClusterSpec& c) const {
+    return c.node.memory.value() * memory_fraction / 8.0 * updates_per_word;
+  }
+};
+
+/// Builds the simulated RandomAccess run: a latency-bound random-update
+/// phase (each 8-byte update costs a cache-line read + write at the
+/// heavily derated random-access bandwidth).
+[[nodiscard]] sim::Workload make_gups_workload(const sim::ClusterSpec& cluster,
+                                               const GupsModelParams& params);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,419 @@
+#include "kernels/hpl2d.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "kernels/blas.h"
+#include "mpisim/groups.h"
+#include "mpisim/runtime.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+namespace {
+
+constexpr double kResidualThreshold = 16.0;
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace
+
+BlockCyclicMap::BlockCyclicMap(std::size_t n, std::size_t nb,
+                               std::size_t nprocs, std::size_t me)
+    : n_(n), nb_(nb), nprocs_(nprocs), me_(me) {
+  TGI_REQUIRE(nb_ >= 1 && nprocs_ >= 1 && me_ < nprocs_,
+              "bad block-cyclic parameters");
+  TGI_REQUIRE(n_ % nb_ == 0, "n must be a multiple of the block size");
+  const std::size_t nblocks = n_ / nb_;
+  count_ = (nblocks / nprocs_) * nb_ +
+           ((nblocks % nprocs_) > me_ ? nb_ : 0);
+}
+
+std::size_t BlockCyclicMap::local(std::size_t g) const {
+  TGI_REQUIRE(mine(g), "global index " << g << " is not local");
+  const std::size_t block = g / nb_;
+  return (block / nprocs_) * nb_ + g % nb_;
+}
+
+std::size_t BlockCyclicMap::global(std::size_t l) const {
+  TGI_REQUIRE(l < count_, "local index out of range");
+  const std::size_t local_block = l / nb_;
+  return (local_block * nprocs_ + me_) * nb_ + l % nb_;
+}
+
+std::size_t BlockCyclicMap::first_local_at_or_after(std::size_t g) const {
+  // Locals are globally monotone; binary search the smallest local whose
+  // global is >= g.
+  std::size_t lo = 0;
+  std::size_t hi = count_;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (global(mid) < g) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// Per-rank worker for the 2D factorization.
+class Hpl2dWorker {
+ public:
+  Hpl2dWorker(mpisim::Rank& comm, const Hpl2dConfig& cfg)
+      : comm_(comm),
+        cfg_(cfg),
+        prows_(static_cast<std::size_t>(cfg.prows)),
+        pcols_(static_cast<std::size_t>(cfg.pcols)),
+        pr_(static_cast<std::size_t>(comm.rank()) % prows_),
+        pc_(static_cast<std::size_t>(comm.rank()) / prows_),
+        rowmap_(cfg.n, cfg.block_size, prows_, pr_),
+        colmap_(cfg.n, cfg.block_size, pcols_, pc_),
+        local_(std::vector<double>(rowmap_.count() * colmap_.count())) {
+    // Group member lists: my process column (vary pr) and row (vary pc).
+    for (std::size_t r = 0; r < prows_; ++r) {
+      col_group_.push_back(static_cast<int>(grid_rank(r, pc_)));
+    }
+    for (std::size_t c = 0; c < pcols_; ++c) {
+      row_group_.push_back(static_cast<int>(grid_rank(pr_, c)));
+    }
+  }
+
+  /// Fills local blocks and the replicated b from the shared generator.
+  void distribute(const HplProblem& problem) {
+    for (std::size_t lc = 0; lc < colmap_.count(); ++lc) {
+      const std::size_t gc = colmap_.global(lc);
+      for (std::size_t lr = 0; lr < rowmap_.count(); ++lr) {
+        at(lr, lc) = problem.a.at(rowmap_.global(lr), gc);
+      }
+    }
+    b_ = problem.b;
+  }
+
+  /// Runs the factorization; returns the replicated, permuted b.
+  std::vector<double> factor() {
+    const std::size_t n = cfg_.n;
+    const std::size_t nb = cfg_.block_size;
+    const std::size_t nblocks = n / nb;
+    panel_rows_.clear();
+
+    for (std::size_t k = 0; k < nblocks; ++k) {
+      const std::size_t kk = k * nb;
+      const std::size_t owner_pc = k % pcols_;
+      const std::size_t owner_pr = k % prows_;
+      const int tag0 = static_cast<int>(k) * 12000;
+      piv_block_.assign(nb, 0);
+
+      if (pc_ == owner_pc) factor_panel(kk, tag0);
+
+      // Pivot list to every rank (every panel rank holds it; rank
+      // (0, owner_pc) is the agreed root).
+      comm_.bcast(std::span<std::uint64_t>(piv_block_),
+                  static_cast<int>(grid_rank(0, owner_pc)));
+
+      apply_swaps_outside_panel(kk, owner_pc, tag0 + 4000);
+      broadcast_panel(kk, owner_pc, tag0 + 6000);
+      solve_u12(kk, owner_pr, tag0 + 8000);
+      update_trailing(kk);
+    }
+    return b_;
+  }
+
+  /// Sends local blocks to rank 0 which assembles the full factored
+  /// matrix; returns it on rank 0 (empty elsewhere).
+  Matrix gather_to_root() {
+    const int tag = 1 << 22;
+    if (comm_.rank() != 0) {
+      comm_.send_vector<double>(0, tag + comm_.rank(), local_);
+      return Matrix{};
+    }
+    Matrix full(cfg_.n, cfg_.n);
+    auto place = [&](std::span<const double> data, std::size_t owner_pr,
+                     std::size_t owner_pc) {
+      const BlockCyclicMap rm(cfg_.n, cfg_.block_size, prows_, owner_pr);
+      const BlockCyclicMap cm(cfg_.n, cfg_.block_size, pcols_, owner_pc);
+      TGI_CHECK(data.size() == rm.count() * cm.count(),
+                "gathered block size mismatch");
+      for (std::size_t lc = 0; lc < cm.count(); ++lc) {
+        for (std::size_t lr = 0; lr < rm.count(); ++lr) {
+          full.at(rm.global(lr), cm.global(lc)) = data[lc * rm.count() + lr];
+        }
+      }
+    };
+    place(local_, 0, 0);
+    for (int r = 1; r < comm_.size(); ++r) {
+      const auto data = comm_.recv_vector<double>(r, tag + r);
+      place(data, static_cast<std::size_t>(r) % prows_,
+            static_cast<std::size_t>(r) / prows_);
+    }
+    return full;
+  }
+
+ private:
+  [[nodiscard]] std::size_t grid_rank(std::size_t pr, std::size_t pc) const {
+    return pr + pc * prows_;
+  }
+  [[nodiscard]] double& at(std::size_t lr, std::size_t lc) {
+    return local_[lc * rowmap_.count() + lr];
+  }
+  [[nodiscard]] double* col_ptr(std::size_t lc) {
+    return local_.data() + lc * rowmap_.count();
+  }
+
+  /// Panel factorization with column-scoped pivoting (pc_ == owner_pc).
+  void factor_panel(std::size_t kk, int tag0) {
+    const std::size_t nb = cfg_.block_size;
+    const std::size_t lc0 = colmap_.local(kk);
+    for (std::size_t j = 0; j < nb; ++j) {
+      const std::size_t gj = kk + j;
+      const std::size_t lc = lc0 + j;
+      const int tagj = tag0 + static_cast<int>(j) * 40;
+
+      // Local pivot candidate among my rows >= gj.
+      mpisim::MaxLoc mine{0.0, static_cast<std::int64_t>(cfg_.n)};
+      for (std::size_t lr = rowmap_.first_local_at_or_after(gj);
+           lr < rowmap_.count(); ++lr) {
+        const double v = at(lr, lc);
+        if (std::fabs(v) > std::fabs(mine.value)) {
+          mine = {v, static_cast<std::int64_t>(rowmap_.global(lr))};
+        }
+      }
+      const mpisim::MaxLoc pivot =
+          group_allreduce_maxloc(comm_, mine, col_group_, tagj);
+      TGI_CHECK(pivot.value != 0.0, "singular panel at column " << gj);
+      const auto gp = static_cast<std::size_t>(pivot.index);
+      piv_block_[j] = gp;
+
+      // Swap rows gj <-> gp within the panel columns.
+      swap_rows(gj, gp, lc0, nb, tagj + 10);
+
+      // Broadcast the (post-swap) pivot row's panel segment from its
+      // owning process row; every rank then scales and rank-1 updates.
+      std::vector<double> urow(nb);
+      const std::size_t src_pr = rowmap_.owner(gj);
+      if (pr_ == src_pr) {
+        const std::size_t lr = rowmap_.local(gj);
+        for (std::size_t c = 0; c < nb; ++c) urow[c] = at(lr, lc0 + c);
+      }
+      group_bcast(comm_, std::span<double>(urow),
+                  static_cast<int>(grid_rank(src_pr, pc_)), col_group_,
+                  tagj + 20);
+      const double diag = urow[j];
+      TGI_CHECK(diag != 0.0, "zero pivot after exchange");
+
+      for (std::size_t lr = rowmap_.first_local_at_or_after(gj + 1);
+           lr < rowmap_.count(); ++lr) {
+        at(lr, lc) /= diag;
+        const double mult = at(lr, lc);
+        for (std::size_t c = j + 1; c < nb; ++c) {
+          at(lr, lc0 + c) -= mult * urow[c];
+        }
+      }
+    }
+  }
+
+  /// Exchanges rows gj and gp across local columns [panel_lc0,
+  /// panel_lc0+width) — or, when width == 0, across all local columns
+  /// EXCEPT that panel range (panel_lc0 == npos disables the exclusion).
+  void swap_rows(std::size_t gj, std::size_t gp, std::size_t panel_lc0,
+                 std::size_t width, int tag) {
+    if (gj == gp) return;
+    const std::size_t pra = rowmap_.owner(gj);
+    const std::size_t prb = rowmap_.owner(gp);
+    const bool swapping_panel = width != 0;
+
+    auto for_each_col = [&](auto&& fn) {
+      if (swapping_panel) {
+        for (std::size_t lc = panel_lc0; lc < panel_lc0 + width; ++lc) {
+          fn(lc);
+        }
+      } else {
+        for (std::size_t lc = 0; lc < colmap_.count(); ++lc) {
+          if (panel_lc0 != kNpos && lc >= panel_lc0 &&
+              lc < panel_lc0 + cfg_.block_size) {
+            continue;  // panel columns were swapped during factorization
+          }
+          fn(lc);
+        }
+      }
+    };
+
+    if (pra == prb) {
+      if (pr_ == pra) {
+        const std::size_t la = rowmap_.local(gj);
+        const std::size_t lb = rowmap_.local(gp);
+        for_each_col([&](std::size_t lc) {
+          std::swap(at(la, lc), at(lb, lc));
+        });
+      }
+      return;
+    }
+    if (pr_ != pra && pr_ != prb) return;
+
+    const std::size_t my_row = pr_ == pra ? gj : gp;
+    const std::size_t partner_pr = pr_ == pra ? prb : pra;
+    const std::size_t lr = rowmap_.local(my_row);
+    std::vector<double> segment;
+    for_each_col([&](std::size_t lc) { segment.push_back(at(lr, lc)); });
+    const int partner = static_cast<int>(grid_rank(partner_pr, pc_));
+    comm_.send_vector<double>(partner, tag, segment);
+    const auto incoming = comm_.recv_vector<double>(partner, tag);
+    TGI_CHECK(incoming.size() == segment.size(), "row swap size mismatch");
+    std::size_t idx = 0;
+    for_each_col([&](std::size_t lc) { at(lr, lc) = incoming[idx++]; });
+  }
+
+  /// Applies the panel's pivots to non-panel columns and to b.
+  void apply_swaps_outside_panel(std::size_t kk, std::size_t owner_pc,
+                                 int tag0) {
+    const std::size_t panel_lc0 =
+        pc_ == owner_pc ? colmap_.local(kk) : kNpos;
+    for (std::size_t j = 0; j < cfg_.block_size; ++j) {
+      const std::size_t gj = kk + j;
+      const auto gp = static_cast<std::size_t>(piv_block_[j]);
+      swap_rows(gj, gp, panel_lc0, 0, tag0 + static_cast<int>(j) * 4);
+      if (gj != gp) std::swap(b_[gj], b_[gp]);
+    }
+  }
+
+  /// Ships the factored panel's local rows (globals >= kk) along process
+  /// rows; stores the received piece in panel_rows_.
+  void broadcast_panel(std::size_t kk, std::size_t owner_pc, int tag) {
+    const std::size_t nb = cfg_.block_size;
+    const std::size_t lr0 = rowmap_.first_local_at_or_after(kk);
+    const std::size_t rows = rowmap_.count() - lr0;
+    panel_rows_.assign(rows * nb, 0.0);
+    panel_lr0_ = lr0;
+    if (pc_ == owner_pc) {
+      const std::size_t lc0 = colmap_.local(kk);
+      for (std::size_t c = 0; c < nb; ++c) {
+        for (std::size_t r = 0; r < rows; ++r) {
+          panel_rows_[c * rows + r] = at(lr0 + r, lc0 + c);
+        }
+      }
+    }
+    if (rows == 0) return;
+    group_bcast(comm_, std::span<double>(panel_rows_),
+                static_cast<int>(grid_rank(pr_, owner_pc)), row_group_,
+                tag);
+  }
+
+  /// U12 := L11^{-1}·A12 on the block row's owners, then broadcast down
+  /// process columns into u12_.
+  void solve_u12(std::size_t kk, std::size_t owner_pr, int tag) {
+    const std::size_t nb = cfg_.block_size;
+    const std::size_t trailing_lc0 =
+        colmap_.first_local_at_or_after(kk + nb);
+    const std::size_t cols = colmap_.count() - trailing_lc0;
+    u12_.assign(nb * cols, 0.0);
+    u12_lc0_ = trailing_lc0;
+    if (cols == 0) return;
+
+    if (pr_ == owner_pr) {
+      // L11 sits at the top of my panel piece (block k's rows are mine).
+      const std::size_t rows = rowmap_.count() - panel_lr0_;
+      TGI_CHECK(rows >= nb, "panel piece missing L11 rows");
+      const std::size_t lrk = rowmap_.local(kk);
+      TGI_CHECK(lrk == panel_lr0_, "block row k must head the panel piece");
+      // Copy A12 into u12_ and solve in place.
+      for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < nb; ++r) {
+          u12_[c * nb + r] = at(lrk + r, trailing_lc0 + c);
+        }
+      }
+      dtrsm_unit_lower(nb, cols, panel_rows_.data(), rows, u12_.data(), nb);
+      // Write the solved U12 back into the local matrix.
+      for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < nb; ++r) {
+          at(lrk + r, trailing_lc0 + c) = u12_[c * nb + r];
+        }
+      }
+    }
+    group_bcast(comm_, std::span<double>(u12_),
+                static_cast<int>(grid_rank(owner_pr, pc_)), col_group_,
+                tag);
+  }
+
+  /// A22_local -= L21_local · U12_local.
+  void update_trailing(std::size_t kk) {
+    const std::size_t nb = cfg_.block_size;
+    const std::size_t lr0 = rowmap_.first_local_at_or_after(kk + nb);
+    const std::size_t m = rowmap_.count() - lr0;
+    const std::size_t cols = colmap_.count() - u12_lc0_;
+    if (m == 0 || cols == 0) return;
+    const std::size_t panel_ld = rowmap_.count() - panel_lr0_;
+    const double* l21 = panel_rows_.data() + (lr0 - panel_lr0_);
+    dgemm_minus(m, cols, nb, l21, panel_ld, u12_.data(), nb,
+                col_ptr(u12_lc0_) + lr0, rowmap_.count());
+  }
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  mpisim::Rank& comm_;
+  const Hpl2dConfig& cfg_;
+  std::size_t prows_;
+  std::size_t pcols_;
+  std::size_t pr_;
+  std::size_t pc_;
+  BlockCyclicMap rowmap_;
+  BlockCyclicMap colmap_;
+  std::vector<double> local_;
+  std::vector<double> b_;
+  std::vector<int> col_group_;
+  std::vector<int> row_group_;
+  std::vector<std::uint64_t> piv_block_;
+  std::vector<double> panel_rows_;  // my rows >= kk of the current panel
+  std::size_t panel_lr0_ = 0;
+  std::vector<double> u12_;  // nb × (my trailing cols)
+  std::size_t u12_lc0_ = 0;
+};
+
+}  // namespace
+
+HplResult run_hpl_mpisim_2d(const Hpl2dConfig& config) {
+  TGI_REQUIRE(config.prows >= 1 && config.pcols >= 1, "bad process grid");
+  TGI_REQUIRE(config.block_size >= 1 &&
+                  config.n % config.block_size == 0,
+              "n must be a multiple of the block size");
+  const int procs = config.prows * config.pcols;
+
+  HplResult result;
+  result.n = config.n;
+  result.block_size = config.block_size;
+  result.processes = procs;
+  result.flop_count = hpl_flop_count(config.n);
+
+  mpisim::run(procs, [&](mpisim::Rank& comm) {
+    const HplProblem problem = make_hpl_problem(config.n, config.seed);
+    Hpl2dWorker worker(comm, config);
+    worker.distribute(problem);
+
+    comm.barrier();
+    const double t0 = now_seconds();
+    std::vector<double> b = worker.factor();
+    comm.barrier();
+    const double elapsed = now_seconds() - t0;
+
+    Matrix lu = worker.gather_to_root();
+    if (comm.rank() == 0) {
+      std::vector<std::size_t> identity(config.n);
+      for (std::size_t i = 0; i < config.n; ++i) identity[i] = i;
+      result.x = lu_solve(lu, identity, b);
+      result.elapsed = util::seconds(std::max(elapsed, 1e-9));
+      result.residual = scaled_residual(problem.a, result.x, problem.b);
+      result.passed = result.residual < kResidualThreshold;
+    }
+  });
+
+  TGI_CHECK(!result.x.empty(), "rank 0 did not produce a solution");
+  return result;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,104 @@
+#include "kernels/hpl_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/hpl.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+RankLayout layout_for(const sim::ClusterSpec& cluster, std::size_t processes,
+                      Placement placement) {
+  TGI_REQUIRE(processes >= 1 && processes <= cluster.total_cores(),
+              "process count out of range");
+  RankLayout layout;
+  switch (placement) {
+    case Placement::kScatter:
+      layout.nodes = std::min(cluster.nodes, processes);
+      break;
+    case Placement::kPack:
+      layout.nodes = cluster.nodes_for(processes);
+      break;
+  }
+  layout.cores_per_node = (processes + layout.nodes - 1) / layout.nodes;
+  return layout;
+}
+
+std::size_t hpl_problem_size(const sim::ClusterSpec& cluster,
+                             std::size_t active_nodes,
+                             double memory_fraction, std::size_t block_size) {
+  TGI_REQUIRE(memory_fraction > 0.0 && memory_fraction <= 0.9,
+              "memory fraction must be in (0, 0.9]");
+  TGI_REQUIRE(active_nodes >= 1 && active_nodes <= cluster.nodes,
+              "bad active node count");
+  const double bytes =
+      cluster.node.memory.value() * static_cast<double>(active_nodes) *
+      memory_fraction;
+  auto n = static_cast<std::size_t>(std::sqrt(bytes / 8.0));
+  n -= n % block_size;
+  TGI_REQUIRE(n >= block_size, "cluster too small for one block");
+  return n;
+}
+
+sim::Workload make_hpl_workload(const sim::ClusterSpec& cluster,
+                                const HplModelParams& params) {
+  TGI_REQUIRE(params.processes >= 1 &&
+                  params.processes <= cluster.total_cores(),
+              "process count out of range");
+  TGI_REQUIRE(params.segments >= 1, "need at least one segment");
+
+  const RankLayout layout =
+      layout_for(cluster, params.processes, params.placement);
+  const std::size_t nodes = layout.nodes;
+  const std::size_t cores_per_node = layout.cores_per_node;
+  const std::size_t n =
+      params.n_override.value_or(hpl_problem_size(
+          cluster, nodes, params.memory_fraction, params.block_size));
+  const double total_flops = hpl_flop_count(n).value();
+  const auto nd = static_cast<double>(n);
+  const auto nb = static_cast<double>(params.block_size);
+  const std::size_t panels = n / params.block_size;
+
+  sim::Workload wl;
+  wl.benchmark = "HPL";
+  const auto segs = static_cast<double>(params.segments);
+  for (std::size_t s = 0; s < params.segments; ++s) {
+    const double f0 = static_cast<double>(s) / segs;       // progress at start
+    const double f1 = static_cast<double>(s + 1) / segs;   // progress at end
+    // Trailing-update work in [f0,f1) of the factorization: the update at
+    // progress t is ∝ (1-t)², so the segment carries the integral
+    // (1-f0)³ - (1-f1)³ of the total.
+    const double share = std::pow(1.0 - f0, 3.0) - std::pow(1.0 - f1, 3.0);
+
+    sim::Phase ph;
+    ph.label = "lu-segment-" + std::to_string(s);
+    ph.active_nodes = nodes;
+    ph.cores_per_node = cores_per_node;
+    ph.comm_overlap = params.comm_overlap;
+    const double seg_flops = total_flops * share;
+    ph.flops_per_node =
+        util::flops(seg_flops / static_cast<double>(nodes));
+    // Blocked LU touches ~(6/NB) bytes of DRAM per flop once panels are
+    // cache-blocked; the constant is a fit to measured HPL DRAM traffic
+    // (DGEMM streams each C tile once per NB-deep rank-k update).
+    ph.memory_bytes_per_node =
+        util::bytes(seg_flops * (6.0 / nb) / static_cast<double>(nodes));
+
+    // Panel broadcasts in this segment: panels/segments of them, each
+    // shipping (remaining rows)·NB·8 bytes; remaining rows ~ n·(1-mid).
+    const double mid = 0.5 * (f0 + f1);
+    const double panel_bytes = nd * (1.0 - mid) * nb * 8.0;
+    ph.comms.push_back(
+        {sim::CommOp::Kind::kBroadcast, util::bytes(panel_bytes),
+         static_cast<double>(panels) / segs});
+    // Pivot row exchanges behave like an allreduce-sized exchange per panel.
+    ph.comms.push_back({sim::CommOp::Kind::kAllreduce,
+                        util::bytes(nb * 8.0),
+                        static_cast<double>(panels) / segs});
+    wl.phases.push_back(std::move(ph));
+  }
+  return wl;
+}
+
+}  // namespace tgi::kernels

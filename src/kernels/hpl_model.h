@@ -1,0 +1,65 @@
+// Analytic HPL workload builder for cluster-scale simulation.
+//
+// The real distributed kernel (hpl.h) runs at host scale; the paper's
+// sweeps need 128-1024 cores, which this model supplies: it emits a
+// sim::Workload carrying the same FLOP and communication volumes the real
+// factorization generates, segmented so the declining trailing-matrix work
+// (and hence declining power draw late in the run) is visible to the meter.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace tgi::kernels {
+
+/// How MPI ranks map onto nodes. Scatter (round-robin across all nodes,
+/// the mpirun default on the paper's clusters) keeps every node active at
+/// every sweep point, which is what the wall meter in Figure 1 sees; pack
+/// fills nodes one at a time.
+enum class Placement { kScatter, kPack };
+
+/// Nodes hosting ranks and ranks per node under a placement.
+struct RankLayout {
+  std::size_t nodes = 1;
+  std::size_t cores_per_node = 1;
+};
+[[nodiscard]] RankLayout layout_for(const sim::ClusterSpec& cluster,
+                                    std::size_t processes,
+                                    Placement placement);
+
+struct HplModelParams {
+  /// MPI ranks (one per core).
+  std::size_t processes = 16;
+  Placement placement = Placement::kScatter;
+  /// Fraction of the active nodes' memory given to the matrix (the HPL
+  /// tuning rule of thumb is ~80%; we default lower so sweep runs are
+  /// shorter while preserving shape).
+  double memory_fraction = 0.25;
+  /// Panel/block size NB.
+  std::size_t block_size = 128;
+  /// Number of timeline segments the factorization is split into.
+  std::size_t segments = 8;
+  /// Fraction of panel-broadcast time hidden by lookahead (the reference
+  /// HPL's update-while-broadcasting optimization). Default 0: the Fire
+  /// calibration in EXPERIMENTS.md assumes no lookahead; see
+  /// bench/ablation_lookahead for what enabling it buys.
+  double comm_overlap = 0.0;
+  /// Explicit problem size; overrides the memory rule when set.
+  std::optional<std::size_t> n_override;
+};
+
+/// Problem size from the memory rule: N = sqrt(fraction · bytes / 8),
+/// rounded down to a multiple of the block size.
+[[nodiscard]] std::size_t hpl_problem_size(const sim::ClusterSpec& cluster,
+                                           std::size_t active_nodes,
+                                           double memory_fraction,
+                                           std::size_t block_size);
+
+/// Builds the simulated HPL run for `params` on `cluster`.
+[[nodiscard]] sim::Workload make_hpl_workload(const sim::ClusterSpec& cluster,
+                                              const HplModelParams& params);
+
+}  // namespace tgi::kernels

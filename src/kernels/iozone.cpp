@@ -1,0 +1,94 @@
+#include "kernels/iozone.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::kernels {
+
+namespace {
+
+/// Deterministic record pattern: byte j of record r is a mix of both.
+void fill_record(std::vector<std::uint8_t>& buf, std::uint64_t record,
+                 std::uint64_t salt) {
+  util::SplitMix64 mixer(record * 0x9e3779b97f4a7c15ULL + salt);
+  std::uint64_t word = mixer.next();
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    if (j % 8 == 0) word = mixer.next();
+    buf[j] = static_cast<std::uint8_t>(word >> ((j % 8) * 8));
+  }
+}
+
+}  // namespace
+
+IozoneResult run_iozone(fs::SimFilesystem& filesystem,
+                        const IozoneConfig& config) {
+  const auto file_bytes = static_cast<std::uint64_t>(config.file_size.value());
+  const auto record_bytes =
+      static_cast<std::uint64_t>(config.record_size.value());
+  TGI_REQUIRE(record_bytes > 0, "record size must be positive");
+  TGI_REQUIRE(file_bytes >= record_bytes && file_bytes % record_bytes == 0,
+              "file size must be a positive multiple of the record size");
+  const std::uint64_t records = file_bytes / record_bytes;
+
+  IozoneResult result;
+  std::vector<std::uint8_t> buf(record_bytes);
+  const util::Seconds t_begin = filesystem.now();
+
+  // Sequential record order, and a deterministic shuffle for the random
+  // tests (Fisher-Yates).
+  std::vector<std::uint64_t> sequential(records);
+  std::iota(sequential.begin(), sequential.end(), std::uint64_t{0});
+  std::vector<std::uint64_t> shuffled = sequential;
+  {
+    util::Xoshiro256 rng(config.seed ^ 0x5eedf00dULL);
+    for (std::uint64_t i = records; i-- > 1;) {
+      std::swap(shuffled[i], shuffled[rng.uniform_index(i + 1)]);
+    }
+  }
+
+  auto timed_pass = [&](std::uint64_t salt, bool is_write,
+                        const std::vector<std::uint64_t>& order)
+      -> util::ByteRate {
+    const fs::FileDescriptor fd = filesystem.open("iozone.tmp");
+    const util::Seconds t0 = filesystem.now();
+    for (const std::uint64_t r : order) {
+      if (is_write) {
+        fill_record(buf, r, salt);
+        filesystem.write(fd, r * record_bytes, buf);
+      } else {
+        filesystem.read(fd, r * record_bytes, buf);
+        std::vector<std::uint8_t> expected(record_bytes);
+        fill_record(expected, r, salt);
+        if (buf != expected) return util::ByteRate(0.0);  // corrupt
+      }
+    }
+    if (is_write && config.fsync_in_timing) filesystem.fsync(fd);
+    const util::Seconds dt = filesystem.now() - t0;
+    if (is_write && !config.fsync_in_timing) filesystem.fsync(fd);
+    filesystem.close(fd);
+    TGI_CHECK(dt.value() > 0.0, "I/O pass consumed no simulated time");
+    return config.file_size / dt;
+  };
+
+  result.write = timed_pass(config.seed, /*is_write=*/true, sequential);
+  result.rewrite = timed_pass(config.seed + 1, /*is_write=*/true,
+                              sequential);
+  result.read = timed_pass(config.seed + 1, /*is_write=*/false, sequential);
+  result.validated = result.read.value() > 0.0;
+  if (config.include_random_tests) {
+    result.random_write =
+        timed_pass(config.seed + 2, /*is_write=*/true, shuffled);
+    result.random_read =
+        timed_pass(config.seed + 2, /*is_write=*/false, shuffled);
+    result.validated =
+        result.validated && result.random_read.value() > 0.0;
+  }
+  result.elapsed = filesystem.now() - t_begin;
+  filesystem.unlink("iozone.tmp");
+  return result;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,48 @@
+// IOzone-like I/O benchmark: sequential write / rewrite / read tests with a
+// configurable record size, the paper's I/O benchmark (it uses the write
+// test; we implement the trio so file-size/record-size sweeps match the
+// real tool's report).
+//
+// Runs against the simulated filesystem (tgi::fs), whose SimClock supplies
+// the timing; data integrity is verified on read-back so the substrate is
+// exercised end to end, not just costed.
+#pragma once
+
+#include <cstdint>
+
+#include "fs/filesystem.h"
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct IozoneConfig {
+  util::ByteCount file_size{util::mebibytes(64.0)};
+  util::ByteCount record_size{util::kibibytes(64.0)};
+  /// Include fsync in the timed region (IOzone's -e flag); the paper's
+  /// whole-run energy measurements implicitly include the flush.
+  bool fsync_in_timing = true;
+  /// Also run the random-access tests (IOzone's -i 2): records visited in
+  /// a deterministic shuffled order.
+  bool include_random_tests = false;
+  std::uint64_t seed = 0x10203040ULL;
+};
+
+struct IozoneResult {
+  util::ByteRate write{0.0};
+  util::ByteRate rewrite{0.0};
+  util::ByteRate read{0.0};
+  /// Random-access rates; zero unless include_random_tests was set.
+  util::ByteRate random_write{0.0};
+  util::ByteRate random_read{0.0};
+  /// Total simulated time of all tests.
+  util::Seconds elapsed{0.0};
+  /// Read-back matched the written pattern (all read passes).
+  bool validated = false;
+};
+
+/// Runs write, rewrite, and read tests on `filesystem`.
+/// Preconditions: record_size divides file_size; both positive.
+[[nodiscard]] IozoneResult run_iozone(fs::SimFilesystem& filesystem,
+                                      const IozoneConfig& config);
+
+}  // namespace tgi::kernels

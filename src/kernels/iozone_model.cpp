@@ -1,0 +1,31 @@
+#include "kernels/iozone_model.h"
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+sim::Workload make_iozone_workload(const sim::ClusterSpec& cluster,
+                                   const IozoneModelParams& params) {
+  TGI_REQUIRE(params.nodes >= 1 && params.nodes <= cluster.nodes,
+              "node count out of range");
+  TGI_REQUIRE(params.file_size.value() > 0.0, "file size must be positive");
+  TGI_REQUIRE(params.memory_traffic_factor >= 1.0,
+              "memory traffic factor must be >= 1");
+
+  sim::Workload wl;
+  wl.benchmark = "IOzone";
+  sim::Phase ph;
+  ph.label = "write-test";
+  ph.active_nodes = params.nodes;
+  // The write test is single-streamed per node (one IOzone process).
+  ph.cores_per_node = 1;
+  ph.io_bytes_per_node = params.file_size;
+  ph.io_is_write = true;
+  // Buffered writes move each byte through DRAM at least twice.
+  ph.memory_bytes_per_node =
+      params.file_size * params.memory_traffic_factor;
+  wl.phases.push_back(std::move(ph));
+  return wl;
+}
+
+}  // namespace tgi::kernels

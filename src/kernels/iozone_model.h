@@ -1,0 +1,29 @@
+// Analytic IOzone (write test) workload builder for cluster-scale
+// simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace tgi::kernels {
+
+struct IozoneModelParams {
+  /// Nodes running the write test concurrently (IOzone is per-node; the
+  /// paper's Figure 4 sweeps node count, not rank count).
+  std::size_t nodes = 1;
+  /// Bytes each node writes (multi-GB so the run is minutes long, like the
+  /// paper's metered runs).
+  util::ByteCount file_size{util::gibibytes(4.0)};
+  /// Buffered-write amplification: user copy + page-cache flush traffic.
+  double memory_traffic_factor = 2.0;
+};
+
+/// Builds the simulated IOzone write test: every node streams its file
+/// through the shared storage backend, whose saturation (machine.h,
+/// SharedStorageSpec) produces the falling MB/s-per-watt of Figure 4.
+[[nodiscard]] sim::Workload make_iozone_workload(
+    const sim::ClusterSpec& cluster, const IozoneModelParams& params);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,62 @@
+#include "kernels/matrix.h"
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/blas.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  TGI_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double Matrix::norm_inf() const {
+  std::vector<double> row_sums(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double* column = col(c);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      row_sums[r] += std::fabs(column[r]);
+    }
+  }
+  return inf_norm(row_sums);
+}
+
+HplProblem make_hpl_problem(std::size_t n, std::uint64_t seed) {
+  TGI_REQUIRE(n > 0, "problem size must be positive");
+  util::Xoshiro256 rng(seed);
+  HplProblem problem;
+  problem.a = Matrix(n, n);
+  for (double& v : problem.a.data()) v = rng.uniform() - 0.5;
+  problem.b.resize(n);
+  for (double& v : problem.b) v = rng.uniform() - 0.5;
+  return problem;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  TGI_REQUIRE(a.cols() == x.size(), "matvec dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    daxpy(x[c], std::span<const double>(a.col(c), a.rows()), y);
+  }
+  return y;
+}
+
+double scaled_residual(const Matrix& a, std::span<const double> x,
+                       std::span<const double> b) {
+  TGI_REQUIRE(a.rows() == b.size() && a.cols() == x.size(),
+              "residual dimension mismatch");
+  std::vector<double> r = matvec(a, x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom =
+      eps *
+      (a.norm_inf() * inf_norm(x) + inf_norm(b)) *
+      static_cast<double>(a.rows());
+  TGI_CHECK(denom > 0.0, "degenerate residual denominator");
+  return inf_norm(r) / denom;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,67 @@
+// Column-major dense matrix container and HPL-style problem generation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tgi::kernels {
+
+/// Dense column-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows × cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[c * rows_ + r];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  /// Pointer to the start of column `c`.
+  [[nodiscard]] double* col(std::size_t c) { return data_.data() + c * rows_; }
+  [[nodiscard]] const double* col(std::size_t c) const {
+    return data_.data() + c * rows_;
+  }
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  /// Maximum absolute row sum (the matrix infinity norm).
+  [[nodiscard]] double norm_inf() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Generates the HPL test problem: A is n×n with entries uniform in
+/// [-0.5, 0.5) (the distribution the reference HPL uses), b likewise.
+/// Deterministic in `seed`.
+struct HplProblem {
+  Matrix a;
+  std::vector<double> b;
+};
+[[nodiscard]] HplProblem make_hpl_problem(std::size_t n, std::uint64_t seed);
+
+/// y = A·x for column-major A.
+[[nodiscard]] std::vector<double> matvec(const Matrix& a,
+                                         std::span<const double> x);
+
+/// The scaled residual HPL accepts:
+///   ||Ax - b||_inf / (eps · (||A||_inf · ||x||_inf + ||b||_inf) · n)
+/// A factorization "passes" when this is O(1) — we use < 16.0 like HPL.
+[[nodiscard]] double scaled_residual(const Matrix& a,
+                                     std::span<const double> x,
+                                     std::span<const double> b);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,113 @@
+#include "kernels/netbench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "mpisim/runtime.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+namespace {
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace
+
+NetbenchResult run_netbench(const NetbenchConfig& config) {
+  TGI_REQUIRE(config.repetitions >= 1, "need at least one repetition");
+  TGI_REQUIRE(config.large_message.value() >= 8.0,
+              "large message must be >= 8 bytes");
+  TGI_REQUIRE(config.ring_ranks >= 2, "ring needs >= 2 ranks");
+
+  NetbenchResult result;
+  const double t_begin = now_seconds();
+
+  // --- Ping-pong latency and bandwidth over two ranks ---------------------
+  double latency_s = 0.0;
+  double bandwidth_bps = 0.0;
+  bool pingpong_ok = true;
+  mpisim::run(2, [&](mpisim::Rank& rank) {
+    const auto large =
+        static_cast<std::size_t>(config.large_message.value());
+    std::vector<std::uint8_t> tiny(1, 0x5A);
+    std::vector<std::uint8_t> big(large);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    }
+
+    auto pingpong = [&](const std::vector<std::uint8_t>& payload,
+                        int tag) -> double {
+      rank.barrier();
+      const double t0 = now_seconds();
+      for (int r = 0; r < config.repetitions; ++r) {
+        if (rank.rank() == 0) {
+          rank.send_bytes(1, tag, payload);
+          const auto back = rank.recv_bytes(1, tag + 1);
+          if (back != payload) pingpong_ok = false;
+        } else {
+          const auto got = rank.recv_bytes(0, tag);
+          rank.send_bytes(0, tag + 1, got);
+        }
+      }
+      rank.barrier();
+      return (now_seconds() - t0) /
+             (2.0 * static_cast<double>(config.repetitions));
+    };
+
+    const double half_rtt_tiny = pingpong(tiny, 10);
+    const double half_rtt_big = pingpong(big, 20);
+    if (rank.rank() == 0) {
+      latency_s = std::max(half_rtt_tiny, 1e-9);
+      bandwidth_bps = static_cast<double>(large) /
+                      std::max(half_rtt_big, 1e-9);
+    }
+  });
+
+  // --- Ring exchange: every rank passes a block around the full ring -----
+  double ring_bps = 0.0;
+  bool ring_ok = true;
+  mpisim::run(config.ring_ranks, [&](mpisim::Rank& rank) {
+    const std::size_t block = 64 * 1024;
+    std::vector<std::uint8_t> payload(block);
+    std::iota(payload.begin(), payload.end(),
+              static_cast<std::uint8_t>(rank.rank()));
+    const int right = (rank.rank() + 1) % rank.size();
+    const int left = (rank.rank() + rank.size() - 1) % rank.size();
+
+    rank.barrier();
+    const double t0 = now_seconds();
+    std::vector<std::uint8_t> current = payload;
+    for (int hop = 0; hop < rank.size(); ++hop) {
+      rank.send_bytes(right, 30 + hop, current);
+      current = rank.recv_bytes(left, 30 + hop);
+    }
+    rank.barrier();
+    const double dt = std::max(now_seconds() - t0, 1e-9);
+    // After size() hops the payload returns to its originator intact.
+    std::vector<std::uint8_t> expected(block);
+    std::iota(expected.begin(), expected.end(),
+              static_cast<std::uint8_t>(rank.rank()));
+    if (current != expected) ring_ok = false;
+    if (rank.rank() == 0) {
+      const double total_bytes = static_cast<double>(block) *
+                                 static_cast<double>(rank.size()) *
+                                 static_cast<double>(rank.size());
+      ring_bps = total_bytes / dt;
+    }
+  });
+
+  result.latency = util::seconds(latency_s);
+  result.bandwidth = util::bytes_per_sec(bandwidth_bps);
+  result.ring_rate = util::bytes_per_sec(ring_bps);
+  result.elapsed = util::seconds(now_seconds() - t_begin);
+  result.validated = pingpong_ok && ring_ok;
+  return result;
+}
+
+}  // namespace tgi::kernels

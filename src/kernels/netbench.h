@@ -1,0 +1,37 @@
+// Network micro-benchmark (the role HPCC's b_eff plays): measures the
+// message-passing substrate's point-to-point latency and bandwidth plus a
+// ring-exchange aggregate — here characterizing tgi::mpisim itself, the
+// runtime under the real distributed kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct NetbenchConfig {
+  /// Ping-pong repetitions per message size.
+  int repetitions = 200;
+  /// Message size for the bandwidth test.
+  util::ByteCount large_message{util::mebibytes(1.0)};
+  /// Ranks in the ring-exchange test.
+  int ring_ranks = 4;
+};
+
+struct NetbenchResult {
+  /// Half round-trip time of an empty-payload ping-pong.
+  util::Seconds latency{0.0};
+  /// Large-message ping-pong bandwidth (payload bytes / half round trip).
+  util::ByteRate bandwidth{0.0};
+  /// Aggregate bytes/s of a simultaneous ring exchange over ring_ranks.
+  util::ByteRate ring_rate{0.0};
+  util::Seconds elapsed{0.0};
+  /// Payload integrity verified on every hop.
+  bool validated = false;
+};
+
+/// Runs the three tests over mpisim.
+[[nodiscard]] NetbenchResult run_netbench(const NetbenchConfig& config);
+
+}  // namespace tgi::kernels

@@ -1,0 +1,44 @@
+// PTRANS: parallel matrix transpose, A := beta·A + alpha·Bᵀ over 2D
+// block-cyclic distributed matrices — the HPC Challenge benchmark that
+// stresses the network's bisection bandwidth (every block crosses the
+// grid's diagonal), completing the HPCC-flavored kernel set alongside
+// HPL, STREAM, RandomAccess, and IOzone.
+//
+// Real data movement over mpisim: each rank ships every local block of B,
+// transposed, to the owner of the mirrored block of A; validation gathers
+// the result and compares against the serial computation exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct PtransConfig {
+  std::size_t n = 64;
+  std::size_t block_size = 8;
+  int prows = 2;
+  int pcols = 2;
+  double alpha = 1.0;
+  double beta = 1.0;
+  std::uint64_t seed = 7;
+};
+
+struct PtransResult {
+  util::Seconds elapsed{0.0};
+  /// Bytes that crossed rank boundaries (the benchmark's traffic figure).
+  util::ByteCount bytes_exchanged{0.0};
+  /// bytes_exchanged / elapsed.
+  [[nodiscard]] util::ByteRate exchange_rate() const {
+    return bytes_exchanged / elapsed;
+  }
+  /// Distributed result matched the serial computation exactly.
+  bool validated = false;
+};
+
+/// Runs the distributed transpose-add. Preconditions: n divisible by
+/// block_size; prows, pcols >= 1.
+[[nodiscard]] PtransResult run_ptrans_mpisim(const PtransConfig& config);
+
+}  // namespace tgi::kernels

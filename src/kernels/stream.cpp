@@ -1,0 +1,142 @@
+#include "kernels/stream.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+
+namespace {
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+struct Slice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+Slice slice_for(std::size_t total, int thread, int threads) {
+  const auto t = static_cast<std::size_t>(thread);
+  const auto p = static_cast<std::size_t>(threads);
+  const std::size_t base = total / p;
+  const std::size_t extra = total % p;
+  const std::size_t begin = t * base + std::min(t, extra);
+  const std::size_t len = base + (t < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+StreamResult run_stream(const StreamConfig& config) {
+  TGI_REQUIRE(config.array_elements >= 1000,
+              "STREAM arrays must have >= 1000 elements");
+  TGI_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  TGI_REQUIRE(config.threads >= 1, "need at least one thread");
+
+  const std::size_t n = config.array_elements;
+  const int threads = config.threads;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+
+  // One timing per (kernel, iteration); workers sync on a barrier and
+  // thread 0 reads the clock at the sync points.
+  constexpr int kKernels = 4;
+  std::vector<std::vector<double>> times(
+      kKernels, std::vector<double>(static_cast<std::size_t>(
+                    config.iterations)));
+  std::barrier sync(threads);
+  const double scalar = config.scalar;
+  const double t_start = now_seconds();
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        const Slice s = slice_for(n, t, threads);
+        for (int it = 0; it < config.iterations; ++it) {
+          const auto iu = static_cast<std::size_t>(it);
+          double t0 = 0.0;
+
+          sync.arrive_and_wait();
+          if (t == 0) t0 = now_seconds();
+          sync.arrive_and_wait();
+          for (std::size_t i = s.begin; i < s.end; ++i) c[i] = a[i];
+          sync.arrive_and_wait();
+          if (t == 0) times[0][iu] = now_seconds() - t0;
+
+          sync.arrive_and_wait();
+          if (t == 0) t0 = now_seconds();
+          sync.arrive_and_wait();
+          for (std::size_t i = s.begin; i < s.end; ++i) b[i] = scalar * c[i];
+          sync.arrive_and_wait();
+          if (t == 0) times[1][iu] = now_seconds() - t0;
+
+          sync.arrive_and_wait();
+          if (t == 0) t0 = now_seconds();
+          sync.arrive_and_wait();
+          for (std::size_t i = s.begin; i < s.end; ++i) c[i] = a[i] + b[i];
+          sync.arrive_and_wait();
+          if (t == 0) times[2][iu] = now_seconds() - t0;
+
+          sync.arrive_and_wait();
+          if (t == 0) t0 = now_seconds();
+          sync.arrive_and_wait();
+          for (std::size_t i = s.begin; i < s.end; ++i) {
+            a[i] = b[i] + scalar * c[i];
+          }
+          sync.arrive_and_wait();
+          if (t == 0) times[3][iu] = now_seconds() - t0;
+        }
+      });
+    }
+  }  // join
+
+  StreamResult result;
+  result.elapsed = util::seconds(now_seconds() - t_start);
+
+  const auto nd = static_cast<double>(n);
+  auto best_rate = [&](int kernel, double bytes_per_elem) {
+    double best = times[static_cast<std::size_t>(kernel)][0];
+    for (double v : times[static_cast<std::size_t>(kernel)]) {
+      best = std::min(best, v);
+    }
+    best = std::max(best, 1e-9);
+    return util::bytes_per_sec(nd * bytes_per_elem / best);
+  };
+  result.copy = best_rate(0, stream_bytes_per_element_copy());
+  result.scale = best_rate(1, stream_bytes_per_element_scale());
+  result.add = best_rate(2, stream_bytes_per_element_add());
+  result.triad = best_rate(3, stream_bytes_per_element_triad());
+
+  // Validate against the closed form after `iterations` rounds.
+  double ea = 1.0;
+  double eb = 2.0;
+  double ec = 0.0;
+  for (int it = 0; it < config.iterations; ++it) {
+    ec = ea;
+    eb = scalar * ec;
+    ec = ea + eb;
+    ea = eb + scalar * ec;
+  }
+  const double tol = 1e-8 * std::fabs(ea);
+  result.validated = std::fabs(a[0] - ea) <= tol &&
+                     std::fabs(a[n - 1] - ea) <= tol &&
+                     std::fabs(b[n / 2] - eb) <= tol &&
+                     std::fabs(c[n / 3] - ec) <= tol;
+  return result;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,50 @@
+// STREAM benchmark: sustainable memory bandwidth via the four McCalpin
+// kernels (Copy, Scale, Add, Triad), the paper's memory benchmark.
+//
+// Byte accounting follows the original: Copy/Scale move 2 words per
+// iteration, Add/Triad move 3. The paper uses Triad ("multiply and
+// accumulate is the most commonly used computation in scientific
+// computing") — run_stream reports all four, and the suite consumes Triad.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace tgi::kernels {
+
+struct StreamConfig {
+  /// Elements per array (three arrays are allocated). The STREAM rule is
+  /// each array >= 4× the last-level cache; keep modest for CI hosts.
+  std::size_t array_elements = 2'000'000;
+  /// Timed repetitions; the best rate is reported, as in the original.
+  int iterations = 5;
+  /// Worker threads (each owns a contiguous slice of every array).
+  int threads = 1;
+  double scalar = 3.0;
+};
+
+struct StreamResult {
+  util::ByteRate copy{0.0};
+  util::ByteRate scale{0.0};
+  util::ByteRate add{0.0};
+  util::ByteRate triad{0.0};
+  util::Seconds elapsed{0.0};
+  /// Arrays validated against the closed-form expected values.
+  bool validated = false;
+};
+
+/// Runs the four kernels on host memory and reports best rates.
+[[nodiscard]] StreamResult run_stream(const StreamConfig& config);
+
+/// Bytes moved per element by each kernel (8-byte words).
+[[nodiscard]] constexpr double stream_bytes_per_element_copy() { return 16.0; }
+[[nodiscard]] constexpr double stream_bytes_per_element_scale() {
+  return 16.0;
+}
+[[nodiscard]] constexpr double stream_bytes_per_element_add() { return 24.0; }
+[[nodiscard]] constexpr double stream_bytes_per_element_triad() {
+  return 24.0;
+}
+
+}  // namespace tgi::kernels

@@ -1,0 +1,30 @@
+// Analytic STREAM (Triad) workload builder for cluster-scale simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/hpl_model.h"  // Placement / layout_for
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace tgi::kernels {
+
+struct StreamModelParams {
+  /// MPI ranks (one per core), each running the Triad kernel on its slice.
+  std::size_t processes = 16;
+  Placement placement = Placement::kScatter;
+  /// Fraction of node memory occupied by the three arrays.
+  double memory_fraction = 0.25;
+  /// Timed repetitions of the kernel (the real run is minutes long so the
+  /// 1 Hz plug meter integrates a meaningful trace).
+  std::size_t iterations = 400;
+};
+
+/// Builds the simulated STREAM Triad run: pure per-node memory streaming
+/// (no interconnect traffic beyond a start/stop barrier), with DRAM
+/// delivery saturating in the per-node rank count, which is what caps the
+/// paper's Figure 3 curve well below HPL's scaling.
+[[nodiscard]] sim::Workload make_stream_workload(
+    const sim::ClusterSpec& cluster, const StreamModelParams& params);
+
+}  // namespace tgi::kernels

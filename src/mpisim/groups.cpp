@@ -1,0 +1,67 @@
+#include "mpisim/groups.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgi::mpisim {
+
+namespace detail {
+
+std::size_t member_index(int rank, std::span<const int> members) {
+  const auto it = std::find(members.begin(), members.end(), rank);
+  TGI_REQUIRE(it != members.end(),
+              "rank " << rank << " is not in the group");
+  return static_cast<std::size_t>(it - members.begin());
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Combines two candidates: larger |value| wins, ties to smaller index.
+MaxLoc better(const MaxLoc& a, const MaxLoc& b) {
+  const double fa = std::fabs(a.value);
+  const double fb = std::fabs(b.value);
+  if (fa > fb) return a;
+  if (fb > fa) return b;
+  return a.index <= b.index ? a : b;
+}
+
+}  // namespace
+
+MaxLoc group_allreduce_maxloc(Rank& comm, MaxLoc mine,
+                              std::span<const int> members, int tag) {
+  TGI_REQUIRE(!members.empty(), "empty group");
+  const std::size_t p = members.size();
+  const std::size_t me = detail::member_index(comm.rank(), members);
+  MaxLoc acc = mine;
+  bool contributed = false;
+  for (std::size_t mask = 1; mask < p; mask <<= 1) {
+    if ((me & mask) != 0) {
+      comm.send<MaxLoc>(members[me - mask],
+                        tag + 500 + static_cast<int>(mask), acc);
+      contributed = true;
+      break;
+    }
+    const std::size_t partner = me + mask;
+    if (partner < p) {
+      const MaxLoc other = comm.recv<MaxLoc>(
+          members[partner], tag + 500 + static_cast<int>(mask));
+      acc = better(acc, other);
+    }
+  }
+  (void)contributed;
+  std::span<MaxLoc> one(&acc, 1);
+  group_bcast(comm, one, members[0], members, tag + 700);
+  return acc;
+}
+
+void group_barrier(Rank& comm, std::span<const int> members, int tag) {
+  std::int32_t token = 1;
+  std::span<std::int32_t> one(&token, 1);
+  group_allreduce_sum(comm, one, members, tag);
+  TGI_CHECK(token == static_cast<std::int32_t>(members.size()),
+            "barrier token mismatch");
+}
+
+}  // namespace tgi::mpisim

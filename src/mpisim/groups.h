@@ -1,0 +1,98 @@
+// Group-scoped collectives: operations over an explicit subset of ranks.
+//
+// The 2D block-cyclic HPL needs row- and column-scoped collectives (panel
+// broadcast along a process row, pivot search down a process column). MPI
+// gives these via sub-communicators; mpisim keeps its runtime minimal and
+// instead provides collectives parameterized by an explicit, identical
+// member list — the caller names the ranks, the algorithms are the same
+// binomial trees the full-world collectives use.
+//
+// Contract for every function here: `members` lists distinct global ranks,
+// identical (same order) on every participant; the caller's own rank is in
+// the list; every member calls the function with the same `tag`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpisim/runtime.h"
+
+namespace tgi::mpisim {
+
+namespace detail {
+/// Position of `rank` within `members`; throws if absent.
+std::size_t member_index(int rank, std::span<const int> members);
+}  // namespace detail
+
+/// Binomial broadcast of `data` from global rank `root` (which must be a
+/// member) to every member.
+template <typename T>
+void group_bcast(Rank& comm, std::span<T> data, int root,
+                 std::span<const int> members, int tag) {
+  TGI_REQUIRE(!members.empty(), "empty group");
+  const std::size_t p = members.size();
+  const std::size_t root_pos = detail::member_index(root, members);
+  const std::size_t my_pos = detail::member_index(comm.rank(), members);
+  const std::size_t me = (my_pos + p - root_pos) % p;  // root-relative
+  for (std::size_t mask = 1; mask < p; mask <<= 1) {
+    if (me < mask) {
+      const std::size_t partner = me + mask;
+      if (partner < p) {
+        comm.send_vector<T>(members[(partner + root_pos) % p],
+                            tag + static_cast<int>(mask), data);
+      }
+    } else if (me < (mask << 1)) {
+      const auto chunk = comm.recv_vector<T>(
+          members[(me - mask + root_pos) % p],
+          tag + static_cast<int>(mask));
+      TGI_CHECK(chunk.size() == data.size(), "group_bcast size mismatch");
+      std::copy(chunk.begin(), chunk.end(), data.begin());
+    }
+  }
+}
+
+/// (value, index) pair for pivot searches.
+struct MaxLoc {
+  double value = 0.0;
+  std::int64_t index = -1;
+};
+
+/// All members learn the MaxLoc with the largest |value| (ties broken by
+/// the smaller index, making the result deterministic).
+[[nodiscard]] MaxLoc group_allreduce_maxloc(Rank& comm, MaxLoc mine,
+                                            std::span<const int> members,
+                                            int tag);
+
+/// Elementwise sum-allreduce over the group.
+template <typename T>
+void group_allreduce_sum(Rank& comm, std::span<T> values,
+                         std::span<const int> members, int tag) {
+  TGI_REQUIRE(!members.empty(), "empty group");
+  const std::size_t p = members.size();
+  const std::size_t me = detail::member_index(comm.rank(), members);
+  // Binomial reduce to member 0, then broadcast.
+  for (std::size_t mask = 1; mask < p; mask <<= 1) {
+    if ((me & mask) != 0) {
+      comm.send_vector<T>(members[me - mask],
+                          tag + 1000 + static_cast<int>(mask), values);
+      break;  // contributed
+    }
+    const std::size_t partner = me + mask;
+    if (partner < p) {
+      const auto chunk = comm.recv_vector<T>(
+          members[partner], tag + 1000 + static_cast<int>(mask));
+      TGI_CHECK(chunk.size() == values.size(),
+                "group_allreduce size mismatch");
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] += chunk[i];
+      }
+    }
+  }
+  group_bcast(comm, values, members[0], members, tag + 2000);
+}
+
+/// Barrier across the group (sum-allreduce of a token).
+void group_barrier(Rank& comm, std::span<const int> members, int tag);
+
+}  // namespace tgi::mpisim

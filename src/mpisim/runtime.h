@@ -1,0 +1,277 @@
+// In-process message-passing runtime ("mpisim").
+//
+// The paper's benchmarks are MPI programs. To run genuinely parallel
+// implementations without an MPI installation, mpisim provides MPI-flavoured
+// semantics with ranks backed by threads: each rank has a mailbox of tagged
+// messages, point-to-point Send/Recv match on (source, tag), and the
+// collectives are built from point-to-point using the same algorithms whose
+// analytic costs tgi::net charges (binomial broadcast/reduce, central
+// barrier). Communication is by value (CP.31): payloads are copied into the
+// destination mailbox, so ranks share nothing except the runtime itself.
+//
+// Error handling: an exception escaping any rank aborts the world — blocked
+// receivers wake and rethrow — so a failing test cannot deadlock the suite.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::mpisim {
+
+/// Wildcards for Recv matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Thrown in every blocked rank when some rank failed.
+class WorldAborted : public util::TgiError {
+ public:
+  explicit WorldAborted(const std::string& why)
+      : util::TgiError("mpisim world aborted: " + why) {}
+};
+
+namespace detail {
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// One rank's inbound queue with (source, tag) matching.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a matching message or world abort.
+  Message pop(int source, int tag, const std::function<bool()>& aborted);
+  void notify_abort();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// Shared state of one communicator instance.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+  Mailbox& mailbox(int rank);
+
+  void barrier();
+  void abort(const std::string& why);
+  [[nodiscard]] bool aborted() const;
+  void check_abort() const;
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  mutable std::mutex abort_mu_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace detail
+
+/// Handle a rank's function uses to communicate. Valid only inside run().
+class Rank {
+ public:
+  Rank(detail::World* world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return world_->size(); }
+
+  // --- Point-to-point (byte level) ---------------------------------------
+
+  /// Copies `data` into `dest`'s mailbox under `tag`. Non-blocking
+  /// (mailboxes are unbounded, like MPI eager sends of modest payloads).
+  void send_bytes(int dest, int tag, std::span<const std::uint8_t> data);
+
+  /// Blocks for a message matching (source, tag); wildcards allowed.
+  std::vector<std::uint8_t> recv_bytes(int source, int tag);
+
+  // --- Typed convenience wrappers (trivially copyable T) ------------------
+
+  template <typename T>
+  void send(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)});
+  }
+
+  template <typename T>
+  T recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag);
+    TGI_CHECK(bytes.size() == sizeof(T), "typed recv size mismatch");
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void send_vector(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               {reinterpret_cast<const std::uint8_t*>(values.data()),
+                values.size_bytes()});
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag);
+    TGI_CHECK(bytes.size() % sizeof(T) == 0, "vector recv size mismatch");
+    std::vector<T> values(bytes.size() / sizeof(T));
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  // --- Collectives ---------------------------------------------------------
+
+  /// All ranks wait until every rank arrives.
+  void barrier();
+
+  /// Binomial-tree broadcast of `data` (size significant on all ranks).
+  template <typename T>
+  void bcast(std::span<T> data, int root);
+
+  /// Sum-allreduce of a single value (binomial reduce + broadcast).
+  template <typename T>
+  T allreduce_sum(T value);
+
+  /// Elementwise sum-allreduce of a vector.
+  template <typename T>
+  void allreduce_sum(std::span<T> values);
+
+  /// Max-allreduce of a single value.
+  template <typename T>
+  T allreduce_max(T value);
+
+  /// Flat gather of one value per rank to `root` (rank order). Non-root
+  /// ranks receive an empty vector.
+  template <typename T>
+  std::vector<T> gather(T value, int root);
+
+ private:
+  /// Internal tag namespace for collectives, above user tags.
+  static constexpr int kCollectiveTagBase = 1 << 24;
+
+  template <typename T, typename Combine>
+  void reduce_to_root(std::span<T> values, int root, Combine combine);
+
+  detail::World* world_;
+  int rank_;
+};
+
+/// Runs `fn` on `nprocs` rank threads and joins them. The first exception
+/// thrown by any rank aborts the world and is rethrown here.
+/// Precondition: nprocs >= 1.
+void run(int nprocs, const std::function<void(Rank&)>& fn);
+
+// --- Template implementations ----------------------------------------------
+
+template <typename T>
+void Rank::bcast(std::span<T> data, int root) {
+  TGI_REQUIRE(root >= 0 && root < size(), "bad bcast root " << root);
+  const int p = size();
+  // Renumber so the root is virtual rank 0, then binomial tree.
+  const int me = (rank_ - root + p) % p;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (me < mask) {
+      const int partner = me + mask;
+      if (partner < p) {
+        send_vector<T>((partner + root) % p, kCollectiveTagBase + mask, data);
+      }
+    } else if (me < (mask << 1)) {
+      const auto chunk =
+          recv_vector<T>((me - mask + root) % p, kCollectiveTagBase + mask);
+      TGI_CHECK(chunk.size() == data.size(), "bcast size mismatch");
+      std::copy(chunk.begin(), chunk.end(), data.begin());
+    }
+  }
+}
+
+template <typename T, typename Combine>
+void Rank::reduce_to_root(std::span<T> values, int root, Combine combine) {
+  const int p = size();
+  const int me = (rank_ - root + p) % p;
+  // Binomial reduction towards virtual rank 0.
+  int mask = 1;
+  while (mask < p) {
+    if ((me & mask) != 0) {
+      const int partner = me - mask;
+      send_vector<T>((partner + root) % p, kCollectiveTagBase + 2 * mask + 1,
+                     values);
+      return;  // contributed; done
+    }
+    const int partner = me + mask;
+    if (partner < p) {
+      const auto chunk = recv_vector<T>((partner + root) % p,
+                                        kCollectiveTagBase + 2 * mask + 1);
+      TGI_CHECK(chunk.size() == values.size(), "reduce size mismatch");
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = combine(values[i], chunk[i]);
+      }
+    }
+    mask <<= 1;
+  }
+}
+
+template <typename T>
+T Rank::allreduce_sum(T value) {
+  std::vector<T> buf{value};
+  allreduce_sum<T>(std::span<T>(buf));
+  return buf[0];
+}
+
+template <typename T>
+void Rank::allreduce_sum(std::span<T> values) {
+  reduce_to_root(values, 0, [](T a, T b) { return a + b; });
+  bcast(values, 0);
+}
+
+template <typename T>
+T Rank::allreduce_max(T value) {
+  std::vector<T> buf{value};
+  reduce_to_root(std::span<T>(buf), 0,
+                 [](T a, T b) { return a < b ? b : a; });
+  bcast(std::span<T>(buf), 0);
+  return buf[0];
+}
+
+template <typename T>
+std::vector<T> Rank::gather(T value, int root) {
+  TGI_REQUIRE(root >= 0 && root < size(), "bad gather root " << root);
+  if (rank_ != root) {
+    send<T>(root, kCollectiveTagBase + 3, value);
+    return {};
+  }
+  std::vector<T> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = value;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] = recv<T>(r, kCollectiveTagBase + 3);
+  }
+  return out;
+}
+
+}  // namespace tgi::mpisim

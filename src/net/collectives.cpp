@@ -1,0 +1,57 @@
+#include "net/collectives.h"
+
+#include "util/error.h"
+
+namespace tgi::net {
+
+std::size_t log2_ceil(std::size_t p) {
+  TGI_REQUIRE(p >= 1, "process count must be >= 1");
+  std::size_t rounds = 0;
+  std::size_t reach = 1;
+  while (reach < p) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+util::Seconds bcast_time(const InterconnectSpec& link, std::size_t procs,
+                         util::ByteCount bytes) {
+  const std::size_t rounds = log2_ceil(procs);
+  if (rounds == 0) return util::Seconds(0.0);
+  if (bytes.value() <= kBcastLargeMessageBytes) {
+    return ptp_time(link, bytes) * static_cast<double>(rounds);
+  }
+  // van de Geijn: scatter (log p rounds, n·(p-1)/p bytes total) followed by
+  // ring allgather (p-1 rounds of n/p bytes).
+  const auto p = static_cast<double>(procs);
+  const double beta_bytes = 2.0 * (p - 1.0) / p * bytes.value();
+  const util::Seconds latency_term =
+      link.latency * (static_cast<double>(rounds) + (p - 1.0));
+  return latency_term + util::bytes(beta_bytes) / link.bandwidth;
+}
+
+util::Seconds allreduce_time(const InterconnectSpec& link, std::size_t procs,
+                             util::ByteCount bytes) {
+  TGI_REQUIRE(procs >= 1, "process count must be >= 1");
+  if (procs == 1) return util::Seconds(0.0);
+  const auto p = static_cast<double>(procs);
+  const util::ByteCount chunk = bytes / p;
+  const util::Seconds step = ptp_time(link, chunk, procs);
+  return step * (2.0 * (p - 1.0));
+}
+
+util::Seconds barrier_time(const InterconnectSpec& link, std::size_t procs) {
+  const std::size_t rounds = log2_ceil(procs);
+  return link.latency * static_cast<double>(2 * rounds);
+}
+
+util::Seconds gather_time(const InterconnectSpec& link, std::size_t procs,
+                          util::ByteCount bytes_per_rank) {
+  TGI_REQUIRE(procs >= 1, "process count must be >= 1");
+  if (procs == 1) return util::Seconds(0.0);
+  const auto senders = static_cast<double>(procs - 1);
+  return ptp_time(link, bytes_per_rank) * senders;
+}
+
+}  // namespace tgi::net

@@ -1,0 +1,50 @@
+#include "net/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tgi::net {
+
+InterconnectSpec gigabit_ethernet() {
+  return {.name = "GigE",
+          .latency = util::microseconds(50.0),
+          .bandwidth = util::megabytes_per_sec(118.0),
+          .congestion_factor = 0.7};
+}
+
+InterconnectSpec ddr_infiniband() {
+  return {.name = "DDR-InfiniBand",
+          .latency = util::microseconds(2.5),
+          .bandwidth = util::gigabytes_per_sec(1.6),
+          .congestion_factor = 0.9};
+}
+
+InterconnectSpec qdr_infiniband() {
+  return {.name = "QDR-InfiniBand",
+          .latency = util::microseconds(1.5),
+          .bandwidth = util::gigabytes_per_sec(3.2),
+          .congestion_factor = 0.9};
+}
+
+util::Seconds ptp_time(const InterconnectSpec& link, util::ByteCount bytes,
+                       std::size_t concurrent_pairs) {
+  TGI_REQUIRE(bytes.value() >= 0.0, "negative transfer size");
+  TGI_REQUIRE(link.bandwidth.value() > 0.0, "bandwidth must be positive");
+  TGI_REQUIRE(link.congestion_factor > 0.0 && link.congestion_factor <= 1.0,
+              "congestion factor must be in (0, 1]");
+  TGI_REQUIRE(concurrent_pairs >= 1, "at least one communicating pair");
+  // With p concurrent pairs through a shared fabric, sustained bandwidth
+  // degrades towards congestion_factor of nominal; one pair sees nominal.
+  const double derate =
+      concurrent_pairs == 1
+          ? 1.0
+          : link.congestion_factor +
+                (1.0 - link.congestion_factor) /
+                    static_cast<double>(concurrent_pairs);
+  const util::ByteRate effective = link.bandwidth * derate;
+  return link.latency + bytes / effective;
+}
+
+}  // namespace tgi::net

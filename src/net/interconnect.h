@@ -1,0 +1,42 @@
+// Interconnect specifications and the Hockney point-to-point cost model.
+//
+// The paper's testbeds use QDR InfiniBand (SystemG) and the Fire cluster's
+// fabric; HPL's scaling behaviour — and therefore the shape of Figure 2 —
+// depends on communication cost growing relative to per-process compute as
+// process count rises. We model links with the classic Hockney α-β model:
+// t(n) = latency + n / bandwidth, plus a congestion factor for concurrent
+// traffic through a shared switch.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace tgi::net {
+
+/// A physical link/fabric description.
+struct InterconnectSpec {
+  std::string name = "generic";
+  /// One-way small-message latency (the Hockney α).
+  util::Seconds latency{1e-6};
+  /// Sustained point-to-point bandwidth (the Hockney 1/β).
+  util::ByteRate bandwidth{util::gigabytes_per_sec(1.0)};
+  /// Effective bandwidth derating when many pairs communicate at once
+  /// through shared switching (1.0 = perfect full bisection).
+  double congestion_factor = 1.0;
+};
+
+/// Catalog entries for the fabrics relevant to the paper's testbeds.
+/// Values are nominal datasheet numbers for the standards involved.
+[[nodiscard]] InterconnectSpec gigabit_ethernet();
+[[nodiscard]] InterconnectSpec ddr_infiniband();
+/// QDR InfiniBand: SystemG's interconnect (paper Section IV).
+[[nodiscard]] InterconnectSpec qdr_infiniband();
+
+/// Hockney point-to-point transfer time for `bytes` over the link.
+/// `concurrent_pairs` > 1 applies the congestion derating.
+[[nodiscard]] util::Seconds ptp_time(const InterconnectSpec& link,
+                                     util::ByteCount bytes,
+                                     std::size_t concurrent_pairs = 1);
+
+}  // namespace tgi::net

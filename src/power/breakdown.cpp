@@ -1,0 +1,89 @@
+#include "power/breakdown.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace tgi::power {
+
+double EnergyBreakdown::fraction(util::Joules part) const {
+  const double t = total().value();
+  TGI_REQUIRE(t > 0.0, "breakdown has no energy");
+  return part.value() / t;
+}
+
+double EnergyBreakdown::non_compute_fraction() const {
+  return 1.0 - fraction(cpu);
+}
+
+ComponentPower component_power(const NodePowerModel& node,
+                               const ComponentUtilization& u) {
+  const NodePowerSpec& spec = node.spec();
+  ComponentPower out;
+  const double ghz = u.dvfs_ghz > 0.0 ? u.dvfs_ghz : spec.cpu.nominal_ghz;
+  out.cpu = spec.cpu.power(u.cpu, ghz) * static_cast<double>(spec.sockets);
+  out.memory = spec.memory.power(u.memory);
+  out.disk = spec.disk.power(u.disk) * static_cast<double>(spec.disks);
+  out.nic = spec.nic.power(u.network);
+  out.board = spec.board_overhead;
+  const util::Watts dc = node.dc_power(u);
+  out.psu_loss = node.wall_power(u) - dc;
+  TGI_CHECK(out.psu_loss.value() >= -1e-9, "negative PSU loss");
+  return out;
+}
+
+EnergyBreakdown energy_breakdown(const PowerTimeline& timeline) {
+  const ClusterPowerModel& cluster = timeline.model();
+  const NodePowerModel& node = cluster.node_model();
+  EnergyBreakdown out;
+  const ComponentPower idle =
+      component_power(node, ComponentUtilization::idle());
+
+  for (const auto& segment : timeline.segments()) {
+    const ComponentPower active =
+        component_power(node, segment.utilization);
+    const auto n_active = static_cast<double>(segment.active_nodes);
+    const auto n_idle =
+        static_cast<double>(cluster.node_count() - segment.active_nodes);
+    const util::Seconds dt = segment.duration;
+    out.cpu += (active.cpu * n_active + idle.cpu * n_idle) * dt;
+    out.memory += (active.memory * n_active + idle.memory * n_idle) * dt;
+    out.disk += (active.disk * n_active + idle.disk * n_idle) * dt;
+    out.nic += (active.nic * n_active + idle.nic * n_idle) * dt;
+    out.board += (active.board * n_active + idle.board * n_idle) * dt;
+    out.psu_loss +=
+        (active.psu_loss * n_active + idle.psu_loss * n_idle) * dt;
+  }
+  // The cluster model adds constant switch power on top of the node sums;
+  // the difference between metered energy and the component sum is exactly
+  // that, and it belongs to the network column.
+  const util::Joules switch_energy =
+      timeline.exact_energy() - out.total();
+  TGI_CHECK(switch_energy.value() > -1e-6 * timeline.exact_energy().value(),
+            "component sum exceeds metered energy");
+  out.nic += util::Joules(std::max(switch_energy.value(), 0.0));
+  return out;
+}
+
+std::string render_breakdown(const EnergyBreakdown& breakdown) {
+  util::TextTable table({"component", "energy", "share"});
+  const auto row = [&](const char* name, util::Joules e) {
+    table.add_row({name, util::format(e),
+                   util::percent(breakdown.fraction(e), 1)});
+  };
+  row("CPU sockets", breakdown.cpu);
+  row("memory", breakdown.memory);
+  row("disks", breakdown.disk);
+  row("network (NIC+switch)", breakdown.nic);
+  row("board/fans", breakdown.board);
+  row("PSU conversion loss", breakdown.psu_loss);
+  table.add_row({"TOTAL", util::format(breakdown.total()), "100.0%"});
+  std::string out = table.to_string();
+  out += "non-compute share: " +
+         util::percent(breakdown.non_compute_fraction(), 1) + "\n";
+  return out;
+}
+
+}  // namespace tgi::power

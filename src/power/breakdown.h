@@ -1,0 +1,67 @@
+// Component-level power and energy attribution.
+//
+// The paper's motivation quotes the exascale study: "the energy
+// consumption of a HPC system when executing non-computational tasks,
+// especially data movement, is expected to overtake the energy consumed
+// due to the processing elements." This module answers that question for
+// any simulated run: given a utilization timeline, how many joules went
+// to CPUs, memory, disks, NICs, board overhead, and PSU conversion loss?
+#pragma once
+
+#include <string>
+
+#include "power/node_model.h"
+#include "power/timeline.h"
+#include "util/units.h"
+
+namespace tgi::power {
+
+/// Instantaneous per-component draw of one node (DC side) plus the AC
+/// conversion loss.
+struct ComponentPower {
+  util::Watts cpu{0.0};
+  util::Watts memory{0.0};
+  util::Watts disk{0.0};
+  util::Watts nic{0.0};
+  util::Watts board{0.0};
+  /// Wall draw minus DC draw (PSU inefficiency).
+  util::Watts psu_loss{0.0};
+
+  [[nodiscard]] util::Watts total_wall() const {
+    return cpu + memory + disk + nic + board + psu_loss;
+  }
+};
+
+/// Per-component energy over a whole run.
+struct EnergyBreakdown {
+  util::Joules cpu{0.0};
+  util::Joules memory{0.0};
+  util::Joules disk{0.0};
+  util::Joules nic{0.0};
+  util::Joules board{0.0};
+  util::Joules psu_loss{0.0};
+
+  [[nodiscard]] util::Joules total() const {
+    return cpu + memory + disk + nic + board + psu_loss;
+  }
+  /// Fraction of total energy attributed to a component.
+  [[nodiscard]] double fraction(util::Joules part) const;
+  /// Fraction NOT spent in the CPUs — the paper's "non-computational"
+  /// share (memory + disk + NIC + board + conversion loss).
+  [[nodiscard]] double non_compute_fraction() const;
+};
+
+/// Splits one node's draw at `u` into components (wall-referred: each DC
+/// component as-is, plus the lumped PSU loss).
+[[nodiscard]] ComponentPower component_power(const NodePowerModel& node,
+                                             const ComponentUtilization& u);
+
+/// Integrates a timeline into a per-component energy breakdown for the
+/// whole metered cluster (active nodes at the segment's utilization, the
+/// rest idle; switch power is charged to `nic`).
+[[nodiscard]] EnergyBreakdown energy_breakdown(const PowerTimeline& timeline);
+
+/// Renders the breakdown as an aligned table with percentages.
+[[nodiscard]] std::string render_breakdown(const EnergyBreakdown& breakdown);
+
+}  // namespace tgi::power

@@ -1,0 +1,55 @@
+#include "power/node_model.h"
+
+#include "util/error.h"
+
+namespace tgi::power {
+
+NodePowerModel::NodePowerModel(NodePowerSpec spec) : spec_(spec) {
+  TGI_REQUIRE(spec_.sockets > 0, "node needs at least one socket");
+}
+
+util::Watts NodePowerModel::dc_power(const ComponentUtilization& u) const {
+  util::Watts total = spec_.board_overhead;
+  const double ghz = u.dvfs_ghz > 0.0 ? u.dvfs_ghz : spec_.cpu.nominal_ghz;
+  total += spec_.cpu.power(u.cpu, ghz) * static_cast<double>(spec_.sockets);
+  total += spec_.memory.power(u.memory);
+  total += spec_.disk.power(u.disk) * static_cast<double>(spec_.disks);
+  total += spec_.nic.power(u.network);
+  return total;
+}
+
+util::Watts NodePowerModel::wall_power(const ComponentUtilization& u) const {
+  return spec_.psu.wall_power(dc_power(u));
+}
+
+util::Watts NodePowerModel::idle_wall_power() const {
+  return wall_power(ComponentUtilization::idle());
+}
+
+ClusterPowerModel::ClusterPowerModel(NodePowerModel node_model,
+                                     std::size_t node_count,
+                                     util::Watts switch_power)
+    : node_model_(node_model),
+      node_count_(node_count),
+      switch_power_(switch_power) {
+  TGI_REQUIRE(node_count_ > 0, "cluster needs at least one node");
+  TGI_REQUIRE(switch_power_.value() >= 0.0,
+              "switch power must be non-negative");
+}
+
+util::Watts ClusterPowerModel::wall_power(const ComponentUtilization& u,
+                                          std::size_t active_nodes) const {
+  TGI_REQUIRE(active_nodes <= node_count_,
+              "active nodes " << active_nodes << " exceeds cluster size "
+                              << node_count_);
+  const auto active = static_cast<double>(active_nodes);
+  const auto idle = static_cast<double>(node_count_ - active_nodes);
+  return node_model_.wall_power(u) * active +
+         node_model_.idle_wall_power() * idle + switch_power_;
+}
+
+util::Watts ClusterPowerModel::idle_wall_power() const {
+  return wall_power(ComponentUtilization::idle(), node_count_);
+}
+
+}  // namespace tgi::power

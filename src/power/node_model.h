@@ -1,0 +1,88 @@
+// Node- and cluster-level wall-power aggregation.
+#pragma once
+
+#include <cstddef>
+
+#include "power/spec.h"
+#include "util/units.h"
+
+namespace tgi::power {
+
+/// Instantaneous busy fractions of a node's components, each in [0, 1].
+/// This is the interface between the execution simulator (which knows what
+/// the benchmark is doing) and the power model (which knows what that costs).
+struct ComponentUtilization {
+  double cpu = 0.0;
+  double memory = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+  /// DVFS operating point in GHz; 0 means the socket's nominal clock.
+  /// Dynamic CPU power scales ~(f/f_nominal)³ (see CpuPowerSpec::power).
+  double dvfs_ghz = 0.0;
+
+  /// A fully idle node.
+  static constexpr ComponentUtilization idle() { return {}; }
+};
+
+/// Full power description of one node.
+struct NodePowerSpec {
+  CpuPowerSpec cpu;
+  std::size_t sockets = 2;
+  MemoryPowerSpec memory;
+  DiskPowerSpec disk;
+  std::size_t disks = 1;
+  NicPowerSpec nic;
+  /// Motherboard, fans, VRM losses and other fixed overhead (DC side).
+  util::Watts board_overhead{30.0};
+  PsuSpec psu;
+};
+
+/// Maps component utilization to node power.
+class NodePowerModel {
+ public:
+  explicit NodePowerModel(NodePowerSpec spec);
+
+  /// Total DC draw of the node at the given utilization.
+  [[nodiscard]] util::Watts dc_power(const ComponentUtilization& u) const;
+
+  /// AC wall draw (DC through the PSU efficiency curve).
+  [[nodiscard]] util::Watts wall_power(const ComponentUtilization& u) const;
+
+  /// Wall draw of a completely idle node (the meter's baseline).
+  [[nodiscard]] util::Watts idle_wall_power() const;
+
+  [[nodiscard]] const NodePowerSpec& spec() const { return spec_; }
+
+ private:
+  NodePowerSpec spec_;
+};
+
+/// Whole-cluster wall power under the SPMD assumption that active nodes
+/// share one utilization profile (what a plug meter on the rack sees).
+class ClusterPowerModel {
+ public:
+  /// `switch_power` covers interconnect switches and other shared gear that
+  /// draws constant power regardless of load.
+  ClusterPowerModel(NodePowerModel node_model, std::size_t node_count,
+                    util::Watts switch_power);
+
+  /// Wall power with `active_nodes` at utilization `u` and the remaining
+  /// nodes idle. Precondition: active_nodes <= node_count.
+  [[nodiscard]] util::Watts wall_power(const ComponentUtilization& u,
+                                       std::size_t active_nodes) const;
+
+  /// Wall power with every node idle.
+  [[nodiscard]] util::Watts idle_wall_power() const;
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] const NodePowerModel& node_model() const {
+    return node_model_;
+  }
+
+ private:
+  NodePowerModel node_model_;
+  std::size_t node_count_;
+  util::Watts switch_power_;
+};
+
+}  // namespace tgi::power

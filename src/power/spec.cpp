@@ -1,0 +1,71 @@
+#include "power/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tgi::power {
+
+namespace {
+double clamp_fraction(double utilization) {
+  TGI_REQUIRE(std::isfinite(utilization),
+              "utilization must be finite, got " << utilization);
+  return std::clamp(utilization, 0.0, 1.0);
+}
+}  // namespace
+
+util::Watts CpuPowerSpec::power(double utilization, double ghz) const {
+  const double u = clamp_fraction(utilization);
+  TGI_REQUIRE(ghz > 0.0, "clock must be positive");
+  // Dynamic CMOS power scales ~ f·V²; with voltage tracking frequency this
+  // is ~ (f/f0)³ applied to the dynamic component only.
+  const double f_ratio = ghz / nominal_ghz;
+  const util::Watts dynamic = (max_load - idle) * (u * f_ratio * f_ratio *
+                                                   f_ratio);
+  return idle + dynamic;
+}
+
+util::Watts MemoryPowerSpec::power(double utilization) const {
+  const double u = clamp_fraction(utilization);
+  return background + (max_active - background) * u;
+}
+
+util::Watts DiskPowerSpec::power(double utilization) const {
+  const double u = clamp_fraction(utilization);
+  return idle + (active - idle) * u;
+}
+
+util::Watts NicPowerSpec::power(double utilization) const {
+  const double u = clamp_fraction(utilization);
+  return idle + (active - idle) * u;
+}
+
+double PsuSpec::efficiency(util::Watts dc_load) const {
+  TGI_REQUIRE(rated_dc.value() > 0.0, "PSU rating must be positive");
+  const double load =
+      std::clamp(dc_load.value() / rated_dc.value(), 0.05, 1.0);
+  double eff = 0.0;
+  if (load <= 0.2) {
+    // Below 20% load efficiency degrades towards a floor.
+    const double t = (load - 0.05) / 0.15;
+    eff = 0.70 + t * (efficiency_at_20pct - 0.70);
+  } else if (load <= 0.5) {
+    const double t = (load - 0.2) / 0.3;
+    eff = efficiency_at_20pct + t * (efficiency_at_50pct - efficiency_at_20pct);
+  } else {
+    const double t = (load - 0.5) / 0.5;
+    eff = efficiency_at_50pct +
+          t * (efficiency_at_100pct - efficiency_at_50pct);
+  }
+  TGI_CHECK(eff > 0.0 && eff <= 1.0, "PSU efficiency out of range: " << eff);
+  return eff;
+}
+
+util::Watts PsuSpec::wall_power(util::Watts dc_load) const {
+  TGI_REQUIRE(dc_load.value() >= 0.0, "DC load must be non-negative");
+  if (dc_load.value() == 0.0) return util::Watts(0.0);
+  return util::Watts(dc_load.value() / efficiency(dc_load));
+}
+
+}  // namespace tgi::power

@@ -1,0 +1,81 @@
+// Component-level power specifications.
+//
+// The paper measures whole-system wall power with a plug meter. We
+// reconstruct that wall power from first principles: per-component DC draw
+// (CPU sockets, memory, disks, NIC, board/fans) summed per node and pushed
+// through a PSU efficiency curve. The numbers in the machine catalog
+// (sim/catalog.cpp) are taken from vendor TDP/idle datasheet values of the
+// actual parts in the paper's testbeds (Opteron 6134, Xeon 5462).
+//
+// Linear idle+dynamic·utilization models per component are the standard
+// first-order approximation in the power-modeling literature and are exactly
+// what TGI consumes: average watts over a benchmark run.
+#pragma once
+
+#include "util/units.h"
+
+namespace tgi::power {
+
+/// One CPU socket: P = idle + (max - idle) · utilization, optionally scaled
+/// by a DVFS frequency/voltage point (P_dyn ∝ f·V², approximated as f³ when
+/// voltage tracks frequency).
+struct CpuPowerSpec {
+  util::Watts idle{15.0};
+  util::Watts max_load{80.0};
+  /// Nominal core clock in GHz; DVFS scaling is relative to this.
+  double nominal_ghz = 2.3;
+
+  /// Dynamic power at `utilization` in [0,1] and clock `ghz`.
+  [[nodiscard]] util::Watts power(double utilization, double ghz) const;
+  /// Power at nominal frequency.
+  [[nodiscard]] util::Watts power(double utilization) const {
+    return power(utilization, nominal_ghz);
+  }
+};
+
+/// Memory subsystem per node: background (refresh/standby) plus a term
+/// proportional to delivered bandwidth fraction.
+struct MemoryPowerSpec {
+  util::Watts background{8.0};
+  util::Watts max_active{25.0};
+
+  /// Power at bandwidth `utilization` in [0,1].
+  [[nodiscard]] util::Watts power(double utilization) const;
+};
+
+/// One spinning disk: idle (platters spinning) vs active (seek/transfer).
+struct DiskPowerSpec {
+  util::Watts idle{5.0};
+  util::Watts active{10.0};
+
+  /// Power when the device is busy a `utilization` fraction of the time.
+  [[nodiscard]] util::Watts power(double utilization) const;
+};
+
+/// Network interface (HCA/NIC): near-constant idle plus a small active bump.
+struct NicPowerSpec {
+  util::Watts idle{6.0};
+  util::Watts active{12.0};
+
+  [[nodiscard]] util::Watts power(double utilization) const;
+};
+
+/// Power-supply efficiency as a piecewise-linear function of load fraction.
+/// Real PSUs (80 PLUS curves) are least efficient at low load, peak around
+/// 50%, and dip slightly at 100%; we model three anchor points.
+struct PsuSpec {
+  double efficiency_at_20pct = 0.82;
+  double efficiency_at_50pct = 0.88;
+  double efficiency_at_100pct = 0.85;
+  /// DC output the PSU is rated for; load fraction = dc_load / rated.
+  util::Watts rated_dc{800.0};
+
+  /// Interpolated efficiency for the given DC load. Clamped to [5%, 100%]
+  /// load for the lookup; efficiency is always in (0, 1].
+  [[nodiscard]] double efficiency(util::Watts dc_load) const;
+
+  /// AC wall draw needed to deliver `dc_load`.
+  [[nodiscard]] util::Watts wall_power(util::Watts dc_load) const;
+};
+
+}  // namespace tgi::power

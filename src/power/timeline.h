@@ -1,0 +1,66 @@
+// Piecewise-constant power timelines: the bridge from the execution
+// simulator to the power meter.
+//
+// The simulator decomposes a benchmark run into phases, each with a
+// duration and a component-utilization profile. A PowerTimeline turns that
+// phase list (plus the cluster power model) into a function Watts(t) that a
+// meter can sample, exactly as the physical Watts Up? meter sampled the
+// Fire cluster's wall outlet in the paper's Figure 1 setup.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "power/node_model.h"
+#include "util/units.h"
+
+namespace tgi::power {
+
+/// Any source of instantaneous wall power as a function of time.
+using PowerSource = std::function<util::Watts(util::Seconds)>;
+
+/// One simulated execution phase on the cluster.
+struct UtilizationSegment {
+  util::Seconds duration{0.0};
+  ComponentUtilization utilization;
+  /// Nodes participating in this phase; the rest idle at baseline power.
+  std::size_t active_nodes = 0;
+};
+
+/// A sequence of utilization segments bound to a cluster power model.
+class PowerTimeline {
+ public:
+  PowerTimeline(ClusterPowerModel model,
+                std::vector<UtilizationSegment> segments);
+
+  /// Total duration of all segments.
+  [[nodiscard]] util::Seconds duration() const { return total_; }
+
+  /// Instantaneous wall power at time `t`. For t past the end, the cluster
+  /// is idle (the run has finished; the meter keeps reading baseline).
+  [[nodiscard]] util::Watts power_at(util::Seconds t) const;
+
+  /// Exact energy over the full timeline (piecewise-constant, so the
+  /// integral is a finite sum — no quadrature error). This is the ground
+  /// truth the WattsUpMeter's sampled estimate is tested against.
+  [[nodiscard]] util::Joules exact_energy() const;
+
+  /// Exact time-weighted average power over the timeline.
+  [[nodiscard]] util::Watts exact_average_power() const;
+
+  /// Adapts this timeline to the generic PowerSource interface.
+  [[nodiscard]] PowerSource as_source() const;
+
+  [[nodiscard]] const std::vector<UtilizationSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] const ClusterPowerModel& model() const { return model_; }
+
+ private:
+  ClusterPowerModel model_;
+  std::vector<UtilizationSegment> segments_;
+  std::vector<double> cumulative_end_;  // prefix sums of segment durations
+  util::Seconds total_{0.0};
+};
+
+}  // namespace tgi::power

@@ -1,0 +1,60 @@
+#include "power/trace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tgi::power {
+
+void PowerTrace::add(PowerSample sample) {
+  TGI_REQUIRE(sample.watts.value() >= 0.0,
+              "power sample must be non-negative");
+  if (!samples_.empty()) {
+    TGI_REQUIRE(sample.t >= samples_.back().t,
+                "sample timestamps must be non-decreasing");
+  }
+  samples_.push_back(sample);
+}
+
+util::Seconds PowerTrace::duration() const {
+  TGI_REQUIRE(!samples_.empty(), "duration of empty trace");
+  return samples_.back().t - samples_.front().t;
+}
+
+util::Joules PowerTrace::energy() const {
+  TGI_REQUIRE(samples_.size() >= 2, "energy needs >= 2 samples");
+  util::Joules total{0.0};
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const util::Seconds dt = samples_[i].t - samples_[i - 1].t;
+    const util::Watts avg =
+        (samples_[i].watts + samples_[i - 1].watts) * 0.5;
+    total += avg * dt;
+  }
+  return total;
+}
+
+util::Watts PowerTrace::average_power() const {
+  const util::Seconds span = duration();
+  TGI_REQUIRE(span.value() > 0.0, "average power of zero-length trace");
+  return energy() / span;
+}
+
+util::Watts PowerTrace::max_power() const {
+  TGI_REQUIRE(!samples_.empty(), "max of empty trace");
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const PowerSample& a, const PowerSample& b) {
+                            return a.watts < b.watts;
+                          })
+      ->watts;
+}
+
+util::Watts PowerTrace::min_power() const {
+  TGI_REQUIRE(!samples_.empty(), "min of empty trace");
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const PowerSample& a, const PowerSample& b) {
+                            return a.watts < b.watts;
+                          })
+      ->watts;
+}
+
+}  // namespace tgi::power

@@ -1,0 +1,247 @@
+#include "sim/catalog.h"
+
+namespace tgi::sim {
+
+ClusterSpec fire_cluster() {
+  ClusterSpec c;
+  c.name = "Fire";
+
+  c.node.cpu.model = "AMD Opteron 6134 (Magny-Cours)";
+  c.node.cpu.cores = 8;
+  c.node.cpu.ghz = 2.3;
+  // K10 core: one 128-bit FADD + one 128-bit FMUL pipe = 4 DP flops/cycle.
+  c.node.cpu.flops_per_cycle = 4.0;
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(32.0);
+  // Four DDR3-1333 channels per socket; ~10.5 GB/s sustained triad per
+  // socket is typical for Magny-Cours.
+  c.node.memory_bandwidth = util::gigabytes_per_sec(21.0);
+  c.node.disk = {.avg_seek = util::milliseconds(8.5),
+                 .rpm = 7200.0,
+                 .transfer_rate = util::megabytes_per_sec(110.0),
+                 .capacity = util::gibibytes(1000.0)};
+  c.node.disks = 1;
+
+  // Opteron 6134: 80 W ACP / ~115 W TDP per socket; ~20 W idle with C-states
+  // of that generation.
+  c.node.power.cpu = {.idle = util::watts(22.0),
+                      .max_load = util::watts(105.0),
+                      .nominal_ghz = 2.3};
+  c.node.power.sockets = 2;
+  c.node.power.memory = {.background = util::watts(12.0),
+                         .max_active = util::watts(30.0)};
+  c.node.power.disk = {.idle = util::watts(5.0),
+                       .active = util::watts(11.0)};
+  c.node.power.disks = 1;
+  c.node.power.nic = {.idle = util::watts(6.0), .active = util::watts(12.0)};
+  c.node.power.board_overhead = util::watts(45.0);
+  c.node.power.psu = {.efficiency_at_20pct = 0.82,
+                      .efficiency_at_50pct = 0.88,
+                      .efficiency_at_100pct = 0.85,
+                      .rated_dc = util::watts(650.0)};
+
+  c.nodes = 8;
+  c.interconnect = net::ddr_infiniband();
+  // Fire's shared scratch filesystem: a single-server NFS-class backend
+  // whose service rate degrades under concurrent writers (request
+  // interleaving defeats the server's sequential streaming), per the
+  // steeply falling aggregate MB/s the paper's Figure 4 implies.
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(100.0),
+               .per_client_bandwidth = util::megabytes_per_sec(95.0),
+               .contention = 0.55};
+  c.switch_power = util::watts(120.0);
+  return c;
+}
+
+ClusterSpec system_g() {
+  ClusterSpec c;
+  c.name = "SystemG";
+
+  c.node.cpu.model = "Intel Xeon 5462 (Harpertown)";
+  c.node.cpu.cores = 4;
+  c.node.cpu.ghz = 2.8;
+  // Penryn core: 128-bit SSE, 2 flops × 2-wide = 4 DP flops/cycle.
+  c.node.cpu.flops_per_cycle = 4.0;
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(8.0);
+  // FSB-era memory system: ~6 GB/s sustained triad for the whole node.
+  c.node.memory_bandwidth = util::gigabytes_per_sec(6.0);
+  c.node.disk = {.avg_seek = util::milliseconds(8.5),
+                 .rpm = 7200.0,
+                 .transfer_rate = util::megabytes_per_sec(90.0),
+                 .capacity = util::gibibytes(500.0)};
+  c.node.disks = 1;
+
+  // Xeon 5462: 80 W TDP per socket; Harpertown idled high (~35 W).
+  c.node.power.cpu = {.idle = util::watts(35.0),
+                      .max_load = util::watts(80.0),
+                      .nominal_ghz = 2.8};
+  c.node.power.sockets = 2;
+  c.node.power.memory = {.background = util::watts(14.0),
+                         .max_active = util::watts(28.0)};
+  c.node.power.disk = {.idle = util::watts(5.0),
+                       .active = util::watts(10.0)};
+  c.node.power.disks = 1;
+  c.node.power.nic = {.idle = util::watts(8.0), .active = util::watts(14.0)};
+  c.node.power.board_overhead = util::watts(55.0);  // Mac Pro workstation
+  c.node.power.psu = {.efficiency_at_20pct = 0.80,
+                      .efficiency_at_50pct = 0.86,
+                      .efficiency_at_100pct = 0.83,
+                      .rated_dc = util::watts(980.0)};
+
+  c.nodes = 128;  // the slice the paper measured (1024 cores)
+  c.interconnect = net::qdr_infiniband();
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(220.0),
+               .per_client_bandwidth = util::megabytes_per_sec(100.0),
+               .contention = 0.3};
+  c.switch_power = util::watts(600.0);
+  return c;
+}
+
+ClusterSpec accelerator_heavy_cluster() {
+  ClusterSpec c;
+  c.name = "AccelBox";
+  c.node.cpu.model = "hypothetical wide-SIMD accelerator host";
+  c.node.cpu.cores = 16;
+  c.node.cpu.ghz = 1.4;
+  c.node.cpu.flops_per_cycle = 32.0;  // accelerator-class FP throughput
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(64.0);
+  // Host-side DRAM path is an afterthought next to the FP units.
+  c.node.memory_bandwidth = util::gigabytes_per_sec(25.0);
+  c.node.disk = {.avg_seek = util::milliseconds(9.0),
+                 .rpm = 5400.0,
+                 .transfer_rate = util::megabytes_per_sec(60.0),
+                 .capacity = util::gibibytes(250.0)};
+  c.node.disks = 1;
+  // Accelerator-era power envelope: enormous FP throughput but a hot
+  // board even at idle, and an afterthought of an I/O path (single slow
+  // boot disk shared over the fabric) — the archetype of a machine that
+  // tops FLOPS/W rankings while starving everything that is not DGEMM.
+  c.node.power.cpu = {.idle = util::watts(90.0),
+                      .max_load = util::watts(450.0),
+                      .nominal_ghz = 1.4};
+  c.node.power.sockets = 2;
+  c.node.power.memory = {.background = util::watts(20.0),
+                         .max_active = util::watts(45.0)};
+  c.node.power.disk = {.idle = util::watts(4.0),
+                       .active = util::watts(8.0)};
+  c.node.power.disks = 1;
+  c.node.power.nic = {.idle = util::watts(8.0), .active = util::watts(15.0)};
+  c.node.power.board_overhead = util::watts(100.0);
+  c.node.power.psu = {.rated_dc = util::watts(1600.0)};
+  c.nodes = 4;
+  c.interconnect = net::qdr_infiniband();
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(10.0),
+               .per_client_bandwidth = util::megabytes_per_sec(10.0),
+               .contention = 0.5};
+  c.switch_power = util::watts(150.0);
+  return c;
+}
+
+ClusterSpec departmental_cluster() {
+  ClusterSpec c;
+  c.name = "Dept16";
+  c.node.cpu.model = "generic quad-core x86";
+  c.node.cpu.cores = 4;
+  c.node.cpu.ghz = 2.6;
+  c.node.cpu.flops_per_cycle = 4.0;
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(16.0);
+  c.node.memory_bandwidth = util::gigabytes_per_sec(12.0);
+  c.node.disks = 1;
+  c.node.power.sockets = 2;
+  c.nodes = 16;
+  c.interconnect = net::gigabit_ethernet();
+  // Balanced shop: a properly provisioned storage server.
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(200.0),
+               .per_client_bandwidth = util::megabytes_per_sec(100.0),
+               .contention = 0.1};
+  c.switch_power = util::watts(80.0);
+  return c;
+}
+
+ClusterSpec low_power_cluster() {
+  ClusterSpec c;
+  c.name = "GreenBlade";
+  c.node.cpu.model = "embedded-class quad-core @ 850 MHz";
+  c.node.cpu.cores = 4;
+  c.node.cpu.ghz = 0.85;
+  c.node.cpu.flops_per_cycle = 4.0;
+  c.node.sockets = 4;  // dense blades
+  c.node.memory = util::gibibytes(4.0);
+  c.node.memory_bandwidth = util::gigabytes_per_sec(8.0);
+  c.node.disk = {.avg_seek = util::milliseconds(10.0),
+                 .rpm = 5400.0,
+                 .transfer_rate = util::megabytes_per_sec(60.0),
+                 .capacity = util::gibibytes(160.0)};
+  c.node.disks = 1;
+  // The whole point of the design: single-digit watts per socket.
+  c.node.power.cpu = {.idle = util::watts(2.0),
+                      .max_load = util::watts(8.0),
+                      .nominal_ghz = 0.85};
+  c.node.power.sockets = 4;
+  c.node.power.memory = {.background = util::watts(4.0),
+                         .max_active = util::watts(10.0)};
+  c.node.power.disk = {.idle = util::watts(3.0),
+                       .active = util::watts(6.0)};
+  c.node.power.disks = 1;
+  c.node.power.nic = {.idle = util::watts(2.0), .active = util::watts(4.0)};
+  c.node.power.board_overhead = util::watts(10.0);
+  c.node.power.psu = {.efficiency_at_20pct = 0.88,
+                      .efficiency_at_50pct = 0.92,
+                      .efficiency_at_100pct = 0.90,
+                      .rated_dc = util::watts(150.0)};
+  c.nodes = 32;
+  c.interconnect = {.name = "torus-3d",
+                    .latency = util::microseconds(3.0),
+                    .bandwidth = util::megabytes_per_sec(425.0),
+                    .congestion_factor = 0.95};
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(150.0),
+               .per_client_bandwidth = util::megabytes_per_sec(40.0),
+               .contention = 0.1};
+  c.switch_power = util::watts(60.0);
+  return c;
+}
+
+ClusterSpec commodity_gige_cluster() {
+  ClusterSpec c;
+  c.name = "BeigeBox";
+  c.node.cpu.model = "2007 commodity dual-core";
+  c.node.cpu.cores = 2;
+  c.node.cpu.ghz = 2.4;
+  c.node.cpu.flops_per_cycle = 2.0;
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(4.0);
+  c.node.memory_bandwidth = util::gigabytes_per_sec(4.0);
+  c.node.disk = {.avg_seek = util::milliseconds(9.0),
+                 .rpm = 7200.0,
+                 .transfer_rate = util::megabytes_per_sec(70.0),
+                 .capacity = util::gibibytes(250.0)};
+  c.node.disks = 1;
+  // Pre-efficiency-era power management: idles nearly as hot as it runs.
+  c.node.power.cpu = {.idle = util::watts(45.0),
+                      .max_load = util::watts(75.0),
+                      .nominal_ghz = 2.4};
+  c.node.power.sockets = 2;
+  c.node.power.memory = {.background = util::watts(12.0),
+                         .max_active = util::watts(20.0)};
+  c.node.power.disk = {.idle = util::watts(7.0),
+                       .active = util::watts(12.0)};
+  c.node.power.disks = 1;
+  c.node.power.nic = {.idle = util::watts(4.0), .active = util::watts(7.0)};
+  c.node.power.board_overhead = util::watts(50.0);
+  c.node.power.psu = {.efficiency_at_20pct = 0.70,
+                      .efficiency_at_50pct = 0.75,
+                      .efficiency_at_100pct = 0.72,
+                      .rated_dc = util::watts(450.0)};
+  c.nodes = 24;
+  c.interconnect = net::gigabit_ethernet();
+  c.storage = {.backend_bandwidth = util::megabytes_per_sec(70.0),
+               .per_client_bandwidth = util::megabytes_per_sec(50.0),
+               .contention = 0.35};
+  c.switch_power = util::watts(90.0);
+  return c;
+}
+
+}  // namespace tgi::sim

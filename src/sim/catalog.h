@@ -1,0 +1,40 @@
+// The machine catalog: the two testbeds of the paper plus builders for
+// user-defined systems.
+//
+// Component numbers are nominal datasheet values for the actual parts named
+// in Section IV (AMD Opteron 6134, Intel Xeon 5462, QDR InfiniBand, 7.2k
+// SATA disks); power envelopes are anchored so full-cluster wall draw lands
+// in the ranges the Green500 reported for comparable systems of that era.
+#pragma once
+
+#include "sim/machine.h"
+
+namespace tgi::sim {
+
+/// The paper's system under test: 8 nodes × 2 × AMD Opteron 6134
+/// (8 cores @ 2.3 GHz) = 128 cores, 32 GB/node, ~901 GFLOPS on LINPACK.
+[[nodiscard]] ClusterSpec fire_cluster();
+
+/// The paper's reference system: SystemG, 2 × 2.8 GHz quad-core Xeon 5462
+/// Mac Pros with 8 GB RAM on QDR InfiniBand. The paper uses 128 of the 324
+/// nodes (1024 cores); this spec describes that 128-node slice.
+[[nodiscard]] ClusterSpec system_g();
+
+/// A deliberately FLOPS-heavy, I/O-poor machine used by the
+/// reference-sensitivity ablation (think early GPU-accelerated box).
+[[nodiscard]] ClusterSpec accelerator_heavy_cluster();
+
+/// A balanced small departmental cluster for examples.
+[[nodiscard]] ClusterSpec departmental_cluster();
+
+/// A BlueGene-flavored low-power machine: many slow, efficient cores with
+/// a balanced network and modest I/O — the design point that dominated
+/// the early Green500 lists.
+[[nodiscard]] ClusterSpec low_power_cluster();
+
+/// A 2007-era commodity GigE cluster: cheap nodes, high idle draw, an
+/// interconnect that strangles HPL at scale — the "before" picture the
+/// efficiency movement was reacting to.
+[[nodiscard]] ClusterSpec commodity_gige_cluster();
+
+}  // namespace tgi::sim

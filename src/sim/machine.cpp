@@ -1,0 +1,58 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tgi::sim {
+
+util::FlopRate CpuSpec::peak_flops() const {
+  TGI_REQUIRE(ghz > 0.0 && flops_per_cycle > 0.0 && cores > 0,
+              "CPU spec must be positive");
+  return util::gigaflops(ghz * flops_per_cycle *
+                         static_cast<double>(cores));
+}
+
+util::FlopRate NodeSpec::peak_flops() const {
+  return cpu.peak_flops() * static_cast<double>(sockets);
+}
+
+util::ByteRate SharedStorageSpec::aggregate_bandwidth(
+    std::size_t clients) const {
+  TGI_REQUIRE(clients >= 1, "need at least one storage client");
+  const auto n = static_cast<double>(clients);
+  // Below saturation the clients add up; past it the backend's effective
+  // rate *degrades* with client count (request interleaving turns the
+  // server's sequential streams into seeks), which is what makes IOzone's
+  // cluster-wide MB/s flatten while power keeps climbing.
+  const double offered =
+      n * std::min(per_client_bandwidth.value(), backend_bandwidth.value());
+  const double served =
+      backend_bandwidth.value() / (1.0 + contention * (n - 1.0));
+  return util::ByteRate(std::min(offered, served));
+}
+
+util::FlopRate ClusterSpec::peak_flops() const {
+  return node.peak_flops() * static_cast<double>(nodes);
+}
+
+util::ByteCount ClusterSpec::total_memory() const {
+  return node.memory * static_cast<double>(nodes);
+}
+
+std::size_t ClusterSpec::nodes_for(std::size_t processes) const {
+  TGI_REQUIRE(processes >= 1, "need at least one process");
+  TGI_REQUIRE(processes <= total_cores(),
+              "processes " << processes << " exceed cluster cores "
+                           << total_cores());
+  const std::size_t per_node = node.total_cores();
+  return (processes + per_node - 1) / per_node;
+}
+
+power::ClusterPowerModel ClusterSpec::power_model() const {
+  return power::ClusterPowerModel(power::NodePowerModel(node.power), nodes,
+                                  switch_power);
+}
+
+}  // namespace tgi::sim

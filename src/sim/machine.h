@@ -1,0 +1,85 @@
+// Machine descriptions: everything the simulator and power model need to
+// know about a cluster, in datasheet terms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fs/disk.h"
+#include "net/interconnect.h"
+#include "power/node_model.h"
+#include "util/units.h"
+
+namespace tgi::sim {
+
+/// One processor socket.
+struct CpuSpec {
+  std::string model = "generic";
+  std::size_t cores = 4;
+  double ghz = 2.5;
+  /// Peak double-precision FLOPs per core per cycle (SIMD width × FMA).
+  double flops_per_cycle = 4.0;
+
+  /// Peak DP rate of the whole socket.
+  [[nodiscard]] util::FlopRate peak_flops() const;
+};
+
+/// One compute node.
+struct NodeSpec {
+  CpuSpec cpu;
+  std::size_t sockets = 2;
+  util::ByteCount memory{util::gibibytes(16.0)};
+  /// Sustainable STREAM-class memory bandwidth of the whole node.
+  util::ByteRate memory_bandwidth{util::gigabytes_per_sec(10.0)};
+  fs::DiskSpec disk;
+  std::size_t disks = 1;
+  power::NodePowerSpec power;
+
+  [[nodiscard]] std::size_t total_cores() const {
+    return sockets * cpu.cores;
+  }
+  [[nodiscard]] util::FlopRate peak_flops() const;
+};
+
+/// Shared storage backend (NFS-class file server the nodes write through).
+/// IOzone's cluster-scale behaviour — aggregate MB/s saturating while power
+/// keeps climbing, the cause of Figure 4's falling EE — comes from this
+/// shared bottleneck, not from the node-local disks.
+struct SharedStorageSpec {
+  /// Peak aggregate bandwidth the backend sustains.
+  util::ByteRate backend_bandwidth{util::megabytes_per_sec(120.0)};
+  /// Cap any single client sees (client NIC / protocol limit).
+  util::ByteRate per_client_bandwidth{util::megabytes_per_sec(90.0)};
+  /// Efficiency loss per extra concurrent client (protocol contention):
+  /// aggregate(n) = backend · n·c / (1 + n·c) normalized — see
+  /// aggregate_bandwidth() for the exact saturating form.
+  double contention = 0.35;
+
+  /// Aggregate delivered bandwidth with `clients` concurrent writers.
+  [[nodiscard]] util::ByteRate aggregate_bandwidth(std::size_t clients) const;
+};
+
+/// A whole cluster.
+struct ClusterSpec {
+  std::string name = "generic-cluster";
+  NodeSpec node;
+  std::size_t nodes = 4;
+  net::InterconnectSpec interconnect;
+  SharedStorageSpec storage;
+  /// Constant draw of switches and shared infrastructure.
+  util::Watts switch_power{100.0};
+
+  [[nodiscard]] std::size_t total_cores() const {
+    return nodes * node.total_cores();
+  }
+  [[nodiscard]] util::FlopRate peak_flops() const;
+  [[nodiscard]] util::ByteCount total_memory() const;
+
+  /// Nodes needed to host `processes` ranks at one rank per core.
+  [[nodiscard]] std::size_t nodes_for(std::size_t processes) const;
+
+  /// The wall-power model a plug meter on this cluster observes.
+  [[nodiscard]] power::ClusterPowerModel power_model() const;
+};
+
+}  // namespace tgi::sim

@@ -1,0 +1,169 @@
+#include "sim/spec_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "net/interconnect.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tgi::sim {
+
+ClusterSpec cluster_from_config(const util::Config& cfg) {
+  ClusterSpec c;  // defaults
+  c.name = cfg.get_string("name", c.name);
+  c.nodes = static_cast<std::size_t>(
+      cfg.get_int("nodes", static_cast<long long>(c.nodes)));
+  TGI_REQUIRE(c.nodes >= 1, "nodes must be >= 1");
+
+  c.node.cpu.model = cfg.get_string("cpu.model", c.node.cpu.model);
+  c.node.cpu.cores = static_cast<std::size_t>(cfg.get_int(
+      "cpu.cores", static_cast<long long>(c.node.cpu.cores)));
+  c.node.cpu.ghz = cfg.get_double("cpu.ghz", c.node.cpu.ghz);
+  c.node.cpu.flops_per_cycle =
+      cfg.get_double("cpu.flops_per_cycle", c.node.cpu.flops_per_cycle);
+  c.node.sockets = static_cast<std::size_t>(
+      cfg.get_int("sockets", static_cast<long long>(c.node.sockets)));
+
+  c.node.memory = util::gibibytes(
+      cfg.get_double("memory_gib", c.node.memory.value() / 1073741824.0));
+  c.node.memory_bandwidth = util::gigabytes_per_sec(cfg.get_double(
+      "memory_bandwidth_gbps", c.node.memory_bandwidth.value() / 1e9));
+
+  c.node.disk.avg_seek = util::milliseconds(
+      cfg.get_double("disk.seek_ms", c.node.disk.avg_seek.value() * 1e3));
+  c.node.disk.rpm = cfg.get_double("disk.rpm", c.node.disk.rpm);
+  c.node.disk.transfer_rate = util::megabytes_per_sec(cfg.get_double(
+      "disk.transfer_mbps", c.node.disk.transfer_rate.value() / 1e6));
+  c.node.disk.capacity = util::gibibytes(cfg.get_double(
+      "disk.capacity_gib", c.node.disk.capacity.value() / 1073741824.0));
+  c.node.disks = static_cast<std::size_t>(
+      cfg.get_int("disks", static_cast<long long>(c.node.disks)));
+
+  auto watts_of = [&](const char* key, util::Watts fallback) {
+    return util::watts(cfg.get_double(key, fallback.value()));
+  };
+  c.node.power.cpu.idle = watts_of("power.cpu_idle_w", c.node.power.cpu.idle);
+  c.node.power.cpu.max_load =
+      watts_of("power.cpu_max_w", c.node.power.cpu.max_load);
+  c.node.power.cpu.nominal_ghz = c.node.cpu.ghz;
+  c.node.power.sockets = c.node.sockets;
+  c.node.power.memory.background =
+      watts_of("power.memory_background_w", c.node.power.memory.background);
+  c.node.power.memory.max_active =
+      watts_of("power.memory_max_w", c.node.power.memory.max_active);
+  c.node.power.disk.idle =
+      watts_of("power.disk_idle_w", c.node.power.disk.idle);
+  c.node.power.disk.active =
+      watts_of("power.disk_active_w", c.node.power.disk.active);
+  c.node.power.disks = c.node.disks;
+  c.node.power.nic.idle = watts_of("power.nic_idle_w", c.node.power.nic.idle);
+  c.node.power.nic.active =
+      watts_of("power.nic_active_w", c.node.power.nic.active);
+  c.node.power.board_overhead =
+      watts_of("power.board_w", c.node.power.board_overhead);
+  c.node.power.psu.rated_dc =
+      watts_of("power.psu_rated_w", c.node.power.psu.rated_dc);
+  c.node.power.psu.efficiency_at_20pct = cfg.get_double(
+      "power.psu_eff_20", c.node.power.psu.efficiency_at_20pct);
+  c.node.power.psu.efficiency_at_50pct = cfg.get_double(
+      "power.psu_eff_50", c.node.power.psu.efficiency_at_50pct);
+  c.node.power.psu.efficiency_at_100pct = cfg.get_double(
+      "power.psu_eff_100", c.node.power.psu.efficiency_at_100pct);
+
+  const std::string fabric = cfg.get_string("interconnect", "");
+  if (fabric == "qdr-ib") {
+    c.interconnect = net::qdr_infiniband();
+  } else if (fabric == "ddr-ib") {
+    c.interconnect = net::ddr_infiniband();
+  } else if (fabric == "gige") {
+    c.interconnect = net::gigabit_ethernet();
+  } else if (!fabric.empty()) {
+    throw util::PreconditionError("unknown interconnect '" + fabric +
+                                  "' (qdr-ib|ddr-ib|gige, or use "
+                                  "latency_us/bandwidth_mbps keys)");
+  }
+  if (cfg.has("interconnect.latency_us")) {
+    c.interconnect.latency = util::microseconds(
+        cfg.get_double("interconnect.latency_us", 0.0));
+    c.interconnect.name = cfg.get_string("interconnect.name", "custom");
+  }
+  if (cfg.has("interconnect.bandwidth_mbps")) {
+    c.interconnect.bandwidth = util::megabytes_per_sec(
+        cfg.get_double("interconnect.bandwidth_mbps", 0.0));
+  }
+  c.interconnect.congestion_factor = cfg.get_double(
+      "interconnect.congestion", c.interconnect.congestion_factor);
+
+  c.storage.backend_bandwidth = util::megabytes_per_sec(cfg.get_double(
+      "storage.backend_mbps", c.storage.backend_bandwidth.value() / 1e6));
+  c.storage.per_client_bandwidth = util::megabytes_per_sec(
+      cfg.get_double("storage.per_client_mbps",
+                     c.storage.per_client_bandwidth.value() / 1e6));
+  c.storage.contention =
+      cfg.get_double("storage.contention", c.storage.contention);
+
+  c.switch_power = watts_of("switch_power_w", c.switch_power);
+
+  // Sanity: the assembled spec must produce a working power model.
+  (void)c.power_model();
+  (void)c.peak_flops();
+  return c;
+}
+
+ClusterSpec load_cluster_file(const std::string& path) {
+  std::ifstream in(path);
+  TGI_REQUIRE(in.good(), "cannot open cluster spec '" << path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return cluster_from_config(util::Config::parse(text.str()));
+}
+
+std::string cluster_to_config(const ClusterSpec& c) {
+  std::ostringstream out;
+  auto kv = [&](const char* key, const std::string& value) {
+    out << key << " = " << value << "\n";
+  };
+  auto kd = [&](const char* key, double value) {
+    kv(key, util::fixed(value, 6));
+  };
+  kv("name", c.name);
+  kv("nodes", std::to_string(c.nodes));
+  kv("cpu.model", c.node.cpu.model);
+  kv("cpu.cores", std::to_string(c.node.cpu.cores));
+  kd("cpu.ghz", c.node.cpu.ghz);
+  kd("cpu.flops_per_cycle", c.node.cpu.flops_per_cycle);
+  kv("sockets", std::to_string(c.node.sockets));
+  kd("memory_gib", c.node.memory.value() / 1073741824.0);
+  kd("memory_bandwidth_gbps", c.node.memory_bandwidth.value() / 1e9);
+  kd("disk.seek_ms", c.node.disk.avg_seek.value() * 1e3);
+  kd("disk.rpm", c.node.disk.rpm);
+  kd("disk.transfer_mbps", c.node.disk.transfer_rate.value() / 1e6);
+  kd("disk.capacity_gib", c.node.disk.capacity.value() / 1073741824.0);
+  kv("disks", std::to_string(c.node.disks));
+  kd("power.cpu_idle_w", c.node.power.cpu.idle.value());
+  kd("power.cpu_max_w", c.node.power.cpu.max_load.value());
+  kd("power.memory_background_w", c.node.power.memory.background.value());
+  kd("power.memory_max_w", c.node.power.memory.max_active.value());
+  kd("power.disk_idle_w", c.node.power.disk.idle.value());
+  kd("power.disk_active_w", c.node.power.disk.active.value());
+  kd("power.nic_idle_w", c.node.power.nic.idle.value());
+  kd("power.nic_active_w", c.node.power.nic.active.value());
+  kd("power.board_w", c.node.power.board_overhead.value());
+  kd("power.psu_rated_w", c.node.power.psu.rated_dc.value());
+  kd("power.psu_eff_20", c.node.power.psu.efficiency_at_20pct);
+  kd("power.psu_eff_50", c.node.power.psu.efficiency_at_50pct);
+  kd("power.psu_eff_100", c.node.power.psu.efficiency_at_100pct);
+  kv("interconnect.name", c.interconnect.name);
+  kd("interconnect.latency_us", c.interconnect.latency.value() * 1e6);
+  kd("interconnect.bandwidth_mbps", c.interconnect.bandwidth.value() / 1e6);
+  kd("interconnect.congestion", c.interconnect.congestion_factor);
+  kd("storage.backend_mbps", c.storage.backend_bandwidth.value() / 1e6);
+  kd("storage.per_client_mbps",
+     c.storage.per_client_bandwidth.value() / 1e6);
+  kd("storage.contention", c.storage.contention);
+  kd("switch_power_w", c.switch_power.value());
+  return out.str();
+}
+
+}  // namespace tgi::sim

@@ -1,0 +1,68 @@
+// Workload descriptions: what a benchmark *does*, independent of the
+// machine it runs on.
+//
+// A Workload is a sequence of phases; each phase states how much compute,
+// memory traffic, I/O, and communication every participating node performs.
+// The ExecutionSimulator prices the phases on a concrete ClusterSpec and
+// produces the timeline the power meter samples. Workload builders for the
+// paper's three benchmarks live in tgi::kernels next to the real
+// implementations they mirror.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tgi::sim {
+
+/// One communication operation performed during a phase (collective cost
+/// is charged once per phase; use `repeat` for per-iteration collectives).
+struct CommOp {
+  enum class Kind { kPointToPoint, kBroadcast, kAllreduce, kBarrier, kGather };
+  Kind kind = Kind::kBarrier;
+  /// Payload per participating rank.
+  util::ByteCount bytes{0.0};
+  /// How many times this operation runs within the phase.
+  double repeat = 1.0;
+};
+
+/// One execution phase, SPMD across `active_nodes` nodes.
+struct Phase {
+  std::string label = "phase";
+  /// Useful floating-point work per node.
+  util::FlopCount flops_per_node{0.0};
+  /// DRAM traffic per node.
+  util::ByteCount memory_bytes_per_node{0.0};
+  /// True when the traffic is latency-bound random access (GUPS-class):
+  /// the simulator derates delivered bandwidth accordingly.
+  bool memory_random = false;
+  /// Filesystem traffic per node (through the shared storage backend).
+  util::ByteCount io_bytes_per_node{0.0};
+  bool io_is_write = true;
+  /// Collectives / messaging during the phase.
+  std::vector<CommOp> comms;
+  /// Fraction of communication hidden under the phase's compute/memory
+  /// work (HPL's lookahead, nonblocking halo exchange, ...). 0 = fully
+  /// exposed BSP super-step (default); 1 = fully overlapped (duration is
+  /// max(work, comm)).
+  double comm_overlap = 0.0;
+  /// Nodes participating; the rest of the cluster idles at baseline power.
+  std::size_t active_nodes = 1;
+  /// Cores used per active node (ranks per node).
+  std::size_t cores_per_node = 1;
+};
+
+/// A full benchmark run as seen by the simulator.
+struct Workload {
+  /// Benchmark name ("HPL", "STREAM", "IOzone").
+  std::string benchmark;
+  std::vector<Phase> phases;
+
+  /// Totals across all phases and nodes (for computing rate metrics).
+  [[nodiscard]] util::FlopCount total_flops() const;
+  [[nodiscard]] util::ByteCount total_memory_bytes() const;
+  [[nodiscard]] util::ByteCount total_io_bytes() const;
+};
+
+}  // namespace tgi::sim

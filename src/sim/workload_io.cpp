@@ -1,0 +1,143 @@
+#include "sim/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tgi::sim {
+
+namespace {
+
+std::string key(std::size_t i, const char* field) {
+  return "phase." + std::to_string(i) + "." + field;
+}
+
+void add_comm(Phase& phase, CommOp::Kind kind, double bytes, double repeat) {
+  if (repeat <= 0.0) return;
+  TGI_REQUIRE(bytes >= 0.0, "negative comm bytes");
+  phase.comms.push_back({kind, util::bytes(bytes), repeat});
+}
+
+}  // namespace
+
+Workload workload_from_config(const util::Config& cfg) {
+  Workload wl;
+  wl.benchmark = cfg.get_string("benchmark", "custom");
+  const long long phase_count = cfg.get_int("phases", 0);
+  TGI_REQUIRE(phase_count >= 1 && phase_count <= 10000,
+              "phases must be 1..10000");
+
+  for (std::size_t i = 0; i < static_cast<std::size_t>(phase_count); ++i) {
+    Phase ph;
+    ph.label = cfg.get_string(key(i, "label"),
+                              "phase-" + std::to_string(i));
+    ph.flops_per_node =
+        util::flops(cfg.get_double(key(i, "flops_per_node"), 0.0));
+    ph.memory_bytes_per_node =
+        util::bytes(cfg.get_double(key(i, "memory_bytes_per_node"), 0.0));
+    ph.memory_random = cfg.get_bool(key(i, "memory_random"), false);
+    ph.io_bytes_per_node =
+        util::bytes(cfg.get_double(key(i, "io_bytes_per_node"), 0.0));
+    ph.io_is_write = cfg.get_bool(key(i, "io_is_write"), true);
+    ph.active_nodes = static_cast<std::size_t>(
+        cfg.get_int(key(i, "active_nodes"), 1));
+    ph.cores_per_node = static_cast<std::size_t>(
+        cfg.get_int(key(i, "cores_per_node"), 1));
+    ph.comm_overlap = cfg.get_double(key(i, "comm_overlap"), 0.0);
+
+    add_comm(ph, CommOp::Kind::kBroadcast,
+             cfg.get_double(key(i, "bcast_bytes"), 0.0),
+             cfg.get_double(key(i, "bcast_repeat"), 0.0));
+    add_comm(ph, CommOp::Kind::kAllreduce,
+             cfg.get_double(key(i, "allreduce_bytes"), 0.0),
+             cfg.get_double(key(i, "allreduce_repeat"), 0.0));
+    add_comm(ph, CommOp::Kind::kPointToPoint,
+             cfg.get_double(key(i, "ptp_bytes"), 0.0),
+             cfg.get_double(key(i, "ptp_repeat"), 0.0));
+    add_comm(ph, CommOp::Kind::kGather,
+             cfg.get_double(key(i, "gather_bytes"), 0.0),
+             cfg.get_double(key(i, "gather_repeat"), 0.0));
+    add_comm(ph, CommOp::Kind::kBarrier, 0.0,
+             cfg.get_double(key(i, "barrier_repeat"), 0.0));
+
+    TGI_REQUIRE(ph.flops_per_node.value() > 0.0 ||
+                    ph.memory_bytes_per_node.value() > 0.0 ||
+                    ph.io_bytes_per_node.value() > 0.0 ||
+                    !ph.comms.empty(),
+                "phase " << i << " ('" << ph.label
+                         << "') does no work at all");
+    wl.phases.push_back(std::move(ph));
+  }
+  return wl;
+}
+
+Workload load_workload_file(const std::string& path) {
+  std::ifstream in(path);
+  TGI_REQUIRE(in.good(), "cannot open workload '" << path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return workload_from_config(util::Config::parse(text.str()));
+}
+
+std::string workload_to_config(const Workload& wl) {
+  std::ostringstream out;
+  out << "benchmark = " << wl.benchmark << "\n";
+  out << "phases = " << wl.phases.size() << "\n";
+  for (std::size_t i = 0; i < wl.phases.size(); ++i) {
+    const Phase& ph = wl.phases[i];
+    auto kv = [&](const char* field, const std::string& value) {
+      out << key(i, field) << " = " << value << "\n";
+    };
+    kv("label", ph.label);
+    kv("flops_per_node", util::scientific(ph.flops_per_node.value(), 9));
+    kv("memory_bytes_per_node",
+       util::scientific(ph.memory_bytes_per_node.value(), 9));
+    kv("memory_random", ph.memory_random ? "true" : "false");
+    kv("io_bytes_per_node",
+       util::scientific(ph.io_bytes_per_node.value(), 9));
+    kv("io_is_write", ph.io_is_write ? "true" : "false");
+    kv("active_nodes", std::to_string(ph.active_nodes));
+    kv("cores_per_node", std::to_string(ph.cores_per_node));
+    kv("comm_overlap", util::fixed(ph.comm_overlap, 6));
+    // The file format carries one op per kind per phase.
+    for (std::size_t a = 0; a < ph.comms.size(); ++a) {
+      for (std::size_t b = a + 1; b < ph.comms.size(); ++b) {
+        TGI_REQUIRE(ph.comms[a].kind != ph.comms[b].kind,
+                    "phase '" << ph.label
+                              << "' has duplicate comm kinds; fold the "
+                                 "repeats before serializing");
+      }
+    }
+    for (const CommOp& op : ph.comms) {
+      const char* prefix = nullptr;
+      switch (op.kind) {
+        case CommOp::Kind::kBroadcast:
+          prefix = "bcast";
+          break;
+        case CommOp::Kind::kAllreduce:
+          prefix = "allreduce";
+          break;
+        case CommOp::Kind::kPointToPoint:
+          prefix = "ptp";
+          break;
+        case CommOp::Kind::kGather:
+          prefix = "gather";
+          break;
+        case CommOp::Kind::kBarrier:
+          prefix = "barrier";
+          break;
+      }
+      if (op.kind != CommOp::Kind::kBarrier) {
+        kv((std::string(prefix) + "_bytes").c_str(),
+           util::scientific(op.bytes.value(), 9));
+      }
+      kv((std::string(prefix) + "_repeat").c_str(),
+         util::fixed(op.repeat, 6));
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tgi::sim

@@ -1,0 +1,48 @@
+// Workload serialization: describe an application's phase structure in a
+// key=value file and simulate its time/power/energy on any cluster spec.
+//
+// Format (util::Config grammar):
+//
+//   benchmark = MyApp
+//   phases = 2
+//   phase.0.label = assemble
+//   phase.0.flops_per_node = 2.5e12
+//   phase.0.memory_bytes_per_node = 4e10
+//   phase.0.memory_random = false
+//   phase.0.io_bytes_per_node = 0
+//   phase.0.active_nodes = 8
+//   phase.0.cores_per_node = 16
+//   phase.0.allreduce_bytes = 8e6
+//   phase.0.allreduce_repeat = 100
+//   phase.1.label = checkpoint
+//   phase.1.io_bytes_per_node = 2e9
+//   phase.1.active_nodes = 8
+//   phase.1.cores_per_node = 1
+//
+// Supported per-phase comm keys: bcast_bytes/bcast_repeat,
+// allreduce_bytes/allreduce_repeat, ptp_bytes/ptp_repeat,
+// gather_bytes/gather_repeat, barrier_repeat. Omitted keys default to 0
+// (comm) / phase defaults (everything else). The file format carries at
+// most one comm op of each kind per phase (fold repeats together);
+// workload_to_config enforces this.
+#pragma once
+
+#include <string>
+
+#include "sim/workload.h"
+#include "util/config.h"
+
+namespace tgi::sim {
+
+/// Builds a Workload from parsed configuration. Throws on structural
+/// errors (missing phase count, zero-cost phases, bad numbers).
+[[nodiscard]] Workload workload_from_config(const util::Config& config);
+
+/// Convenience: parse a workload file from disk.
+[[nodiscard]] Workload load_workload_file(const std::string& path);
+
+/// Serializes a workload into the same format (round-trips through
+/// workload_from_config).
+[[nodiscard]] std::string workload_to_config(const Workload& workload);
+
+}  // namespace tgi::sim

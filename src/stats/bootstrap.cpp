@@ -1,0 +1,69 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::stats {
+
+BootstrapInterval bootstrap_paired_ci(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      const PairedStatistic& statistic,
+                                      std::size_t resamples,
+                                      double confidence,
+                                      std::uint64_t seed) {
+  TGI_REQUIRE(xs.size() == ys.size(), "paired sample size mismatch");
+  TGI_REQUIRE(xs.size() >= 3, "bootstrap needs >= 3 pairs");
+  TGI_REQUIRE(resamples >= 10, "need >= 10 resamples");
+  TGI_REQUIRE(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0, 1)");
+
+  BootstrapInterval out;
+  out.point = statistic(xs, ys);
+
+  util::Xoshiro256 rng(seed);
+  std::vector<double> rx(xs.size());
+  std::vector<double> ry(ys.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  // Degenerate resamples (all pairs identical -> Pearson undefined) are
+  // redrawn; the retry budget bounds pathological inputs.
+  std::size_t retries_left = resamples * 20;
+  while (stats.size() < resamples) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::uint64_t j = rng.uniform_index(xs.size());
+      rx[i] = xs[j];
+      ry[i] = ys[j];
+    }
+    try {
+      stats.push_back(statistic(rx, ry));
+    } catch (const util::TgiError&) {
+      TGI_REQUIRE(retries_left-- > 0,
+                  "bootstrap exhausted retries on degenerate resamples");
+    }
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lo = percentile(stats, alpha);
+  out.hi = percentile(stats, 1.0 - alpha);
+  return out;
+}
+
+BootstrapInterval pearson_bootstrap_ci(std::span<const double> xs,
+                                       std::span<const double> ys,
+                                       std::size_t resamples,
+                                       double confidence,
+                                       std::uint64_t seed) {
+  return bootstrap_paired_ci(
+      xs, ys,
+      [](std::span<const double> a, std::span<const double> b) {
+        return pearson(a, b);
+      },
+      resamples, confidence, seed);
+}
+
+}  // namespace tgi::stats

@@ -1,0 +1,43 @@
+// Percentile-bootstrap confidence intervals for paired statistics.
+//
+// The paper reports Table II's Pearson coefficients as bare numbers over
+// an 8-point sweep — tiny samples where r is a noisy estimator. The bench
+// harness attaches bootstrap CIs so readers can see which correlation
+// orderings are resolvable and which are within noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace tgi::stats {
+
+/// A two-sided percentile interval around a point estimate.
+struct BootstrapInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Statistic over a paired sample.
+using PairedStatistic =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+/// Percentile bootstrap for `statistic` over paired (xs, ys): resamples
+/// pairs with replacement `resamples` times and returns the
+/// [(1-confidence)/2, 1-(1-confidence)/2] percentile interval.
+/// Degenerate resamples (where the statistic throws, e.g. a constant
+/// series under Pearson) are redrawn, up to a bounded retry budget.
+/// Preconditions: xs.size() == ys.size() >= 3; 0 < confidence < 1.
+[[nodiscard]] BootstrapInterval bootstrap_paired_ci(
+    std::span<const double> xs, std::span<const double> ys,
+    const PairedStatistic& statistic, std::size_t resamples = 2000,
+    double confidence = 0.95, std::uint64_t seed = 0xb007);
+
+/// Convenience wrapper: bootstrap CI for the Pearson coefficient.
+[[nodiscard]] BootstrapInterval pearson_bootstrap_ci(
+    std::span<const double> xs, std::span<const double> ys,
+    std::size_t resamples = 2000, double confidence = 0.95,
+    std::uint64_t seed = 0xb007);
+
+}  // namespace tgi::stats

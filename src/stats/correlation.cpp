@@ -1,0 +1,70 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace tgi::stats {
+
+namespace {
+void require_paired(std::span<const double> xs, std::span<const double> ys) {
+  TGI_REQUIRE(xs.size() == ys.size(),
+              "series sizes differ: " << xs.size() << " vs " << ys.size());
+  TGI_REQUIRE(xs.size() >= 2, "correlation needs >= 2 points");
+}
+
+/// Mid-ranks (1-based; ties share the average of their positional ranks).
+std::vector<double> midranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double covariance_sample(std::span<const double> xs,
+                         std::span<const double> ys) {
+  require_paired(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += (xs[i] - mx) * (ys[i] - my);
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_paired(xs, ys);
+  const double sx = stddev_sample(xs);
+  const double sy = stddev_sample(ys);
+  TGI_REQUIRE(sx > 0.0 && sy > 0.0,
+              "pearson undefined for a constant series");
+  const double r = covariance_sample(xs, ys) / (sx * sy);
+  // Guard against floating point drifting a hair outside [-1, 1].
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  require_paired(xs, ys);
+  const std::vector<double> rx = midranks(xs);
+  const std::vector<double> ry = midranks(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace tgi::stats

@@ -1,0 +1,28 @@
+// Correlation measures.
+//
+// The paper's Table II validates TGI by computing the Pearson correlation
+// coefficient (Eq. 17) between each benchmark's energy-efficiency curve and
+// the TGI curve across the core-count sweep. Spearman rank correlation is
+// provided as a robustness check (an extension; monotone association is
+// really what the paper's "TGI follows IOzone's trend" argument needs).
+#pragma once
+
+#include <span>
+
+namespace tgi::stats {
+
+/// Sample covariance (divides by n-1). Precondition: equal sizes, n >= 2.
+[[nodiscard]] double covariance_sample(std::span<const double> xs,
+                                       std::span<const double> ys);
+
+/// Pearson correlation coefficient r in [-1, +1] (paper Eq. 17).
+/// Precondition: equal sizes, n >= 2, both series non-constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over mid-ranks; ties averaged).
+/// Same preconditions as pearson.
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace tgi::stats

@@ -1,0 +1,50 @@
+// Central-tendency measures and weight construction.
+//
+// Section III of the paper builds TGI from means: the plain arithmetic mean
+// (Eq. 6-8) and weighted arithmetic means with time/energy/power weights
+// (Eqs. 9-15). This module provides those means plus the geometric and
+// harmonic alternatives discussed in the related work (Smith '88, John '04),
+// and the weight constructors shared by tgi::core.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tgi::stats {
+
+/// Arithmetic mean of xs. Precondition: non-empty.
+[[nodiscard]] double arithmetic_mean(std::span<const double> xs);
+
+/// Geometric mean. Precondition: non-empty, all xs > 0.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Harmonic mean. Precondition: non-empty, all xs > 0.
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+
+/// Weighted arithmetic mean Σ w_i x_i (Eq. 9). Preconditions: equal sizes,
+/// non-empty, weights non-negative and summing to 1 within tolerance.
+[[nodiscard]] double weighted_arithmetic_mean(std::span<const double> xs,
+                                              std::span<const double> weights);
+
+/// Weighted harmonic mean 1 / Σ (w_i / x_i). Same preconditions, xs > 0.
+[[nodiscard]] double weighted_harmonic_mean(std::span<const double> xs,
+                                            std::span<const double> weights);
+
+/// Weighted geometric mean Π x_i^{w_i}. Same preconditions, xs > 0.
+[[nodiscard]] double weighted_geometric_mean(std::span<const double> xs,
+                                             std::span<const double> weights);
+
+/// Normalizes non-negative `raw` values so they sum to 1 — the construction
+/// behind W_t, W_e and W_p (Eqs. 10-12): weight_i = raw_i / Σ raw_j.
+/// Precondition: non-empty, all raw >= 0, sum > 0.
+[[nodiscard]] std::vector<double> proportional_weights(
+    std::span<const double> raw);
+
+/// Returns a vector of n equal weights 1/n. Precondition: n > 0.
+[[nodiscard]] std::vector<double> equal_weights(std::size_t n);
+
+/// True when weights are non-negative and sum to 1 within `tol`.
+[[nodiscard]] bool weights_valid(std::span<const double> weights,
+                                 double tol = 1e-9);
+
+}  // namespace tgi::stats

@@ -1,0 +1,45 @@
+#include "stats/regression.h"
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace tgi::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  TGI_REQUIRE(xs.size() == ys.size(), "series sizes differ");
+  TGI_REQUIRE(xs.size() >= 2, "fit needs >= 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  TGI_REQUIRE(sxx > 0.0, "fit undefined for constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+bool is_non_decreasing(std::span<const double> ys) {
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (ys[i] < ys[i - 1]) return false;
+  }
+  return true;
+}
+
+bool is_non_increasing(std::span<const double> ys) {
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (ys[i] > ys[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace tgi::stats

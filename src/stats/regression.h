@@ -1,0 +1,31 @@
+// Ordinary least-squares linear regression.
+//
+// Used by the harness's shape checks: "EE of HPL rises with process count"
+// and "EE of IOzone falls with node count" are asserted as the sign of the
+// fitted slope, which is far more robust than comparing adjacent points on
+// a noisy (metered) series.
+#pragma once
+
+#include <span>
+
+namespace tgi::stats {
+
+/// Result of fitting y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit. Precondition: equal sizes, n >= 2, x non-constant.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// True if ys is non-strictly increasing.
+[[nodiscard]] bool is_non_decreasing(std::span<const double> ys);
+
+/// True if ys is non-strictly decreasing.
+[[nodiscard]] bool is_non_increasing(std::span<const double> ys);
+
+}  // namespace tgi::stats

@@ -1,0 +1,143 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::util {
+
+namespace {
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    TGI_REQUIRE(eq != std::string::npos,
+                "config line " << lineno << " is not `key = value`: '"
+                               << stripped << "'");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    TGI_REQUIRE(!key.empty(), "config line " << lineno << " has empty key");
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    TGI_REQUIRE(eq != std::string::npos && eq > 0,
+                "argument '" << token << "' is not key=value");
+    cfg.set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(*raw, &pos);
+    TGI_REQUIRE(pos == raw->size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw PreconditionError("config key '" + key + "' is not an integer: '" +
+                            *raw + "'");
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*raw, &pos);
+    TGI_REQUIRE(pos == raw->size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw PreconditionError("config key '" + key + "' is not a number: '" +
+                            *raw + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  if (*raw == "true" || *raw == "1" || *raw == "yes" || *raw == "on") {
+    return true;
+  }
+  if (*raw == "false" || *raw == "0" || *raw == "no" || *raw == "off") {
+    return false;
+  }
+  throw PreconditionError("config key '" + key + "' is not a boolean: '" +
+                          *raw + "'");
+}
+
+std::vector<long long> Config::get_int_list(
+    const std::string& key, const std::vector<long long>& fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  std::vector<long long> out;
+  std::istringstream in(*raw);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string stripped = trim(item);
+    if (stripped.empty()) continue;
+    try {
+      out.push_back(std::stoll(stripped));
+    } catch (const std::exception&) {
+      throw PreconditionError("config key '" + key +
+                              "' has a non-integer item: '" + stripped + "'");
+    }
+  }
+  TGI_REQUIRE(!out.empty(), "config key '" << key << "' is an empty list");
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace tgi::util

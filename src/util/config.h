@@ -1,0 +1,59 @@
+// Tiny key=value configuration parser.
+//
+// Bench harnesses accept overrides ("sweep=16,32,64", "seed=42") either from
+// a file or from command-line `key=value` tokens; both funnel through this
+// parser so every experiment is scriptable without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tgi::util {
+
+/// An ordered key -> string-value map with typed getters.
+///
+/// Grammar: one `key = value` per line; '#' starts a comment; blank lines
+/// and surrounding whitespace are ignored. Later assignments win.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses configuration text. Throws TgiError on malformed lines.
+  static Config parse(const std::string& text);
+
+  /// Parses `key=value` command-line tokens (argv[1..)). Tokens without '='
+  /// are rejected. Useful for bench binaries.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Sets or overwrites a key.
+  void set(const std::string& key, const std::string& value);
+
+  /// True if the key is present.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string lookup.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed lookups with defaults. Throw TgiError when present but malformed.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parses a comma-separated integer list, e.g. "16,32,64".
+  [[nodiscard]] std::vector<long long> get_int_list(
+      const std::string& key, const std::vector<long long>& fallback) const;
+
+  /// All keys in insertion-independent (sorted) order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tgi::util

@@ -1,0 +1,25 @@
+#include "util/error.h"
+
+namespace tgi::util::detail {
+
+namespace {
+std::string compose(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  return oss.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(compose("precondition", expr, file, line, msg));
+}
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(compose("invariant", expr, file, line, msg));
+}
+
+}  // namespace tgi::util::detail

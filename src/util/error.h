@@ -1,0 +1,62 @@
+// Error-handling primitives for the TGI library.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw `TgiError` for violated
+// preconditions and unrecoverable runtime failures; never return sentinel
+// values. The TGI_CHECK/TGI_REQUIRE macros capture file:line so harness
+// failures in long sweeps are attributable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tgi::util {
+
+/// Base exception for all failures originating inside the TGI library.
+class TgiError : public std::runtime_error {
+ public:
+  explicit TgiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public TgiError {
+ public:
+  explicit PreconditionError(const std::string& what) : TgiError(what) {}
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InternalError : public TgiError {
+ public:
+  explicit InternalError(const std::string& what) : TgiError(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace tgi::util
+
+/// Validate a caller-facing precondition; throws PreconditionError.
+#define TGI_REQUIRE(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::std::ostringstream tgi_oss_;                                 \
+      tgi_oss_ << msg; /* NOLINT */                                  \
+      ::tgi::util::detail::throw_precondition(#cond, __FILE__,       \
+                                              __LINE__, tgi_oss_.str()); \
+    }                                                                \
+  } while (false)
+
+/// Validate an internal invariant; throws InternalError.
+#define TGI_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::std::ostringstream tgi_oss_;                                     \
+      tgi_oss_ << msg; /* NOLINT */                                      \
+      ::tgi::util::detail::throw_internal(#cond, __FILE__, __LINE__,     \
+                                          tgi_oss_.str());               \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,78 @@
+#include "util/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace tgi::util {
+
+namespace {
+std::string printf_format(const char* fmt, double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), fmt, precision, v);
+  return std::string(buf.data());
+}
+}  // namespace
+
+std::string fixed(double v, int precision) {
+  return printf_format("%.*f", v, precision);
+}
+
+std::string scientific(double v, int precision) {
+  return printf_format("%.*e", v, precision);
+}
+
+std::string percent(double fraction, int precision) {
+  return fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string si_format(double v, const std::string& unit, int precision) {
+  static constexpr std::array<const char*, 7> kPrefixes = {
+      "", "k", "M", "G", "T", "P", "E"};
+  double mag = std::fabs(v);
+  std::size_t idx = 0;
+  while (mag >= 1000.0 && idx + 1 < kPrefixes.size()) {
+    mag /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  return fixed(v, precision) + " " + kPrefixes[idx] + unit;
+}
+
+std::string format(Watts w, int precision) {
+  return si_format(w.value(), "W", precision);
+}
+
+std::string format(Joules e, int precision) {
+  return si_format(e.value(), "J", precision);
+}
+
+std::string format(Seconds t, int precision) {
+  return fixed(t.value(), precision) + " s";
+}
+
+std::string format(FlopRate r, int precision) {
+  return si_format(r.value(), "FLOPS", precision);
+}
+
+std::string format(ByteRate r, int precision) {
+  return si_format(r.value(), "B/s", precision);
+}
+
+std::string with_commas(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace tgi::util

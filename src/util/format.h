@@ -1,0 +1,33 @@
+// Number and unit formatting helpers shared by tables, logs, and harnesses.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace tgi::util {
+
+/// Fixed-point formatting with `precision` fractional digits.
+std::string fixed(double v, int precision = 2);
+
+/// Scientific formatting with `precision` significant fractional digits.
+std::string scientific(double v, int precision = 3);
+
+/// Percentage with a trailing '%' sign, e.g. 0.1234 -> "12.34%".
+std::string percent(double fraction, int precision = 2);
+
+/// Formats with an SI prefix chosen so the mantissa lands in [1, 1000),
+/// e.g. si_format(9.01e11, "FLOPS") -> "901.00 GFLOPS".
+std::string si_format(double v, const std::string& unit, int precision = 2);
+
+/// Convenience wrappers for the strong unit types.
+std::string format(Watts w, int precision = 2);
+std::string format(Joules e, int precision = 2);
+std::string format(Seconds t, int precision = 2);
+std::string format(FlopRate r, int precision = 2);
+std::string format(ByteRate r, int precision = 2);
+
+/// Groups thousands in an integer, e.g. 1234567 -> "1,234,567".
+std::string with_commas(long long v);
+
+}  // namespace tgi::util

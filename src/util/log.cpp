@@ -1,0 +1,54 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace tgi::util {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : level_(LogLevel::kWarn), sink_(&std::clog) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::scoped_lock lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::scoped_lock lock(mu_);
+  return level_;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::scoped_lock lock(mu_);
+  sink_ = sink;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  std::scoped_lock lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_) ||
+      sink_ == nullptr) {
+    return;
+  }
+  *sink_ << "[tgi:" << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace tgi::util

@@ -1,0 +1,60 @@
+// Minimal leveled logger for harness and simulator diagnostics.
+//
+// Deliberately tiny: a process-wide level filter and stream sink. The
+// simulator produces a lot of phase-level detail at Debug which is off by
+// default so benchmark output stays clean.
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tgi::util {
+
+/// Severity levels, ordered; messages below the active level are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the human-readable name of a level ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logger. Thread-safe: each emitted line is a single write
+/// under a mutex (CP.20: RAII locking).
+class Logger {
+ public:
+  /// The singleton instance used by the TGI_LOG_* macros.
+  static Logger& instance();
+
+  /// Sets the minimum severity that will be emitted.
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+
+  /// Redirects output (default: std::clog). The stream must outlive use.
+  void set_sink(std::ostream* sink);
+
+  /// Emits one line if `level` passes the filter.
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  mutable std::mutex mu_;
+  LogLevel level_;
+  std::ostream* sink_;
+};
+
+}  // namespace tgi::util
+
+#define TGI_LOG_AT(lvl, expr)                                          \
+  do {                                                                 \
+    if (static_cast<int>(lvl) >=                                       \
+        static_cast<int>(::tgi::util::Logger::instance().level())) {   \
+      ::std::ostringstream tgi_log_oss_;                               \
+      tgi_log_oss_ << expr; /* NOLINT */                               \
+      ::tgi::util::Logger::instance().log(lvl, tgi_log_oss_.str());    \
+    }                                                                  \
+  } while (false)
+
+#define TGI_LOG_DEBUG(expr) TGI_LOG_AT(::tgi::util::LogLevel::kDebug, expr)
+#define TGI_LOG_INFO(expr) TGI_LOG_AT(::tgi::util::LogLevel::kInfo, expr)
+#define TGI_LOG_WARN(expr) TGI_LOG_AT(::tgi::util::LogLevel::kWarn, expr)
+#define TGI_LOG_ERROR(expr) TGI_LOG_AT(::tgi::util::LogLevel::kError, expr)

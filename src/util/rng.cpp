@@ -1,0 +1,11 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tgi::util {
+
+double Xoshiro256::sqrt_ln_ratio(double s) {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace tgi::util

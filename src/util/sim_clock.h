@@ -1,0 +1,36 @@
+// A simulated wall clock for discrete-cost models.
+//
+// Substrates that model hardware timing (the block device, the page cache,
+// the filesystem) advance this clock by the modeled cost of each operation
+// instead of sleeping, so a "30-second" IOzone run simulates in
+// microseconds of host time while producing the same timeline a real run
+// would hand to the power meter.
+#pragma once
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace tgi::util {
+
+/// Monotonically advancing simulated time.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time since construction (or last reset).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Advances time by `dt`. Precondition: dt >= 0.
+  void advance(Seconds dt) {
+    TGI_REQUIRE(dt.value() >= 0.0, "clock cannot run backwards");
+    now_ += dt;
+  }
+
+  /// Rewinds to zero (new measurement epoch).
+  void reset() { now_ = Seconds(0.0); }
+
+ private:
+  Seconds now_{0.0};
+};
+
+}  // namespace tgi::util

@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TGI_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  TGI_REQUIRE(row.size() == header_.size(),
+              "row has " << row.size() << " cells, header has "
+                         << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) oss << "  ";
+      oss << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace tgi::util

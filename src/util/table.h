@@ -1,0 +1,52 @@
+// Aligned-text table and CSV rendering for harness output.
+//
+// Every bench binary prints the paper's rows/series twice: a human-readable
+// aligned table (what shows in the terminal) and machine-readable CSV (for
+// replotting the figures). Both renderers live here so formatting is uniform
+// across all eight experiment harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgi::util {
+
+/// Builds a column-aligned plain-text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, right-padding every cell to column width.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Incremental CSV writer (RFC-4180-style quoting for cells that need it).
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes one row. Quoting is applied per cell as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+}  // namespace tgi::util

@@ -1,0 +1,180 @@
+// Strong-typed physical units used throughout the TGI library.
+//
+// The Green Index is a metric over measured (performance, power, time,
+// energy) tuples, so unit confusion is the single easiest way to produce a
+// wrong-but-plausible number (e.g. dividing MFLOPS by kW instead of W).
+// Every quantity that crosses a module boundary is therefore carried in a
+// zero-overhead strong type. Cross-unit arithmetic is only defined where it
+// is physically meaningful (J = W*s, rate = count/s, ...).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace tgi::util {
+
+/// Zero-overhead strong wrapper around `double`, parameterized by a unit tag.
+///
+/// Same-unit addition/subtraction and dimensionless scaling are defined on
+/// all quantities; physically meaningful cross-unit products and quotients
+/// are defined as free functions below.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// Raw magnitude in the base unit of the tag (seconds, watts, ...).
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.v_); }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.v_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+  /// Ratio of two same-unit quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+namespace tags {
+struct Seconds {};
+struct Watts {};
+struct Joules {};
+struct Flops {};     // a *count* of floating-point operations
+struct Bytes {};     // a *count* of bytes
+struct FlopRate {};  // flops per second
+struct ByteRate {};  // bytes per second
+}  // namespace tags
+
+using Seconds = Quantity<tags::Seconds>;
+using Watts = Quantity<tags::Watts>;
+using Joules = Quantity<tags::Joules>;
+using FlopCount = Quantity<tags::Flops>;
+using ByteCount = Quantity<tags::Bytes>;
+using FlopRate = Quantity<tags::FlopRate>;
+using ByteRate = Quantity<tags::ByteRate>;
+
+// --- Physically meaningful cross-unit arithmetic -------------------------
+
+/// Energy accumulated by drawing power `w` for duration `t`.
+constexpr Joules operator*(Watts w, Seconds t) {
+  return Joules(w.value() * t.value());
+}
+constexpr Joules operator*(Seconds t, Watts w) { return w * t; }
+
+/// Average power over an interval.
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts(e.value() / t.value());
+}
+/// Time to dissipate energy `e` at power `w`.
+constexpr Seconds operator/(Joules e, Watts w) {
+  return Seconds(e.value() / w.value());
+}
+
+/// Sustained floating-point rate for `f` operations over `t`.
+constexpr FlopRate operator/(FlopCount f, Seconds t) {
+  return FlopRate(f.value() / t.value());
+}
+/// Work done at rate `r` for duration `t`.
+constexpr FlopCount operator*(FlopRate r, Seconds t) {
+  return FlopCount(r.value() * t.value());
+}
+constexpr FlopCount operator*(Seconds t, FlopRate r) { return r * t; }
+/// Time to execute `f` operations at sustained rate `r`.
+constexpr Seconds operator/(FlopCount f, FlopRate r) {
+  return Seconds(f.value() / r.value());
+}
+
+/// Sustained byte rate for `b` bytes moved over `t`.
+constexpr ByteRate operator/(ByteCount b, Seconds t) {
+  return ByteRate(b.value() / t.value());
+}
+/// Bytes moved at rate `r` for duration `t`.
+constexpr ByteCount operator*(ByteRate r, Seconds t) {
+  return ByteCount(r.value() * t.value());
+}
+constexpr ByteCount operator*(Seconds t, ByteRate r) { return r * t; }
+/// Time to move `b` bytes at sustained rate `r`.
+constexpr Seconds operator/(ByteCount b, ByteRate r) {
+  return Seconds(b.value() / r.value());
+}
+
+// --- Convenience factories with SI / binary scaling -----------------------
+
+constexpr Seconds seconds(double v) { return Seconds(v); }
+constexpr Seconds milliseconds(double v) { return Seconds(v * 1e-3); }
+constexpr Seconds microseconds(double v) { return Seconds(v * 1e-6); }
+constexpr Seconds hours(double v) { return Seconds(v * 3600.0); }
+
+constexpr Watts watts(double v) { return Watts(v); }
+constexpr Watts kilowatts(double v) { return Watts(v * 1e3); }
+constexpr Watts megawatts(double v) { return Watts(v * 1e6); }
+
+constexpr Joules joules(double v) { return Joules(v); }
+constexpr Joules kilojoules(double v) { return Joules(v * 1e3); }
+/// One kilowatt-hour, the unit most plug meters integrate in.
+constexpr Joules kilowatt_hours(double v) { return Joules(v * 3.6e6); }
+
+constexpr FlopCount flops(double v) { return FlopCount(v); }
+constexpr FlopCount gigaflop_count(double v) { return FlopCount(v * 1e9); }
+
+constexpr FlopRate flops_per_sec(double v) { return FlopRate(v); }
+constexpr FlopRate megaflops(double v) { return FlopRate(v * 1e6); }
+constexpr FlopRate gigaflops(double v) { return FlopRate(v * 1e9); }
+constexpr FlopRate teraflops(double v) { return FlopRate(v * 1e12); }
+
+constexpr ByteCount bytes(double v) { return ByteCount(v); }
+constexpr ByteCount kibibytes(double v) { return ByteCount(v * 1024.0); }
+constexpr ByteCount mebibytes(double v) { return ByteCount(v * 1048576.0); }
+constexpr ByteCount gibibytes(double v) { return ByteCount(v * 1073741824.0); }
+
+constexpr ByteRate bytes_per_sec(double v) { return ByteRate(v); }
+/// STREAM and IOzone report MB/s with MB = 1e6 bytes; we follow them.
+constexpr ByteRate megabytes_per_sec(double v) { return ByteRate(v * 1e6); }
+constexpr ByteRate gigabytes_per_sec(double v) { return ByteRate(v * 1e9); }
+
+// --- Readback helpers ------------------------------------------------------
+
+constexpr double in_megaflops(FlopRate r) { return r.value() / 1e6; }
+constexpr double in_gigaflops(FlopRate r) { return r.value() / 1e9; }
+constexpr double in_teraflops(FlopRate r) { return r.value() / 1e12; }
+constexpr double in_megabytes_per_sec(ByteRate r) { return r.value() / 1e6; }
+constexpr double in_kilowatts(Watts w) { return w.value() / 1e3; }
+constexpr double in_kilowatt_hours(Joules e) { return e.value() / 3.6e6; }
+
+}  // namespace tgi::util

@@ -1,0 +1,71 @@
+// Energy-efficiency metrics (Eq. 2 and the EDP alternative) with cooling.
+#include "core/efficiency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::core {
+namespace {
+
+BenchmarkMeasurement sample() {
+  BenchmarkMeasurement m;
+  m.benchmark = "X";
+  m.performance = 1000.0;
+  m.metric_unit = "MBPS";
+  m.average_power = util::watts(500.0);
+  m.execution_time = util::seconds(20.0);
+  m.energy = util::joules(10000.0);
+  return m;
+}
+
+TEST(Efficiency, PerformancePerWatt) {
+  EXPECT_DOUBLE_EQ(
+      energy_efficiency(sample(), EfficiencyMetric::kPerformancePerWatt),
+      2.0);
+}
+
+TEST(Efficiency, InverseEnergyDelay) {
+  EXPECT_DOUBLE_EQ(
+      energy_efficiency(sample(), EfficiencyMetric::kInverseEnergyDelay),
+      1.0 / (10000.0 * 20.0));
+}
+
+TEST(Efficiency, PueScalesBothMetrics) {
+  const CoolingModel cooling{.pue = 2.0};
+  EXPECT_DOUBLE_EQ(energy_efficiency(sample(),
+                                     EfficiencyMetric::kPerformancePerWatt,
+                                     cooling),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      energy_efficiency(sample(), EfficiencyMetric::kInverseEnergyDelay,
+                        cooling),
+      1.0 / (20000.0 * 20.0));
+}
+
+TEST(Efficiency, RejectsSubUnityPue) {
+  const CoolingModel cooling{.pue = 0.9};
+  EXPECT_THROW(energy_efficiency(sample(),
+                                 EfficiencyMetric::kPerformancePerWatt,
+                                 cooling),
+               util::PreconditionError);
+}
+
+TEST(Efficiency, ValidatesMeasurement) {
+  BenchmarkMeasurement bad = sample();
+  bad.performance = -1.0;
+  EXPECT_THROW(
+      energy_efficiency(bad, EfficiencyMetric::kPerformancePerWatt),
+      util::PreconditionError);
+}
+
+TEST(Efficiency, MetricNames) {
+  EXPECT_STREQ(
+      efficiency_metric_name(EfficiencyMetric::kPerformancePerWatt),
+      "performance/watt");
+  EXPECT_STREQ(efficiency_metric_name(EfficiencyMetric::kInverseEnergyDelay),
+               "1/(energy*delay)");
+}
+
+}  // namespace
+}  // namespace tgi::core

@@ -1,0 +1,69 @@
+// Measurement tuples: validation and construction from meter readings.
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::core {
+namespace {
+
+BenchmarkMeasurement good() {
+  BenchmarkMeasurement m;
+  m.benchmark = "HPL";
+  m.performance = 901000.0;
+  m.metric_unit = "MFLOPS";
+  m.average_power = util::watts(2800.0);
+  m.execution_time = util::seconds(600.0);
+  m.energy = util::joules(2800.0 * 600.0);
+  return m;
+}
+
+TEST(Measurement, ValidPasses) { EXPECT_NO_THROW(good().validate()); }
+
+TEST(Measurement, RejectsNonPositiveFields) {
+  auto m = good();
+  m.performance = 0.0;
+  EXPECT_THROW(m.validate(), util::PreconditionError);
+  m = good();
+  m.average_power = util::watts(-1.0);
+  EXPECT_THROW(m.validate(), util::PreconditionError);
+  m = good();
+  m.execution_time = util::seconds(0.0);
+  EXPECT_THROW(m.validate(), util::PreconditionError);
+  m = good();
+  m.benchmark.clear();
+  EXPECT_THROW(m.validate(), util::PreconditionError);
+}
+
+TEST(Measurement, RejectsInconsistentEnergy) {
+  auto m = good();
+  m.energy = util::joules(m.energy.value() * 2.0);  // way off power×time
+  EXPECT_THROW(m.validate(), util::PreconditionError);
+  // Within tolerance is fine (meters integrate, so small drift happens).
+  m = good();
+  m.energy = util::joules(m.energy.value() * 1.03);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Measurement, FromMeterReading) {
+  power::PowerTrace trace;
+  trace.add({util::seconds(0.0), util::watts(100.0)});
+  trace.add({util::seconds(10.0), util::watts(100.0)});
+  const power::MeterReading reading = power::summarize(std::move(trace));
+  const BenchmarkMeasurement m =
+      make_measurement("STREAM", 5000.0, "MBPS", reading);
+  EXPECT_EQ(m.benchmark, "STREAM");
+  EXPECT_DOUBLE_EQ(m.average_power.value(), 100.0);
+  EXPECT_DOUBLE_EQ(m.execution_time.value(), 10.0);
+  EXPECT_DOUBLE_EQ(m.energy.value(), 1000.0);
+}
+
+TEST(Measurement, FindByName) {
+  const std::vector<BenchmarkMeasurement> set{good()};
+  EXPECT_EQ(&find_measurement(set, "HPL"), &set[0]);
+  EXPECT_THROW(find_measurement(set, "STREAM"), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::core

@@ -1,0 +1,259 @@
+// Property-based tests of the TGI algebra (Section III of the paper).
+//
+// Each property is checked over randomized measurement suites drawn from a
+// seeded generator, exercising the derivations the paper states in closed
+// form: Eq. 8 (AM-TGI is inversely proportional to energy given
+// performance), Eq. 13 (time weights preserve the desired property), and
+// Eqs. 14-15 (energy/power weights cancel the energy term).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tgi.h"
+#include "util/rng.h"
+
+namespace tgi::core {
+namespace {
+
+BenchmarkMeasurement random_measurement(const std::string& name,
+                                        const std::string& unit,
+                                        util::Xoshiro256& rng) {
+  BenchmarkMeasurement m;
+  m.benchmark = name;
+  m.metric_unit = unit;
+  m.performance = rng.uniform(10.0, 1e6);
+  m.average_power = util::watts(rng.uniform(100.0, 30000.0));
+  m.execution_time = util::seconds(rng.uniform(10.0, 5000.0));
+  m.energy = m.average_power * m.execution_time;
+  return m;
+}
+
+std::vector<BenchmarkMeasurement> random_suite(util::Xoshiro256& rng,
+                                               std::size_t benchmarks = 3) {
+  static const std::vector<std::pair<std::string, std::string>> kCatalog{
+      {"HPL", "MFLOPS"},   {"STREAM", "MBPS"}, {"IOzone", "MBPS"},
+      {"GUPS", "GUPS"},    {"PTRANS", "MBPS"}, {"FFT", "MFLOPS"}};
+  std::vector<BenchmarkMeasurement> out;
+  for (std::size_t i = 0; i < benchmarks; ++i) {
+    out.push_back(random_measurement(kCatalog[i].first, kCatalog[i].second,
+                                     rng));
+  }
+  return out;
+}
+
+class TgiProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Xoshiro256 rng_{GetParam()};
+};
+
+TEST_P(TgiProperty, WeightsSumToOneForEveryScheme) {
+  const TgiCalculator calc(random_suite(rng_));
+  const auto system = random_suite(rng_);
+  for (WeightScheme scheme :
+       {WeightScheme::kArithmeticMean, WeightScheme::kTime,
+        WeightScheme::kEnergy, WeightScheme::kPower}) {
+    const TgiResult r = calc.compute(system, scheme);
+    double total = 0.0;
+    for (const auto& comp : r.components) total += comp.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9) << weight_scheme_name(scheme);
+  }
+}
+
+TEST_P(TgiProperty, TgiEqualsSumOfContributions) {
+  const TgiCalculator calc(random_suite(rng_));
+  const auto system = random_suite(rng_);
+  const TgiResult r = calc.compute(system, WeightScheme::kTime);
+  double total = 0.0;
+  for (const auto& comp : r.components) total += comp.contribution;
+  EXPECT_NEAR(r.tgi, total, 1e-9);
+}
+
+TEST_P(TgiProperty, PermutationInvariance) {
+  const TgiCalculator calc(random_suite(rng_));
+  auto system = random_suite(rng_);
+  const double base =
+      calc.compute(system, WeightScheme::kEnergy).tgi;
+  std::rotate(system.begin(), system.begin() + 1, system.end());
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kEnergy).tgi, base, 1e-9);
+}
+
+TEST_P(TgiProperty, LinearInSystemEfficiency) {
+  // Doubling every benchmark's performance at fixed power doubles TGI
+  // (Eq. 4 is linear in the REEs) under any measurement-derived weights
+  // that do not change — AM is such a scheme.
+  const TgiCalculator calc(random_suite(rng_));
+  auto system = random_suite(rng_);
+  const double base = calc.compute(system,
+                                   WeightScheme::kArithmeticMean).tgi;
+  for (auto& m : system) m.performance *= 2.0;
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kArithmeticMean).tgi,
+              2.0 * base, 2.0 * base * 1e-9);
+}
+
+TEST_P(TgiProperty, DesiredPropertyEq8) {
+  // The paper's "desired property": for a given amount of work, TGI must
+  // be inversely proportional to energy consumed. Scale every benchmark's
+  // power (hence energy) by k at fixed performance and time: AM-TGI
+  // scales by 1/k.
+  const TgiCalculator calc(random_suite(rng_));
+  auto system = random_suite(rng_);
+  const double base = calc.compute(system,
+                                   WeightScheme::kArithmeticMean).tgi;
+  const double k = 1.0 + rng_.uniform(0.5, 3.0);
+  for (auto& m : system) {
+    m.average_power *= k;
+    m.energy = m.average_power * m.execution_time;
+  }
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kArithmeticMean).tgi,
+              base / k, base / k * 1e-9);
+}
+
+TEST_P(TgiProperty, TimeWeightClosedFormEq13) {
+  // Eq. 13: TGI with W_t = Σ t_i·EE_i/EE_ref,i / Σ t_j.
+  const auto reference = random_suite(rng_);
+  const TgiCalculator calc(reference);
+  const auto system = random_suite(rng_);
+  const TgiResult r = calc.compute(system, WeightScheme::kTime);
+  double numer = 0.0;
+  double denom = 0.0;
+  for (const auto& m : system) {
+    const auto& ref = find_measurement(reference, m.benchmark);
+    const double ee = m.performance / m.average_power.value();
+    const double ref_ee = ref.performance / ref.average_power.value();
+    numer += m.execution_time.value() * ee / ref_ee;
+    denom += m.execution_time.value();
+  }
+  EXPECT_NEAR(r.tgi, numer / denom, std::abs(numer / denom) * 1e-9);
+}
+
+TEST_P(TgiProperty, EnergyWeightCancellationEq14) {
+  // Eq. 14: with W_e, TGI = Σ_i (M_i·t_i / EE_ref,i) / Σ_j e_j — each
+  // benchmark's own energy cancels out of its term. Verify the closed
+  // form, which is the paper's argument that energy weights LOSE the
+  // desired property.
+  const auto reference = random_suite(rng_);
+  const TgiCalculator calc(reference);
+  const auto system = random_suite(rng_);
+  const TgiResult r = calc.compute(system, WeightScheme::kEnergy);
+  double numer = 0.0;
+  double total_e = 0.0;
+  for (const auto& m : system) {
+    const auto& ref = find_measurement(reference, m.benchmark);
+    const double ref_ee = ref.performance / ref.average_power.value();
+    numer += m.performance * m.execution_time.value() / ref_ee;
+    total_e += m.energy.value();
+  }
+  EXPECT_NEAR(r.tgi, numer / total_e, std::abs(numer / total_e) * 1e-9);
+}
+
+TEST_P(TgiProperty, PowerWeightCancellationEq15) {
+  // Eq. 15: with W_p, TGI = Σ_i (M_i / EE_ref,i) / Σ_j p_j.
+  const auto reference = random_suite(rng_);
+  const TgiCalculator calc(reference);
+  const auto system = random_suite(rng_);
+  const TgiResult r = calc.compute(system, WeightScheme::kPower);
+  double numer = 0.0;
+  double total_p = 0.0;
+  for (const auto& m : system) {
+    const auto& ref = find_measurement(reference, m.benchmark);
+    const double ref_ee = ref.performance / ref.average_power.value();
+    numer += m.performance / ref_ee;
+    total_p += m.average_power.value();
+  }
+  EXPECT_NEAR(r.tgi, numer / total_p, std::abs(numer / total_p) * 1e-9);
+}
+
+TEST_P(TgiProperty, EnergyWeightedTgiIgnoresOneBenchmarksEnergy) {
+  // Corollary of Eq. 14: changing one benchmark's power (hence energy) at
+  // fixed performance and time does not change its own numerator term —
+  // only the shared denominator Σ e_j. Verify the exact predicted ratio.
+  const auto reference = random_suite(rng_);
+  const TgiCalculator calc(reference);
+  auto system = random_suite(rng_);
+  const double base = calc.compute(system, WeightScheme::kEnergy).tgi;
+  double e_before = 0.0;
+  for (const auto& m : system) e_before += m.energy.value();
+  system[0].average_power *= 2.0;
+  system[0].energy = system[0].average_power * system[0].execution_time;
+  double e_after = 0.0;
+  for (const auto& m : system) e_after += m.energy.value();
+  const double expected = base * e_before / e_after;
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kEnergy).tgi, expected,
+              std::abs(expected) * 1e-9);
+}
+
+TEST_P(TgiProperty, TimeWeightsKeepInverseEnergyProportionality) {
+  // The paper's Section III conclusion: W_t retains the desired property.
+  // Scale all powers by k at fixed perf/time: time-weighted TGI / k.
+  const TgiCalculator calc(random_suite(rng_));
+  auto system = random_suite(rng_);
+  const double base = calc.compute(system, WeightScheme::kTime).tgi;
+  const double k = 2.5;
+  for (auto& m : system) {
+    m.average_power *= k;
+    m.energy = m.average_power * m.execution_time;
+  }
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kTime).tgi, base / k,
+              base / k * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TgiProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+/// The same algebra must hold for any suite size (2..6 benchmarks): the
+/// paper's methodology is explicitly size-agnostic.
+class TgiSuiteSize
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TgiSuiteSize, CoreInvariantsHoldForAnySize) {
+  const auto [seed, size] = GetParam();
+  util::Xoshiro256 rng(seed);
+  const auto n = static_cast<std::size_t>(size);
+  const TgiCalculator calc(random_suite(rng, n));
+  auto system = random_suite(rng, n);
+
+  // Weights sum to 1 and TGI is the contribution sum, at every size.
+  for (WeightScheme scheme :
+       {WeightScheme::kArithmeticMean, WeightScheme::kTime,
+        WeightScheme::kEnergy, WeightScheme::kPower}) {
+    const TgiResult r = calc.compute(system, scheme);
+    EXPECT_EQ(r.components.size(), n);
+    double weights = 0.0;
+    double contributions = 0.0;
+    for (const auto& c : r.components) {
+      weights += c.weight;
+      contributions += c.contribution;
+    }
+    EXPECT_NEAR(weights, 1.0, 1e-9);
+    EXPECT_NEAR(r.tgi, contributions, std::abs(r.tgi) * 1e-9);
+  }
+
+  // The desired property (Eq. 8 generalization) holds at every size.
+  const double base =
+      calc.compute(system, WeightScheme::kArithmeticMean).tgi;
+  for (auto& m : system) {
+    m.average_power *= 3.0;
+    m.energy = m.average_power * m.execution_time;
+  }
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kArithmeticMean).tgi,
+              base / 3.0, base / 3.0 * 1e-9);
+
+  // AM-GM-HM ordering holds at every size.
+  const double am = base / 3.0;
+  const double gm = calc.compute(system, WeightScheme::kArithmeticMean, {},
+                                 Aggregation::kWeightedGeometric)
+                        .tgi;
+  const double hm = calc.compute(system, WeightScheme::kArithmeticMean, {},
+                                 Aggregation::kWeightedHarmonic)
+                        .tgi;
+  EXPECT_GE(am, gm - 1e-9);
+  EXPECT_GE(gm, hm - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, TgiSuiteSize,
+    ::testing::Combine(::testing::Values<std::uint64_t>(3, 17, 99),
+                       ::testing::Values(2, 3, 4, 5, 6)));
+
+}  // namespace
+}  // namespace tgi::core

@@ -1,0 +1,90 @@
+// Guards on the data files shipped in-repo: every clusters/*.conf must
+// load and (for catalog machines) agree with the compiled catalog, and
+// every workloads/*.conf must parse and simulate. Catches silent drift
+// between the catalog code and the checked-in spec files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+#include "sim/spec_io.h"
+#include "sim/workload_io.h"
+
+#ifndef TGI_SOURCE_DIR
+#error "TGI_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace tgi::sim {
+namespace {
+
+std::string source_path(const char* rel) {
+  return std::string(TGI_SOURCE_DIR) + "/" + rel;
+}
+
+TEST(ShippedData, AllClusterConfsLoadAndSimulate) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           source_path("clusters"))) {
+    if (entry.path().extension() != ".conf") continue;
+    ++count;
+    const ClusterSpec spec = load_cluster_file(entry.path().string());
+    EXPECT_FALSE(spec.name.empty()) << entry.path();
+    // Must be usable end to end: price a trivial workload on it.
+    Workload wl;
+    Phase ph;
+    ph.flops_per_node = util::flops(1e9);
+    ph.active_nodes = 1;
+    ph.cores_per_node = 1;
+    wl.phases.push_back(ph);
+    const auto run = ExecutionSimulator(spec).run(wl);
+    EXPECT_GT(run.elapsed.value(), 0.0) << entry.path();
+    EXPECT_GT(run.timeline.exact_average_power().value(), 0.0)
+        << entry.path();
+  }
+  EXPECT_GE(count, 6u);  // the six catalog machines ship as confs
+}
+
+TEST(ShippedData, CatalogConfsMatchCompiledCatalog) {
+  const std::vector<std::pair<std::string, ClusterSpec>> expected{
+      {"fire.conf", fire_cluster()},
+      {"systemg.conf", system_g()},
+      {"greenblade.conf", low_power_cluster()},
+      {"beigebox.conf", commodity_gige_cluster()},
+      {"accelbox.conf", accelerator_heavy_cluster()},
+      {"dept16.conf", departmental_cluster()},
+  };
+  for (const auto& [file, catalog] : expected) {
+    const ClusterSpec loaded =
+        load_cluster_file(source_path(("clusters/" + file).c_str()));
+    EXPECT_EQ(loaded.name, catalog.name) << file;
+    EXPECT_EQ(loaded.nodes, catalog.nodes) << file;
+    EXPECT_EQ(loaded.total_cores(), catalog.total_cores()) << file;
+    EXPECT_NEAR(loaded.peak_flops().value(), catalog.peak_flops().value(),
+                catalog.peak_flops().value() * 1e-5)
+        << file;
+    EXPECT_NEAR(loaded.power_model().idle_wall_power().value(),
+                catalog.power_model().idle_wall_power().value(),
+                catalog.power_model().idle_wall_power().value() * 1e-5)
+        << file << " — regenerate clusters/*.conf after catalog changes "
+                   "(see tests/data/README note in this file)";
+  }
+}
+
+TEST(ShippedData, AllWorkloadConfsParseAndSimulate) {
+  std::size_t count = 0;
+  const ClusterSpec fire = fire_cluster();
+  for (const auto& entry : std::filesystem::directory_iterator(
+           source_path("workloads"))) {
+    if (entry.path().extension() != ".conf") continue;
+    ++count;
+    const Workload wl = load_workload_file(entry.path().string());
+    EXPECT_FALSE(wl.phases.empty()) << entry.path();
+    const auto run = ExecutionSimulator(fire).run(wl);
+    EXPECT_GT(run.elapsed.value(), 0.0) << entry.path();
+  }
+  EXPECT_GE(count, 1u);
+}
+
+}  // namespace
+}  // namespace tgi::sim

@@ -1,0 +1,78 @@
+// Block device timing: seek/rotation/transfer decomposition.
+#include "fs/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::fs {
+namespace {
+
+DiskSpec test_disk() {
+  return {.avg_seek = util::milliseconds(8.0),
+          .rpm = 7200.0,
+          .transfer_rate = util::megabytes_per_sec(100.0),
+          .capacity = util::gibibytes(10.0)};
+}
+
+TEST(DiskSpec, RotationalLatency) {
+  // 7200 rpm = 120 rev/s, half a revolution = 30/7200 s ≈ 4.17 ms.
+  EXPECT_NEAR(test_disk().rotational_latency().value(), 30.0 / 7200.0,
+              1e-12);
+}
+
+TEST(BlockDevice, FirstAccessPaysSeek) {
+  BlockDevice disk(test_disk());
+  const double t = disk.access(0, 1000000, false).value();
+  const double expected =
+      0.008 + 30.0 / 7200.0 + 1e6 / 100e6;  // seek + rot + transfer
+  EXPECT_NEAR(t, expected, 1e-12);
+  EXPECT_EQ(disk.stats().seeks, 1u);
+}
+
+TEST(BlockDevice, SequentialAccessSkipsSeek) {
+  BlockDevice disk(test_disk());
+  disk.access(0, 4096, true);
+  const double t = disk.access(4096, 4096, true).value();
+  EXPECT_NEAR(t, 4096.0 / 100e6, 1e-12);
+  EXPECT_EQ(disk.stats().sequential_accesses, 1u);
+  EXPECT_EQ(disk.stats().seeks, 1u);
+}
+
+TEST(BlockDevice, RandomAccessPaysSeekEachTime) {
+  BlockDevice disk(test_disk());
+  disk.access(0, 4096, false);
+  disk.access(1 << 20, 4096, false);
+  disk.access(0, 4096, false);
+  EXPECT_EQ(disk.stats().seeks, 3u);
+}
+
+TEST(BlockDevice, StatsAccounting) {
+  BlockDevice disk(test_disk());
+  disk.access(0, 1000, true);
+  disk.access(1000, 2000, true);
+  disk.access(3000, 500, false);
+  EXPECT_DOUBLE_EQ(disk.stats().bytes_written.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(disk.stats().bytes_read.value(), 500.0);
+  EXPECT_GT(disk.stats().busy_time.value(), 0.0);
+  disk.reset_stats();
+  EXPECT_DOUBLE_EQ(disk.stats().bytes_written.value(), 0.0);
+  EXPECT_EQ(disk.stats().seeks, 0u);
+}
+
+TEST(BlockDevice, SequentialStreamTimeClosedForm) {
+  BlockDevice disk(test_disk());
+  const double t = disk.sequential_stream_time(100000000).value();  // 100 MB
+  EXPECT_NEAR(t, 0.008 + 30.0 / 7200.0 + 1.0, 1e-9);
+}
+
+TEST(BlockDevice, Validation) {
+  BlockDevice disk(test_disk());
+  EXPECT_THROW(disk.access(0, 0, false), util::PreconditionError);
+  const auto capacity =
+      static_cast<std::uint64_t>(test_disk().capacity.value());
+  EXPECT_THROW(disk.access(capacity, 1, false), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::fs

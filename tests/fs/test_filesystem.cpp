@@ -1,0 +1,179 @@
+// Simulated filesystem: data integrity end to end, plus cost-model shape.
+#include "fs/filesystem.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::fs {
+namespace {
+
+FilesystemSpec small_spec() {
+  FilesystemSpec spec;
+  spec.cache_pages = 64;  // tiny cache to exercise eviction
+  spec.extent_pages = 16;
+  return spec;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(SimFilesystem, WriteReadRoundTrip) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  const auto data = pattern(10000, 1);
+  fs.write(fd, 0, data);
+  std::vector<std::uint8_t> back(10000);
+  fs.read(fd, 0, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(SimFilesystem, SparseOffsetsAndOverwrite) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  const auto first = pattern(5000, 2);
+  const auto second = pattern(3000, 3);
+  fs.write(fd, 1000, first);
+  fs.write(fd, 2500, second);  // overlaps the first write
+  std::vector<std::uint8_t> back(3000);
+  fs.read(fd, 2500, back);
+  EXPECT_EQ(back, second);
+  std::vector<std::uint8_t> head(1500);
+  fs.read(fd, 1000, head);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), first.begin()));
+  EXPECT_DOUBLE_EQ(fs.stat(fd).size.value(), 6000.0);
+}
+
+TEST(SimFilesystem, TimeAdvancesWithWork) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  const double t0 = fs.now().value();
+  fs.write(fd, 0, pattern(1 << 16, 4));
+  const double t1 = fs.now().value();
+  EXPECT_GT(t1, t0);
+  fs.fsync(fd);
+  EXPECT_GT(fs.now().value(), t1);
+}
+
+TEST(SimFilesystem, CachedReadIsCheaperThanColdRead) {
+  // A re-read of data still in cache must cost less simulated time than a
+  // read that misses to disk.
+  FilesystemSpec spec;
+  spec.cache_pages = 1024;
+  SimFilesystem fs(spec);
+  const auto fd = fs.open("file");
+  const auto data = pattern(1 << 18, 5);  // 256 KiB
+  fs.write(fd, 0, data);
+  fs.fsync(fd);
+
+  std::vector<std::uint8_t> buf(1 << 18);
+  const double warm0 = fs.now().value();
+  fs.read(fd, 0, buf);  // everything still cached
+  const double warm_cost = fs.now().value() - warm0;
+
+  // Evict by writing a large other file through the tiny remaining cache.
+  SimFilesystem cold_fs(small_spec());
+  const auto cfd = cold_fs.open("file");
+  cold_fs.write(cfd, 0, data);
+  cold_fs.fsync(cfd);
+  // Push the pages out.
+  const auto other = cold_fs.open("other");
+  cold_fs.write(other, 0, pattern(1 << 19, 6));
+  const double cold0 = cold_fs.now().value();
+  cold_fs.read(cfd, 0, buf);
+  const double cold_cost = cold_fs.now().value() - cold0;
+
+  EXPECT_LT(warm_cost, cold_cost);
+}
+
+TEST(SimFilesystem, FsyncFlushesSequentiallyWrittenFileAtStreamRate) {
+  FilesystemSpec spec;
+  spec.cache_pages = 1 << 16;
+  SimFilesystem fs(spec);
+  const auto fd = fs.open("file");
+  const std::size_t total = 8u << 20;  // 8 MiB, fits in cache
+  fs.write(fd, 0, pattern(total, 7));
+  const double before = fs.now().value();
+  fs.fsync(fd);
+  const double flush = fs.now().value() - before;
+  // Extent-contiguous flush: one seek per 16-page extent at most, then
+  // media rate. Must be well under per-page random I/O.
+  const double media = static_cast<double>(total) /
+                       spec.disk.transfer_rate.value();
+  const std::size_t extents = total / (spec.extent_pages * 4096) + 1;
+  const double seek = spec.disk.avg_seek.value() +
+                      spec.disk.rotational_latency().value();
+  EXPECT_LE(flush,
+            media + static_cast<double>(extents) * seek + 1e-6);
+}
+
+TEST(SimFilesystem, DiskUtilizationBounded) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  fs.write(fd, 0, pattern(1 << 20, 8));
+  fs.fsync(fd);
+  EXPECT_GE(fs.disk_utilization(), 0.0);
+  EXPECT_LE(fs.disk_utilization(), 1.0);
+}
+
+TEST(SimFilesystem, UnlinkRemovesAndDropsCache) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("doomed");
+  fs.write(fd, 0, pattern(100, 9));
+  fs.close(fd);
+  fs.unlink("doomed");
+  EXPECT_THROW(fs.unlink("doomed"), util::PreconditionError);
+  // Re-opening creates a fresh empty file.
+  const auto fd2 = fs.open("doomed");
+  EXPECT_DOUBLE_EQ(fs.stat(fd2).size.value(), 0.0);
+}
+
+TEST(SimFilesystem, ErrorPaths) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  fs.write(fd, 0, pattern(100, 10));
+  std::vector<std::uint8_t> buf(200);
+  EXPECT_THROW(fs.read(fd, 0, buf), util::PreconditionError);  // past EOF
+  fs.close(fd);
+  EXPECT_THROW(fs.write(fd, 0, pattern(10, 11)), util::PreconditionError);
+  EXPECT_THROW(fs.open(""), util::PreconditionError);
+  std::vector<std::uint8_t> empty;
+  const auto fd2 = fs.open("file2");
+  EXPECT_THROW(fs.write(fd2, 0, empty), util::PreconditionError);
+}
+
+TEST(SimFilesystem, ResetAccountingZeroesClockAndStats) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("file");
+  fs.write(fd, 0, pattern(1 << 16, 12));
+  fs.fsync(fd);
+  fs.reset_accounting();
+  EXPECT_DOUBLE_EQ(fs.now().value(), 0.0);
+  EXPECT_DOUBLE_EQ(fs.disk_stats().busy_time.value(), 0.0);
+  EXPECT_EQ(fs.cache_stats().hits, 0u);
+  // Data survives the accounting reset.
+  std::vector<std::uint8_t> buf(16);
+  fs.read(fd, 0, buf);
+}
+
+TEST(SimFilesystem, ReopenKeepsContent) {
+  SimFilesystem fs(small_spec());
+  const auto fd = fs.open("persist");
+  const auto data = pattern(256, 13);
+  fs.write(fd, 0, data);
+  fs.close(fd);
+  const auto fd2 = fs.open("persist");
+  std::vector<std::uint8_t> back(256);
+  fs.read(fd2, 0, back);
+  EXPECT_EQ(back, data);
+}
+
+}  // namespace
+}  // namespace tgi::fs

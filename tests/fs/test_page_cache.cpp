@@ -1,0 +1,101 @@
+// Page cache: LRU eviction, dirty tracking, write-back sets.
+#include "fs/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::fs {
+namespace {
+
+constexpr util::ByteCount kPage{4096.0};
+
+TEST(PageCache, MissThenHit) {
+  PageCache cache(4, kPage);
+  EXPECT_FALSE(cache.access({1, 0}, false).hit);
+  EXPECT_TRUE(cache.access({1, 0}, false).hit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(PageCache, LruEvictionOrder) {
+  PageCache cache(2, kPage);
+  cache.access({1, 0}, false);
+  cache.access({1, 1}, false);
+  cache.access({1, 0}, false);  // page 0 becomes MRU
+  cache.access({1, 2}, false);  // evicts page 1 (LRU)
+  EXPECT_TRUE(cache.access({1, 0}, false).hit);
+  EXPECT_FALSE(cache.access({1, 1}, false).hit);
+}
+
+TEST(PageCache, DirtyEvictionReportsVictim) {
+  PageCache cache(1, kPage);
+  cache.access({1, 0}, true);  // dirty
+  const CacheAccess result = cache.access({1, 1}, false);
+  ASSERT_EQ(result.evicted_dirty.size(), 1u);
+  EXPECT_EQ(result.evicted_dirty[0].page_index, 0u);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(PageCache, CleanEvictionIsSilent) {
+  PageCache cache(1, kPage);
+  cache.access({1, 0}, false);
+  const CacheAccess result = cache.access({1, 1}, false);
+  EXPECT_TRUE(result.evicted_dirty.empty());
+  EXPECT_EQ(cache.stats().clean_evictions, 1u);
+}
+
+TEST(PageCache, WriteHitMarksDirtyOnce) {
+  PageCache cache(4, kPage);
+  cache.access({1, 0}, false);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  cache.access({1, 0}, true);
+  cache.access({1, 0}, true);  // already dirty; count stays 1
+  EXPECT_EQ(cache.dirty_count(), 1u);
+}
+
+TEST(PageCache, CollectDirtySortedAndCleansState) {
+  PageCache cache(8, kPage);
+  cache.access({1, 5}, true);
+  cache.access({1, 2}, true);
+  cache.access({2, 0}, true);  // other file, must not be collected
+  cache.access({1, 7}, true);
+  const auto dirty = cache.collect_dirty(1);
+  ASSERT_EQ(dirty.size(), 3u);
+  EXPECT_EQ(dirty[0].page_index, 2u);
+  EXPECT_EQ(dirty[1].page_index, 5u);
+  EXPECT_EQ(dirty[2].page_index, 7u);
+  EXPECT_EQ(cache.dirty_count(), 1u);  // file 2's page remains dirty
+  EXPECT_TRUE(cache.collect_dirty(1).empty());
+  // Pages remain cached after the flush.
+  EXPECT_TRUE(cache.access({1, 5}, false).hit);
+}
+
+TEST(PageCache, DropFileRemovesAllItsPages) {
+  PageCache cache(8, kPage);
+  cache.access({1, 0}, true);
+  cache.access({1, 1}, false);
+  cache.access({2, 0}, true);
+  cache.drop_file(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  EXPECT_FALSE(cache.access({1, 0}, false).hit);
+  EXPECT_TRUE(cache.access({2, 0}, false).hit);
+}
+
+TEST(PageCache, CapacityRespected) {
+  PageCache cache(3, kPage);
+  for (std::uint64_t i = 0; i < 10; ++i) cache.access({1, i}, false);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(PageCache, Validation) {
+  EXPECT_THROW(PageCache(0, kPage), util::PreconditionError);
+  EXPECT_THROW(PageCache(4, util::bytes(0.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::fs

@@ -1,0 +1,115 @@
+// Measurement CSV interchange: round-trips, quoting, error reporting.
+#include "harness/measurement_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::harness {
+namespace {
+
+core::BenchmarkMeasurement sample(const std::string& name, double perf) {
+  core::BenchmarkMeasurement m;
+  m.benchmark = name;
+  m.performance = perf;
+  m.metric_unit = "MBPS";
+  m.average_power = util::watts(1234.5);
+  m.execution_time = util::seconds(60.0);
+  m.energy = m.average_power * m.execution_time;
+  return m;
+}
+
+TEST(MeasurementIo, RoundTrip) {
+  const std::vector<core::BenchmarkMeasurement> original{
+      sample("HPL", 901000.0), sample("STREAM", 130560.125),
+      sample("IOzone", 63.4)};
+  std::stringstream buffer;
+  write_measurements(buffer, original);
+  const auto parsed = read_measurements(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].benchmark, original[i].benchmark);
+    EXPECT_DOUBLE_EQ(parsed[i].performance, original[i].performance);
+    EXPECT_EQ(parsed[i].metric_unit, original[i].metric_unit);
+    EXPECT_DOUBLE_EQ(parsed[i].average_power.value(),
+                     original[i].average_power.value());
+    EXPECT_DOUBLE_EQ(parsed[i].energy.value(), original[i].energy.value());
+  }
+}
+
+TEST(MeasurementIo, QuotedBenchmarkNames) {
+  auto m = sample("weird, \"name\"", 100.0);
+  std::stringstream buffer;
+  write_measurements(buffer, {m});
+  const auto parsed = read_measurements(buffer);
+  EXPECT_EQ(parsed[0].benchmark, "weird, \"name\"");
+}
+
+TEST(MeasurementIo, SplitCsvRecord) {
+  EXPECT_EQ(split_csv_record("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_record("\"x,y\",z"),
+            (std::vector<std::string>{"x,y", "z"}));
+  EXPECT_EQ(split_csv_record("\"he said \"\"hi\"\"\",2"),
+            (std::vector<std::string>{"he said \"hi\"", "2"}));
+  EXPECT_EQ(split_csv_record(""), (std::vector<std::string>{""}));
+  EXPECT_THROW(split_csv_record("\"unterminated"), util::PreconditionError);
+}
+
+TEST(MeasurementIo, RejectsWrongHeader) {
+  std::stringstream buffer("foo,bar\n1,2\n");
+  EXPECT_THROW(read_measurements(buffer), util::PreconditionError);
+}
+
+TEST(MeasurementIo, RejectsMalformedRow) {
+  std::stringstream buffer(
+      "benchmark,performance,unit,watts,seconds,joules\n"
+      "HPL,not_a_number,MFLOPS,100,10,1000\n");
+  EXPECT_THROW(read_measurements(buffer), util::PreconditionError);
+}
+
+TEST(MeasurementIo, RejectsShortRow) {
+  std::stringstream buffer(
+      "benchmark,performance,unit,watts,seconds,joules\n"
+      "HPL,1,MFLOPS,100\n");
+  EXPECT_THROW(read_measurements(buffer), util::PreconditionError);
+}
+
+TEST(MeasurementIo, RejectsInconsistentEnergy) {
+  std::stringstream buffer(
+      "benchmark,performance,unit,watts,seconds,joules\n"
+      "HPL,1,MFLOPS,100,10,99999\n");
+  EXPECT_THROW(read_measurements(buffer), util::PreconditionError);
+}
+
+TEST(MeasurementIo, RejectsEmptyFile) {
+  std::stringstream empty;
+  EXPECT_THROW(read_measurements(empty), util::PreconditionError);
+  std::stringstream header_only(
+      "benchmark,performance,unit,watts,seconds,joules\n");
+  EXPECT_THROW(read_measurements(header_only), util::PreconditionError);
+}
+
+TEST(MeasurementIo, SkipsBlankLines) {
+  std::stringstream buffer(
+      "benchmark,performance,unit,watts,seconds,joules\n"
+      "\n"
+      "HPL,1,MFLOPS,100,10,1000\n"
+      "\n");
+  EXPECT_EQ(read_measurements(buffer).size(), 1u);
+}
+
+TEST(MeasurementIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tgi_measurements.csv";
+  write_measurements_file(path, {sample("HPL", 1.0)});
+  const auto parsed = read_measurements_file(path);
+  EXPECT_EQ(parsed.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_measurements_file("/nonexistent/tgi.csv"),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::harness

@@ -1,0 +1,105 @@
+// Ranking reports: ordering, rank bookkeeping, disagreement statistic.
+#include "harness/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::harness {
+namespace {
+
+core::BenchmarkMeasurement make(const std::string& name, double perf,
+                                const std::string& unit, double watts) {
+  core::BenchmarkMeasurement m;
+  m.benchmark = name;
+  m.performance = perf;
+  m.metric_unit = unit;
+  m.average_power = util::watts(watts);
+  m.execution_time = util::seconds(100.0);
+  m.energy = m.average_power * m.execution_time;
+  return m;
+}
+
+std::vector<core::BenchmarkMeasurement> suite(double hpl_ee,
+                                              double stream_ee,
+                                              double io_ee) {
+  return {make("HPL", hpl_ee * 1000.0, "MFLOPS", 1000.0),
+          make("STREAM", stream_ee * 1000.0, "MBPS", 1000.0),
+          make("IOzone", io_ee * 1000.0, "MBPS", 1000.0)};
+}
+
+core::TgiCalculator reference() {
+  return core::TgiCalculator(suite(1.0, 1.0, 1.0));
+}
+
+TEST(Ranking, OrdersByTgi) {
+  const auto calc = reference();
+  const Ranking ranking = rank_machines(
+      calc, {{"weak", suite(1.0, 1.0, 1.0)},
+             {"strong", suite(3.0, 3.0, 3.0)},
+             {"middling", suite(2.0, 2.0, 2.0)}});
+  ASSERT_EQ(ranking.entries.size(), 3u);
+  EXPECT_EQ(ranking.entries[0].machine, "strong");
+  EXPECT_EQ(ranking.entries[1].machine, "middling");
+  EXPECT_EQ(ranking.entries[2].machine, "weak");
+  EXPECT_EQ(ranking.entries[0].tgi_rank, 1u);
+  EXPECT_EQ(ranking.entries[2].tgi_rank, 3u);
+  EXPECT_NEAR(ranking.entries[0].tgi, 3.0, 1e-12);
+}
+
+TEST(Ranking, DetectsFlopsPerWattDisagreement) {
+  const auto calc = reference();
+  // flops-heavy: better HPL, terrible everything else (AM-TGI = 1.43);
+  // balanced: AM-TGI = 2.0. FLOPS/W ranks flops-heavy first; TGI flips.
+  const Ranking ranking = rank_machines(
+      calc, {{"flops-heavy", suite(4.0, 0.2, 0.1)},
+             {"balanced", suite(2.0, 2.0, 2.0)}});
+  EXPECT_EQ(ranking.entries[0].machine, "balanced");
+  EXPECT_EQ(ranking.entries[0].flops_per_watt_rank, 2u);
+  EXPECT_EQ(ranking.entries[1].machine, "flops-heavy");
+  EXPECT_EQ(ranking.entries[1].flops_per_watt_rank, 1u);
+  EXPECT_EQ(ranking.disagreements(), 2u);
+}
+
+TEST(Ranking, NoDisagreementWhenDominant) {
+  const auto calc = reference();
+  const Ranking ranking = rank_machines(
+      calc,
+      {{"better", suite(2.0, 2.0, 2.0)}, {"worse", suite(1.0, 1.0, 1.0)}});
+  EXPECT_EQ(ranking.disagreements(), 0u);
+}
+
+TEST(Ranking, LeastReePropagates) {
+  const auto calc = reference();
+  const Ranking ranking =
+      rank_machines(calc, {{"m", suite(3.0, 2.0, 0.5)}});
+  EXPECT_EQ(ranking.entries[0].least_ree_benchmark, "IOzone");
+}
+
+TEST(Ranking, SchemePropagates) {
+  const auto calc = reference();
+  const Ranking ranking = rank_machines(
+      calc, {{"m", suite(1.0, 1.0, 1.0)}}, core::WeightScheme::kEnergy);
+  EXPECT_EQ(ranking.scheme, core::WeightScheme::kEnergy);
+}
+
+TEST(Ranking, RenderContainsHeadline) {
+  const auto calc = reference();
+  const Ranking ranking = rank_machines(
+      calc,
+      {{"alpha", suite(2.0, 2.0, 2.0)}, {"beta", suite(1.0, 1.0, 1.0)}});
+  const std::string text = render_ranking(ranking);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("rank disagreements"), std::string::npos);
+  EXPECT_NE(text.find("arithmetic-mean"), std::string::npos);
+}
+
+TEST(Ranking, Validation) {
+  const auto calc = reference();
+  EXPECT_THROW(rank_machines(calc, {}), util::PreconditionError);
+  EXPECT_THROW(rank_machines(calc, {{"", suite(1.0, 1.0, 1.0)}}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::harness

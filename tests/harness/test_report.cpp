@@ -1,0 +1,109 @@
+// Report rendering: tables, CSV, sparklines.
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::harness {
+namespace {
+
+Series sample_series() {
+  return {"cores", "MFLOPS/W", {16.0, 32.0, 64.0}, {85.0, 146.0, 237.0}};
+}
+
+TEST(Report, BannerFormat) {
+  std::ostringstream oss;
+  print_banner(oss, "Figure 2", "Energy Efficiency of HPL");
+  EXPECT_EQ(oss.str(), "\n== Figure 2: Energy Efficiency of HPL ==\n");
+}
+
+TEST(Report, SeriesTable) {
+  std::ostringstream oss;
+  print_series(oss, sample_series(), 1);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("cores"), std::string::npos);
+  EXPECT_NE(out.find("MFLOPS/W"), std::string::npos);
+  EXPECT_NE(out.find("85.0"), std::string::npos);
+  EXPECT_NE(out.find("trend:"), std::string::npos);
+}
+
+TEST(Report, SeriesLengthMismatchThrows) {
+  Series bad = sample_series();
+  bad.y.pop_back();
+  std::ostringstream oss;
+  EXPECT_THROW(print_series(oss, bad), util::PreconditionError);
+}
+
+TEST(Report, MultiSeriesTable) {
+  MultiSeries multi;
+  multi.x_label = "cores";
+  multi.x = {16.0, 32.0};
+  multi.series = {{"W_t", {0.1, 0.2}}, {"W_e", {0.3, 0.4}}};
+  std::ostringstream oss;
+  print_multi_series(oss, multi, 1);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("W_t"), std::string::npos);
+  EXPECT_NE(out.find("W_e"), std::string::npos);
+  EXPECT_NE(out.find("0.4"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tgi_series.csv";
+  write_csv(sample_series(), path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "cores,MFLOPS/W");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row.substr(0, 9), "16.000000");
+  std::remove(path.c_str());
+}
+
+TEST(Report, MultiCsv) {
+  const std::string path = ::testing::TempDir() + "/tgi_multi.csv";
+  MultiSeries multi;
+  multi.x_label = "x";
+  multi.x = {1.0};
+  multi.series = {{"a", {2.0}}, {"b", {3.0}}};
+  write_csv(multi, path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,a,b");
+  std::remove(path.c_str());
+}
+
+TEST(Report, TraceCsv) {
+  power::PowerTrace trace;
+  trace.add({util::seconds(0.0), util::watts(100.0)});
+  trace.add({util::seconds(1.0), util::watts(150.5)});
+  const std::string path = ::testing::TempDir() + "/tgi_trace.csv";
+  write_trace_csv(trace, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "seconds,watts");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.000000,100.000");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.000000,150.500");
+  std::remove(path.c_str());
+}
+
+TEST(Report, Sparkline) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string line = sparkline({0.0, 0.5, 1.0});
+  EXPECT_FALSE(line.empty());
+  // Constant series renders the lowest glyph throughout.
+  const std::string flat = sparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(flat, "▁▁▁");
+}
+
+}  // namespace
+}  // namespace tgi::harness

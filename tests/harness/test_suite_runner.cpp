@@ -1,0 +1,95 @@
+// SuiteRunner integration: measurements through the metering stack.
+#include "harness/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tgi.h"
+#include "sim/catalog.h"
+#include "util/error.h"
+
+namespace tgi::harness {
+namespace {
+
+TEST(SuiteRunner, ProducesValidMeasurements) {
+  power::ModelMeter meter(util::seconds(0.5));
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  const SuitePoint point = runner.run_suite(32);
+  EXPECT_EQ(point.processes, 32u);
+  ASSERT_EQ(point.measurements.size(), 3u);
+  EXPECT_EQ(point.measurements[0].benchmark, "HPL");
+  EXPECT_EQ(point.measurements[1].benchmark, "STREAM");
+  EXPECT_EQ(point.measurements[2].benchmark, "IOzone");
+  for (const auto& m : point.measurements) {
+    EXPECT_NO_THROW(m.validate()) << m.benchmark;
+  }
+}
+
+TEST(SuiteRunner, UnitsMatchPaperFigures) {
+  power::ModelMeter meter;
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  EXPECT_EQ(runner.run_hpl(16).metric_unit, "MFLOPS");
+  EXPECT_EQ(runner.run_stream(16).metric_unit, "MBPS");
+  EXPECT_EQ(runner.run_iozone(1).metric_unit, "MBPS");
+}
+
+TEST(SuiteRunner, SweepCoversRequestedGrid) {
+  power::ModelMeter meter;
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  const auto points = runner.sweep({16, 64, 128});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].processes, 16u);
+  EXPECT_EQ(points[2].processes, 128u);
+  EXPECT_THROW(runner.sweep({}), util::PreconditionError);
+}
+
+TEST(SuiteRunner, DeterministicWithModelMeter) {
+  power::ModelMeter meter;
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  const auto a = runner.run_hpl(64);
+  const auto b = runner.run_hpl(64);
+  EXPECT_DOUBLE_EQ(a.performance, b.performance);
+  EXPECT_DOUBLE_EQ(a.average_power.value(), b.average_power.value());
+}
+
+TEST(SuiteRunner, HplPerformanceScalesWithProcesses) {
+  power::ModelMeter meter;
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  EXPECT_GT(runner.run_hpl(128).performance,
+            2.0 * runner.run_hpl(32).performance);
+}
+
+TEST(SuiteRunner, IozonePowerGrowsWithNodes) {
+  power::ModelMeter meter;
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  EXPECT_GT(runner.run_iozone(8).average_power.value(),
+            runner.run_iozone(1).average_power.value());
+}
+
+TEST(ReferenceMeasurements, SubsetMeteringForIozone) {
+  power::ModelMeter meter;
+  const auto ref = reference_measurements(sim::system_g(), meter);
+  ASSERT_EQ(ref.size(), 3u);
+  // The I/O reference runs on a metered slice: far below full-cluster
+  // power (the paper's 1.52 kW vs ~30 kW whole-system draw).
+  const auto& hpl = core::find_measurement(ref, "HPL");
+  const auto& io = core::find_measurement(ref, "IOzone");
+  EXPECT_LT(io.average_power.value(), hpl.average_power.value() / 4.0);
+}
+
+TEST(ReferenceMeasurements, WorksAsTgiReference) {
+  power::ModelMeter meter;
+  const auto ref = reference_measurements(sim::system_g(), meter);
+  const core::TgiCalculator calc(ref);
+  SuiteRunner runner(sim::fire_cluster(), meter);
+  const auto point = runner.run_suite(64);
+  const core::TgiResult r =
+      calc.compute(point.measurements, core::WeightScheme::kArithmeticMean);
+  EXPECT_GT(r.tgi, 0.0);
+  EXPECT_TRUE(std::isfinite(r.tgi));
+  EXPECT_EQ(r.components.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tgi::harness

@@ -1,0 +1,130 @@
+// Micro-BLAS routines against naive references.
+#include "kernels/blas.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(Blas, Daxpy) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  daxpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+  EXPECT_THROW(daxpy(1.0, x, std::span<double>(y.data(), 2)),
+               util::PreconditionError);
+}
+
+TEST(Blas, Idamax) {
+  const std::vector<double> x{1.0, -7.0, 3.0, 6.9};
+  EXPECT_EQ(idamax(x), 1u);  // |-7| is largest
+  EXPECT_THROW(idamax(std::vector<double>{}), util::PreconditionError);
+}
+
+TEST(Blas, Dscal) {
+  std::vector<double> x{2.0, -4.0};
+  dscal(0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(Blas, InfNorm) {
+  EXPECT_DOUBLE_EQ(inf_norm(std::vector<double>{1.0, -9.0, 3.0}), 9.0);
+}
+
+// Naive reference GEMM for verification.
+void naive_gemm_minus(std::size_t m, std::size_t n, std::size_t k,
+                      const std::vector<double>& a, std::size_t lda,
+                      const std::vector<double>& b, std::size_t ldb,
+                      std::vector<double>& c, std::size_t ldc) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i + p * lda] * b[p + j * ldb];
+      }
+      c[i + j * ldc] -= acc;
+    }
+  }
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const auto mu = static_cast<std::size_t>(m);
+  const auto nu = static_cast<std::size_t>(n);
+  const auto ku = static_cast<std::size_t>(k);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(m * 1000 + n * 10 + k));
+  std::vector<double> a(mu * ku);
+  std::vector<double> b(ku * nu);
+  std::vector<double> c(mu * nu);
+  for (double& v : a) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (double& v : c) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> expected = c;
+
+  dgemm_minus(mu, nu, ku, a.data(), mu, b.data(), ku, c.data(), mu);
+  naive_gemm_minus(mu, nu, ku, a, mu, b, ku, expected, mu);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-12) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{4, 4, 4},
+                      std::tuple{7, 5, 3}, std::tuple{8, 3, 5},
+                      std::tuple{16, 17, 6}, std::tuple{33, 9, 12}));
+
+TEST(Blas, GemmWithLeadingDimensions) {
+  // Submatrix update inside a larger column-major allocation.
+  const std::size_t ld = 8;
+  std::vector<double> a(ld * 2, 1.0);
+  std::vector<double> b(ld * 2, 2.0);
+  std::vector<double> c(ld * 2, 10.0);
+  dgemm_minus(3, 2, 2, a.data(), ld, b.data(), ld, c.data(), ld);
+  // c[i,j] -= sum_k 1*2 = 4 for the 3×2 block; rest untouched.
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  EXPECT_DOUBLE_EQ(c[2], 6.0);
+  EXPECT_DOUBLE_EQ(c[3], 10.0);  // row 3 outside m=3
+  EXPECT_DOUBLE_EQ(c[ld + 1], 6.0);
+}
+
+TEST(Blas, GemmZeroDimsNoOp) {
+  std::vector<double> c{1.0};
+  dgemm_minus(0, 1, 1, nullptr, 1, nullptr, 1, c.data(), 1);
+  dgemm_minus(1, 0, 1, nullptr, 1, nullptr, 1, c.data(), 1);
+  dgemm_minus(1, 1, 0, nullptr, 1, nullptr, 1, c.data(), 1);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+TEST(Blas, TrsmUnitLowerSolvesSystem) {
+  // L = [1 0 0; 2 1 0; 3 4 1], column-major.
+  const std::size_t m = 3;
+  std::vector<double> l{1.0, 2.0, 3.0, 0.0, 1.0, 4.0, 0.0, 0.0, 1.0};
+  // Choose X, compute B = L·X, then recover X.
+  std::vector<double> x_true{1.0, -2.0, 0.5, 4.0, 0.0, -1.0};  // 3×2
+  std::vector<double> b(6, 0.0);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p <= i; ++p) {
+        const double lip = (i == p) ? 1.0 : l[i + p * m];
+        b[i + j * m] += lip * x_true[p + j * m];
+      }
+    }
+  }
+  dtrsm_unit_lower(m, 2, l.data(), m, b.data(), m);
+  for (std::size_t i = 0; i < 6; ++i) ASSERT_NEAR(b[i], x_true[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

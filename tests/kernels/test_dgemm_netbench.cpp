@@ -1,0 +1,67 @@
+// DGEMM and netbench kernel wrappers.
+#include <gtest/gtest.h>
+
+#include "kernels/dgemm.h"
+#include "kernels/netbench.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(Dgemm, RunsAndValidates) {
+  DgemmConfig cfg;
+  cfg.n = 64;
+  cfg.iterations = 2;
+  const DgemmResult r = run_dgemm(cfg);
+  EXPECT_TRUE(r.validated) << "residual " << r.check_residual;
+  EXPECT_GT(r.rate.value(), 1e6);
+}
+
+TEST(Dgemm, AlphaBetaHandled) {
+  DgemmConfig cfg;
+  cfg.n = 32;
+  cfg.alpha = -1.5;
+  cfg.beta = 0.25;
+  EXPECT_TRUE(run_dgemm(cfg).validated);
+}
+
+TEST(Dgemm, FlopCount) {
+  EXPECT_DOUBLE_EQ(dgemm_flop_count(10).value(), 2000.0 + 200.0);
+}
+
+TEST(Dgemm, Validation) {
+  DgemmConfig bad;
+  bad.n = 4;
+  EXPECT_THROW(run_dgemm(bad), util::PreconditionError);
+  bad.n = 64;
+  bad.iterations = 0;
+  EXPECT_THROW(run_dgemm(bad), util::PreconditionError);
+}
+
+TEST(Netbench, RunsAndValidates) {
+  NetbenchConfig cfg;
+  cfg.repetitions = 20;
+  cfg.large_message = util::kibibytes(256.0);
+  cfg.ring_ranks = 3;
+  const NetbenchResult r = run_netbench(cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.latency.value(), 0.0);
+  EXPECT_LT(r.latency.value(), 0.1);  // in-process: well under 100 ms
+  EXPECT_GT(r.bandwidth.value(), 1e6);
+  EXPECT_GT(r.ring_rate.value(), 1e6);
+}
+
+TEST(Netbench, Validation) {
+  NetbenchConfig bad;
+  bad.repetitions = 0;
+  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+  bad = NetbenchConfig{};
+  bad.ring_ranks = 1;
+  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+  bad = NetbenchConfig{};
+  bad.large_message = util::bytes(4.0);
+  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

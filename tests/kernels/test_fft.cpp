@@ -1,0 +1,119 @@
+// FFT kernel: analytic transforms, linearity, round trips, benchmark
+// wrapper.
+#include "kernels/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::kernels {
+namespace {
+
+using Complex = std::complex<double>;
+
+TEST(FftRadix2, DeltaTransformsToAllOnes) {
+  std::vector<Complex> x(8, Complex{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft_radix2(x, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftRadix2, ConstantTransformsToScaledDelta) {
+  std::vector<Complex> x(16, Complex{2.0, 0.0});
+  fft_radix2(x, false);
+  EXPECT_NEAR(x[0].real(), 32.0, 1e-12);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(FftRadix2, SingleToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  constexpr std::size_t bin = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(bin * i) /
+                         static_cast<double>(n);
+    x[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft_radix2(x, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin) {
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9) << k;
+    }
+  }
+}
+
+TEST(FftRadix2, RoundTripRandomData) {
+  util::Xoshiro256 rng(3);
+  std::vector<Complex> x(256);
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const std::vector<Complex> original = x;
+  fft_radix2(x, false);
+  fft_radix2(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - original[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftRadix2, Linearity) {
+  util::Xoshiro256 rng(4);
+  std::vector<Complex> a(32);
+  std::vector<Complex> b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = {rng.uniform(), rng.uniform()};
+    b[i] = {rng.uniform(), rng.uniform()};
+  }
+  std::vector<Complex> sum(32);
+  for (std::size_t i = 0; i < 32; ++i) sum[i] = 2.0 * a[i] + b[i];
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  fft_radix2(sum, false);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (2.0 * a[i] + b[i])), 0.0, 1e-10);
+  }
+}
+
+TEST(FftRadix2, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft_radix2(x, false), util::PreconditionError);
+  std::vector<Complex> one(1);
+  EXPECT_THROW(fft_radix2(one, false), util::PreconditionError);
+}
+
+TEST(FftFlopCount, ClosedForm) {
+  EXPECT_DOUBLE_EQ(fft_flop_count(1024).value(), 5.0 * 1024.0 * 10.0);
+  EXPECT_THROW(fft_flop_count(1000), util::PreconditionError);
+}
+
+TEST(FftBenchmark, RunsAndValidates) {
+  FftConfig cfg;
+  cfg.log2_size = 12;
+  cfg.iterations = 2;
+  const FftResult r = run_fft(cfg);
+  EXPECT_TRUE(r.validated) << "roundtrip " << r.roundtrip_error
+                           << " parseval " << r.parseval_error;
+  EXPECT_GT(r.rate.value(), 1e6);  // > 1 MFLOPS on any host
+  EXPECT_GT(r.elapsed.value(), 0.0);
+}
+
+TEST(FftBenchmark, Validation) {
+  FftConfig bad;
+  bad.log2_size = 2;
+  EXPECT_THROW(run_fft(bad), util::PreconditionError);
+  bad.log2_size = 12;
+  bad.iterations = 0;
+  EXPECT_THROW(run_fft(bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,69 @@
+// RandomAccess (GUPS) kernel: generator correctness, XOR-involution
+// verification, threading decomposition.
+#include "kernels/gups.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(GupsStarts, KnownAnchors) {
+  // Position 0 of the HPCC sequence is 1; jumping forward must agree with
+  // stepping forward.
+  EXPECT_EQ(gups_starts(0), 1ULL);
+  // Step the recurrence manually: x <- (x << 1) ^ (msb ? POLY : 0).
+  std::uint64_t x = 1;
+  for (int i = 0; i < 100; ++i) {
+    x = (x << 1) ^ ((static_cast<std::int64_t>(x) < 0) ? 7ULL : 0ULL);
+  }
+  EXPECT_EQ(gups_starts(100), x);
+}
+
+TEST(GupsStarts, JumpIsConsistentWithStepping) {
+  const std::uint64_t at_50 = gups_starts(50);
+  std::uint64_t x = at_50;
+  for (int i = 0; i < 25; ++i) {
+    x = (x << 1) ^ ((static_cast<std::int64_t>(x) < 0) ? 7ULL : 0ULL);
+  }
+  EXPECT_EQ(gups_starts(75), x);
+}
+
+GupsConfig small_config() {
+  GupsConfig cfg;
+  cfg.log2_table_words = 12;  // 4096 words = 32 KiB
+  cfg.updates = 4 << 12;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(Gups, RunsAndValidates) {
+  const GupsResult r = run_gups(small_config());
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.gups, 0.0);
+  EXPECT_GT(r.elapsed.value(), 0.0);
+}
+
+TEST(Gups, MultiThreadedPartitionIsExact) {
+  GupsConfig cfg = small_config();
+  cfg.threads = 3;  // does not divide the table evenly
+  EXPECT_TRUE(run_gups(cfg).validated);
+  cfg.threads = 4;
+  EXPECT_TRUE(run_gups(cfg).validated);
+}
+
+TEST(Gups, Validation) {
+  GupsConfig bad = small_config();
+  bad.log2_table_words = 5;
+  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+  bad = small_config();
+  bad.updates = 0;
+  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+  bad = small_config();
+  bad.threads = 0;
+  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

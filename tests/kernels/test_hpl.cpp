@@ -1,0 +1,101 @@
+// Serial HPL kernel: factorization correctness, pivoting, acceptance test.
+#include "kernels/hpl.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(HplFlopCount, ClosedForm) {
+  EXPECT_DOUBLE_EQ(hpl_flop_count(3).value(), 2.0 / 3.0 * 27.0 + 18.0);
+  EXPECT_NEAR(hpl_flop_count(1000).value(), 2.0 / 3.0 * 1e9 + 2e6, 1.0);
+}
+
+TEST(LuFactor, Known2x2) {
+  // A = [4 3; 6 3] pivots to put 6 first.
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 3.0;
+  a.at(1, 0) = 6.0;
+  a.at(1, 1) = 3.0;
+  const auto piv = lu_factor(a, 1);
+  EXPECT_EQ(piv[0], 1u);  // row swap happened
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 4.0 / 6.0);  // L multiplier
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0 - 4.0 / 6.0 * 3.0);
+}
+
+TEST(LuSolve, Identity) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const auto piv = lu_factor(eye, 2);
+  const auto x = lu_solve(eye, piv, {5.0, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+TEST(LuFactor, PivotingRescuesZeroDiagonal) {
+  // Without pivoting this matrix fails at the first column.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  Matrix original = a;
+  const std::vector<double> b{2.0, 3.0};
+  const auto piv = lu_factor(a, 1);
+  const auto x = lu_solve(a, piv, b);
+  EXPECT_LT(scaled_residual(original, x, b), 16.0);
+}
+
+TEST(LuFactor, SingularMatrixThrows) {
+  Matrix a(2, 2);  // all zeros
+  EXPECT_THROW(lu_factor(a, 1), util::InternalError);
+}
+
+TEST(LuFactor, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(lu_factor(a, 1), util::PreconditionError);
+}
+
+/// Parameterized over (n, block size): every combination must pass the
+/// HPL acceptance test, including block sizes that do not divide n.
+class SerialHpl
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SerialHpl, PassesAcceptance) {
+  const auto [n, nb] = GetParam();
+  const HplResult result = run_hpl_serial(n, nb, /*seed=*/n * 31 + nb);
+  EXPECT_TRUE(result.passed) << "residual = " << result.residual;
+  EXPECT_LT(result.residual, 16.0);
+  EXPECT_EQ(result.n, n);
+  EXPECT_EQ(result.x.size(), n);
+  EXPECT_GT(result.rate().value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.flop_count.value(), hpl_flop_count(n).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, SerialHpl,
+    ::testing::Values(std::tuple{1ul, 1ul}, std::tuple{2ul, 1ul},
+                      std::tuple{5ul, 2ul}, std::tuple{16ul, 4ul},
+                      std::tuple{33ul, 8ul}, std::tuple{64ul, 16ul},
+                      std::tuple{96ul, 32ul}, std::tuple{100ul, 7ul},
+                      std::tuple{128ul, 64ul}));
+
+TEST(SerialHpl, BlockedMatchesUnblocked) {
+  // The factorization must be independent of the block size.
+  const HplResult blocked = run_hpl_serial(48, 16, 7);
+  const HplResult unblocked = run_hpl_serial(48, 1, 7);
+  ASSERT_EQ(blocked.x.size(), unblocked.x.size());
+  for (std::size_t i = 0; i < blocked.x.size(); ++i) {
+    ASSERT_NEAR(blocked.x[i], unblocked.x[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,135 @@
+// 2D block-cyclic HPL: index maps, grid shapes, agreement with serial.
+#include "kernels/hpl2d.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(BlockCyclicMap, CountsAndOwnership) {
+  // n=12, nb=2, 3 procs: blocks 0..5 owned 0,1,2,0,1,2.
+  const BlockCyclicMap m0(12, 2, 3, 0);
+  const BlockCyclicMap m1(12, 2, 3, 1);
+  EXPECT_EQ(m0.count(), 4u);
+  EXPECT_EQ(m1.count(), 4u);
+  EXPECT_EQ(m0.owner(0), 0u);
+  EXPECT_EQ(m0.owner(2), 1u);
+  EXPECT_EQ(m0.owner(4), 2u);
+  EXPECT_EQ(m0.owner(6), 0u);
+  EXPECT_TRUE(m0.mine(7));
+  EXPECT_FALSE(m0.mine(2));
+}
+
+TEST(BlockCyclicMap, LocalGlobalRoundTrip) {
+  const BlockCyclicMap m(24, 4, 3, 1);
+  for (std::size_t l = 0; l < m.count(); ++l) {
+    const std::size_t g = m.global(l);
+    EXPECT_TRUE(m.mine(g));
+    EXPECT_EQ(m.local(g), l);
+  }
+  // Globals of consecutive locals are strictly increasing.
+  for (std::size_t l = 1; l < m.count(); ++l) {
+    EXPECT_LT(m.global(l - 1), m.global(l));
+  }
+}
+
+TEST(BlockCyclicMap, UnevenBlockCounts) {
+  // n=12, nb=2, 4 procs: 6 blocks -> procs 0,1 get 2 blocks; 2,3 get 1.
+  EXPECT_EQ(BlockCyclicMap(12, 2, 4, 0).count(), 4u);
+  EXPECT_EQ(BlockCyclicMap(12, 2, 4, 1).count(), 4u);
+  EXPECT_EQ(BlockCyclicMap(12, 2, 4, 2).count(), 2u);
+  EXPECT_EQ(BlockCyclicMap(12, 2, 4, 3).count(), 2u);
+}
+
+TEST(BlockCyclicMap, FirstLocalAtOrAfter) {
+  const BlockCyclicMap m(16, 2, 2, 1);  // owns globals 2,3,6,7,10,11,14,15
+  EXPECT_EQ(m.first_local_at_or_after(0), 0u);
+  EXPECT_EQ(m.first_local_at_or_after(3), 1u);
+  EXPECT_EQ(m.first_local_at_or_after(4), 2u);
+  EXPECT_EQ(m.first_local_at_or_after(12), 6u);
+  EXPECT_EQ(m.first_local_at_or_after(16), m.count());
+}
+
+TEST(BlockCyclicMap, Validation) {
+  EXPECT_THROW(BlockCyclicMap(10, 3, 2, 0), util::PreconditionError);
+  EXPECT_THROW(BlockCyclicMap(12, 2, 2, 5), util::PreconditionError);
+  const BlockCyclicMap m(12, 2, 3, 0);
+  EXPECT_THROW(m.local(2), util::PreconditionError);  // not mine
+  EXPECT_THROW(m.global(99), util::PreconditionError);
+}
+
+/// Grids to exercise: square, tall, wide, non-power-of-two, degenerate
+/// rows/columns (which reduce to the 1D algorithms).
+class Hpl2dGrids : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Hpl2dGrids, PassesAcceptance) {
+  const auto [p, q] = GetParam();
+  Hpl2dConfig cfg;
+  cfg.n = 48;
+  cfg.block_size = 4;
+  cfg.prows = p;
+  cfg.pcols = q;
+  cfg.seed = 77;
+  const HplResult result = run_hpl_mpisim_2d(cfg);
+  EXPECT_TRUE(result.passed) << "grid " << p << "x" << q << " residual "
+                             << result.residual;
+  EXPECT_EQ(result.processes, p * q);
+}
+
+TEST_P(Hpl2dGrids, MatchesSerialSolution) {
+  const auto [p, q] = GetParam();
+  Hpl2dConfig cfg;
+  cfg.n = 32;
+  cfg.block_size = 4;
+  cfg.prows = p;
+  cfg.pcols = q;
+  cfg.seed = 4242;
+  const HplResult serial = run_hpl_serial(cfg.n, cfg.block_size, cfg.seed);
+  const HplResult dist = run_hpl_mpisim_2d(cfg);
+  ASSERT_EQ(serial.x.size(), dist.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    ASSERT_NEAR(serial.x[i], dist.x[i], 1e-9)
+        << "grid " << p << "x" << q << " x[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Hpl2dGrids,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{1, 3},
+                      std::pair{3, 1}, std::pair{2, 3}, std::pair{3, 2},
+                      std::pair{4, 2}));
+
+TEST(Hpl2d, LargerProblem) {
+  Hpl2dConfig cfg;
+  cfg.n = 96;
+  cfg.block_size = 8;
+  cfg.prows = 2;
+  cfg.pcols = 2;
+  const HplResult result = run_hpl_mpisim_2d(cfg);
+  EXPECT_TRUE(result.passed) << result.residual;
+  EXPECT_GT(result.rate().value(), 0.0);
+}
+
+TEST(Hpl2d, BlockSizeOneDegenerates) {
+  Hpl2dConfig cfg;
+  cfg.n = 12;
+  cfg.block_size = 1;
+  cfg.prows = 2;
+  cfg.pcols = 2;
+  EXPECT_TRUE(run_hpl_mpisim_2d(cfg).passed);
+}
+
+TEST(Hpl2d, Validation) {
+  Hpl2dConfig cfg;
+  cfg.n = 10;
+  cfg.block_size = 3;  // does not divide n
+  EXPECT_THROW(run_hpl_mpisim_2d(cfg), util::PreconditionError);
+  cfg.block_size = 2;
+  cfg.prows = 0;
+  EXPECT_THROW(run_hpl_mpisim_2d(cfg), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,113 @@
+// IOzone-like kernel on the simulated filesystem.
+#include "kernels/iozone.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+IozoneConfig small_config() {
+  IozoneConfig cfg;
+  cfg.file_size = util::mebibytes(8.0);
+  cfg.record_size = util::kibibytes(64.0);
+  return cfg;
+}
+
+TEST(Iozone, RunsAndValidates) {
+  fs::SimFilesystem filesystem;
+  const IozoneResult r = run_iozone(filesystem, small_config());
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.write.value(), 0.0);
+  EXPECT_GT(r.rewrite.value(), 0.0);
+  EXPECT_GT(r.read.value(), 0.0);
+  EXPECT_GT(r.elapsed.value(), 0.0);
+}
+
+TEST(Iozone, CachedReadFasterThanFsyncedWrite) {
+  // The file fits in cache, so the read pass is pure memory speed while
+  // the write pass pays the fsync to disk.
+  fs::SimFilesystem filesystem;
+  const IozoneResult r = run_iozone(filesystem, small_config());
+  EXPECT_GT(r.read.value(), r.write.value());
+}
+
+TEST(Iozone, WriteRateBoundedByMediaForLargeFiles) {
+  // A file much larger than cache must stream to disk; the reported rate
+  // cannot beat the media transfer rate by more than the cache fraction.
+  fs::FilesystemSpec spec;
+  spec.cache_pages = 2048;  // 8 MiB cache
+  fs::SimFilesystem filesystem(spec);
+  IozoneConfig cfg;
+  cfg.file_size = util::mebibytes(64.0);
+  cfg.record_size = util::kibibytes(256.0);
+  const IozoneResult r = run_iozone(filesystem, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_LT(r.write.value(), 2.0 * spec.disk.transfer_rate.value());
+}
+
+TEST(Iozone, FsyncOutsideTimingInflatesRate) {
+  fs::SimFilesystem a;
+  fs::SimFilesystem b;
+  IozoneConfig with_fsync = small_config();
+  with_fsync.fsync_in_timing = true;
+  IozoneConfig without_fsync = small_config();
+  without_fsync.fsync_in_timing = false;
+  const double rate_with = run_iozone(a, with_fsync).write.value();
+  const double rate_without = run_iozone(b, without_fsync).write.value();
+  EXPECT_GT(rate_without, rate_with);
+}
+
+TEST(Iozone, CleansUpItsFile) {
+  fs::SimFilesystem filesystem;
+  run_iozone(filesystem, small_config());
+  // The benchmark unlinks its temp file; unlinking again must fail.
+  EXPECT_THROW(filesystem.unlink("iozone.tmp"), util::PreconditionError);
+}
+
+TEST(Iozone, RandomTestsValidate) {
+  fs::SimFilesystem filesystem;
+  IozoneConfig cfg = small_config();
+  cfg.include_random_tests = true;
+  const IozoneResult r = run_iozone(filesystem, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.random_write.value(), 0.0);
+  EXPECT_GT(r.random_read.value(), 0.0);
+}
+
+TEST(Iozone, RandomTestsOffByDefault) {
+  fs::SimFilesystem filesystem;
+  const IozoneResult r = run_iozone(filesystem, small_config());
+  EXPECT_DOUBLE_EQ(r.random_write.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.random_read.value(), 0.0);
+}
+
+TEST(Iozone, RandomReadSlowerThanSequentialOnUncachedFile) {
+  // File far larger than cache: sequential reads stream; random reads pay
+  // a seek per record.
+  fs::FilesystemSpec spec;
+  spec.cache_pages = 512;  // 2 MiB cache
+  fs::SimFilesystem filesystem(spec);
+  IozoneConfig cfg;
+  cfg.file_size = util::mebibytes(32.0);
+  cfg.record_size = util::kibibytes(64.0);
+  cfg.include_random_tests = true;
+  const IozoneResult r = run_iozone(filesystem, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_LT(r.random_read.value(), 0.5 * r.read.value());
+}
+
+TEST(Iozone, Validation) {
+  fs::SimFilesystem filesystem;
+  IozoneConfig bad = small_config();
+  bad.record_size = util::bytes(0.0);
+  EXPECT_THROW(run_iozone(filesystem, bad), util::PreconditionError);
+  bad = small_config();
+  bad.file_size = util::kibibytes(100.0);
+  bad.record_size = util::kibibytes(64.0);  // does not divide file size
+  EXPECT_THROW(run_iozone(filesystem, bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,84 @@
+// Matrix container, problem generation, residual computation.
+#include "kernels/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(Matrix, Indexing) {
+  Matrix m(3, 2);
+  m.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.col(1)[2], 7.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.data().size(), 6u);
+}
+
+TEST(Matrix, NormInf) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = -2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 7.0);  // row 1: |3| + |4|
+}
+
+TEST(Matrix, RejectsZeroDims) {
+  EXPECT_THROW(Matrix(0, 1), util::PreconditionError);
+  EXPECT_THROW(Matrix(1, 0), util::PreconditionError);
+}
+
+TEST(Problem, DeterministicInSeed) {
+  const HplProblem a = make_hpl_problem(16, 42);
+  const HplProblem b = make_hpl_problem(16, 42);
+  const HplProblem c = make_hpl_problem(16, 43);
+  EXPECT_EQ(a.a.at(3, 5), b.a.at(3, 5));
+  EXPECT_EQ(a.b[7], b.b[7]);
+  EXPECT_NE(a.a.at(3, 5), c.a.at(3, 5));
+}
+
+TEST(Problem, EntriesInHplRange) {
+  const HplProblem p = make_hpl_problem(64, 1);
+  for (double v : p.a.data()) {
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST(Matvec, ClosedForm) {
+  Matrix m(2, 3);
+  // m = [1 2 3; 4 5 6]
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(0, 2) = 3.0;
+  m.at(1, 0) = 4.0;
+  m.at(1, 1) = 5.0;
+  m.at(1, 2) = 6.0;
+  const auto y = matvec(m, std::vector<double>{1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  EXPECT_THROW(matvec(m, std::vector<double>{1.0}), util::PreconditionError);
+}
+
+TEST(Residual, ZeroForExactSolution) {
+  // Identity system: x == b solves exactly; scaled residual is 0.
+  Matrix eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(scaled_residual(eye, b, b), 0.0);
+}
+
+TEST(Residual, LargeForWrongSolution) {
+  Matrix eye(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> wrong{0.0, 0.0, 0.0, 0.0};
+  EXPECT_GT(scaled_residual(eye, wrong, b), 16.0);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,78 @@
+// PTRANS: distributed transpose-add correctness across grid shapes.
+#include "kernels/ptrans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+class PtransGrids : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PtransGrids, ValidatesExactly) {
+  const auto [p, q] = GetParam();
+  PtransConfig cfg;
+  cfg.n = 48;
+  cfg.block_size = 4;
+  cfg.prows = p;
+  cfg.pcols = q;
+  const PtransResult result = run_ptrans_mpisim(cfg);
+  EXPECT_TRUE(result.validated) << "grid " << p << "x" << q;
+  EXPECT_GT(result.elapsed.value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PtransGrids,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{1, 4},
+                      std::pair{4, 1}, std::pair{2, 3}, std::pair{3, 2}));
+
+TEST(Ptrans, AlphaBetaScaling) {
+  PtransConfig cfg;
+  cfg.n = 24;
+  cfg.block_size = 4;
+  cfg.prows = 2;
+  cfg.pcols = 2;
+  cfg.alpha = -2.5;
+  cfg.beta = 0.5;
+  EXPECT_TRUE(run_ptrans_mpisim(cfg).validated);
+}
+
+TEST(Ptrans, SingleRankMovesNoBytes) {
+  PtransConfig cfg;
+  cfg.n = 16;
+  cfg.block_size = 4;
+  cfg.prows = 1;
+  cfg.pcols = 1;
+  const PtransResult result = run_ptrans_mpisim(cfg);
+  EXPECT_TRUE(result.validated);
+  EXPECT_DOUBLE_EQ(result.bytes_exchanged.value(), 0.0);
+}
+
+TEST(Ptrans, MultiRankTrafficAccounting) {
+  PtransConfig cfg;
+  cfg.n = 32;
+  cfg.block_size = 4;
+  cfg.prows = 2;
+  cfg.pcols = 2;
+  const PtransResult result = run_ptrans_mpisim(cfg);
+  EXPECT_TRUE(result.validated);
+  // Off-diagonal-destination blocks must actually cross rank boundaries.
+  EXPECT_GT(result.bytes_exchanged.value(), 0.0);
+  // Bounded by the whole matrix (every block shipped at most once).
+  EXPECT_LE(result.bytes_exchanged.value(), 32.0 * 32.0 * 8.0);
+  EXPECT_GT(result.exchange_rate().value(), 0.0);
+}
+
+TEST(Ptrans, Validation) {
+  PtransConfig cfg;
+  cfg.n = 10;
+  cfg.block_size = 4;  // does not divide n
+  EXPECT_THROW(run_ptrans_mpisim(cfg), util::PreconditionError);
+  cfg.block_size = 2;
+  cfg.pcols = 0;
+  EXPECT_THROW(run_ptrans_mpisim(cfg), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

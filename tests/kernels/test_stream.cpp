@@ -1,0 +1,68 @@
+// STREAM kernel: validation, byte accounting, threading equivalence.
+#include "kernels/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+StreamConfig small_config() {
+  StreamConfig cfg;
+  cfg.array_elements = 100000;
+  cfg.iterations = 2;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(Stream, ValidatesClosedForm) {
+  const StreamResult r = run_stream(small_config());
+  EXPECT_TRUE(r.validated);
+}
+
+TEST(Stream, RatesArePositiveAndSane) {
+  const StreamResult r = run_stream(small_config());
+  for (double rate : {r.copy.value(), r.scale.value(), r.add.value(),
+                      r.triad.value()}) {
+    EXPECT_GT(rate, 1e6);    // faster than 1 MB/s on any host
+    EXPECT_LT(rate, 1e13);   // slower than 10 TB/s
+  }
+  EXPECT_GT(r.elapsed.value(), 0.0);
+}
+
+TEST(Stream, MultiThreadedStillValidates) {
+  StreamConfig cfg = small_config();
+  cfg.threads = 4;
+  const StreamResult r = run_stream(cfg);
+  EXPECT_TRUE(r.validated);
+}
+
+TEST(Stream, UnevenSliceStillValidates) {
+  StreamConfig cfg = small_config();
+  cfg.array_elements = 100003;  // not divisible by thread count
+  cfg.threads = 3;
+  EXPECT_TRUE(run_stream(cfg).validated);
+}
+
+TEST(Stream, ByteAccountingConstants) {
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_copy(), 16.0);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_scale(), 16.0);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_add(), 24.0);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_triad(), 24.0);
+}
+
+TEST(Stream, Validation) {
+  StreamConfig bad = small_config();
+  bad.array_elements = 10;
+  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+  bad = small_config();
+  bad.iterations = 0;
+  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+  bad = small_config();
+  bad.threads = 0;
+  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,104 @@
+// mpisim collectives, parameterized across world sizes including non-powers
+// of two (the binomial trees must handle ragged trees).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpisim/runtime.h"
+
+namespace tgi::mpisim {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierCompletes) {
+  const int p = GetParam();
+  run(p, [](Rank& rank) {
+    for (int i = 0; i < 3; ++i) rank.barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run(p, [root](Rank& rank) {
+      std::vector<double> data(17, -1.0);
+      if (rank.rank() == root) {
+        std::iota(data.begin(), data.end(), 100.0);
+      }
+      rank.bcast(std::span<double>(data), root);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_DOUBLE_EQ(data[i], 100.0 + static_cast<double>(i));
+      }
+    });
+  }
+}
+
+TEST_P(Collectives, AllreduceSumScalar) {
+  const int p = GetParam();
+  run(p, [p](Rank& rank) {
+    const double total = rank.allreduce_sum(static_cast<double>(rank.rank()));
+    EXPECT_DOUBLE_EQ(total, p * (p - 1) / 2.0);
+  });
+}
+
+TEST_P(Collectives, AllreduceSumVector) {
+  const int p = GetParam();
+  run(p, [p](Rank& rank) {
+    std::vector<long long> values{1, static_cast<long long>(rank.rank()),
+                                  10};
+    rank.allreduce_sum(std::span<long long>(values));
+    EXPECT_EQ(values[0], p);
+    EXPECT_EQ(values[1], static_cast<long long>(p) * (p - 1) / 2);
+    EXPECT_EQ(values[2], 10LL * p);
+  });
+}
+
+TEST_P(Collectives, AllreduceMax) {
+  const int p = GetParam();
+  run(p, [p](Rank& rank) {
+    // Mix the ordering so the max is not at the root.
+    const int value = (rank.rank() * 7) % p;
+    int expected = 0;
+    for (int r = 0; r < p; ++r) expected = std::max(expected, (r * 7) % p);
+    EXPECT_EQ(rank.allreduce_max(value), expected);
+  });
+}
+
+TEST_P(Collectives, GatherToEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run(p, [root, p](Rank& rank) {
+      const auto gathered = rank.gather<int>(rank.rank() * 2, root);
+      if (rank.rank() == root) {
+        ASSERT_EQ(gathered.size(), static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(gathered[static_cast<std::size_t>(r)], r * 2);
+        }
+      } else {
+        EXPECT_TRUE(gathered.empty());
+      }
+    });
+  }
+}
+
+TEST_P(Collectives, RepeatedCollectivesDoNotCrosstalk) {
+  const int p = GetParam();
+  run(p, [](Rank& rank) {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<int> data{round, rank.rank()};
+      rank.bcast(std::span<int>(data), 0);
+      EXPECT_EQ(data[0], round);
+      EXPECT_EQ(data[1], 0);
+      const int sum = rank.allreduce_sum(1);
+      EXPECT_EQ(sum, rank.size());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+}  // namespace
+}  // namespace tgi::mpisim

@@ -1,0 +1,103 @@
+// Group-scoped collectives over explicit member lists.
+#include "mpisim/groups.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace tgi::mpisim {
+namespace {
+
+TEST(Groups, BcastWithinSubset) {
+  // World of 6; broadcast only among the even ranks.
+  run(6, [](Rank& rank) {
+    const std::vector<int> members{0, 2, 4};
+    if (rank.rank() % 2 != 0) return;  // odd ranks sit out entirely
+    std::vector<double> data(5, -1.0);
+    if (rank.rank() == 2) std::iota(data.begin(), data.end(), 10.0);
+    group_bcast(rank, std::span<double>(data), /*root=*/2, members,
+                /*tag=*/100);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_DOUBLE_EQ(data[i], 10.0 + static_cast<double>(i));
+    }
+  });
+}
+
+TEST(Groups, TwoDisjointGroupsDoNotInterfere) {
+  run(4, [](Rank& rank) {
+    const std::vector<int> low{0, 1};
+    const std::vector<int> high{2, 3};
+    const auto& mine = rank.rank() < 2 ? low : high;
+    std::vector<int> data{rank.rank() < 2 ? 111 : 222};
+    group_bcast(rank, std::span<int>(data), mine[0], mine, 100);
+    EXPECT_EQ(data[0], rank.rank() < 2 ? 111 : 222);
+  });
+}
+
+TEST(Groups, AllreduceSum) {
+  run(5, [](Rank& rank) {
+    const std::vector<int> members{1, 2, 4};
+    if (rank.rank() != 1 && rank.rank() != 2 && rank.rank() != 4) return;
+    std::vector<long long> v{static_cast<long long>(rank.rank()), 10};
+    group_allreduce_sum(rank, std::span<long long>(v), members, 300);
+    EXPECT_EQ(v[0], 1 + 2 + 4);
+    EXPECT_EQ(v[1], 30);
+  });
+}
+
+TEST(Groups, MaxLocFindsLargestAbsolute) {
+  run(4, [](Rank& rank) {
+    const std::vector<int> members{0, 1, 2, 3};
+    // Rank 2 holds the largest |value| (negative).
+    const double values[] = {1.0, -3.0, -7.5, 2.0};
+    const MaxLoc result = group_allreduce_maxloc(
+        rank, {values[rank.rank()], rank.rank() * 100}, members, 400);
+    EXPECT_DOUBLE_EQ(result.value, -7.5);
+    EXPECT_EQ(result.index, 200);
+  });
+}
+
+TEST(Groups, MaxLocTieBreaksBySmallerIndex) {
+  run(3, [](Rank& rank) {
+    const std::vector<int> members{0, 1, 2};
+    const MaxLoc result = group_allreduce_maxloc(
+        rank, {5.0, rank.rank() + 10}, members, 500);
+    EXPECT_EQ(result.index, 10);
+  });
+}
+
+TEST(Groups, SingletonGroupIsIdentity) {
+  run(2, [](Rank& rank) {
+    const std::vector<int> members{rank.rank()};
+    std::vector<double> data{42.0};
+    group_bcast(rank, std::span<double>(data), rank.rank(), members, 600);
+    EXPECT_DOUBLE_EQ(data[0], 42.0);
+    const MaxLoc m =
+        group_allreduce_maxloc(rank, {3.0, 7}, members, 650);
+    EXPECT_EQ(m.index, 7);
+  });
+}
+
+TEST(Groups, Barrier) {
+  run(4, [](Rank& rank) {
+    const std::vector<int> members{0, 1, 2, 3};
+    for (int i = 0; i < 3; ++i) {
+      group_barrier(rank, members, 700 + i * 10000);
+    }
+  });
+}
+
+TEST(Groups, NonMemberThrows) {
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 1) {
+      const std::vector<int> members{0};
+      std::vector<int> data{1};
+      EXPECT_THROW(group_bcast(rank, std::span<int>(data), 0, members, 800),
+                   util::PreconditionError);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tgi::mpisim

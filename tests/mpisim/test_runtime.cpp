@@ -1,0 +1,141 @@
+// mpisim point-to-point semantics and failure behaviour.
+#include "mpisim/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace tgi::mpisim {
+namespace {
+
+TEST(Runtime, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  run(1, [&](Rank& rank) {
+    EXPECT_EQ(rank.rank(), 0);
+    EXPECT_EQ(rank.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Runtime, EveryRankRunsExactlyOnce) {
+  constexpr int kP = 6;
+  std::vector<std::atomic<int>> counts(kP);
+  run(kP, [&](Rank& rank) {
+    ++counts[static_cast<std::size_t>(rank.rank())];
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Runtime, SendRecvScalar) {
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.send<double>(1, 7, 3.25);
+    } else {
+      EXPECT_DOUBLE_EQ(rank.recv<double>(0, 7), 3.25);
+    }
+  });
+}
+
+TEST(Runtime, SendRecvVector) {
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 0) {
+      std::vector<int> data(100);
+      std::iota(data.begin(), data.end(), 0);
+      rank.send_vector<int>(1, 1, data);
+    } else {
+      const auto got = rank.recv_vector<int>(0, 1);
+      ASSERT_EQ(got.size(), 100u);
+      EXPECT_EQ(got[42], 42);
+    }
+  });
+}
+
+TEST(Runtime, TagMatchingIsSelective) {
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.send<int>(1, 5, 55);
+      rank.send<int>(1, 3, 33);
+    } else {
+      // Receive out of arrival order by tag.
+      EXPECT_EQ(rank.recv<int>(0, 3), 33);
+      EXPECT_EQ(rank.recv<int>(0, 5), 55);
+    }
+  });
+}
+
+TEST(Runtime, SourceMatchingIsSelective) {
+  run(3, [](Rank& rank) {
+    if (rank.rank() != 2) {
+      rank.send<int>(2, 1, rank.rank());
+    } else {
+      EXPECT_EQ(rank.recv<int>(1, 1), 1);
+      EXPECT_EQ(rank.recv<int>(0, 1), 0);
+    }
+  });
+}
+
+TEST(Runtime, AnySourceAnyTag) {
+  run(3, [](Rank& rank) {
+    if (rank.rank() != 0) {
+      rank.send<int>(0, rank.rank() * 10, rank.rank());
+    } else {
+      int sum = 0;
+      sum += rank.recv<int>(kAnySource, kAnyTag);
+      sum += rank.recv<int>(kAnySource, kAnyTag);
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(Runtime, FifoPerSourceAndTag) {
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 20; ++i) rank.send<int>(1, 1, i);
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(rank.recv<int>(0, 1), i);
+    }
+  });
+}
+
+TEST(Runtime, ExceptionPropagatesWithoutDeadlock) {
+  // Rank 1 dies while rank 0 blocks in recv; the abort must wake rank 0
+  // and run() must rethrow the original error.
+  EXPECT_THROW(run(2,
+                   [](Rank& rank) {
+                     if (rank.rank() == 1) {
+                       throw util::TgiError("rank 1 exploded");
+                     }
+                     (void)rank.recv<int>(1, 0);  // would block forever
+                   }),
+               util::TgiError);
+}
+
+TEST(Runtime, ExceptionDuringBarrierWakesPeers) {
+  EXPECT_THROW(run(3,
+                   [](Rank& rank) {
+                     if (rank.rank() == 2) {
+                       throw util::TgiError("boom");
+                     }
+                     rank.barrier();
+                   }),
+               util::TgiError);
+}
+
+TEST(Runtime, Validation) {
+  EXPECT_THROW(run(0, [](Rank&) {}), util::PreconditionError);
+  run(2, [](Rank& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_THROW(rank.send<int>(5, 0, 1), util::PreconditionError);
+      EXPECT_THROW(rank.send<int>(1, -2, 1), util::PreconditionError);
+      rank.send<int>(1, 0, 1);  // unblock peer
+    } else {
+      (void)rank.recv<int>(0, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tgi::mpisim

@@ -1,0 +1,84 @@
+// Collective cost models: closed forms, algorithm switch, scaling shape.
+#include "net/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::net {
+namespace {
+
+InterconnectSpec test_link() {
+  return {.name = "test",
+          .latency = util::microseconds(2.0),
+          .bandwidth = util::gigabytes_per_sec(1.0),
+          .congestion_factor = 0.9};
+}
+
+TEST(Collectives, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+  EXPECT_THROW(log2_ceil(0), util::PreconditionError);
+}
+
+TEST(Collectives, SmallBcastIsBinomial) {
+  const InterconnectSpec link = test_link();
+  const util::ByteCount small(1024.0);
+  const double single = ptp_time(link, small).value();
+  EXPECT_DOUBLE_EQ(bcast_time(link, 8, small).value(), 3.0 * single);
+  EXPECT_DOUBLE_EQ(bcast_time(link, 1, small).value(), 0.0);
+}
+
+TEST(Collectives, LargeBcastIsPipelined) {
+  const InterconnectSpec link = test_link();
+  const util::ByteCount big(util::mebibytes(64.0));
+  const std::size_t p = 64;
+  const double pipelined = bcast_time(link, p, big).value();
+  const double binomial = ptp_time(link, big).value() * 6.0;
+  // The van de Geijn algorithm must beat log-p full-message rounds ...
+  EXPECT_LT(pipelined, binomial);
+  // ... and its bandwidth term is ~2·(p-1)/p·n·β.
+  const double bw_term = 2.0 * 63.0 / 64.0 * big.value() /
+                         link.bandwidth.value();
+  EXPECT_NEAR(pipelined, bw_term, bw_term * 0.01 + 1e-3);
+}
+
+TEST(Collectives, BcastMonotoneInSizeAndProcs) {
+  const InterconnectSpec link = test_link();
+  EXPECT_LT(bcast_time(link, 16, util::kibibytes(1.0)),
+            bcast_time(link, 16, util::kibibytes(4.0)));
+  EXPECT_LE(bcast_time(link, 4, util::mebibytes(1.0)),
+            bcast_time(link, 64, util::mebibytes(1.0)));
+}
+
+TEST(Collectives, AllreduceClosedForm) {
+  const InterconnectSpec link = test_link();
+  const std::size_t p = 8;
+  const util::ByteCount n(8192.0);
+  // Ring: 2(p-1) steps of n/p bytes at the p-congested rate.
+  const double step = ptp_time(link, n / 8.0, p).value();
+  EXPECT_NEAR(allreduce_time(link, p, n).value(), 14.0 * step, 1e-12);
+  EXPECT_DOUBLE_EQ(allreduce_time(link, 1, n).value(), 0.0);
+}
+
+TEST(Collectives, BarrierIsLatencyOnly) {
+  const InterconnectSpec link = test_link();
+  EXPECT_DOUBLE_EQ(barrier_time(link, 1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(barrier_time(link, 16).value(),
+                   2.0 * 4.0 * link.latency.value());
+}
+
+TEST(Collectives, GatherSerializesAtRoot) {
+  const InterconnectSpec link = test_link();
+  const util::ByteCount per_rank(1e6);
+  EXPECT_DOUBLE_EQ(gather_time(link, 5, per_rank).value(),
+                   4.0 * ptp_time(link, per_rank).value());
+  EXPECT_DOUBLE_EQ(gather_time(link, 1, per_rank).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tgi::net

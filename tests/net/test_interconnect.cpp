@@ -1,0 +1,64 @@
+// Hockney point-to-point model and fabric presets.
+#include "net/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::net {
+namespace {
+
+TEST(Interconnect, HockneyClosedForm) {
+  const InterconnectSpec link{.name = "test",
+                              .latency = util::microseconds(10.0),
+                              .bandwidth = util::megabytes_per_sec(100.0),
+                              .congestion_factor = 1.0};
+  // 1 MB at 100 MB/s = 10 ms, plus 10 us latency.
+  EXPECT_NEAR(ptp_time(link, util::bytes(1e6)).value(), 0.01 + 1e-5, 1e-12);
+}
+
+TEST(Interconnect, ZeroBytesIsPureLatency) {
+  const InterconnectSpec link = qdr_infiniband();
+  EXPECT_DOUBLE_EQ(ptp_time(link, util::bytes(0.0)).value(),
+                   link.latency.value());
+}
+
+TEST(Interconnect, CongestionSlowsConcurrentPairs) {
+  InterconnectSpec link = gigabit_ethernet();
+  const double alone = ptp_time(link, util::mebibytes(1.0), 1).value();
+  const double crowded = ptp_time(link, util::mebibytes(1.0), 64).value();
+  EXPECT_GT(crowded, alone);
+  // Derating approaches the congestion factor: never worse than that.
+  const double floor_time =
+      link.latency.value() +
+      util::mebibytes(1.0).value() /
+          (link.bandwidth.value() * link.congestion_factor);
+  EXPECT_LE(crowded, floor_time + 1e-12);
+}
+
+TEST(Interconnect, PerfectFabricIgnoresConcurrency) {
+  InterconnectSpec link = qdr_infiniband();
+  link.congestion_factor = 1.0;
+  EXPECT_DOUBLE_EQ(ptp_time(link, util::mebibytes(4.0), 1).value(),
+                   ptp_time(link, util::mebibytes(4.0), 128).value());
+}
+
+TEST(Interconnect, PresetsOrdering) {
+  // Generational ordering: QDR beats DDR beats GigE on both axes.
+  EXPECT_LT(qdr_infiniband().latency, ddr_infiniband().latency);
+  EXPECT_LT(ddr_infiniband().latency, gigabit_ethernet().latency);
+  EXPECT_GT(qdr_infiniband().bandwidth, ddr_infiniband().bandwidth);
+  EXPECT_GT(ddr_infiniband().bandwidth, gigabit_ethernet().bandwidth);
+}
+
+TEST(Interconnect, Validation) {
+  const InterconnectSpec link = qdr_infiniband();
+  EXPECT_THROW(ptp_time(link, util::bytes(-1.0)), util::PreconditionError);
+  EXPECT_THROW(ptp_time(link, util::bytes(1.0), 0), util::PreconditionError);
+  InterconnectSpec bad = link;
+  bad.congestion_factor = 0.0;
+  EXPECT_THROW(ptp_time(bad, util::bytes(1.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::net

@@ -1,0 +1,105 @@
+// Component energy attribution.
+#include "power/breakdown.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::power {
+namespace {
+
+NodePowerSpec test_node() {
+  NodePowerSpec spec;
+  spec.cpu = {.idle = util::watts(20.0),
+              .max_load = util::watts(100.0),
+              .nominal_ghz = 2.0};
+  spec.sockets = 2;
+  spec.memory = {.background = util::watts(10.0),
+                 .max_active = util::watts(30.0)};
+  spec.disk = {.idle = util::watts(5.0), .active = util::watts(10.0)};
+  spec.disks = 1;
+  spec.nic = {.idle = util::watts(6.0), .active = util::watts(12.0)};
+  spec.board_overhead = util::watts(40.0);
+  spec.psu = {.rated_dc = util::watts(800.0)};
+  return spec;
+}
+
+TEST(ComponentPower, SumsToWall) {
+  const NodePowerModel node(test_node());
+  const ComponentUtilization u{0.8, 0.5, 0.3, 0.2, 0.0};
+  const ComponentPower split = component_power(node, u);
+  EXPECT_NEAR(split.total_wall().value(), node.wall_power(u).value(),
+              1e-9);
+  EXPECT_GT(split.psu_loss.value(), 0.0);
+}
+
+TEST(ComponentPower, IdleComponents) {
+  const NodePowerModel node(test_node());
+  const ComponentPower split =
+      component_power(node, ComponentUtilization::idle());
+  EXPECT_DOUBLE_EQ(split.cpu.value(), 40.0);     // 2 × 20 idle
+  EXPECT_DOUBLE_EQ(split.memory.value(), 10.0);
+  EXPECT_DOUBLE_EQ(split.board.value(), 40.0);
+}
+
+TEST(ComponentPower, DvfsReducesCpuColumnOnly) {
+  const NodePowerModel node(test_node());
+  ComponentUtilization busy{1.0, 1.0, 0.0, 0.0, 0.0};
+  const ComponentPower nominal = component_power(node, busy);
+  busy.dvfs_ghz = 1.0;  // half clock
+  const ComponentPower slow = component_power(node, busy);
+  EXPECT_LT(slow.cpu.value(), nominal.cpu.value());
+  EXPECT_DOUBLE_EQ(slow.memory.value(), nominal.memory.value());
+}
+
+TEST(EnergyBreakdown, MatchesTimelineTotal) {
+  const ClusterPowerModel cluster(NodePowerModel(test_node()), 3,
+                                  util::watts(30.0));
+  const PowerTimeline timeline(
+      cluster, {{util::seconds(10.0), {1.0, 0.6, 0.1, 0.1, 0.0}, 2},
+                {util::seconds(5.0), ComponentUtilization::idle(), 3}});
+  const EnergyBreakdown breakdown = energy_breakdown(timeline);
+  EXPECT_NEAR(breakdown.total().value(), timeline.exact_energy().value(),
+              timeline.exact_energy().value() * 1e-9);
+}
+
+TEST(EnergyBreakdown, SwitchEnergyLandsInNetwork) {
+  // A cluster whose only above-node draw is the switch: nic column must
+  // include switch_power × duration beyond the NIC's own draw.
+  const ClusterPowerModel cluster(NodePowerModel(test_node()), 1,
+                                  util::watts(100.0));
+  const PowerTimeline timeline(
+      cluster,
+      {{util::seconds(10.0), ComponentUtilization::idle(), 1}});
+  const EnergyBreakdown breakdown = energy_breakdown(timeline);
+  // NIC idle = 6 W × 10 s = 60 J; switch adds 1000 J.
+  EXPECT_NEAR(breakdown.nic.value(), 1060.0, 1e-6);
+}
+
+TEST(EnergyBreakdown, FractionsSumToOne) {
+  const ClusterPowerModel cluster(NodePowerModel(test_node()), 2,
+                                  util::watts(10.0));
+  const PowerTimeline timeline(
+      cluster, {{util::seconds(3.0), {0.9, 0.9, 0.9, 0.9, 0.0}, 2}});
+  const EnergyBreakdown b = energy_breakdown(timeline);
+  const double sum = b.fraction(b.cpu) + b.fraction(b.memory) +
+                     b.fraction(b.disk) + b.fraction(b.nic) +
+                     b.fraction(b.board) + b.fraction(b.psu_loss);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(b.non_compute_fraction(), 1.0 - b.fraction(b.cpu), 1e-12);
+}
+
+TEST(EnergyBreakdown, RenderContainsAllRows) {
+  const ClusterPowerModel cluster(NodePowerModel(test_node()), 1,
+                                  util::watts(0.0));
+  const PowerTimeline timeline(
+      cluster, {{util::seconds(1.0), {1.0, 0.0, 0.0, 0.0, 0.0}, 1}});
+  const std::string text = render_breakdown(energy_breakdown(timeline));
+  for (const char* label : {"CPU sockets", "memory", "disks", "network",
+                            "board", "PSU", "TOTAL", "non-compute"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+}
+
+}  // namespace
+}  // namespace tgi::power

@@ -1,0 +1,95 @@
+// Node- and cluster-level aggregation.
+#include "power/node_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::power {
+namespace {
+
+NodePowerSpec test_node() {
+  NodePowerSpec spec;
+  spec.cpu = {.idle = util::watts(20.0),
+              .max_load = util::watts(100.0),
+              .nominal_ghz = 2.0};
+  spec.sockets = 2;
+  spec.memory = {.background = util::watts(10.0),
+                 .max_active = util::watts(30.0)};
+  spec.disk = {.idle = util::watts(5.0), .active = util::watts(10.0)};
+  spec.disks = 2;
+  spec.nic = {.idle = util::watts(6.0), .active = util::watts(12.0)};
+  spec.board_overhead = util::watts(40.0);
+  spec.psu = {.rated_dc = util::watts(800.0)};
+  return spec;
+}
+
+TEST(NodePowerModel, IdleDcIsComponentSum) {
+  const NodePowerModel model(test_node());
+  // 40 board + 2×20 cpu + 10 mem + 2×5 disk + 6 nic = 106 W.
+  EXPECT_DOUBLE_EQ(model.dc_power(ComponentUtilization::idle()).value(),
+                   106.0);
+}
+
+TEST(NodePowerModel, FullLoadDc) {
+  const NodePowerModel model(test_node());
+  const ComponentUtilization full{1.0, 1.0, 1.0, 1.0};
+  // 40 + 2×100 + 30 + 2×10 + 12 = 302 W.
+  EXPECT_DOUBLE_EQ(model.dc_power(full).value(), 302.0);
+}
+
+TEST(NodePowerModel, WallExceedsDcAndIdleBelowLoaded) {
+  const NodePowerModel model(test_node());
+  const ComponentUtilization busy{0.8, 0.5, 0.2, 0.1};
+  EXPECT_GT(model.wall_power(busy).value(), model.dc_power(busy).value());
+  EXPECT_LT(model.idle_wall_power(), model.wall_power(busy));
+}
+
+TEST(NodePowerModel, MonotoneInCpuUtilization) {
+  const NodePowerModel model(test_node());
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double w = model.wall_power({u, 0.0, 0.0, 0.0}).value();
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(ClusterPowerModel, MixesActiveAndIdleNodes) {
+  const NodePowerModel node(test_node());
+  const ClusterPowerModel cluster(node, 4, util::watts(50.0));
+  const ComponentUtilization busy{1.0, 1.0, 1.0, 1.0};
+  const double all_active = cluster.wall_power(busy, 4).value();
+  const double half_active = cluster.wall_power(busy, 2).value();
+  const double none_active = cluster.wall_power(busy, 0).value();
+  EXPECT_GT(all_active, half_active);
+  EXPECT_GT(half_active, none_active);
+  EXPECT_DOUBLE_EQ(none_active, cluster.idle_wall_power().value());
+  // Exact mix: 2 busy + 2 idle + switch.
+  EXPECT_DOUBLE_EQ(half_active, 2.0 * node.wall_power(busy).value() +
+                                    2.0 * node.idle_wall_power().value() +
+                                    50.0);
+}
+
+TEST(ClusterPowerModel, SwitchPowerAlwaysPresent) {
+  const NodePowerModel node(test_node());
+  const ClusterPowerModel cluster(node, 2, util::watts(75.0));
+  const double idle = cluster.idle_wall_power().value();
+  EXPECT_DOUBLE_EQ(idle, 2.0 * node.idle_wall_power().value() + 75.0);
+}
+
+TEST(ClusterPowerModel, RejectsTooManyActiveNodes) {
+  const ClusterPowerModel cluster(NodePowerModel(test_node()), 2,
+                                  util::watts(0.0));
+  EXPECT_THROW(cluster.wall_power(ComponentUtilization::idle(), 3),
+               util::PreconditionError);
+}
+
+TEST(ClusterPowerModel, RejectsEmptyCluster) {
+  EXPECT_THROW(
+      ClusterPowerModel(NodePowerModel(test_node()), 0, util::watts(0.0)),
+      util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::power

@@ -1,0 +1,96 @@
+// Component power models: linear idle+dynamic forms, DVFS, PSU curve.
+#include "power/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::power {
+namespace {
+
+TEST(CpuPower, IdleAndFullLoad) {
+  const CpuPowerSpec cpu{.idle = util::watts(20.0),
+                         .max_load = util::watts(100.0),
+                         .nominal_ghz = 2.0};
+  EXPECT_DOUBLE_EQ(cpu.power(0.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(cpu.power(1.0).value(), 100.0);
+  EXPECT_DOUBLE_EQ(cpu.power(0.5).value(), 60.0);
+}
+
+TEST(CpuPower, UtilizationClamped) {
+  const CpuPowerSpec cpu{.idle = util::watts(20.0),
+                         .max_load = util::watts(100.0),
+                         .nominal_ghz = 2.0};
+  EXPECT_DOUBLE_EQ(cpu.power(1.7).value(), 100.0);
+  EXPECT_DOUBLE_EQ(cpu.power(-0.3).value(), 20.0);
+}
+
+TEST(CpuPower, DvfsCubicOnDynamicOnly) {
+  const CpuPowerSpec cpu{.idle = util::watts(20.0),
+                         .max_load = util::watts(100.0),
+                         .nominal_ghz = 2.0};
+  // Half frequency: dynamic term scales by (0.5)³ = 1/8.
+  EXPECT_DOUBLE_EQ(cpu.power(1.0, 1.0).value(), 20.0 + 80.0 / 8.0);
+  // Idle power does not scale with frequency in this model.
+  EXPECT_DOUBLE_EQ(cpu.power(0.0, 1.0).value(), 20.0);
+}
+
+TEST(MemoryDiskNicPower, LinearForms) {
+  const MemoryPowerSpec mem{.background = util::watts(10.0),
+                            .max_active = util::watts(30.0)};
+  EXPECT_DOUBLE_EQ(mem.power(0.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(mem.power(0.5).value(), 20.0);
+  const DiskPowerSpec disk{.idle = util::watts(4.0),
+                           .active = util::watts(10.0)};
+  EXPECT_DOUBLE_EQ(disk.power(1.0).value(), 10.0);
+  const NicPowerSpec nic{.idle = util::watts(5.0),
+                         .active = util::watts(9.0)};
+  EXPECT_DOUBLE_EQ(nic.power(0.25).value(), 6.0);
+}
+
+TEST(Psu, EfficiencyAnchors) {
+  const PsuSpec psu{.efficiency_at_20pct = 0.82,
+                    .efficiency_at_50pct = 0.88,
+                    .efficiency_at_100pct = 0.85,
+                    .rated_dc = util::watts(1000.0)};
+  EXPECT_NEAR(psu.efficiency(util::watts(200.0)), 0.82, 1e-12);
+  EXPECT_NEAR(psu.efficiency(util::watts(500.0)), 0.88, 1e-12);
+  EXPECT_NEAR(psu.efficiency(util::watts(1000.0)), 0.85, 1e-12);
+}
+
+TEST(Psu, EfficiencyShape) {
+  const PsuSpec psu{.rated_dc = util::watts(1000.0)};
+  // Rising from light load to the 50% sweet spot, dipping to full load.
+  EXPECT_LT(psu.efficiency(util::watts(60.0)),
+            psu.efficiency(util::watts(500.0)));
+  EXPECT_GT(psu.efficiency(util::watts(500.0)),
+            psu.efficiency(util::watts(1000.0)));
+  // Always a physical efficiency.
+  for (double load : {10.0, 100.0, 300.0, 700.0, 1500.0}) {
+    const double eff = psu.efficiency(util::watts(load));
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+  }
+}
+
+TEST(Psu, WallPowerExceedsDc) {
+  const PsuSpec psu{.rated_dc = util::watts(800.0)};
+  const util::Watts dc(400.0);
+  EXPECT_GT(psu.wall_power(dc).value(), dc.value());
+  EXPECT_DOUBLE_EQ(psu.wall_power(util::watts(0.0)).value(), 0.0);
+}
+
+TEST(Psu, WallPowerConsistentWithEfficiency) {
+  const PsuSpec psu{.rated_dc = util::watts(800.0)};
+  const util::Watts dc(400.0);
+  EXPECT_DOUBLE_EQ(psu.wall_power(dc).value(),
+                   dc.value() / psu.efficiency(dc));
+}
+
+TEST(Psu, RejectsNegativeLoad) {
+  const PsuSpec psu;
+  EXPECT_THROW(psu.wall_power(util::watts(-1.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::power

@@ -1,0 +1,73 @@
+// Power traces: trapezoidal energy and time-weighted averages.
+#include "power/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::power {
+namespace {
+
+PowerTrace make_trace(std::initializer_list<std::pair<double, double>> pts) {
+  PowerTrace trace;
+  for (const auto& [t, w] : pts) {
+    trace.add({util::seconds(t), util::watts(w)});
+  }
+  return trace;
+}
+
+TEST(PowerTrace, ConstantPowerEnergy) {
+  const PowerTrace trace =
+      make_trace({{0.0, 100.0}, {1.0, 100.0}, {2.0, 100.0}});
+  EXPECT_DOUBLE_EQ(trace.energy().value(), 200.0);
+  EXPECT_DOUBLE_EQ(trace.average_power().value(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.duration().value(), 2.0);
+}
+
+TEST(PowerTrace, RampTrapezoid) {
+  // Linear ramp 0→100 W over 10 s: energy = 500 J, average 50 W.
+  const PowerTrace trace = make_trace({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(trace.energy().value(), 500.0);
+  EXPECT_DOUBLE_EQ(trace.average_power().value(), 50.0);
+}
+
+TEST(PowerTrace, UnevenSamplingIsTimeWeighted) {
+  // 100 W for 9 s then 0 W for 1 s: average must be 90 W, not 50 W.
+  const PowerTrace trace =
+      make_trace({{0.0, 100.0}, {9.0, 100.0}, {9.0, 0.0}, {10.0, 0.0}});
+  EXPECT_DOUBLE_EQ(trace.energy().value(), 900.0);
+  EXPECT_DOUBLE_EQ(trace.average_power().value(), 90.0);
+}
+
+TEST(PowerTrace, MinMax) {
+  const PowerTrace trace =
+      make_trace({{0.0, 50.0}, {1.0, 150.0}, {2.0, 75.0}});
+  EXPECT_DOUBLE_EQ(trace.max_power().value(), 150.0);
+  EXPECT_DOUBLE_EQ(trace.min_power().value(), 50.0);
+}
+
+TEST(PowerTrace, RejectsTimeTravel) {
+  PowerTrace trace;
+  trace.add({util::seconds(1.0), util::watts(10.0)});
+  EXPECT_THROW(trace.add({util::seconds(0.5), util::watts(10.0)}),
+               util::PreconditionError);
+}
+
+TEST(PowerTrace, RejectsNegativePower) {
+  PowerTrace trace;
+  EXPECT_THROW(trace.add({util::seconds(0.0), util::watts(-1.0)}),
+               util::PreconditionError);
+}
+
+TEST(PowerTrace, PreconditionsOnSize) {
+  PowerTrace empty;
+  EXPECT_THROW(empty.duration(), util::PreconditionError);
+  EXPECT_THROW(empty.max_power(), util::PreconditionError);
+  PowerTrace one = make_trace({{0.0, 5.0}});
+  EXPECT_THROW(one.energy(), util::PreconditionError);
+  EXPECT_THROW(one.average_power(), util::PreconditionError);
+  EXPECT_DOUBLE_EQ(one.duration().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tgi::power

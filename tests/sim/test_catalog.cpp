@@ -1,0 +1,83 @@
+// The machine catalog must match the paper's testbed descriptions.
+#include "sim/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace tgi::sim {
+namespace {
+
+TEST(Catalog, FireMatchesPaperSectionIV) {
+  const ClusterSpec fire = fire_cluster();
+  EXPECT_EQ(fire.name, "Fire");
+  EXPECT_EQ(fire.nodes, 8u);
+  EXPECT_EQ(fire.node.sockets, 2u);
+  EXPECT_EQ(fire.node.cpu.cores, 8u);             // Opteron 6134
+  EXPECT_DOUBLE_EQ(fire.node.cpu.ghz, 2.3);
+  EXPECT_EQ(fire.total_cores(), 128u);            // "core count ... is 128"
+  EXPECT_DOUBLE_EQ(fire.node.memory.value(), util::gibibytes(32.0).value());
+  // Peak must comfortably exceed the paper's 901 GFLOPS LINPACK number.
+  EXPECT_GT(fire.peak_flops().value(), 901e9);
+  EXPECT_LT(fire.peak_flops().value(), 1.5e12);
+}
+
+TEST(Catalog, SystemGMatchesPaperSectionIV) {
+  const ClusterSpec sg = system_g();
+  EXPECT_EQ(sg.name, "SystemG");
+  EXPECT_EQ(sg.nodes, 128u);                      // the measured slice
+  EXPECT_EQ(sg.node.sockets, 2u);
+  EXPECT_EQ(sg.node.cpu.cores, 4u);               // quad-core Xeon 5462
+  EXPECT_DOUBLE_EQ(sg.node.cpu.ghz, 2.8);
+  EXPECT_EQ(sg.total_cores(), 1024u);             // "total of 1024 cores"
+  EXPECT_DOUBLE_EQ(sg.node.memory.value(), util::gibibytes(8.0).value());
+  EXPECT_EQ(sg.interconnect.name, "QDR-InfiniBand");
+  EXPECT_GT(sg.peak_flops().value(), 8.1e12);     // paper: 8.1 TFLOPS HPL
+}
+
+TEST(Catalog, LowPowerClusterIsActuallyLowPower) {
+  const ClusterSpec green = low_power_cluster();
+  const ClusterSpec beige = commodity_gige_cluster();
+  // Idle wall draw per core: the blade design must be several times
+  // leaner than the commodity box.
+  const double green_per_core =
+      green.power_model().idle_wall_power().value() /
+      static_cast<double>(green.total_cores());
+  const double beige_per_core =
+      beige.power_model().idle_wall_power().value() /
+      static_cast<double>(beige.total_cores());
+  EXPECT_LT(green_per_core, beige_per_core / 5.0);
+}
+
+TEST(Catalog, CommodityClusterHasWorstPsu) {
+  EXPECT_LT(commodity_gige_cluster().node.power.psu.efficiency_at_50pct,
+            fire_cluster().node.power.psu.efficiency_at_50pct);
+}
+
+TEST(Catalog, AllEntriesProduceValidPowerModels) {
+  for (const ClusterSpec& c :
+       {fire_cluster(), system_g(), accelerator_heavy_cluster(),
+        departmental_cluster(), low_power_cluster(),
+        commodity_gige_cluster()}) {
+    const auto model = c.power_model();
+    EXPECT_GT(model.idle_wall_power().value(), 0.0) << c.name;
+    const power::ComponentUtilization full{1.0, 1.0, 1.0, 1.0};
+    EXPECT_GT(model.wall_power(full, c.nodes).value(),
+              model.idle_wall_power().value())
+        << c.name;
+  }
+}
+
+TEST(Catalog, AcceleratorBoxIsFlopsHeavy) {
+  const ClusterSpec accel = accelerator_heavy_cluster();
+  const ClusterSpec dept = departmental_cluster();
+  const double accel_flops_per_core =
+      accel.peak_flops().value() / static_cast<double>(accel.total_cores());
+  const double dept_flops_per_core =
+      dept.peak_flops().value() / static_cast<double>(dept.total_cores());
+  EXPECT_GT(accel_flops_per_core, 4.0 * dept_flops_per_core);
+  // ...and I/O-poor, which is what the reference ablation exploits.
+  EXPECT_LT(accel.storage.backend_bandwidth.value(),
+            dept.storage.backend_bandwidth.value());
+}
+
+}  // namespace
+}  // namespace tgi::sim

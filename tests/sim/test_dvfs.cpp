@@ -1,0 +1,97 @@
+// DVFS support: compute slows linearly, dynamic CPU power falls cubically.
+#include <gtest/gtest.h>
+
+#include "power/node_model.h"
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace tgi::sim {
+namespace {
+
+Workload compute_workload() {
+  Workload wl;
+  Phase ph;
+  ph.flops_per_node = util::flops(1e12);
+  ph.active_nodes = 1;
+  ph.cores_per_node = 16;
+  wl.phases.push_back(ph);
+  return wl;
+}
+
+TEST(Dvfs, HalfClockDoublesComputeTime) {
+  const ClusterSpec fire = fire_cluster();
+  SimTuning nominal;
+  SimTuning half;
+  half.cpu_clock_ghz = fire.node.cpu.ghz / 2.0;
+  const double t_nominal =
+      ExecutionSimulator(fire, nominal).run(compute_workload())
+          .elapsed.value();
+  const double t_half =
+      ExecutionSimulator(fire, half).run(compute_workload())
+          .elapsed.value();
+  EXPECT_NEAR(t_half, 2.0 * t_nominal, t_nominal * 1e-9);
+}
+
+TEST(Dvfs, DownclockedRunDrawsLessPower) {
+  const ClusterSpec fire = fire_cluster();
+  SimTuning slow;
+  slow.cpu_clock_ghz = 1.4;
+  const auto nominal_run =
+      ExecutionSimulator(fire).run(compute_workload());
+  const auto slow_run =
+      ExecutionSimulator(fire, slow).run(compute_workload());
+  EXPECT_LT(slow_run.timeline.exact_average_power().value(),
+            nominal_run.timeline.exact_average_power().value());
+}
+
+TEST(Dvfs, EnergyTradeoffIsCubicVsLinear) {
+  // At half clock the dynamic energy of the CPU falls by (1/2)³ × 2 (time
+  // doubles) = 1/4, but static draw doubles with runtime. Just pin the
+  // direction: dynamic-dominated nodes save energy, and the utilization
+  // carries the DVFS point for the power model.
+  const ClusterSpec fire = fire_cluster();
+  SimTuning half;
+  half.cpu_clock_ghz = fire.node.cpu.ghz / 2.0;
+  const auto run = ExecutionSimulator(fire, half).run(compute_workload());
+  EXPECT_DOUBLE_EQ(run.phases[0].utilization.dvfs_ghz,
+                   fire.node.cpu.ghz / 2.0);
+}
+
+TEST(Dvfs, NodePowerModelHonorsOperatingPoint) {
+  const ClusterSpec fire = fire_cluster();
+  const power::NodePowerModel node(fire.node.power);
+  power::ComponentUtilization busy{1.0, 0.0, 0.0, 0.0, 0.0};
+  const double at_nominal = node.dc_power(busy).value();
+  busy.dvfs_ghz = fire.node.power.cpu.nominal_ghz / 2.0;
+  const double at_half = node.dc_power(busy).value();
+  // Dynamic part drops to 1/8 at half clock; idle part is unchanged.
+  const double idle = node.dc_power(power::ComponentUtilization::idle())
+                          .value();
+  EXPECT_NEAR(at_half - idle, (at_nominal - idle) / 8.0,
+              (at_nominal - idle) * 1e-9);
+}
+
+TEST(Dvfs, MemoryBoundPhaseIsClockInsensitive) {
+  const ClusterSpec fire = fire_cluster();
+  Workload wl;
+  Phase ph;
+  ph.memory_bytes_per_node = util::gibibytes(8.0);
+  ph.active_nodes = 1;
+  ph.cores_per_node = 16;
+  wl.phases.push_back(ph);
+  SimTuning slow;
+  slow.cpu_clock_ghz = 1.4;
+  EXPECT_DOUBLE_EQ(ExecutionSimulator(fire).run(wl).elapsed.value(),
+                   ExecutionSimulator(fire, slow).run(wl).elapsed.value());
+}
+
+TEST(Dvfs, Validation) {
+  SimTuning bad;
+  bad.cpu_clock_ghz = -1.0;
+  EXPECT_THROW(ExecutionSimulator(fire_cluster(), bad),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::sim

@@ -1,0 +1,115 @@
+// PTRANS and FFT workload models and the extended suite runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tgi.h"
+#include "harness/suite.h"
+#include "kernels/extended_models.h"
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(PtransModel, TrafficShape) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  PtransModelParams params;
+  params.processes = 128;
+  const sim::Workload wl = make_ptrans_workload(fire, params);
+  EXPECT_EQ(wl.benchmark, "PTRANS");
+  ASSERT_EQ(wl.phases.size(), 1u);
+  const auto& ph = wl.phases[0];
+  // Pack+unpack DRAM traffic is twice the matrix bytes.
+  EXPECT_NEAR(ph.memory_bytes_per_node.value(),
+              2.0 * params.matrix_bytes_per_node(fire), 1.0);
+  ASSERT_EQ(ph.comms.size(), 1u);
+  EXPECT_EQ(ph.comms[0].kind, sim::CommOp::Kind::kAllreduce);
+}
+
+TEST(PtransModel, NetworkDominatedOnSlowFabric) {
+  // On GigE the exchange must dominate the phase; on QDR IB it must not.
+  sim::ClusterSpec slow = sim::fire_cluster();
+  slow.interconnect = net::gigabit_ethernet();
+  sim::ClusterSpec fast = sim::fire_cluster();
+  fast.interconnect = net::qdr_infiniband();
+  PtransModelParams params;
+  params.processes = 128;
+  const auto run_slow =
+      sim::ExecutionSimulator(slow).run(make_ptrans_workload(slow, params));
+  const auto run_fast =
+      sim::ExecutionSimulator(fast).run(make_ptrans_workload(fast, params));
+  EXPECT_GT(run_slow.elapsed.value(), 2.0 * run_fast.elapsed.value());
+  EXPECT_GT(run_slow.phases[0].comm.value(),
+            run_slow.phases[0].memory.value());
+}
+
+TEST(FftModel, PhaseStructure) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  FftModelParams params;
+  params.processes = 64;
+  const sim::Workload wl = make_fft_workload(fire, params);
+  EXPECT_EQ(wl.benchmark, "FFT");
+  ASSERT_EQ(wl.phases.size(), 3u);  // butterflies, transpose, butterflies
+  EXPECT_GT(wl.phases[0].flops_per_node.value(), 0.0);
+  EXPECT_TRUE(wl.phases[1].comms.size() == 1u);
+  EXPECT_DOUBLE_EQ(wl.phases[1].flops_per_node.value(), 0.0);
+}
+
+TEST(FftModel, FlopCountMatchesNLogN) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  FftModelParams params;
+  params.processes = 128;
+  const sim::Workload wl = make_fft_workload(fire, params);
+  const kernels::RankLayout layout =
+      layout_for(fire, 128, params.placement);
+  const double n = params.elements_total(fire, layout.nodes);
+  EXPECT_NEAR(wl.total_flops().value(), 5.0 * n * std::log2(n),
+              5.0 * n * std::log2(n) * 1e-9);
+}
+
+TEST(ExtendedSuite, SixValidMeasurements) {
+  power::ModelMeter meter(util::seconds(0.5));
+  harness::SuiteRunner runner(sim::fire_cluster(), meter);
+  const auto point = runner.run_extended_suite(64);
+  ASSERT_EQ(point.measurements.size(), 6u);
+  const std::vector<std::string> expected{"HPL",  "STREAM", "IOzone",
+                                          "GUPS", "PTRANS", "FFT"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(point.measurements[i].benchmark, expected[i]);
+    EXPECT_NO_THROW(point.measurements[i].validate());
+  }
+}
+
+TEST(ExtendedSuite, FeedsTgiWithSixComponents) {
+  power::ModelMeter m1(util::seconds(0.5));
+  power::ModelMeter m2(util::seconds(0.5));
+  harness::SuiteRunner sys_runner(sim::fire_cluster(), m1);
+  harness::SuiteConfig ref_cfg;
+  ref_cfg.tuning.meter_active_nodes_only = true;
+  harness::SuiteRunner ref_runner(sim::system_g(), m2, ref_cfg);
+  const auto reference = ref_runner.run_extended_suite(1024).measurements;
+  const core::TgiCalculator calc(reference);
+  const auto r = calc.compute(sys_runner.run_extended_suite(128).measurements,
+                              core::WeightScheme::kArithmeticMean);
+  EXPECT_EQ(r.components.size(), 6u);
+  EXPECT_GT(r.tgi, 0.0);
+  double weight_sum = 0.0;
+  for (const auto& c : r.components) weight_sum += c.weight;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(ExtendedModels, Validation) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  PtransModelParams pt;
+  pt.processes = 4096;
+  EXPECT_THROW(make_ptrans_workload(fire, pt), util::PreconditionError);
+  FftModelParams fft;
+  fft.processes = 16;
+  fft.memory_fraction = 0.9;
+  EXPECT_THROW(make_fft_workload(fire, fft), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

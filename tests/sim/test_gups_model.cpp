@@ -1,0 +1,71 @@
+// GUPS workload model and its latency-bound pricing.
+#include <gtest/gtest.h>
+
+#include "kernels/gups_model.h"
+#include "kernels/stream_model.h"
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace tgi::kernels {
+namespace {
+
+TEST(GupsModel, TrafficAccounting) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  GupsModelParams params;
+  params.processes = 128;
+  const sim::Workload wl = make_gups_workload(fire, params);
+  EXPECT_EQ(wl.benchmark, "GUPS");
+  ASSERT_EQ(wl.phases.size(), 1u);
+  EXPECT_TRUE(wl.phases[0].memory_random);
+  // 128 bytes of line traffic per 8-byte update.
+  EXPECT_NEAR(wl.phases[0].memory_bytes_per_node.value(),
+              params.updates_per_node(fire) * 128.0, 1.0);
+}
+
+TEST(GupsModel, RandomAccessIsSlowerThanStreaming) {
+  // Same byte volume priced as random vs sequential: random must cost
+  // 1/random_access_efficiency more.
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  sim::SimTuning tuning;
+  const sim::ExecutionSimulator simulator(fire, tuning);
+  sim::Workload seq;
+  sim::Phase ph;
+  ph.memory_bytes_per_node = util::gibibytes(1.0);
+  ph.active_nodes = 1;
+  ph.cores_per_node = 4;
+  seq.phases.push_back(ph);
+  sim::Workload rnd = seq;
+  rnd.phases[0].memory_random = true;
+  const double t_seq = simulator.run(seq).elapsed.value();
+  const double t_rnd = simulator.run(rnd).elapsed.value();
+  EXPECT_NEAR(t_rnd, t_seq / tuning.random_access_efficiency, t_rnd * 1e-9);
+}
+
+TEST(GupsModel, GupsClassPerformanceOnFire) {
+  // A 16-rank-per-node Fire node should land in the 10^-2 GUPS/node class
+  // typical of commodity 2010 nodes under this latency model.
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  GupsModelParams params;
+  params.processes = 128;
+  const sim::Workload wl = make_gups_workload(fire, params);
+  const sim::ExecutionSimulator simulator(fire);
+  const auto run = simulator.run(wl);
+  const double gups = params.updates_per_node(fire) * 8.0 /
+                      run.elapsed.value() / 1e9;
+  EXPECT_GT(gups, 0.01);
+  EXPECT_LT(gups, 10.0);
+}
+
+TEST(GupsModel, Validation) {
+  const sim::ClusterSpec fire = sim::fire_cluster();
+  GupsModelParams params;
+  params.processes = 4096;
+  EXPECT_THROW(make_gups_workload(fire, params), util::PreconditionError);
+  params.processes = 16;
+  params.memory_fraction = 0.9;
+  EXPECT_THROW(make_gups_workload(fire, params), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::kernels

@@ -1,0 +1,96 @@
+// Machine specs: peak rates, layouts, shared-storage saturation.
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::sim {
+namespace {
+
+TEST(CpuSpec, PeakFlops) {
+  const CpuSpec cpu{.model = "t", .cores = 8, .ghz = 2.5,
+                    .flops_per_cycle = 4.0};
+  EXPECT_DOUBLE_EQ(cpu.peak_flops().value(), 80e9);
+}
+
+TEST(NodeSpec, PeakAndCores) {
+  NodeSpec node;
+  node.cpu = {.model = "t", .cores = 4, .ghz = 2.0, .flops_per_cycle = 2.0};
+  node.sockets = 2;
+  EXPECT_EQ(node.total_cores(), 8u);
+  EXPECT_DOUBLE_EQ(node.peak_flops().value(), 32e9);
+}
+
+TEST(ClusterSpec, Aggregates) {
+  ClusterSpec c;
+  c.node.cpu = {.model = "t", .cores = 4, .ghz = 2.0,
+                .flops_per_cycle = 2.0};
+  c.node.sockets = 2;
+  c.node.memory = util::gibibytes(8.0);
+  c.nodes = 4;
+  EXPECT_EQ(c.total_cores(), 32u);
+  EXPECT_DOUBLE_EQ(c.peak_flops().value(), 128e9);
+  EXPECT_DOUBLE_EQ(c.total_memory().value(), 4.0 * 8.0 * 1073741824.0);
+}
+
+TEST(ClusterSpec, NodesFor) {
+  ClusterSpec c;
+  c.node.cpu.cores = 4;
+  c.node.sockets = 2;  // 8 cores per node
+  c.nodes = 4;
+  EXPECT_EQ(c.nodes_for(1), 1u);
+  EXPECT_EQ(c.nodes_for(8), 1u);
+  EXPECT_EQ(c.nodes_for(9), 2u);
+  EXPECT_EQ(c.nodes_for(32), 4u);
+  EXPECT_THROW(c.nodes_for(33), util::PreconditionError);
+  EXPECT_THROW(c.nodes_for(0), util::PreconditionError);
+}
+
+TEST(SharedStorage, SingleClientSeesMinOfCaps) {
+  const SharedStorageSpec storage{
+      .backend_bandwidth = util::megabytes_per_sec(120.0),
+      .per_client_bandwidth = util::megabytes_per_sec(90.0),
+      .contention = 0.2};
+  EXPECT_DOUBLE_EQ(storage.aggregate_bandwidth(1).value(), 90e6);
+}
+
+TEST(SharedStorage, NeverExceedsBackend) {
+  const SharedStorageSpec storage{
+      .backend_bandwidth = util::megabytes_per_sec(120.0),
+      .per_client_bandwidth = util::megabytes_per_sec(90.0),
+      .contention = 0.0};
+  for (std::size_t n = 1; n <= 32; ++n) {
+    EXPECT_LE(storage.aggregate_bandwidth(n).value(), 120e6 + 1e-9);
+  }
+}
+
+TEST(SharedStorage, ContentionDegradesLargeClientCounts) {
+  const SharedStorageSpec storage{
+      .backend_bandwidth = util::megabytes_per_sec(130.0),
+      .per_client_bandwidth = util::megabytes_per_sec(95.0),
+      .contention = 0.4};
+  // Past saturation the served rate falls with each added client.
+  const double at4 = storage.aggregate_bandwidth(4).value();
+  const double at8 = storage.aggregate_bandwidth(8).value();
+  EXPECT_GT(at4, at8);
+  // per-client × n still bounds the low end.
+  EXPECT_DOUBLE_EQ(storage.aggregate_bandwidth(1).value(), 95e6);
+}
+
+TEST(SharedStorage, RejectsZeroClients) {
+  const SharedStorageSpec storage;
+  EXPECT_THROW(storage.aggregate_bandwidth(0), util::PreconditionError);
+}
+
+TEST(ClusterSpec, PowerModelReflectsSpec) {
+  ClusterSpec c;
+  c.nodes = 3;
+  c.switch_power = util::watts(42.0);
+  const power::ClusterPowerModel model = c.power_model();
+  EXPECT_EQ(model.node_count(), 3u);
+  EXPECT_GT(model.idle_wall_power().value(), 42.0);
+}
+
+}  // namespace
+}  // namespace tgi::sim

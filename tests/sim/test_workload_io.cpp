@@ -1,0 +1,114 @@
+// Workload config-file round trips and validation.
+#include "sim/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/hpl_model.h"
+#include "kernels/stream_model.h"
+#include "sim/catalog.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace tgi::sim {
+namespace {
+
+TEST(WorkloadIo, ParsesMultiPhase) {
+  const Workload wl = workload_from_config(util::Config::parse(R"(
+    benchmark = App
+    phases = 2
+    phase.0.label = compute
+    phase.0.flops_per_node = 1e12
+    phase.0.active_nodes = 4
+    phase.0.cores_per_node = 8
+    phase.0.allreduce_bytes = 1e6
+    phase.0.allreduce_repeat = 10
+    phase.1.label = dump
+    phase.1.io_bytes_per_node = 1e9
+    phase.1.active_nodes = 4
+  )"));
+  EXPECT_EQ(wl.benchmark, "App");
+  ASSERT_EQ(wl.phases.size(), 2u);
+  EXPECT_EQ(wl.phases[0].label, "compute");
+  EXPECT_DOUBLE_EQ(wl.phases[0].flops_per_node.value(), 1e12);
+  ASSERT_EQ(wl.phases[0].comms.size(), 1u);
+  EXPECT_EQ(wl.phases[0].comms[0].kind, CommOp::Kind::kAllreduce);
+  EXPECT_DOUBLE_EQ(wl.phases[0].comms[0].repeat, 10.0);
+  EXPECT_EQ(wl.phases[1].cores_per_node, 1u);  // default
+}
+
+TEST(WorkloadIo, DefaultsAndBarriers) {
+  const Workload wl = workload_from_config(util::Config::parse(R"(
+    phases = 1
+    phase.0.barrier_repeat = 3
+  )"));
+  EXPECT_EQ(wl.benchmark, "custom");
+  ASSERT_EQ(wl.phases[0].comms.size(), 1u);
+  EXPECT_EQ(wl.phases[0].comms[0].kind, CommOp::Kind::kBarrier);
+}
+
+TEST(WorkloadIo, CommOverlapRoundTrips) {
+  const Workload wl = workload_from_config(util::Config::parse(R"(
+    phases = 1
+    phase.0.flops_per_node = 1e10
+    phase.0.bcast_bytes = 1e6
+    phase.0.bcast_repeat = 5
+    phase.0.comm_overlap = 0.75
+  )"));
+  EXPECT_DOUBLE_EQ(wl.phases[0].comm_overlap, 0.75);
+  const Workload reparsed = workload_from_config(
+      util::Config::parse(workload_to_config(wl)));
+  EXPECT_DOUBLE_EQ(reparsed.phases[0].comm_overlap, 0.75);
+}
+
+TEST(WorkloadIo, RejectsIdlePhase) {
+  EXPECT_THROW(workload_from_config(util::Config::parse(R"(
+    phases = 1
+    phase.0.label = nothing
+  )")),
+               util::PreconditionError);
+}
+
+TEST(WorkloadIo, RejectsMissingPhaseCount) {
+  EXPECT_THROW(workload_from_config(util::Config::parse("benchmark = x\n")),
+               util::PreconditionError);
+}
+
+TEST(WorkloadIo, RoundTripsGeneratedModels) {
+  const ClusterSpec fire = fire_cluster();
+  kernels::HplModelParams hpl;
+  hpl.processes = 64;
+  kernels::StreamModelParams stream;
+  stream.processes = 64;
+  for (const Workload& original :
+       {kernels::make_hpl_workload(fire, hpl),
+        kernels::make_stream_workload(fire, stream)}) {
+    const Workload reparsed = workload_from_config(
+        util::Config::parse(workload_to_config(original)));
+    ASSERT_EQ(reparsed.phases.size(), original.phases.size());
+    EXPECT_NEAR(reparsed.total_flops().value(),
+                original.total_flops().value(),
+                original.total_flops().value() * 1e-6 + 1.0);
+    EXPECT_NEAR(reparsed.total_memory_bytes().value(),
+                original.total_memory_bytes().value(),
+                original.total_memory_bytes().value() * 1e-6 + 1.0);
+    // The simulator must price both identically (within serialization
+    // precision).
+    const ExecutionSimulator sim(fire);
+    EXPECT_NEAR(sim.run(reparsed).elapsed.value(),
+                sim.run(original).elapsed.value(),
+                sim.run(original).elapsed.value() * 1e-5);
+  }
+}
+
+TEST(WorkloadIo, RejectsDuplicateCommKindsOnSerialize) {
+  Workload wl;
+  Phase ph;
+  ph.flops_per_node = util::flops(1.0);
+  ph.comms.push_back({CommOp::Kind::kBarrier, util::bytes(0.0), 1.0});
+  ph.comms.push_back({CommOp::Kind::kBarrier, util::bytes(0.0), 2.0});
+  wl.phases.push_back(ph);
+  EXPECT_THROW(workload_to_config(wl), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::sim

@@ -1,0 +1,95 @@
+// Bootstrap confidence intervals.
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::stats {
+namespace {
+
+TEST(Bootstrap, IntervalBracketsPointEstimate) {
+  util::Xoshiro256 rng(1);
+  std::vector<double> x(30);
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 2.0 * x[i] + rng.normal(0.0, 3.0);
+  }
+  const BootstrapInterval ci = pearson_bootstrap_ci(x, y, 500);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_GT(ci.point, 0.8);  // strong linear relationship
+}
+
+TEST(Bootstrap, TightForStrongCorrelationLooseForNoise) {
+  util::Xoshiro256 rng(2);
+  std::vector<double> x(20);
+  std::vector<double> strong(20);
+  std::vector<double> noise(20);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    strong[i] = x[i] + rng.normal(0.0, 0.1);
+    noise[i] = rng.normal(0.0, 1.0);
+  }
+  const BootstrapInterval tight = pearson_bootstrap_ci(x, strong, 500);
+  const BootstrapInterval loose = pearson_bootstrap_ci(x, noise, 500);
+  EXPECT_LT(tight.hi - tight.lo, loose.hi - loose.lo);
+}
+
+TEST(Bootstrap, DeterministicBySeed) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0, 5.0};
+  const BootstrapInterval a = pearson_bootstrap_ci(x, y, 200, 0.95, 9);
+  const BootstrapInterval b = pearson_bootstrap_ci(x, y, 200, 0.95, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, WiderConfidenceWidensInterval) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const std::vector<double> y{1.5, 1.0, 3.2, 4.8, 4.1, 6.6, 6.2, 9.0};
+  const BootstrapInterval narrow = pearson_bootstrap_ci(x, y, 500, 0.5);
+  const BootstrapInterval wide = pearson_bootstrap_ci(x, y, 500, 0.99);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{10.0, 20.0, 30.0, 40.0};
+  const BootstrapInterval ci = bootstrap_paired_ci(
+      x, y,
+      [](std::span<const double> a, std::span<const double> b) {
+        return mean(b) - mean(a);
+      },
+      200);
+  EXPECT_NEAR(ci.point, 22.5, 1e-12);
+  EXPECT_GT(ci.hi, ci.lo);
+}
+
+TEST(Bootstrap, Validation) {
+  const std::vector<double> two{1.0, 2.0};
+  const std::vector<double> three{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson_bootstrap_ci(two, two), util::PreconditionError);
+  EXPECT_THROW(pearson_bootstrap_ci(three, two), util::PreconditionError);
+  EXPECT_THROW(pearson_bootstrap_ci(three, three, 5),
+               util::PreconditionError);
+  EXPECT_THROW(pearson_bootstrap_ci(three, three, 100, 1.5),
+               util::PreconditionError);
+}
+
+TEST(Bootstrap, DegenerateResamplesAreRedrawn) {
+  // With only 3 distinct pairs, many resamples are constant; the retry
+  // logic must still converge.
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const BootstrapInterval ci = pearson_bootstrap_ci(x, y, 50);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+}
+
+}  // namespace
+}  // namespace tgi::stats

@@ -1,0 +1,100 @@
+// Pearson (paper Eq. 17) and Spearman correlation.
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::stats {
+namespace {
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(spearman(x, y), 1.0);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{6.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), -1.0);
+  EXPECT_DOUBLE_EQ(spearman(x, y), -1.0);
+}
+
+TEST(Correlation, KnownValue) {
+  // Hand-computed: cov = 2.5, var_x = 2.5, var_y = 3.7,
+  // r = 2.5 / sqrt(2.5 · 3.7) = 0.8220052.
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0};
+  EXPECT_NEAR(pearson(x, y), 2.5 / std::sqrt(2.5 * 3.7), 1e-12);
+}
+
+TEST(Correlation, CovarianceClosedForm) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(covariance_sample(x, y), 2.0);
+}
+
+TEST(Correlation, AffineInvariance) {
+  util::Xoshiro256 rng(3);
+  std::vector<double> x(50);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 1.0);
+    y[i] = rng.uniform(0.0, 1.0);
+  }
+  const double base = pearson(x, y);
+  std::vector<double> x2(x);
+  for (double& v : x2) v = 3.0 * v + 7.0;  // positive affine map
+  EXPECT_NEAR(pearson(x2, y), base, 1e-12);
+  for (double& v : x2) v = -v;  // sign flip negates r
+  EXPECT_NEAR(pearson(x2, y), -base, 1e-12);
+}
+
+TEST(Correlation, BoundedInUnitInterval) {
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(10);
+    std::vector<double> y(10);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.normal();
+      y[i] = rng.normal();
+    }
+    const double r = pearson(x, y);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x³ is a nonlinear but monotone map: Spearman sees 1, Pearson < 1.
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * v * v);
+  EXPECT_DOUBLE_EQ(spearman(x, y), 1.0);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y{10.0, 20.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(spearman(x, y), 1.0);
+}
+
+TEST(Correlation, ErrorCases) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson(one, one), util::PreconditionError);
+  EXPECT_THROW(pearson(varying, std::vector<double>{1.0, 2.0}),
+               util::PreconditionError);
+  EXPECT_THROW(pearson(constant, varying), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::stats

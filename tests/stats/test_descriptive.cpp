@@ -1,0 +1,118 @@
+// Descriptive statistics: closed-form checks and the Welford accumulator.
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::stats {
+namespace {
+
+const std::vector<double> kData{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, Sum) {
+  EXPECT_DOUBLE_EQ(sum(kData), 40.0);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, KahanSumStaysAccurate) {
+  // 1 + 1e-16 repeated: naive summation loses the small terms entirely.
+  std::vector<double> xs(1000001, 1e-16);
+  xs[0] = 1.0;
+  EXPECT_NEAR(sum(xs), 1.0 + 1e-10, 1e-14);
+}
+
+TEST(Descriptive, Mean) { EXPECT_DOUBLE_EQ(mean(kData), 5.0); }
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kData), 2.0);
+  EXPECT_DOUBLE_EQ(max(kData), 9.0);
+}
+
+TEST(Descriptive, Variance) {
+  // Classic example: population variance 4, sample variance 32/7.
+  EXPECT_DOUBLE_EQ(variance_population(kData), 4.0);
+  EXPECT_DOUBLE_EQ(variance_sample(kData), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stddev_sample(kData), std::sqrt(32.0 / 7.0));
+}
+
+TEST(Descriptive, Median) {
+  EXPECT_DOUBLE_EQ(median(kData), 4.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Descriptive, Percentile) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_THROW(percentile(xs, 1.5), util::PreconditionError);
+}
+
+TEST(Descriptive, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), util::PreconditionError);
+  EXPECT_THROW(min(empty), util::PreconditionError);
+  EXPECT_THROW(max(empty), util::PreconditionError);
+  EXPECT_THROW(median(empty), util::PreconditionError);
+  EXPECT_THROW(variance_sample(std::vector<double>{1.0}),
+               util::PreconditionError);
+}
+
+TEST(OnlineStats, MatchesBatch) {
+  OnlineStats acc;
+  for (double x : kData) acc.add(x);
+  EXPECT_EQ(acc.count(), kData.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), mean(kData));
+  EXPECT_NEAR(acc.variance_sample(), variance_sample(kData), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = rng.uniform(-10.0, 10.0);
+
+  OnlineStats whole;
+  for (double x : xs) whole.add(x);
+
+  OnlineStats left;
+  OnlineStats right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 200 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance_sample(), whole.variance_sample(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, EmptyAccessThrows) {
+  OnlineStats acc;
+  EXPECT_THROW(acc.mean(), util::PreconditionError);
+  acc.add(1.0);
+  EXPECT_THROW(acc.variance_sample(), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::stats

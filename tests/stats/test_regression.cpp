@@ -1,0 +1,59 @@
+// Least-squares fits and monotonicity helpers.
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::stats {
+namespace {
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{5.0, 7.0, 9.0, 11.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 2.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, NoisyLineSlopeSign) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.1, 3.9, 6.2, 7.8, 10.1};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_GT(fit.slope, 1.5);
+  EXPECT_LT(fit.slope, 2.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, ConstantYHasZeroSlopeFullR2) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 4.0, 4.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, Errors) {
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(linear_fit(x, x), util::PreconditionError);
+  const std::vector<double> constant{2.0, 2.0};
+  const std::vector<double> y{1.0, 3.0};
+  EXPECT_THROW(linear_fit(constant, y), util::PreconditionError);
+  EXPECT_THROW(linear_fit(y, std::vector<double>{1.0}),
+               util::PreconditionError);
+}
+
+TEST(Regression, Monotonicity) {
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{1.0, 1.0, 2.0}));
+  EXPECT_FALSE(is_non_decreasing(std::vector<double>{1.0, 0.5}));
+  EXPECT_TRUE(is_non_increasing(std::vector<double>{3.0, 3.0, 1.0}));
+  EXPECT_FALSE(is_non_increasing(std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{}));
+  EXPECT_TRUE(is_non_increasing(std::vector<double>{42.0}));
+}
+
+}  // namespace
+}  // namespace tgi::stats

@@ -1,0 +1,97 @@
+// Key=value config parsing and typed lookups.
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::util {
+namespace {
+
+TEST(Config, ParsesBasicPairs) {
+  const Config cfg = Config::parse("a = 1\nb=hello\n  c  =  2.5  \n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0.0), 2.5);
+}
+
+TEST(Config, CommentsAndBlanks) {
+  const Config cfg = Config::parse("# comment\n\nkey = v # trailing\n");
+  EXPECT_EQ(cfg.get_string("key", ""), "v");
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(Config, LaterAssignmentWins) {
+  const Config cfg = Config::parse("x = 1\nx = 2\n");
+  EXPECT_EQ(cfg.get_int("x", 0), 2);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("no-equals-here\n"), PreconditionError);
+  EXPECT_THROW(Config::parse("= value\n"), PreconditionError);
+}
+
+TEST(Config, FromArgs) {
+  const char* argv[] = {"prog", "seed=42", "name=fire"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_EQ(cfg.get_int("seed", 0), 42);
+  EXPECT_EQ(cfg.get_string("name", ""), "fire");
+}
+
+TEST(Config, FromArgsRejectsBareToken) {
+  const char* argv[] = {"prog", "noequals"};
+  EXPECT_THROW(Config::from_args(2, argv), PreconditionError);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_string("absent", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool("absent", true));
+  EXPECT_FALSE(cfg.has("absent"));
+  EXPECT_FALSE(cfg.get("absent").has_value());
+}
+
+TEST(Config, TypedParseErrors) {
+  Config cfg;
+  cfg.set("n", "12x");
+  cfg.set("d", "abc");
+  cfg.set("b", "maybe");
+  EXPECT_THROW(cfg.get_int("n", 0), PreconditionError);
+  EXPECT_THROW(cfg.get_double("d", 0.0), PreconditionError);
+  EXPECT_THROW(cfg.get_bool("b", false), PreconditionError);
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg;
+  for (const char* t : {"true", "1", "yes", "on"}) {
+    cfg.set("k", t);
+    EXPECT_TRUE(cfg.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off"}) {
+    cfg.set("k", f);
+    EXPECT_FALSE(cfg.get_bool("k", true)) << f;
+  }
+}
+
+TEST(Config, IntList) {
+  Config cfg;
+  cfg.set("sweep", "16, 32,64 ,128");
+  const auto v = cfg.get_int_list("sweep", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 16);
+  EXPECT_EQ(v[3], 128);
+}
+
+TEST(Config, IntListFallbackAndErrors) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int_list("absent", {1, 2}), (std::vector<long long>{1, 2}));
+  cfg.set("bad", "1,x");
+  EXPECT_THROW(cfg.get_int_list("bad", {}), PreconditionError);
+  cfg.set("empty", ",,");
+  EXPECT_THROW(cfg.get_int_list("empty", {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::util

@@ -1,0 +1,59 @@
+// Error machinery: exception taxonomy and message composition.
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace tgi::util {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(TGI_REQUIRE(1 + 1 == 2, "fine"));
+}
+
+TEST(Error, RequireThrowsPrecondition) {
+  EXPECT_THROW(TGI_REQUIRE(false, "bad input"), PreconditionError);
+}
+
+TEST(Error, CheckThrowsInternal) {
+  EXPECT_THROW(TGI_CHECK(false, "bug"), InternalError);
+}
+
+TEST(Error, BothDeriveFromTgiError) {
+  EXPECT_THROW(TGI_REQUIRE(false, "x"), TgiError);
+  EXPECT_THROW(TGI_CHECK(false, "x"), TgiError);
+}
+
+TEST(Error, MessageContainsExpressionAndDetail) {
+  try {
+    const int value = 42;
+    TGI_REQUIRE(value < 10, "value was " << value);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value < 10"), std::string::npos) << what;
+    EXPECT_NE(what.find("value was 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, StreamedMessageFormatting) {
+  try {
+    TGI_CHECK(false, "a=" << 1 << " b=" << 2.5);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("a=1 b=2.5"), std::string::npos);
+  }
+}
+
+TEST(Error, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&] {
+    ++calls;
+    return true;
+  };
+  TGI_REQUIRE(probe(), "side effects");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace tgi::util

@@ -1,0 +1,79 @@
+// Logger: level filtering, sink redirection, message format.
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace tgi::util {
+namespace {
+
+/// RAII guard restoring the global logger state after each test.
+class LoggerGuard {
+ public:
+  LoggerGuard() : level_(Logger::instance().level()) {}
+  ~LoggerGuard() {
+    Logger::instance().set_level(level_);
+    Logger::instance().set_sink(&std::clog);
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Logger, FiltersBelowLevel) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kWarn);
+  TGI_LOG_DEBUG("invisible");
+  TGI_LOG_INFO("also invisible");
+  TGI_LOG_WARN("visible warning");
+  TGI_LOG_ERROR("visible error");
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST(Logger, MessageFormatAndStreaming) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kInfo);
+  TGI_LOG_INFO("value=" << 42 << " name=" << "fire");
+  EXPECT_EQ(sink.str(), "[tgi:INFO] value=42 name=fire\n");
+}
+
+TEST(Logger, OffSilencesEverything) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kOff);
+  TGI_LOG_ERROR("nope");
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logger, MacroDoesNotEvaluateWhenFiltered) {
+  LoggerGuard guard;
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  TGI_LOG_DEBUG(count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace tgi::util

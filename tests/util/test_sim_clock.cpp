@@ -1,0 +1,40 @@
+// SimClock: monotone advancement.
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace tgi::util {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now().value(), 0.0);
+}
+
+TEST(SimClock, Advances) {
+  SimClock clock;
+  clock.advance(seconds(1.5));
+  clock.advance(seconds(0.5));
+  EXPECT_DOUBLE_EQ(clock.now().value(), 2.0);
+}
+
+TEST(SimClock, ZeroAdvanceAllowed) {
+  SimClock clock;
+  clock.advance(seconds(0.0));
+  EXPECT_DOUBLE_EQ(clock.now().value(), 0.0);
+}
+
+TEST(SimClock, RejectsNegative) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(seconds(-0.1)), PreconditionError);
+}
+
+TEST(SimClock, Reset) {
+  SimClock clock;
+  clock.advance(seconds(10.0));
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tgi::util

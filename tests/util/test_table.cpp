@@ -1,0 +1,65 @@
+// Table and CSV rendering.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name    value"), std::string::npos) << out;
+  EXPECT_NE(out.find("longer  22"), std::string::npos) << out;
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(TextTable, Streams) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  std::ostringstream oss;
+  oss << t;
+  EXPECT_EQ(oss.str(), t.to_string());
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecials) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(oss.str(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvWriter, EmptyRow) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({});
+  EXPECT_EQ(oss.str(), "\n");
+}
+
+}  // namespace
+}  // namespace tgi::util

@@ -1,0 +1,105 @@
+// Unit-type arithmetic: same-unit algebra, cross-unit physics, factories.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace tgi::util {
+namespace {
+
+TEST(Units, SameUnitArithmetic) {
+  const Watts a(100.0);
+  const Watts b(50.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((-b).value(), -50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);  // dimensionless ratio
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w(10.0);
+  w += Watts(5.0);
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= Watts(3.0);
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts(1.0), Watts(2.0));
+  EXPECT_EQ(Seconds(3.0), Seconds(3.0));
+  EXPECT_GE(Joules(5.0), Joules(5.0));
+}
+
+TEST(Units, EnergyIsPowerTimesTime) {
+  const Joules e = Watts(250.0) * Seconds(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1000.0);
+  EXPECT_DOUBLE_EQ((Seconds(4.0) * Watts(250.0)).value(), 1000.0);
+  EXPECT_DOUBLE_EQ((e / Seconds(4.0)).value(), 250.0);   // back to watts
+  EXPECT_DOUBLE_EQ((e / Watts(250.0)).value(), 4.0);     // back to seconds
+}
+
+TEST(Units, FlopRateRelations) {
+  const FlopCount work = flops(1e9);
+  const Seconds t = seconds(2.0);
+  const FlopRate r = work / t;
+  EXPECT_DOUBLE_EQ(r.value(), 5e8);
+  EXPECT_DOUBLE_EQ((r * t).value(), 1e9);
+  EXPECT_DOUBLE_EQ((t * r).value(), 1e9);
+  EXPECT_DOUBLE_EQ((work / r).value(), 2.0);
+}
+
+TEST(Units, ByteRateRelations) {
+  const ByteCount moved = bytes(4e6);
+  const Seconds t = seconds(0.5);
+  const ByteRate r = moved / t;
+  EXPECT_DOUBLE_EQ(r.value(), 8e6);
+  EXPECT_DOUBLE_EQ((r * t).value(), 4e6);
+  EXPECT_DOUBLE_EQ((moved / r).value(), 0.5);
+}
+
+TEST(Units, Factories) {
+  EXPECT_DOUBLE_EQ(milliseconds(250.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(microseconds(5.0).value(), 5e-6);
+  EXPECT_DOUBLE_EQ(hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(kilowatts(1.5).value(), 1500.0);
+  EXPECT_DOUBLE_EQ(megawatts(2.0).value(), 2e6);
+  EXPECT_DOUBLE_EQ(kilojoules(3.0).value(), 3000.0);
+  EXPECT_DOUBLE_EQ(kilowatt_hours(1.0).value(), 3.6e6);
+  EXPECT_DOUBLE_EQ(gigaflops(1.0).value(), 1e9);
+  EXPECT_DOUBLE_EQ(teraflops(1.0).value(), 1e12);
+  EXPECT_DOUBLE_EQ(megaflops(1.0).value(), 1e6);
+  EXPECT_DOUBLE_EQ(kibibytes(1.0).value(), 1024.0);
+  EXPECT_DOUBLE_EQ(mebibytes(1.0).value(), 1048576.0);
+  EXPECT_DOUBLE_EQ(gibibytes(1.0).value(), 1073741824.0);
+  EXPECT_DOUBLE_EQ(megabytes_per_sec(1.0).value(), 1e6);
+  EXPECT_DOUBLE_EQ(gigabytes_per_sec(1.0).value(), 1e9);
+}
+
+TEST(Units, Readbacks) {
+  EXPECT_DOUBLE_EQ(in_megaflops(gigaflops(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(in_gigaflops(teraflops(2.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(in_teraflops(gigaflops(500.0)), 0.5);
+  EXPECT_DOUBLE_EQ(in_megabytes_per_sec(gigabytes_per_sec(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(in_kilowatts(watts(2500.0)), 2.5);
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(joules(3.6e6)), 1.0);
+}
+
+TEST(Units, KwhRoundTrip) {
+  // One hour at one kilowatt is one kWh.
+  const Joules e = kilowatts(1.0) * hours(1.0);
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(e), 1.0);
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tgi::util

@@ -1,0 +1,172 @@
+// tgi_sweep — one-command reproduction: runs the full Fire-vs-SystemG
+// sweep and writes every figure/table CSV plus the measurement CSVs that
+// tgi_calc consumes.
+//
+//   tgi_sweep outdir=results [sweep=16,32,...,128] [seed=N] [meter=model]
+//             [cluster=my.conf] [reference_cluster=ref.conf]
+//
+// `cluster`/`reference_cluster` load machine descriptions from spec files
+// (see sim/spec_io.h and clusters/*.conf); defaults are the paper's Fire
+// and SystemG.
+//
+// Produces in `outdir`:
+//   fig2_hpl_ee.csv, fig3_stream_ee.csv, fig4_iozone_ee.csv,
+//   fig5_tgi_am.csv, fig6_tgi_weighted.csv, table2_pcc.csv,
+//   reference_systemg.csv, fire_<cores>.csv (one measurement set per
+//   sweep point), and sweep_summary.csv.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/tgi.h"
+#include "harness/measurement_io.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+#include "sim/catalog.h"
+#include "sim/spec_io.h"
+#include "stats/correlation.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tgi;
+
+int run(int argc, const char* const* argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const std::string outdir = cfg.get_string("outdir", "tgi_results");
+  std::filesystem::create_directories(outdir);
+  auto path = [&](const std::string& name) { return outdir + "/" + name; };
+
+  std::vector<std::size_t> sweep;
+  for (const long long p : cfg.get_int_list(
+           "sweep", {16, 32, 48, 64, 80, 96, 112, 128})) {
+    sweep.push_back(static_cast<std::size_t>(p));
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(cfg.get_int("seed", 0x9e3779b9LL));
+  const bool exact = cfg.get_string("meter", "wattsup") == "model";
+
+  auto make_meter = [&](std::uint64_t salt)
+      -> std::unique_ptr<power::PowerMeter> {
+    if (exact) {
+      return std::make_unique<power::ModelMeter>(util::seconds(0.5));
+    }
+    power::WattsUpConfig wcfg;
+    wcfg.seed = seed + salt;
+    return std::make_unique<power::WattsUpMeter>(wcfg);
+  };
+
+  const sim::ClusterSpec system_cluster =
+      cfg.has("cluster") ? sim::load_cluster_file(*cfg.get("cluster"))
+                         : sim::fire_cluster();
+  const sim::ClusterSpec reference_cluster =
+      cfg.has("reference_cluster")
+          ? sim::load_cluster_file(*cfg.get("reference_cluster"))
+          : sim::system_g();
+  std::cout << "system: " << system_cluster.name << " ("
+            << system_cluster.total_cores() << " cores), reference: "
+            << reference_cluster.name << "\n";
+
+  // Reference.
+  auto ref_meter = make_meter(1);
+  const auto reference =
+      harness::reference_measurements(reference_cluster, *ref_meter);
+  harness::write_measurements_file(path("reference_systemg.csv"), reference);
+  const core::TgiCalculator calc(reference);
+
+  // Sweep.
+  auto meter = make_meter(0);
+  harness::SuiteRunner runner(system_cluster, *meter);
+  std::map<std::string, std::vector<double>> ee;
+  std::vector<double> x;
+  std::map<core::WeightScheme, std::vector<double>> tgi;
+  const std::vector<core::WeightScheme> schemes{
+      core::WeightScheme::kArithmeticMean, core::WeightScheme::kTime,
+      core::WeightScheme::kEnergy, core::WeightScheme::kPower};
+
+  std::ofstream summary_file(path("sweep_summary.csv"));
+  util::CsvWriter summary(summary_file);
+  summary.write_row({"cores", "tgi_am", "tgi_time", "tgi_energy",
+                     "tgi_power", "hpl_mflops", "hpl_watts",
+                     "stream_mbps", "stream_watts", "iozone_mbps",
+                     "iozone_watts"});
+
+  for (const std::size_t p : sweep) {
+    const harness::SuitePoint point = runner.run_suite(p);
+    harness::write_measurements_file(
+        path("fire_" + std::to_string(p) + ".csv"), point.measurements);
+    x.push_back(static_cast<double>(p));
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto scheme : schemes) {
+      const double value = calc.compute(point.measurements, scheme).tgi;
+      tgi[scheme].push_back(value);
+      row.push_back(util::fixed(value, 6));
+    }
+    for (const char* name : {"HPL", "STREAM", "IOzone"}) {
+      const auto& m = core::find_measurement(point.measurements, name);
+      ee[name].push_back(m.performance / m.average_power.value());
+      row.push_back(util::fixed(m.performance, 3));
+      row.push_back(util::fixed(m.average_power.value(), 3));
+    }
+    summary.write_row(row);
+    std::cout << "cores " << p << ": TGI(AM) "
+              << util::fixed(tgi[schemes[0]].back(), 4) << "\n";
+  }
+
+  // Figure CSVs.
+  harness::write_csv(
+      harness::Series{"processes", "MFLOPS_per_W", x, ee["HPL"]},
+      path("fig2_hpl_ee.csv"));
+  harness::write_csv(
+      harness::Series{"processes", "MBPS_per_W", x, ee["STREAM"]},
+      path("fig3_stream_ee.csv"));
+  harness::write_csv(
+      harness::Series{"processes", "MBPS_per_W", x, ee["IOzone"]},
+      path("fig4_iozone_ee.csv"));
+  harness::write_csv(
+      harness::Series{"cores", "TGI_AM", x,
+                      tgi[core::WeightScheme::kArithmeticMean]},
+      path("fig5_tgi_am.csv"));
+  harness::MultiSeries fig6;
+  fig6.x_label = "cores";
+  fig6.x = x;
+  fig6.series = {{"W_t", tgi[core::WeightScheme::kTime]},
+                 {"W_e", tgi[core::WeightScheme::kEnergy]},
+                 {"W_p", tgi[core::WeightScheme::kPower]},
+                 {"AM", tgi[core::WeightScheme::kArithmeticMean]}};
+  harness::write_csv(fig6, path("fig6_tgi_weighted.csv"));
+
+  // Table II CSV (correlations need at least two sweep points).
+  if (x.size() >= 2) {
+    std::ofstream out(path("table2_pcc.csv"));
+    util::CsvWriter csv(out);
+    csv.write_row({"benchmark", "am", "time", "energy", "power"});
+    for (const char* name : {"IOzone", "STREAM", "HPL"}) {
+      std::vector<std::string> row{name};
+      for (const auto scheme : schemes) {
+        row.push_back(
+            util::fixed(stats::pearson(tgi[scheme], ee[name]), 6));
+      }
+      csv.write_row(row);
+    }
+  }
+
+  std::cout << "wrote " << outdir << "/ (figures, tables, and "
+            << sweep.size() + 1 << " measurement CSVs)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& ex) {
+    std::cerr << "tgi_sweep: error: " << ex.what() << "\n";
+    return 1;
+  }
+}
