@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edp.dir/ablation_edp.cpp.o"
+  "CMakeFiles/ablation_edp.dir/ablation_edp.cpp.o.d"
+  "ablation_edp"
+  "ablation_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mean_choice.dir/ablation_mean_choice.cpp.o"
+  "CMakeFiles/ablation_mean_choice.dir/ablation_mean_choice.cpp.o.d"
+  "ablation_mean_choice"
+  "ablation_mean_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mean_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_meter.dir/ablation_meter.cpp.o"
+  "CMakeFiles/ablation_meter.dir/ablation_meter.cpp.o.d"
+  "ablation_meter"
+  "ablation_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

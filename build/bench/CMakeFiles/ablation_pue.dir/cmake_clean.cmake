@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pue.dir/ablation_pue.cpp.o"
+  "CMakeFiles/ablation_pue.dir/ablation_pue.cpp.o.d"
+  "ablation_pue"
+  "ablation_pue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reference.dir/ablation_reference.cpp.o"
+  "CMakeFiles/ablation_reference.dir/ablation_reference.cpp.o.d"
+  "ablation_reference"
+  "ablation_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_suite_size.dir/ablation_suite_size.cpp.o"
+  "CMakeFiles/ablation_suite_size.dir/ablation_suite_size.cpp.o.d"
+  "ablation_suite_size"
+  "ablation_suite_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suite_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hpl_ee.dir/fig2_hpl_ee.cpp.o"
+  "CMakeFiles/fig2_hpl_ee.dir/fig2_hpl_ee.cpp.o.d"
+  "fig2_hpl_ee"
+  "fig2_hpl_ee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hpl_ee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

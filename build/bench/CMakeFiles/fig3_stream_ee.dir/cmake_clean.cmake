@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stream_ee.dir/fig3_stream_ee.cpp.o"
+  "CMakeFiles/fig3_stream_ee.dir/fig3_stream_ee.cpp.o.d"
+  "fig3_stream_ee"
+  "fig3_stream_ee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stream_ee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

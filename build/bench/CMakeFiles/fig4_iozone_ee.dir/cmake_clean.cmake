@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_iozone_ee.dir/fig4_iozone_ee.cpp.o"
+  "CMakeFiles/fig4_iozone_ee.dir/fig4_iozone_ee.cpp.o.d"
+  "fig4_iozone_ee"
+  "fig4_iozone_ee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_iozone_ee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tgi_arithmetic.dir/fig5_tgi_arithmetic.cpp.o"
+  "CMakeFiles/fig5_tgi_arithmetic.dir/fig5_tgi_arithmetic.cpp.o.d"
+  "fig5_tgi_arithmetic"
+  "fig5_tgi_arithmetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tgi_arithmetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tgi_weighted.dir/fig6_tgi_weighted.cpp.o"
+  "CMakeFiles/fig6_tgi_weighted.dir/fig6_tgi_weighted.cpp.o.d"
+  "fig6_tgi_weighted"
+  "fig6_tgi_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tgi_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

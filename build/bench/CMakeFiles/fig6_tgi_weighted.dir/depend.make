@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_tgi_weighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_energy_breakdown.dir/report_energy_breakdown.cpp.o"
+  "CMakeFiles/report_energy_breakdown.dir/report_energy_breakdown.cpp.o.d"
+  "report_energy_breakdown"
+  "report_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

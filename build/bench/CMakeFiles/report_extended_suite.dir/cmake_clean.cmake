@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_extended_suite.dir/report_extended_suite.cpp.o"
+  "CMakeFiles/report_extended_suite.dir/report_extended_suite.cpp.o.d"
+  "report_extended_suite"
+  "report_extended_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_extended_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_weight_space.dir/report_weight_space.cpp.o"
+  "CMakeFiles/report_weight_space.dir/report_weight_space.cpp.o.d"
+  "report_weight_space"
+  "report_weight_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_weight_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_systemg.dir/table1_systemg.cpp.o"
+  "CMakeFiles/table1_systemg.dir/table1_systemg.cpp.o.d"
+  "table1_systemg"
+  "table1_systemg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_systemg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

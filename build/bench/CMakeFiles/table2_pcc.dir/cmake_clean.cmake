@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pcc.dir/table2_pcc.cpp.o"
+  "CMakeFiles/table2_pcc.dir/table2_pcc.cpp.o.d"
+  "table2_pcc"
+  "table2_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

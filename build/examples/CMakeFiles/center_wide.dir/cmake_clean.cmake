@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/center_wide.dir/center_wide.cpp.o"
+  "CMakeFiles/center_wide.dir/center_wide.cpp.o.d"
+  "center_wide"
+  "center_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/center_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

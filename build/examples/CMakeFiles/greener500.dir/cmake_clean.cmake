@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greener500.dir/greener500.cpp.o"
+  "CMakeFiles/greener500.dir/greener500.cpp.o.d"
+  "greener500"
+  "greener500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greener500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

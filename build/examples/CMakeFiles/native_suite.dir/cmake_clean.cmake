@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_suite.dir/native_suite.cpp.o"
+  "CMakeFiles/native_suite.dir/native_suite.cpp.o.d"
+  "native_suite"
+  "native_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement.dir/procurement.cpp.o"
+  "CMakeFiles/procurement.dir/procurement.cpp.o.d"
+  "procurement"
+  "procurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

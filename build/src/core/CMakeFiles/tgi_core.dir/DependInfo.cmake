@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/efficiency.cpp" "src/core/CMakeFiles/tgi_core.dir/efficiency.cpp.o" "gcc" "src/core/CMakeFiles/tgi_core.dir/efficiency.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/tgi_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/tgi_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/tgi.cpp" "src/core/CMakeFiles/tgi_core.dir/tgi.cpp.o" "gcc" "src/core/CMakeFiles/tgi_core.dir/tgi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_core.dir/efficiency.cpp.o"
+  "CMakeFiles/tgi_core.dir/efficiency.cpp.o.d"
+  "CMakeFiles/tgi_core.dir/measurement.cpp.o"
+  "CMakeFiles/tgi_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/tgi_core.dir/tgi.cpp.o"
+  "CMakeFiles/tgi_core.dir/tgi.cpp.o.d"
+  "libtgi_core.a"
+  "libtgi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

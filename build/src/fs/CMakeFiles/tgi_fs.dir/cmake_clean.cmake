@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_fs.dir/disk.cpp.o"
+  "CMakeFiles/tgi_fs.dir/disk.cpp.o.d"
+  "CMakeFiles/tgi_fs.dir/filesystem.cpp.o"
+  "CMakeFiles/tgi_fs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/tgi_fs.dir/page_cache.cpp.o"
+  "CMakeFiles/tgi_fs.dir/page_cache.cpp.o.d"
+  "libtgi_fs.a"
+  "libtgi_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

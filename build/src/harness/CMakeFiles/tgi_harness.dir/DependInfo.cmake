@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/measurement_io.cpp" "src/harness/CMakeFiles/tgi_harness.dir/measurement_io.cpp.o" "gcc" "src/harness/CMakeFiles/tgi_harness.dir/measurement_io.cpp.o.d"
+  "/root/repo/src/harness/native.cpp" "src/harness/CMakeFiles/tgi_harness.dir/native.cpp.o" "gcc" "src/harness/CMakeFiles/tgi_harness.dir/native.cpp.o.d"
+  "/root/repo/src/harness/ranking.cpp" "src/harness/CMakeFiles/tgi_harness.dir/ranking.cpp.o" "gcc" "src/harness/CMakeFiles/tgi_harness.dir/ranking.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/tgi_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/tgi_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/suite.cpp" "src/harness/CMakeFiles/tgi_harness.dir/suite.cpp.o" "gcc" "src/harness/CMakeFiles/tgi_harness.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tgi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tgi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tgi_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_harness.dir/measurement_io.cpp.o"
+  "CMakeFiles/tgi_harness.dir/measurement_io.cpp.o.d"
+  "CMakeFiles/tgi_harness.dir/native.cpp.o"
+  "CMakeFiles/tgi_harness.dir/native.cpp.o.d"
+  "CMakeFiles/tgi_harness.dir/ranking.cpp.o"
+  "CMakeFiles/tgi_harness.dir/ranking.cpp.o.d"
+  "CMakeFiles/tgi_harness.dir/report.cpp.o"
+  "CMakeFiles/tgi_harness.dir/report.cpp.o.d"
+  "CMakeFiles/tgi_harness.dir/suite.cpp.o"
+  "CMakeFiles/tgi_harness.dir/suite.cpp.o.d"
+  "libtgi_harness.a"
+  "libtgi_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgi_harness.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blas.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/blas.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/blas.cpp.o.d"
+  "/root/repo/src/kernels/dgemm.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/dgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/dgemm.cpp.o.d"
+  "/root/repo/src/kernels/extended_models.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/extended_models.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/extended_models.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/gups.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/gups.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/gups.cpp.o.d"
+  "/root/repo/src/kernels/gups_model.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/gups_model.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/gups_model.cpp.o.d"
+  "/root/repo/src/kernels/hpl.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl.cpp.o.d"
+  "/root/repo/src/kernels/hpl2d.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl2d.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl2d.cpp.o.d"
+  "/root/repo/src/kernels/hpl_model.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl_model.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/hpl_model.cpp.o.d"
+  "/root/repo/src/kernels/iozone.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/iozone.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/iozone.cpp.o.d"
+  "/root/repo/src/kernels/iozone_model.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/iozone_model.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/iozone_model.cpp.o.d"
+  "/root/repo/src/kernels/matrix.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/matrix.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/matrix.cpp.o.d"
+  "/root/repo/src/kernels/netbench.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/netbench.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/netbench.cpp.o.d"
+  "/root/repo/src/kernels/ptrans.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/ptrans.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/ptrans.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/stream.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/stream.cpp.o.d"
+  "/root/repo/src/kernels/stream_model.cpp" "src/kernels/CMakeFiles/tgi_kernels.dir/stream_model.cpp.o" "gcc" "src/kernels/CMakeFiles/tgi_kernels.dir/stream_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tgi_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

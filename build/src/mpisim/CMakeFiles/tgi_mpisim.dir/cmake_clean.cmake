@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_mpisim.dir/groups.cpp.o"
+  "CMakeFiles/tgi_mpisim.dir/groups.cpp.o.d"
+  "CMakeFiles/tgi_mpisim.dir/runtime.cpp.o"
+  "CMakeFiles/tgi_mpisim.dir/runtime.cpp.o.d"
+  "libtgi_mpisim.a"
+  "libtgi_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_net.dir/collectives.cpp.o"
+  "CMakeFiles/tgi_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/tgi_net.dir/interconnect.cpp.o"
+  "CMakeFiles/tgi_net.dir/interconnect.cpp.o.d"
+  "libtgi_net.a"
+  "libtgi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

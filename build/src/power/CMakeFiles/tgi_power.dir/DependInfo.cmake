@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breakdown.cpp" "src/power/CMakeFiles/tgi_power.dir/breakdown.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/breakdown.cpp.o.d"
+  "/root/repo/src/power/meter.cpp" "src/power/CMakeFiles/tgi_power.dir/meter.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/meter.cpp.o.d"
+  "/root/repo/src/power/node_model.cpp" "src/power/CMakeFiles/tgi_power.dir/node_model.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/node_model.cpp.o.d"
+  "/root/repo/src/power/spec.cpp" "src/power/CMakeFiles/tgi_power.dir/spec.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/spec.cpp.o.d"
+  "/root/repo/src/power/timeline.cpp" "src/power/CMakeFiles/tgi_power.dir/timeline.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/timeline.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/tgi_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/tgi_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

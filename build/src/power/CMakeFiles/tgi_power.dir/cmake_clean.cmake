@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_power.dir/breakdown.cpp.o"
+  "CMakeFiles/tgi_power.dir/breakdown.cpp.o.d"
+  "CMakeFiles/tgi_power.dir/meter.cpp.o"
+  "CMakeFiles/tgi_power.dir/meter.cpp.o.d"
+  "CMakeFiles/tgi_power.dir/node_model.cpp.o"
+  "CMakeFiles/tgi_power.dir/node_model.cpp.o.d"
+  "CMakeFiles/tgi_power.dir/spec.cpp.o"
+  "CMakeFiles/tgi_power.dir/spec.cpp.o.d"
+  "CMakeFiles/tgi_power.dir/timeline.cpp.o"
+  "CMakeFiles/tgi_power.dir/timeline.cpp.o.d"
+  "CMakeFiles/tgi_power.dir/trace.cpp.o"
+  "CMakeFiles/tgi_power.dir/trace.cpp.o.d"
+  "libtgi_power.a"
+  "libtgi_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cpp" "src/sim/CMakeFiles/tgi_sim.dir/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/tgi_sim.dir/catalog.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/tgi_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/tgi_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/tgi_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/tgi_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/spec_io.cpp" "src/sim/CMakeFiles/tgi_sim.dir/spec_io.cpp.o" "gcc" "src/sim/CMakeFiles/tgi_sim.dir/spec_io.cpp.o.d"
+  "/root/repo/src/sim/workload_io.cpp" "src/sim/CMakeFiles/tgi_sim.dir/workload_io.cpp.o" "gcc" "src/sim/CMakeFiles/tgi_sim.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

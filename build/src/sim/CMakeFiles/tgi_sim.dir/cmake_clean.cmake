@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_sim.dir/catalog.cpp.o"
+  "CMakeFiles/tgi_sim.dir/catalog.cpp.o.d"
+  "CMakeFiles/tgi_sim.dir/machine.cpp.o"
+  "CMakeFiles/tgi_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/tgi_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tgi_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tgi_sim.dir/spec_io.cpp.o"
+  "CMakeFiles/tgi_sim.dir/spec_io.cpp.o.d"
+  "CMakeFiles/tgi_sim.dir/workload_io.cpp.o"
+  "CMakeFiles/tgi_sim.dir/workload_io.cpp.o.d"
+  "libtgi_sim.a"
+  "libtgi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/tgi_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/tgi_stats.dir/correlation.cpp.o"
+  "CMakeFiles/tgi_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/tgi_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tgi_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tgi_stats.dir/means.cpp.o"
+  "CMakeFiles/tgi_stats.dir/means.cpp.o.d"
+  "CMakeFiles/tgi_stats.dir/regression.cpp.o"
+  "CMakeFiles/tgi_stats.dir/regression.cpp.o.d"
+  "libtgi_stats.a"
+  "libtgi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

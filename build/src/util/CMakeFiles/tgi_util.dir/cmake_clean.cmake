@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_util.dir/config.cpp.o"
+  "CMakeFiles/tgi_util.dir/config.cpp.o.d"
+  "CMakeFiles/tgi_util.dir/error.cpp.o"
+  "CMakeFiles/tgi_util.dir/error.cpp.o.d"
+  "CMakeFiles/tgi_util.dir/format.cpp.o"
+  "CMakeFiles/tgi_util.dir/format.cpp.o.d"
+  "CMakeFiles/tgi_util.dir/log.cpp.o"
+  "CMakeFiles/tgi_util.dir/log.cpp.o.d"
+  "CMakeFiles/tgi_util.dir/rng.cpp.o"
+  "CMakeFiles/tgi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tgi_util.dir/table.cpp.o"
+  "CMakeFiles/tgi_util.dir/table.cpp.o.d"
+  "libtgi_util.a"
+  "libtgi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_efficiency.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_efficiency.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_measurement.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_measurement.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_tgi.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_tgi.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_tgi_properties.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_tgi_properties.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

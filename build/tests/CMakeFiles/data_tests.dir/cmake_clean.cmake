@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/test_shipped_data.cpp.o"
+  "CMakeFiles/data_tests.dir/data/test_shipped_data.cpp.o.d"
+  "data_tests"
+  "data_tests.pdb"
+  "data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

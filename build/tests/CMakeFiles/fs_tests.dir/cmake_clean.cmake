@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_tests.dir/fs/test_disk.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/test_disk.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/test_filesystem.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/test_filesystem.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/test_filesystem_fuzz.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/test_filesystem_fuzz.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/test_page_cache.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/test_page_cache.cpp.o.d"
+  "fs_tests"
+  "fs_tests.pdb"
+  "fs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_tests.dir/harness/test_integration_paper.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_integration_paper.cpp.o.d"
+  "CMakeFiles/harness_tests.dir/harness/test_measurement_io.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_measurement_io.cpp.o.d"
+  "CMakeFiles/harness_tests.dir/harness/test_native.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_native.cpp.o.d"
+  "CMakeFiles/harness_tests.dir/harness/test_ranking.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_ranking.cpp.o.d"
+  "CMakeFiles/harness_tests.dir/harness/test_report.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_report.cpp.o.d"
+  "CMakeFiles/harness_tests.dir/harness/test_suite_runner.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/test_suite_runner.cpp.o.d"
+  "harness_tests"
+  "harness_tests.pdb"
+  "harness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

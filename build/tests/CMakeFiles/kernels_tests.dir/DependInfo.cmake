@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_blas.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_blas.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_blas.cpp.o.d"
+  "/root/repo/tests/kernels/test_dgemm_netbench.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_dgemm_netbench.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_dgemm_netbench.cpp.o.d"
+  "/root/repo/tests/kernels/test_fft.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_fft.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_fft.cpp.o.d"
+  "/root/repo/tests/kernels/test_gups.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_gups.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_gups.cpp.o.d"
+  "/root/repo/tests/kernels/test_hpl.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl.cpp.o.d"
+  "/root/repo/tests/kernels/test_hpl2d.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl2d.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl2d.cpp.o.d"
+  "/root/repo/tests/kernels/test_hpl_mpisim.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl_mpisim.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_hpl_mpisim.cpp.o.d"
+  "/root/repo/tests/kernels/test_iozone.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_iozone.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_iozone.cpp.o.d"
+  "/root/repo/tests/kernels/test_matrix.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_matrix.cpp.o.d"
+  "/root/repo/tests/kernels/test_ptrans.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_ptrans.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_ptrans.cpp.o.d"
+  "/root/repo/tests/kernels/test_stream.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/test_stream.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/test_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tgi_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tgi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tgi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tgi_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

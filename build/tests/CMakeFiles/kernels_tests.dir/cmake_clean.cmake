@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_tests.dir/kernels/test_blas.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_blas.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_dgemm_netbench.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_dgemm_netbench.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_fft.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_fft.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_gups.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_gups.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl2d.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl2d.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl_mpisim.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_hpl_mpisim.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_iozone.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_iozone.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_matrix.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_matrix.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_ptrans.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_ptrans.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/test_stream.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/test_stream.cpp.o.d"
+  "kernels_tests"
+  "kernels_tests.pdb"
+  "kernels_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

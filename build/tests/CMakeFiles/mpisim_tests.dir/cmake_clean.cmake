@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_collectives.cpp.o"
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_collectives.cpp.o.d"
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_groups.cpp.o"
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_groups.cpp.o.d"
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_runtime.cpp.o"
+  "CMakeFiles/mpisim_tests.dir/mpisim/test_runtime.cpp.o.d"
+  "mpisim_tests"
+  "mpisim_tests.pdb"
+  "mpisim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tests.dir/power/test_breakdown.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_breakdown.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/test_meter.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_meter.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/test_node_model.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_node_model.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/test_spec.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_spec.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/test_timeline.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_timeline.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/test_trace.cpp.o"
+  "CMakeFiles/power_tests.dir/power/test_trace.cpp.o.d"
+  "power_tests"
+  "power_tests.pdb"
+  "power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_catalog.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_catalog.cpp.o.d"
+  "/root/repo/tests/sim/test_dvfs.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_dvfs.cpp.o.d"
+  "/root/repo/tests/sim/test_extended_models.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_extended_models.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_extended_models.cpp.o.d"
+  "/root/repo/tests/sim/test_gups_model.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_gups_model.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_gups_model.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_spec_io.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_spec_io.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_spec_io.cpp.o.d"
+  "/root/repo/tests/sim/test_workload_io.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_workload_io.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_workload_io.cpp.o.d"
+  "/root/repo/tests/sim/test_workload_models.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_workload_models.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_workload_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tgi_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tgi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tgi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tgi_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_catalog.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_catalog.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_dvfs.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_dvfs.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_extended_models.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_extended_models.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_gups_model.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_gups_model.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_spec_io.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_spec_io.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_workload_io.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_workload_io.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_workload_models.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_workload_models.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/test_correlation.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/test_correlation.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/test_means.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/test_means.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/test_regression.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/test_regression.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_config.cpp" "tests/CMakeFiles/util_tests.dir/util/test_config.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_config.cpp.o.d"
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/util_tests.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_error.cpp.o.d"
+  "/root/repo/tests/util/test_format.cpp" "tests/CMakeFiles/util_tests.dir/util/test_format.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_format.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/util_tests.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/util_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_sim_clock.cpp" "tests/CMakeFiles/util_tests.dir/util/test_sim_clock.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_sim_clock.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/util_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/util_tests.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tgi_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tgi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tgi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tgi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/tgi_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tgi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tgi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tgi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tgi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tgi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_calc.dir/tgi_calc.cpp.o"
+  "CMakeFiles/tgi_calc.dir/tgi_calc.cpp.o.d"
+  "tgi_calc"
+  "tgi_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_native.dir/tgi_native.cpp.o"
+  "CMakeFiles/tgi_native.dir/tgi_native.cpp.o.d"
+  "tgi_native"
+  "tgi_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_rank.dir/tgi_rank.cpp.o"
+  "CMakeFiles/tgi_rank.dir/tgi_rank.cpp.o.d"
+  "tgi_rank"
+  "tgi_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

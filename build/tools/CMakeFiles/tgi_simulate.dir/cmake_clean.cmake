@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_simulate.dir/tgi_simulate.cpp.o"
+  "CMakeFiles/tgi_simulate.dir/tgi_simulate.cpp.o.d"
+  "tgi_simulate"
+  "tgi_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgi_sweep.dir/tgi_sweep.cpp.o"
+  "CMakeFiles/tgi_sweep.dir/tgi_sweep.cpp.o.d"
+  "tgi_sweep"
+  "tgi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_tgi_sweep "/root/repo/build/tools/tgi_sweep" "outdir=/root/repo/build/tools/sweep_out" "sweep=16,128" "meter=model")
+set_tests_properties(tool_tgi_sweep PROPERTIES  FIXTURES_SETUP "sweep_output" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tgi_calc "/root/repo/build/tools/tgi_calc" "system=/root/repo/build/tools/sweep_out/fire_128.csv" "reference=/root/repo/build/tools/sweep_out/reference_systemg.csv")
+set_tests_properties(tool_tgi_calc PROPERTIES  DEPENDS "tool_tgi_sweep" FIXTURES_REQUIRED "sweep_output" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tgi_rank "/root/repo/build/tools/tgi_rank" "reference=/root/repo/build/tools/sweep_out/reference_systemg.csv" "machines=/root/repo/build/tools/sweep_out/fire_16.csv,/root/repo/build/tools/sweep_out/fire_128.csv")
+set_tests_properties(tool_tgi_rank PROPERTIES  FIXTURES_REQUIRED "sweep_output" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tgi_native "/root/repo/build/tools/tgi_native" "out=/root/repo/build/tools/native_host.csv" "ranks=2" "hpl_n=64" "hpl_block=8" "stream_elements=100000" "iozone_mib=4")
+set_tests_properties(tool_tgi_native PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tgi_simulate "/root/repo/build/tools/tgi_simulate" "workload=/root/repo/workloads/cfd_timestep.conf" "cluster=/root/repo/clusters/fire.conf" "meter=model")
+set_tests_properties(tool_tgi_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
