@@ -1,0 +1,337 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Lowercase copy, ASCII only (identifier names are ASCII).
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+void add(std::vector<Violation>& out, const SourceFile& file, std::size_t line,
+         std::string_view rule, std::string message) {
+  out.push_back(Violation{file.path, line, std::string(rule), std::move(message)});
+}
+
+// --- banned-random --------------------------------------------------------
+
+/// Random-number machinery that bypasses the seeded util::Xoshiro256 policy.
+/// <random> *distributions* are fine (Xoshiro256 satisfies
+/// UniformRandomBitGenerator); engines and entropy sources are not.
+class BannedRandomRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "banned-random"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "unseeded / non-reproducible randomness outside util/rng "
+           "(use seeded util::Xoshiro256)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (starts_with(file.path, "src/util/rng")) return;  // the one sanctioned home
+    static constexpr std::string_view kBannedCalls[] = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "srand48",
+    };
+    static constexpr std::string_view kBannedTypes[] = {
+        "mt19937",       "mt19937_64",           "minstd_rand",
+        "minstd_rand0",  "default_random_engine", "random_device",
+        "ranlux24",      "ranlux48",              "knuth_b",
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kBannedCalls) {
+        if (contains_call(line, name)) {
+          add(out, file, i + 1, id(),
+              std::string(name) +
+                  "() is not reproducible; use seeded util::Xoshiro256");
+        }
+      }
+      for (std::string_view name : kBannedTypes) {
+        if (contains_identifier(line, name)) {
+          add(out, file, i + 1, id(),
+              "std::" + std::string(name) +
+                  " bypasses the seeded-RNG policy; use util::Xoshiro256");
+        }
+      }
+    }
+  }
+};
+
+// --- raw-unit-double ------------------------------------------------------
+
+/// `double watts` style parameters/members in public library headers.
+/// Physical quantities crossing module boundaries must use the strong types
+/// in util/units.h (units::Watts, units::Joules, units::Seconds, ...).
+class RawUnitDoubleRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "raw-unit-double"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw double with a unit-suspicious name in a library header "
+           "(use util/units.h strong types)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (file.kind != FileKind::kLibraryHeader) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      scan_line(file, i, out);
+    }
+  }
+
+ private:
+  static bool suspicious_name(std::string_view name) {
+    static constexpr std::string_view kUnitFragments[] = {
+        "watt", "joule", "second", "energy", "power", "flops",
+    };
+    // Derived ratios (flops_per_watt, power_ratio, efficiency values) are
+    // dimensionless-by-convention and legitimately raw doubles; only bare
+    // quantities must be strong-typed.
+    static constexpr std::string_view kRatioMarkers[] = {
+        "per_", "_per", "ratio", "efficiency", "factor", "fraction",
+    };
+    const std::string lower = to_lower(name);
+    for (std::string_view marker : kRatioMarkers) {
+      if (lower.find(marker) != std::string::npos) return false;
+    }
+    for (std::string_view fragment : kUnitFragments) {
+      if (lower.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void scan_line(const SourceFile& file, std::size_t index,
+                 std::vector<Violation>& out) const {
+    const std::string& line = file.code[index];
+    std::size_t pos = 0;
+    while ((pos = line.find("double", pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += 6;  // length of "double"
+      // Whole-identifier check for the keyword itself.
+      if (start > 0 && is_ident_char(line[start - 1])) continue;
+      if (pos < line.size() && is_ident_char(line[pos])) continue;
+      // Skip whitespace, then collect the declared name, if any.
+      std::size_t j = pos;
+      while (j < line.size() && line[j] == ' ') ++j;
+      std::size_t name_end = j;
+      while (name_end < line.size() && is_ident_char(line[name_end])) {
+        ++name_end;
+      }
+      if (name_end == j) continue;  // `double)` / `double>` / end of line
+      // `double foo(` is a function returning double (conversion helpers
+      // like in_megaflops), not a stored quantity — skip it.
+      std::size_t after = name_end;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == '(') continue;
+      const std::string_view name =
+          std::string_view(line).substr(j, name_end - j);
+      if (suspicious_name(name)) {
+        add(out, file, index + 1, id(),
+            "'double " + std::string(name) +
+                "' in a public header; pass util/units.h strong types "
+                "across module boundaries");
+      }
+    }
+  }
+};
+
+// --- relative-include -----------------------------------------------------
+
+/// `#include "../foo.h"` — include paths must be repo-relative from src/.
+class RelativeIncludeRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "relative-include";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "relative #include path (includes are repo-relative from src/)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    for (std::size_t i = 0; i < file.raw.size(); ++i) {
+      const std::string& line = file.raw[i];
+      std::size_t pos = line.find('#');
+      if (pos == std::string::npos) continue;
+      // Only leading whitespace may precede the '#'.
+      if (line.find_first_not_of(" \t") != pos) continue;
+      std::size_t kw = line.find_first_not_of(" \t", pos + 1);
+      if (kw == std::string::npos || line.compare(kw, 7, "include") != 0) {
+        continue;
+      }
+      const std::size_t quote = line.find('"', kw + 7);
+      if (quote == std::string::npos) continue;
+      const std::string_view target = std::string_view(line).substr(quote + 1);
+      if (starts_with(target, "../") || starts_with(target, "./")) {
+        add(out, file, i + 1, id(),
+            "relative include; write it repo-relative from src/ "
+            "(e.g. #include \"core/tgi.h\")");
+      }
+    }
+  }
+};
+
+// --- assert-macro ---------------------------------------------------------
+
+/// Bare assert() in library code. assert vanishes under NDEBUG and aborts
+/// instead of throwing; library invariants use TGI_REQUIRE / TGI_CHECK.
+class AssertMacroRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "assert-macro"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "assert() in library code (use TGI_REQUIRE / TGI_CHECK)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!is_library(file.kind)) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      // contains_call's whole-identifier check already rejects
+      // static_assert, so one probe suffices.
+      if (contains_call(file.code[i], "assert")) {
+        add(out, file, i + 1, id(),
+            "assert() aborts and vanishes under NDEBUG; use TGI_REQUIRE "
+            "(caller bug) or TGI_CHECK (internal bug)");
+      }
+    }
+  }
+};
+
+// --- cout-in-library ------------------------------------------------------
+
+/// Direct stdout/stderr writes from static-library modules. Libraries
+/// return values and log through util/log; only executables print.
+class CoutInLibraryRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "cout-in-library";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "stdout/stderr writes in a static-library module (go through "
+           "util/log)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!is_library(file.kind)) return;
+    if (starts_with(file.path, "src/util/log")) return;  // the sink itself
+    static constexpr std::string_view kStreams[] = {"cout", "cerr"};
+    static constexpr std::string_view kCalls[] = {"printf", "fprintf", "puts"};
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kStreams) {
+        if (contains_identifier(line, name)) {
+          add(out, file, i + 1, id(),
+              "std::" + std::string(name) +
+                  " in library code; use TGI_LOG_* or return the data");
+        }
+      }
+      for (std::string_view name : kCalls) {
+        if (contains_call(line, name)) {
+          add(out, file, i + 1, id(),
+              std::string(name) +
+                  "() in library code; use TGI_LOG_* or return the data");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string format_violation(const Violation& v) {
+  std::ostringstream out;
+  out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return out.str();
+}
+
+bool contains_identifier(std::string_view line, std::string_view ident) {
+  std::size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool contains_call(std::string_view line, std::string_view ident) {
+  std::size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t end = pos + ident.size();
+    if (left_ok && (end >= line.size() || !is_ident_char(line[end]))) {
+      while (end < line.size() && line[end] == ' ') ++end;
+      if (end < line.size() && line[end] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+RuleSet default_rules() {
+  RuleSet rules;
+  rules.push_back(std::make_unique<AssertMacroRule>());
+  rules.push_back(std::make_unique<BannedRandomRule>());
+  rules.push_back(std::make_unique<CoutInLibraryRule>());
+  rules.push_back(std::make_unique<RawUnitDoubleRule>());
+  rules.push_back(std::make_unique<RelativeIncludeRule>());
+  return rules;
+}
+
+RuleSet rules_by_id(const std::vector<std::string>& ids) {
+  RuleSet all = default_rules();
+  RuleSet picked;
+  for (const std::string& wanted : ids) {
+    bool found = false;
+    for (auto& rule : all) {
+      if (rule && rule->id() == wanted) {
+        picked.push_back(std::move(rule));
+        found = true;
+        break;
+      }
+    }
+    TGI_REQUIRE(found, "unknown lint rule id '" << wanted << "'");
+  }
+  return picked;
+}
+
+std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules) {
+  std::vector<Violation> found;
+  for (const auto& rule : rules) {
+    TGI_CHECK(rule != nullptr, "null rule in rule set");
+    rule->check(file, found);
+  }
+  std::vector<Violation> kept;
+  kept.reserve(found.size());
+  for (Violation& v : found) {
+    TGI_CHECK(v.line >= 1 && v.line <= file.raw.size(),
+              "rule '" << v.rule << "' reported out-of-range line " << v.line);
+    if (!line_is_suppressed(file.raw[v.line - 1], v.rule)) {
+      kept.push_back(std::move(v));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+}  // namespace tgi::lint

@@ -1,0 +1,82 @@
+// Convention rules enforced by tgi-lint.
+//
+// Each rule is a small matcher object over a SourceFile. The rule set
+// machine-checks the invariants documented in CLAUDE.md that the compiler
+// cannot see:
+//
+//   banned-random     std::rand / srand / std::mt19937 / std::random_device
+//                     and friends anywhere outside util/rng — all randomness
+//                     must flow through seeded util::Xoshiro256 so figures
+//                     stay bit-reproducible.
+//   raw-unit-double   `double`-typed parameters with unit-suspicious names
+//                     (watts, joules, seconds, energy, power, flops) in
+//                     public library headers — physical quantities crossing
+//                     module boundaries must use util/units.h strong types.
+//   relative-include  `#include "../..."` — includes are repo-relative
+//                     from src/ (`#include "core/tgi.h"`).
+//   assert-macro      bare `assert(` in library code — use TGI_REQUIRE for
+//                     caller bugs, TGI_CHECK for internal bugs; both throw
+//                     and survive NDEBUG builds.
+//   cout-in-library   std::cout / std::cerr / printf in static-library
+//                     modules — diagnostics go through util/log, and
+//                     results are returned, not printed.
+//
+// A violation on a specific line can be waived with a trailing
+// `// tgi-lint: allow(<rule-id>)` marker.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.h"
+
+namespace tgi::lint {
+
+/// One convention violation at a specific source location.
+struct Violation {
+  std::string file;      // repo-relative path
+  std::size_t line = 0;  // 1-based
+  std::string rule;      // rule id, e.g. "banned-random"
+  std::string message;
+};
+
+/// `file:line: [rule] message` — the format promised in the README.
+std::string format_violation(const Violation& v);
+
+/// Interface for one lint rule. Rules are stateless; `check` appends any
+/// violations found in `file` to `out`.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  virtual void check(const SourceFile& file, std::vector<Violation>& out) const = 0;
+};
+
+using RuleSet = std::vector<std::unique_ptr<Rule>>;
+
+/// All rules, in stable id order.
+RuleSet default_rules();
+
+/// The subset of `default_rules()` whose ids appear in `ids`.
+/// Throws PreconditionError on an unknown id.
+RuleSet rules_by_id(const std::vector<std::string>& ids);
+
+/// Runs every rule over one file, honoring per-line allow markers; returns
+/// violations sorted by (line, rule).
+std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules);
+
+// --- Token-level helpers shared by the matchers (exposed for tests) -------
+
+/// True if `line` contains `ident` as a whole identifier (not as a substring
+/// of a longer identifier).
+bool contains_identifier(std::string_view line, std::string_view ident);
+
+/// True if `line` contains `ident` as a whole identifier immediately
+/// followed by `(` (ignoring spaces) — i.e. a call or macro invocation.
+bool contains_call(std::string_view line, std::string_view ident);
+
+}  // namespace tgi::lint

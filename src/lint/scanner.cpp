@@ -1,0 +1,78 @@
+#include "lint/scanner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+
+namespace {
+
+bool has_cpp_extension(const std::filesystem::path& p,
+                       const std::vector<std::string>& extensions) {
+  const std::string ext = p.extension().string();
+  return std::find(extensions.begin(), extensions.end(), ext) !=
+         extensions.end();
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  TGI_REQUIRE(in.good(), "cannot open '" << p.string() << "' for linting");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Repo-relative, '/'-separated form of `file` under `root`.
+std::string relative_path(const std::filesystem::path& file,
+                          const std::filesystem::path& root) {
+  return std::filesystem::relative(file, root).generic_string();
+}
+
+}  // namespace
+
+std::vector<Violation> scan_file(const std::filesystem::path& on_disk,
+                                 const std::string& repo_relative,
+                                 const RuleSet& rules) {
+  const SourceFile source = make_source_file(repo_relative, read_file(on_disk));
+  return run_rules(source, rules);
+}
+
+ScanReport scan_tree(const std::filesystem::path& root,
+                     const ScanOptions& options, const RuleSet& rules) {
+  TGI_REQUIRE(std::filesystem::exists(root),
+              "lint root '" << root.string() << "' does not exist");
+  ScanReport report;
+  for (const std::string& subdir : options.subdirs) {
+    const std::filesystem::path dir = root / subdir;
+    if (!std::filesystem::is_directory(dir)) continue;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (has_cpp_extension(entry.path(), options.extensions)) {
+        files.push_back(entry.path());
+      }
+    }
+    // Directory iteration order is unspecified; sort for stable reports.
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      auto violations = scan_file(file, relative_path(file, root), rules);
+      report.files_scanned += 1;
+      report.violations.insert(report.violations.end(),
+                               std::make_move_iterator(violations.begin()),
+                               std::make_move_iterator(violations.end()));
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+}  // namespace tgi::lint

@@ -1,0 +1,43 @@
+// Filesystem driver for tgi-lint: walks the repo tree, feeds each C++
+// source file through the rule set, and aggregates the violations.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace tgi::lint {
+
+/// Which parts of the repository to scan.
+struct ScanOptions {
+  /// Top-level directories under the repo root to walk, in order.
+  std::vector<std::string> subdirs = {"src", "tools", "bench", "examples",
+                                      "tests"};
+  /// File extensions treated as C++ sources.
+  std::vector<std::string> extensions = {".h", ".hpp", ".cpp", ".cc"};
+};
+
+/// Result of one tree scan.
+struct ScanReport {
+  std::size_t files_scanned = 0;
+  std::vector<Violation> violations;  // sorted by (file, line, rule)
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// Reads and lints one file on disk. `repo_relative` is the path recorded in
+/// violations and used to classify the file; `on_disk` is where to read it.
+std::vector<Violation> scan_file(const std::filesystem::path& on_disk,
+                                 const std::string& repo_relative,
+                                 const RuleSet& rules);
+
+/// Walks `root`'s configured subdirectories and lints every matching file.
+/// Missing subdirectories are skipped (a repo need not have examples/).
+/// Throws PreconditionError if `root` itself does not exist.
+ScanReport scan_tree(const std::filesystem::path& root,
+                     const ScanOptions& options, const RuleSet& rules);
+
+}  // namespace tgi::lint

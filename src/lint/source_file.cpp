@@ -1,0 +1,204 @@
+#include "lint/source_file.h"
+
+#include "util/error.h"
+
+namespace tgi::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool has_extension(std::string_view path, std::string_view ext) {
+  return path.size() >= ext.size() &&
+         path.substr(path.size() - ext.size()) == ext;
+}
+
+}  // namespace
+
+const char* file_kind_name(FileKind kind) {
+  switch (kind) {
+    case FileKind::kLibraryHeader:
+      return "library-header";
+    case FileKind::kLibrarySource:
+      return "library-source";
+    case FileKind::kToolSource:
+      return "tool";
+    case FileKind::kBenchSource:
+      return "bench";
+    case FileKind::kExampleSource:
+      return "example";
+    case FileKind::kTestSource:
+      return "test";
+    case FileKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+FileKind classify_path(std::string_view path) {
+  if (starts_with(path, "src/")) {
+    if (has_extension(path, ".h") || has_extension(path, ".hpp")) {
+      return FileKind::kLibraryHeader;
+    }
+    return FileKind::kLibrarySource;
+  }
+  if (starts_with(path, "tools/")) return FileKind::kToolSource;
+  if (starts_with(path, "bench/")) return FileKind::kBenchSource;
+  if (starts_with(path, "examples/")) return FileKind::kExampleSource;
+  if (starts_with(path, "tests/")) return FileKind::kTestSource;
+  return FileKind::kOther;
+}
+
+std::vector<std::string> strip_comments_and_strings(std::string_view text) {
+  // Single forward pass with a small state machine. Stripped characters are
+  // replaced by spaces so every surviving token keeps its line and column.
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  std::vector<std::string> lines;
+  std::string current;
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of an active R"delim( ... )delim"
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = (i + 1 < n) ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      // Newlines always advance the line; a line comment ends here.
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(current);
+      current.clear();
+      continue;
+    }
+
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Possible raw string literal: R"delim( ... )delim". Collect the
+          // delimiter up to the opening '('.
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '"' &&
+                 text[j] != '\n' && delim.size() < 16) {
+            delim += text[j];
+            ++j;
+          }
+          if (j < n && text[j] == '(') {
+            state = State::kRawString;
+            raw_delim = delim;
+            current.append(j - i + 1, ' ');
+            i = j;
+          } else {
+            current += c;  // not actually a raw string prefix
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          current += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          current += ' ';
+        } else {
+          current += c;
+        }
+        break;
+
+      case State::kLineComment:
+        current += ' ';
+        break;
+
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          current += "  ";
+          ++i;
+        } else {
+          current += ' ';
+        }
+        break;
+
+      case State::kString:
+        if (c == '\\') {
+          current += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          current += ' ';
+        } else {
+          current += ' ';
+        }
+        break;
+
+      case State::kChar:
+        if (c == '\\') {
+          current += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current += ' ';
+        } else {
+          current += ' ';
+        }
+        break;
+
+      case State::kRawString: {
+        // Terminator is )delim" — check for it starting at i.
+        const std::string terminator = ")" + raw_delim + "\"";
+        if (text.substr(i, terminator.size()) == terminator) {
+          current.append(terminator.size(), ' ');
+          i += terminator.size() - 1;
+          state = State::kCode;
+        } else {
+          current += ' ';
+        }
+        break;
+      }
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+SourceFile make_source_file(std::string path, std::string_view content) {
+  TGI_REQUIRE(!path.empty(), "source file path must not be empty");
+  SourceFile file;
+  file.kind = classify_path(path);
+  file.path = std::move(path);
+  file.code = strip_comments_and_strings(content);
+  file.raw.reserve(file.code.size());
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= content.size(); ++i) {
+    if (i == content.size() || content[i] == '\n') {
+      file.raw.emplace_back(content.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  TGI_CHECK(file.raw.size() == file.code.size(),
+            "raw/code line counts diverged: " << file.raw.size() << " vs "
+                                              << file.code.size());
+  return file;
+}
+
+bool line_is_suppressed(std::string_view raw_line, std::string_view rule_id) {
+  const std::string marker = "tgi-lint: allow(" + std::string(rule_id) + ")";
+  return raw_line.find(marker) != std::string_view::npos;
+}
+
+}  // namespace tgi::lint

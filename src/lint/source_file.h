@@ -1,0 +1,68 @@
+// Lexical model of one repository source file as seen by tgi-lint.
+//
+// tgi-lint is deliberately a *lexical* analyzer, not a parser: the
+// conventions it enforces (banned identifiers, raw unit doubles in public
+// signatures, include hygiene) are all visible at the token level, and a
+// lexical pass keeps the tool dependency-free and fast enough to run as an
+// ordinary CTest test. The one piece of real lexing we do is comment and
+// string-literal stripping, so that rule matchers never fire on prose or on
+// quoted example code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgi::lint {
+
+/// Where a file lives in the repo layout; rules apply selectively by kind.
+/// Library code (src/) is held to stricter rules than executables: tools,
+/// benches and examples are allowed to print to stdout, tests are allowed
+/// to use gtest's machinery, but *nobody* gets unseeded randomness.
+enum class FileKind {
+  kLibraryHeader,  // src/**/*.h
+  kLibrarySource,  // src/**/*.cpp
+  kToolSource,     // tools/**
+  kBenchSource,    // bench/**
+  kExampleSource,  // examples/**
+  kTestSource,     // tests/**
+  kOther,          // anything else handed to the scanner
+};
+
+/// Human-readable name of a FileKind ("library-header", ...).
+const char* file_kind_name(FileKind kind);
+
+/// Classifies a repo-relative, '/'-separated path into a FileKind.
+FileKind classify_path(std::string_view repo_relative_path);
+
+/// True for library code (headers or sources under src/).
+[[nodiscard]] constexpr bool is_library(FileKind kind) {
+  return kind == FileKind::kLibraryHeader || kind == FileKind::kLibrarySource;
+}
+
+/// One source file split into lines, with a comment/string-stripped shadow
+/// copy for token-level matching.
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  FileKind kind = FileKind::kOther;
+  std::vector<std::string> raw;   // lines as written (for include rules,
+                                  // suppression markers, diagnostics)
+  std::vector<std::string> code;  // same lines with comments and string /
+                                  // character literals blanked to spaces
+};
+
+/// Builds a SourceFile from in-memory content: splits lines, classifies the
+/// path, and computes the stripped shadow. This is the seam the unit tests
+/// use — no filesystem involved.
+SourceFile make_source_file(std::string path, std::string_view content);
+
+/// Blanks comments (//, /*...*/) and string/char literals (including
+/// R"(...)" raw strings) to spaces, preserving line structure and column
+/// positions. Exposed for direct testing.
+std::vector<std::string> strip_comments_and_strings(std::string_view content);
+
+/// True when the raw line carries a `tgi-lint: allow(<rule-id>)` marker for
+/// the given rule, which suppresses violations reported on that line.
+bool line_is_suppressed(std::string_view raw_line, std::string_view rule_id);
+
+}  // namespace tgi::lint

@@ -45,7 +45,7 @@ TEST(Efficiency, PueScalesBothMetrics) {
 
 TEST(Efficiency, RejectsSubUnityPue) {
   const CoolingModel cooling{.pue = 0.9};
-  EXPECT_THROW(energy_efficiency(sample(),
+  EXPECT_THROW((void)energy_efficiency(sample(),
                                  EfficiencyMetric::kPerformancePerWatt,
                                  cooling),
                util::PreconditionError);
@@ -55,7 +55,7 @@ TEST(Efficiency, ValidatesMeasurement) {
   BenchmarkMeasurement bad = sample();
   bad.performance = -1.0;
   EXPECT_THROW(
-      energy_efficiency(bad, EfficiencyMetric::kPerformancePerWatt),
+      (void)energy_efficiency(bad, EfficiencyMetric::kPerformancePerWatt),
       util::PreconditionError);
 }
 

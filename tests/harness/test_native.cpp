@@ -33,7 +33,7 @@ TEST(SquarestGrid, Factorizations) {
   EXPECT_EQ(squarest_grid(6), (std::pair{2, 3}));
   EXPECT_EQ(squarest_grid(12), (std::pair{3, 4}));
   EXPECT_EQ(squarest_grid(7), (std::pair{1, 7}));  // prime
-  EXPECT_THROW(squarest_grid(0), util::PreconditionError);
+  EXPECT_THROW((void)squarest_grid(0), util::PreconditionError);
 }
 
 TEST(NativeSuite, ProducesThreeValidMeasurements) {

@@ -25,7 +25,7 @@ TEST(Blas, Daxpy) {
 TEST(Blas, Idamax) {
   const std::vector<double> x{1.0, -7.0, 3.0, 6.9};
   EXPECT_EQ(idamax(x), 1u);  // |-7| is largest
-  EXPECT_THROW(idamax(std::vector<double>{}), util::PreconditionError);
+  EXPECT_THROW((void)idamax(std::vector<double>{}), util::PreconditionError);
 }
 
 TEST(Blas, Dscal) {

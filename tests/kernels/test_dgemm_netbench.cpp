@@ -32,10 +32,10 @@ TEST(Dgemm, FlopCount) {
 TEST(Dgemm, Validation) {
   DgemmConfig bad;
   bad.n = 4;
-  EXPECT_THROW(run_dgemm(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_dgemm(bad), util::PreconditionError);
   bad.n = 64;
   bad.iterations = 0;
-  EXPECT_THROW(run_dgemm(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_dgemm(bad), util::PreconditionError);
 }
 
 TEST(Netbench, RunsAndValidates) {
@@ -54,13 +54,13 @@ TEST(Netbench, RunsAndValidates) {
 TEST(Netbench, Validation) {
   NetbenchConfig bad;
   bad.repetitions = 0;
-  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_netbench(bad), util::PreconditionError);
   bad = NetbenchConfig{};
   bad.ring_ranks = 1;
-  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_netbench(bad), util::PreconditionError);
   bad = NetbenchConfig{};
   bad.large_message = util::bytes(4.0);
-  EXPECT_THROW(run_netbench(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_netbench(bad), util::PreconditionError);
 }
 
 }  // namespace

@@ -92,7 +92,7 @@ TEST(FftRadix2, RejectsNonPowerOfTwo) {
 
 TEST(FftFlopCount, ClosedForm) {
   EXPECT_DOUBLE_EQ(fft_flop_count(1024).value(), 5.0 * 1024.0 * 10.0);
-  EXPECT_THROW(fft_flop_count(1000), util::PreconditionError);
+  EXPECT_THROW((void)fft_flop_count(1000), util::PreconditionError);
 }
 
 TEST(FftBenchmark, RunsAndValidates) {
@@ -109,10 +109,10 @@ TEST(FftBenchmark, RunsAndValidates) {
 TEST(FftBenchmark, Validation) {
   FftConfig bad;
   bad.log2_size = 2;
-  EXPECT_THROW(run_fft(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_fft(bad), util::PreconditionError);
   bad.log2_size = 12;
   bad.iterations = 0;
-  EXPECT_THROW(run_fft(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_fft(bad), util::PreconditionError);
 }
 
 }  // namespace

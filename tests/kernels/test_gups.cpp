@@ -56,13 +56,13 @@ TEST(Gups, MultiThreadedPartitionIsExact) {
 TEST(Gups, Validation) {
   GupsConfig bad = small_config();
   bad.log2_table_words = 5;
-  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_gups(bad), util::PreconditionError);
   bad = small_config();
   bad.updates = 0;
-  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_gups(bad), util::PreconditionError);
   bad = small_config();
   bad.threads = 0;
-  EXPECT_THROW(run_gups(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_gups(bad), util::PreconditionError);
 }
 
 }  // namespace

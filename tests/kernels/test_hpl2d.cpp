@@ -56,8 +56,8 @@ TEST(BlockCyclicMap, Validation) {
   EXPECT_THROW(BlockCyclicMap(10, 3, 2, 0), util::PreconditionError);
   EXPECT_THROW(BlockCyclicMap(12, 2, 2, 5), util::PreconditionError);
   const BlockCyclicMap m(12, 2, 3, 0);
-  EXPECT_THROW(m.local(2), util::PreconditionError);  // not mine
-  EXPECT_THROW(m.global(99), util::PreconditionError);
+  EXPECT_THROW((void)m.local(2), util::PreconditionError);  // not mine
+  EXPECT_THROW((void)m.global(99), util::PreconditionError);
 }
 
 /// Grids to exercise: square, tall, wide, non-power-of-two, degenerate

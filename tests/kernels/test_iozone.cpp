@@ -61,7 +61,7 @@ TEST(Iozone, FsyncOutsideTimingInflatesRate) {
 
 TEST(Iozone, CleansUpItsFile) {
   fs::SimFilesystem filesystem;
-  run_iozone(filesystem, small_config());
+  (void)run_iozone(filesystem, small_config());
   // The benchmark unlinks its temp file; unlinking again must fail.
   EXPECT_THROW(filesystem.unlink("iozone.tmp"), util::PreconditionError);
 }
@@ -102,11 +102,11 @@ TEST(Iozone, Validation) {
   fs::SimFilesystem filesystem;
   IozoneConfig bad = small_config();
   bad.record_size = util::bytes(0.0);
-  EXPECT_THROW(run_iozone(filesystem, bad), util::PreconditionError);
+  EXPECT_THROW((void)run_iozone(filesystem, bad), util::PreconditionError);
   bad = small_config();
   bad.file_size = util::kibibytes(100.0);
   bad.record_size = util::kibibytes(64.0);  // does not divide file size
-  EXPECT_THROW(run_iozone(filesystem, bad), util::PreconditionError);
+  EXPECT_THROW((void)run_iozone(filesystem, bad), util::PreconditionError);
 }
 
 }  // namespace

@@ -68,10 +68,10 @@ TEST(Ptrans, Validation) {
   PtransConfig cfg;
   cfg.n = 10;
   cfg.block_size = 4;  // does not divide n
-  EXPECT_THROW(run_ptrans_mpisim(cfg), util::PreconditionError);
+  EXPECT_THROW((void)run_ptrans_mpisim(cfg), util::PreconditionError);
   cfg.block_size = 2;
   cfg.pcols = 0;
-  EXPECT_THROW(run_ptrans_mpisim(cfg), util::PreconditionError);
+  EXPECT_THROW((void)run_ptrans_mpisim(cfg), util::PreconditionError);
 }
 
 }  // namespace

@@ -55,13 +55,13 @@ TEST(Stream, ByteAccountingConstants) {
 TEST(Stream, Validation) {
   StreamConfig bad = small_config();
   bad.array_elements = 10;
-  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_stream(bad), util::PreconditionError);
   bad = small_config();
   bad.iterations = 0;
-  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_stream(bad), util::PreconditionError);
   bad = small_config();
   bad.threads = 0;
-  EXPECT_THROW(run_stream(bad), util::PreconditionError);
+  EXPECT_THROW((void)run_stream(bad), util::PreconditionError);
 }
 
 }  // namespace

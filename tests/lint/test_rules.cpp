@@ -1,0 +1,226 @@
+// One positive and one negative case (at least) per tgi-lint rule, plus the
+// rule-set plumbing: selection by id, suppression markers, stable ordering.
+#include "lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+namespace {
+
+/// Lints in-memory `content` as if it lived at `path`, with all rules.
+std::vector<Violation> lint(const std::string& path,
+                            const std::string& content) {
+  return run_rules(make_source_file(path, content), default_rules());
+}
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  for (const auto& v : vs) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+// --- banned-random --------------------------------------------------------
+
+TEST(BannedRandom, FlagsMt19937InLibrary) {
+  const auto vs = lint("src/sim/noise.cpp", "std::mt19937 gen(42);\n");
+  ASSERT_TRUE(has_rule(vs, "banned-random"));
+  EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(BannedRandom, FlagsRandCallAndRandomDeviceEverywhere) {
+  EXPECT_TRUE(has_rule(lint("tests/sim/t.cpp", "int x = rand();\n"),
+                       "banned-random"));
+  EXPECT_TRUE(has_rule(lint("bench/b.cpp", "std::random_device rd;\n"),
+                       "banned-random"));
+  EXPECT_TRUE(has_rule(lint("tools/t.cpp", "srand(7);\n"), "banned-random"));
+  EXPECT_TRUE(has_rule(lint("src/sim/j.cpp", "std::mt19937_64 g;\n"),
+                       "banned-random"));
+}
+
+TEST(BannedRandom, AllowsUtilRngAndSeededXoshiro) {
+  EXPECT_FALSE(has_rule(lint("src/util/rng.h", "std::mt19937 reference;\n"),
+                        "banned-random"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/noise.cpp", "util::Xoshiro256 rng(config.seed);\n"),
+      "banned-random"));
+}
+
+TEST(BannedRandom, IgnoresSubstringsCommentsAndStrings) {
+  EXPECT_FALSE(
+      has_rule(lint("src/sim/x.cpp", "int operand(int a);\n"), "banned-random"));
+  EXPECT_FALSE(has_rule(lint("src/sim/x.cpp", "// never call rand() here\n"),
+                        "banned-random"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/x.cpp", "const char* doc = \"std::mt19937 is banned\";\n"),
+      "banned-random"));
+}
+
+// --- raw-unit-double ------------------------------------------------------
+
+TEST(RawUnitDouble, FlagsUnitNamedDoubleParamInHeader) {
+  const auto vs =
+      lint("src/power/meter.h", "void record(double watts, double t);\n");
+  ASSERT_TRUE(has_rule(vs, "raw-unit-double"));
+  EXPECT_NE(vs[0].message.find("watts"), std::string::npos);
+}
+
+TEST(RawUnitDouble, FlagsUnitNamedMembers) {
+  EXPECT_TRUE(has_rule(lint("src/power/meter.h", "double idle_power_w = 0;\n"),
+                       "raw-unit-double"));
+  EXPECT_TRUE(has_rule(lint("src/core/t.h", "double energy_joules;\n"),
+                       "raw-unit-double"));
+}
+
+TEST(RawUnitDouble, HeadersOnlyAndNeutralNamesPass) {
+  // Same text in a .cpp: implementation detail, not a public signature.
+  EXPECT_FALSE(has_rule(lint("src/power/meter.cpp", "void f(double watts);\n"),
+                        "raw-unit-double"));
+  // Strong types and neutral names in headers are the sanctioned style.
+  EXPECT_FALSE(has_rule(
+      lint("src/power/meter.h", "void record(units::Watts w, double ratio);\n"),
+      "raw-unit-double"));
+  // Non-library headers (bench helpers) are out of scope.
+  EXPECT_FALSE(has_rule(lint("bench/bench_common.h", "double watts = 0;\n"),
+                        "raw-unit-double"));
+}
+
+TEST(RawUnitDouble, FunctionsAndRatiosAreNotQuantities) {
+  // `double in_kilowatts(Watts w)` is a conversion helper, not a stored
+  // quantity — the double is its *return* type.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/units.h", "constexpr double in_kilowatts(Watts w);\n"),
+      "raw-unit-double"));
+  EXPECT_FALSE(has_rule(
+      lint("src/core/e.h", "double energy_efficiency(const M& m);\n"),
+      "raw-unit-double"));
+  // Derived ratios are dimensionless by convention.
+  EXPECT_FALSE(has_rule(lint("src/harness/r.h", "double flops_per_watt = 0;\n"),
+                        "raw-unit-double"));
+  EXPECT_FALSE(has_rule(lint("src/sim/m.h", "double flops_per_cycle = 4.0;\n"),
+                        "raw-unit-double"));
+  EXPECT_FALSE(has_rule(lint("src/sim/m.h", "double power_ratio = 1.0;\n"),
+                        "raw-unit-double"));
+}
+
+// --- relative-include -----------------------------------------------------
+
+TEST(RelativeInclude, FlagsParentAndDotIncludes) {
+  EXPECT_TRUE(has_rule(lint("src/sim/a.cpp", "#include \"../util/rng.h\"\n"),
+                       "relative-include"));
+  EXPECT_TRUE(has_rule(lint("tests/sim/a.cpp", "  #include \"./local.h\"\n"),
+                       "relative-include"));
+}
+
+TEST(RelativeInclude, AllowsRepoRelativeSystemAndCommentedIncludes) {
+  EXPECT_FALSE(has_rule(lint("src/sim/a.cpp", "#include \"core/tgi.h\"\n"),
+                        "relative-include"));
+  EXPECT_FALSE(
+      has_rule(lint("src/sim/a.cpp", "#include <vector>\n"), "relative-include"));
+  EXPECT_FALSE(has_rule(lint("src/sim/a.cpp", "// #include \"../old.h\"\n"),
+                        "relative-include"));
+}
+
+// --- assert-macro ---------------------------------------------------------
+
+TEST(AssertMacro, FlagsAssertInLibraryCode) {
+  const auto vs = lint("src/stats/mean.cpp", "assert(n > 0);\n");
+  ASSERT_TRUE(has_rule(vs, "assert-macro"));
+  EXPECT_NE(vs[0].message.find("TGI_REQUIRE"), std::string::npos);
+}
+
+TEST(AssertMacro, AllowsStaticAssertTestsAndTgiMacros) {
+  EXPECT_FALSE(has_rule(
+      lint("src/stats/mean.cpp", "static_assert(sizeof(int) == 4);\n"),
+      "assert-macro"));
+  EXPECT_FALSE(has_rule(lint("tests/stats/t.cpp", "assert(n > 0);\n"),
+                        "assert-macro"));
+  EXPECT_FALSE(has_rule(
+      lint("src/stats/mean.cpp", "TGI_REQUIRE(n > 0, \"n\");\n"),
+      "assert-macro"));
+}
+
+// --- cout-in-library ------------------------------------------------------
+
+TEST(CoutInLibrary, FlagsStdoutWritesInLibrary) {
+  EXPECT_TRUE(has_rule(lint("src/sim/sim.cpp", "std::cout << \"phase\";\n"),
+                       "cout-in-library"));
+  EXPECT_TRUE(has_rule(lint("src/sim/sim.cpp", "std::cerr << \"oops\";\n"),
+                       "cout-in-library"));
+  EXPECT_TRUE(has_rule(lint("src/sim/sim.cpp", "printf(\"%d\", x);\n"),
+                       "cout-in-library"));
+}
+
+TEST(CoutInLibrary, AllowsExecutablesLogSinkAndLogging) {
+  EXPECT_FALSE(has_rule(lint("tools/tgi_calc.cpp", "std::cout << tgi;\n"),
+                        "cout-in-library"));
+  EXPECT_FALSE(has_rule(lint("bench/fig2.cpp", "std::cout << row;\n"),
+                        "cout-in-library"));
+  EXPECT_FALSE(has_rule(lint("src/util/log.cpp", "std::cerr << line;\n"),
+                        "cout-in-library"));
+  EXPECT_FALSE(has_rule(lint("src/sim/sim.cpp", "TGI_LOG_INFO(\"phase\");\n"),
+                        "cout-in-library"));
+}
+
+// --- plumbing -------------------------------------------------------------
+
+TEST(RuleSet, FormatViolationMatchesPromisedShape) {
+  const Violation v{"src/a.cpp", 12, "assert-macro", "use TGI_CHECK"};
+  EXPECT_EQ(format_violation(v), "src/a.cpp:12: [assert-macro] use TGI_CHECK");
+}
+
+TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
+  const RuleSet rules = default_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
+  }
+}
+
+TEST(RuleSet, RulesByIdSelectsSubsetAndRejectsUnknown) {
+  const RuleSet one = rules_by_id({"banned-random"});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0]->id(), "banned-random");
+  EXPECT_THROW(rules_by_id({"no-such-rule"}), util::PreconditionError);
+}
+
+TEST(RuleSet, AllowMarkerSuppressesOnlyThatLineAndRule) {
+  const std::string content =
+      "std::mt19937 a;  // tgi-lint: allow(banned-random)\n"
+      "std::mt19937 b;\n";
+  const auto vs = lint("src/sim/x.cpp", content);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(RuleSet, ViolationsSortedByLineThenRule) {
+  const std::string content =
+      "std::cout << 1;\n"
+      "assert(x);\n"
+      "std::mt19937 g; assert(y);\n";
+  const auto vs = lint("src/sim/x.cpp", content);
+  ASSERT_EQ(vs.size(), 4u);
+  EXPECT_EQ(vs[0].rule, "cout-in-library");
+  EXPECT_EQ(vs[1].rule, "assert-macro");
+  EXPECT_EQ(vs[2].rule, "assert-macro");
+  EXPECT_EQ(vs[3].rule, "banned-random");
+  EXPECT_EQ(vs[2].line, 3u);
+}
+
+TEST(RuleSet, CleanLibraryFilePasses) {
+  const std::string content =
+      "#include \"util/units.h\"\n"
+      "#include \"util/rng.h\"\n"
+      "namespace tgi::sim {\n"
+      "units::Joules energy(units::Watts w, units::Seconds t) {\n"
+      "  TGI_REQUIRE(w.value() >= 0, \"power must be non-negative\");\n"
+      "  return w * t;\n"
+      "}\n"
+      "}  // namespace tgi::sim\n";
+  EXPECT_TRUE(lint("src/sim/energy.cpp", content).empty());
+}
+
+}  // namespace
+}  // namespace tgi::lint

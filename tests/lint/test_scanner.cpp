@@ -1,0 +1,98 @@
+// Filesystem driver: tree walking, stable ordering, missing-dir handling.
+#include "lint/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A throwaway repo skeleton under the system temp dir, removed on exit.
+class ScannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "tgi_lint_scanner_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ScannerTest, FindsViolationsAcrossTree) {
+  write("src/sim/noise.cpp", "std::mt19937 g;\n");
+  write("src/sim/noise.h", "double watts_budget = 0;\n");
+  write("src/core/clean.cpp", "int add(int a, int b) { return a + b; }\n");
+  write("tools/cli.cpp", "int x = rand();\n");
+  write("src/sim/notes.txt", "rand() here is prose, not code\n");
+
+  const ScanReport report =
+      scan_tree(root_, ScanOptions{}, default_rules());
+
+  EXPECT_EQ(report.files_scanned, 4u);  // .txt skipped
+  ASSERT_EQ(report.violations.size(), 3u);
+  EXPECT_FALSE(report.clean());
+  // Sorted by file, then line.
+  EXPECT_EQ(report.violations[0].file, "src/sim/noise.cpp");
+  EXPECT_EQ(report.violations[0].rule, "banned-random");
+  EXPECT_EQ(report.violations[1].file, "src/sim/noise.h");
+  EXPECT_EQ(report.violations[1].rule, "raw-unit-double");
+  EXPECT_EQ(report.violations[2].file, "tools/cli.cpp");
+}
+
+TEST_F(ScannerTest, CleanTreeReportsClean) {
+  write("src/core/clean.h", "int add(int a, int b);\n");
+  const ScanReport report = scan_tree(root_, ScanOptions{}, default_rules());
+  EXPECT_EQ(report.files_scanned, 1u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(ScannerTest, MissingSubdirsAreSkipped) {
+  write("src/core/clean.h", "int add(int a, int b);\n");
+  // No tools/, bench/, examples/, tests/ — must not throw.
+  const ScanReport report = scan_tree(root_, ScanOptions{}, default_rules());
+  EXPECT_EQ(report.files_scanned, 1u);
+}
+
+TEST_F(ScannerTest, CustomSubdirListRestrictsTheWalk) {
+  write("src/sim/noise.cpp", "std::mt19937 g;\n");
+  write("tools/cli.cpp", "int x = rand();\n");
+  ScanOptions options;
+  options.subdirs = {"tools"};
+  const ScanReport report = scan_tree(root_, options, default_rules());
+  EXPECT_EQ(report.files_scanned, 1u);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].file, "tools/cli.cpp");
+}
+
+TEST_F(ScannerTest, NonexistentRootThrows) {
+  EXPECT_THROW(
+      scan_tree(root_ / "no_such_dir", ScanOptions{}, default_rules()),
+      util::PreconditionError);
+}
+
+TEST_F(ScannerTest, ScanFileUsesTheRecordedRelativePath) {
+  write("src/sim/noise.cpp", "std::mt19937 g;\n");
+  const auto violations = scan_file(root_ / "src/sim/noise.cpp",
+                                    "src/sim/noise.cpp", default_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].file, "src/sim/noise.cpp");
+  EXPECT_EQ(violations[0].line, 1u);
+}
+
+}  // namespace
+}  // namespace tgi::lint

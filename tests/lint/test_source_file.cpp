@@ -1,0 +1,107 @@
+// Lexical layer of tgi-lint: path classification, comment/string
+// stripping, and the per-line allow-marker.
+#include "lint/source_file.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+namespace {
+
+TEST(ClassifyPath, MapsRepoLayoutToKinds) {
+  EXPECT_EQ(classify_path("src/core/tgi.h"), FileKind::kLibraryHeader);
+  EXPECT_EQ(classify_path("src/util/units.h"), FileKind::kLibraryHeader);
+  EXPECT_EQ(classify_path("src/sim/simulator.cpp"), FileKind::kLibrarySource);
+  EXPECT_EQ(classify_path("tools/tgi_calc.cpp"), FileKind::kToolSource);
+  EXPECT_EQ(classify_path("bench/fig2_hpl_ee.cpp"), FileKind::kBenchSource);
+  EXPECT_EQ(classify_path("examples/quickstart.cpp"),
+            FileKind::kExampleSource);
+  EXPECT_EQ(classify_path("tests/core/test_tgi.cpp"), FileKind::kTestSource);
+  EXPECT_EQ(classify_path("scripts/gen.cpp"), FileKind::kOther);
+}
+
+TEST(ClassifyPath, LibraryKindsAreLibrary) {
+  EXPECT_TRUE(is_library(FileKind::kLibraryHeader));
+  EXPECT_TRUE(is_library(FileKind::kLibrarySource));
+  EXPECT_FALSE(is_library(FileKind::kToolSource));
+  EXPECT_FALSE(is_library(FileKind::kTestSource));
+}
+
+TEST(Strip, BlanksLineComments) {
+  const std::string input = "int x = 1;  // rand()";
+  const auto lines = strip_comments_and_strings(input + "\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].size(), input.size());  // columns preserved
+  EXPECT_EQ(lines[0].substr(0, 10), "int x = 1;");
+  EXPECT_EQ(lines[0].find("rand"), std::string::npos);
+}
+
+TEST(Strip, BlanksBlockCommentsAcrossLines) {
+  const auto lines =
+      strip_comments_and_strings("a /* rand()\nstd::mt19937\n*/ b");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].substr(0, 1), "a");
+  EXPECT_EQ(lines[0].find("rand"), std::string::npos);
+  EXPECT_EQ(lines[1].find("mt19937"), std::string::npos);
+  EXPECT_EQ(lines[1].size(), std::string("std::mt19937").size());
+  EXPECT_EQ(lines[2], "   b");
+}
+
+TEST(Strip, BlanksStringAndCharLiterals) {
+  const auto lines =
+      strip_comments_and_strings("call(\"std::rand\", '\\'', \"x\\\"y\");");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find("rand"), std::string::npos);
+  // Structure outside literals survives, columns intact.
+  EXPECT_EQ(lines[0].substr(0, 5), "call(");
+  EXPECT_EQ(lines[0].back(), ';');
+}
+
+TEST(Strip, BlanksRawStrings) {
+  const auto lines = strip_comments_and_strings(
+      "auto s = R\"(std::rand();)\"; int y;\n"
+      "auto t = R\"ab(mt19937)ab\"; int z;");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].find("int y;"), std::string::npos);
+  EXPECT_EQ(lines[1].find("mt19937"), std::string::npos);
+  EXPECT_NE(lines[1].find("int z;"), std::string::npos);
+}
+
+TEST(Strip, DividesAreNotComments) {
+  const auto lines = strip_comments_and_strings("int x = a / b / c;");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "int x = a / b / c;");
+}
+
+TEST(Strip, PreservesLineCount) {
+  const auto lines = strip_comments_and_strings("a\nb\nc");
+  EXPECT_EQ(lines.size(), 3u);
+  // Trailing newline yields a final empty line, matching raw splitting.
+  EXPECT_EQ(strip_comments_and_strings("a\n").size(), 2u);
+  EXPECT_EQ(strip_comments_and_strings("").size(), 1u);
+}
+
+TEST(MakeSourceFile, RawAndCodeStayAligned) {
+  const SourceFile f =
+      make_source_file("src/x/y.cpp", "int a; // one\nint b;\n");
+  EXPECT_EQ(f.kind, FileKind::kLibrarySource);
+  ASSERT_EQ(f.raw.size(), f.code.size());
+  EXPECT_EQ(f.raw[0], "int a; // one");
+  EXPECT_EQ(f.code[0], "int a;       ");
+}
+
+TEST(MakeSourceFile, EmptyPathThrows) {
+  EXPECT_THROW(make_source_file("", "int x;"), util::PreconditionError);
+}
+
+TEST(Suppression, MatchesExactRuleId) {
+  const std::string line = "std::mt19937 g;  // tgi-lint: allow(banned-random)";
+  EXPECT_TRUE(line_is_suppressed(line, "banned-random"));
+  EXPECT_FALSE(line_is_suppressed(line, "assert-macro"));
+  EXPECT_FALSE(line_is_suppressed("std::mt19937 g;", "banned-random"));
+}
+
+}  // namespace
+}  // namespace tgi::lint

@@ -22,7 +22,7 @@ TEST(Collectives, Log2Ceil) {
   EXPECT_EQ(log2_ceil(4), 2u);
   EXPECT_EQ(log2_ceil(5), 3u);
   EXPECT_EQ(log2_ceil(1024), 10u);
-  EXPECT_THROW(log2_ceil(0), util::PreconditionError);
+  EXPECT_THROW((void)log2_ceil(0), util::PreconditionError);
 }
 
 TEST(Collectives, SmallBcastIsBinomial) {

@@ -53,11 +53,13 @@ TEST(Interconnect, PresetsOrdering) {
 
 TEST(Interconnect, Validation) {
   const InterconnectSpec link = qdr_infiniband();
-  EXPECT_THROW(ptp_time(link, util::bytes(-1.0)), util::PreconditionError);
-  EXPECT_THROW(ptp_time(link, util::bytes(1.0), 0), util::PreconditionError);
+  EXPECT_THROW((void)ptp_time(link, util::bytes(-1.0)),
+               util::PreconditionError);
+  EXPECT_THROW((void)ptp_time(link, util::bytes(1.0), 0),
+               util::PreconditionError);
   InterconnectSpec bad = link;
   bad.congestion_factor = 0.0;
-  EXPECT_THROW(ptp_time(bad, util::bytes(1.0)), util::PreconditionError);
+  EXPECT_THROW((void)ptp_time(bad, util::bytes(1.0)), util::PreconditionError);
 }
 
 }  // namespace

@@ -81,7 +81,7 @@ TEST(ClusterPowerModel, SwitchPowerAlwaysPresent) {
 TEST(ClusterPowerModel, RejectsTooManyActiveNodes) {
   const ClusterPowerModel cluster(NodePowerModel(test_node()), 2,
                                   util::watts(0.0));
-  EXPECT_THROW(cluster.wall_power(ComponentUtilization::idle(), 3),
+  EXPECT_THROW((void)cluster.wall_power(ComponentUtilization::idle(), 3),
                util::PreconditionError);
 }
 

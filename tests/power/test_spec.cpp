@@ -89,7 +89,8 @@ TEST(Psu, WallPowerConsistentWithEfficiency) {
 
 TEST(Psu, RejectsNegativeLoad) {
   const PsuSpec psu;
-  EXPECT_THROW(psu.wall_power(util::watts(-1.0)), util::PreconditionError);
+  EXPECT_THROW((void)psu.wall_power(util::watts(-1.0)),
+               util::PreconditionError);
 }
 
 }  // namespace

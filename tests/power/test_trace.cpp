@@ -61,11 +61,11 @@ TEST(PowerTrace, RejectsNegativePower) {
 
 TEST(PowerTrace, PreconditionsOnSize) {
   PowerTrace empty;
-  EXPECT_THROW(empty.duration(), util::PreconditionError);
-  EXPECT_THROW(empty.max_power(), util::PreconditionError);
+  EXPECT_THROW((void)empty.duration(), util::PreconditionError);
+  EXPECT_THROW((void)empty.max_power(), util::PreconditionError);
   PowerTrace one = make_trace({{0.0, 5.0}});
-  EXPECT_THROW(one.energy(), util::PreconditionError);
-  EXPECT_THROW(one.average_power(), util::PreconditionError);
+  EXPECT_THROW((void)one.energy(), util::PreconditionError);
+  EXPECT_THROW((void)one.average_power(), util::PreconditionError);
   EXPECT_DOUBLE_EQ(one.duration().value(), 0.0);
 }
 

@@ -43,8 +43,8 @@ TEST(ClusterSpec, NodesFor) {
   EXPECT_EQ(c.nodes_for(8), 1u);
   EXPECT_EQ(c.nodes_for(9), 2u);
   EXPECT_EQ(c.nodes_for(32), 4u);
-  EXPECT_THROW(c.nodes_for(33), util::PreconditionError);
-  EXPECT_THROW(c.nodes_for(0), util::PreconditionError);
+  EXPECT_THROW((void)c.nodes_for(33), util::PreconditionError);
+  EXPECT_THROW((void)c.nodes_for(0), util::PreconditionError);
 }
 
 TEST(SharedStorage, SingleClientSeesMinOfCaps) {
@@ -80,7 +80,7 @@ TEST(SharedStorage, ContentionDegradesLargeClientCounts) {
 
 TEST(SharedStorage, RejectsZeroClients) {
   const SharedStorageSpec storage;
-  EXPECT_THROW(storage.aggregate_bandwidth(0), util::PreconditionError);
+  EXPECT_THROW((void)storage.aggregate_bandwidth(0), util::PreconditionError);
 }
 
 TEST(ClusterSpec, PowerModelReflectsSpec) {

@@ -174,7 +174,8 @@ TEST(Simulator, UtilizationsAreFractions) {
   ph.active_nodes = 8;
   ph.cores_per_node = 16;
   wl.phases.push_back(ph);
-  const auto& u = sim.run(wl).phases[0].utilization;
+  const SimulatedRun run = sim.run(wl);
+  const auto& u = run.phases[0].utilization;
   for (double v : {u.cpu, u.memory, u.disk, u.network}) {
     EXPECT_GE(v, 0.0);
     EXPECT_LE(v, 1.0);

@@ -87,8 +87,9 @@ TEST(HplModel, Validation) {
   HplModelParams params;
   params.processes = 4096;  // more than the cluster has
   EXPECT_THROW(make_hpl_workload(fire, params), util::PreconditionError);
-  EXPECT_THROW(hpl_problem_size(fire, 8, 0.0, 128), util::PreconditionError);
-  EXPECT_THROW(hpl_problem_size(fire, 99, 0.3, 128),
+  EXPECT_THROW((void)hpl_problem_size(fire, 8, 0.0, 128),
+               util::PreconditionError);
+  EXPECT_THROW((void)hpl_problem_size(fire, 99, 0.3, 128),
                util::PreconditionError);
 }
 

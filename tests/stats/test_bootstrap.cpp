@@ -74,11 +74,11 @@ TEST(Bootstrap, CustomStatistic) {
 TEST(Bootstrap, Validation) {
   const std::vector<double> two{1.0, 2.0};
   const std::vector<double> three{1.0, 2.0, 3.0};
-  EXPECT_THROW(pearson_bootstrap_ci(two, two), util::PreconditionError);
-  EXPECT_THROW(pearson_bootstrap_ci(three, two), util::PreconditionError);
-  EXPECT_THROW(pearson_bootstrap_ci(three, three, 5),
+  EXPECT_THROW((void)pearson_bootstrap_ci(two, two), util::PreconditionError);
+  EXPECT_THROW((void)pearson_bootstrap_ci(three, two), util::PreconditionError);
+  EXPECT_THROW((void)pearson_bootstrap_ci(three, three, 5),
                util::PreconditionError);
-  EXPECT_THROW(pearson_bootstrap_ci(three, three, 100, 1.5),
+  EXPECT_THROW((void)pearson_bootstrap_ci(three, three, 100, 1.5),
                util::PreconditionError);
 }
 

@@ -90,10 +90,10 @@ TEST(Correlation, ErrorCases) {
   const std::vector<double> one{1.0};
   const std::vector<double> constant{2.0, 2.0, 2.0};
   const std::vector<double> varying{1.0, 2.0, 3.0};
-  EXPECT_THROW(pearson(one, one), util::PreconditionError);
-  EXPECT_THROW(pearson(varying, std::vector<double>{1.0, 2.0}),
+  EXPECT_THROW((void)pearson(one, one), util::PreconditionError);
+  EXPECT_THROW((void)pearson(varying, std::vector<double>{1.0, 2.0}),
                util::PreconditionError);
-  EXPECT_THROW(pearson(constant, varying), util::PreconditionError);
+  EXPECT_THROW((void)pearson(constant, varying), util::PreconditionError);
 }
 
 }  // namespace

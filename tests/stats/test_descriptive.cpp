@@ -50,16 +50,16 @@ TEST(Descriptive, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
-  EXPECT_THROW(percentile(xs, 1.5), util::PreconditionError);
+  EXPECT_THROW((void)percentile(xs, 1.5), util::PreconditionError);
 }
 
 TEST(Descriptive, EmptyInputsThrow) {
   const std::vector<double> empty;
-  EXPECT_THROW(mean(empty), util::PreconditionError);
-  EXPECT_THROW(min(empty), util::PreconditionError);
-  EXPECT_THROW(max(empty), util::PreconditionError);
-  EXPECT_THROW(median(empty), util::PreconditionError);
-  EXPECT_THROW(variance_sample(std::vector<double>{1.0}),
+  EXPECT_THROW((void)mean(empty), util::PreconditionError);
+  EXPECT_THROW((void)min(empty), util::PreconditionError);
+  EXPECT_THROW((void)max(empty), util::PreconditionError);
+  EXPECT_THROW((void)median(empty), util::PreconditionError);
+  EXPECT_THROW((void)variance_sample(std::vector<double>{1.0}),
                util::PreconditionError);
 }
 
@@ -109,9 +109,9 @@ TEST(OnlineStats, MergeWithEmpty) {
 
 TEST(OnlineStats, EmptyAccessThrows) {
   OnlineStats acc;
-  EXPECT_THROW(acc.mean(), util::PreconditionError);
+  EXPECT_THROW((void)acc.mean(), util::PreconditionError);
   acc.add(1.0);
-  EXPECT_THROW(acc.variance_sample(), util::PreconditionError);
+  EXPECT_THROW((void)acc.variance_sample(), util::PreconditionError);
 }
 
 }  // namespace

@@ -20,8 +20,8 @@ TEST(Means, ArithmeticGeometricHarmonicClosedForms) {
 
 TEST(Means, PositivityRequiredForGmHm) {
   const std::vector<double> xs{1.0, -2.0};
-  EXPECT_THROW(geometric_mean(xs), util::PreconditionError);
-  EXPECT_THROW(harmonic_mean(xs), util::PreconditionError);
+  EXPECT_THROW((void)geometric_mean(xs), util::PreconditionError);
+  EXPECT_THROW((void)harmonic_mean(xs), util::PreconditionError);
 }
 
 TEST(Means, WeightedArithmetic) {
@@ -39,12 +39,14 @@ TEST(Means, WeightedHarmonicAndGeometric) {
 
 TEST(Means, WeightedRejectsBadWeights) {
   const std::vector<double> xs{1.0, 2.0};
-  EXPECT_THROW(weighted_arithmetic_mean(xs, std::vector<double>{0.5, 0.6}),
+  EXPECT_THROW(
+      (void)weighted_arithmetic_mean(xs, std::vector<double>{0.5, 0.6}),
+      util::PreconditionError);
+  EXPECT_THROW((void)weighted_arithmetic_mean(xs, std::vector<double>{1.0}),
                util::PreconditionError);
-  EXPECT_THROW(weighted_arithmetic_mean(xs, std::vector<double>{1.0}),
-               util::PreconditionError);
-  EXPECT_THROW(weighted_arithmetic_mean(xs, std::vector<double>{-0.5, 1.5}),
-               util::PreconditionError);
+  EXPECT_THROW(
+      (void)weighted_arithmetic_mean(xs, std::vector<double>{-0.5, 1.5}),
+      util::PreconditionError);
 }
 
 TEST(Means, ProportionalWeights) {

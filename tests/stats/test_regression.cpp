@@ -38,11 +38,11 @@ TEST(Regression, ConstantYHasZeroSlopeFullR2) {
 
 TEST(Regression, Errors) {
   const std::vector<double> x{1.0};
-  EXPECT_THROW(linear_fit(x, x), util::PreconditionError);
+  EXPECT_THROW((void)linear_fit(x, x), util::PreconditionError);
   const std::vector<double> constant{2.0, 2.0};
   const std::vector<double> y{1.0, 3.0};
-  EXPECT_THROW(linear_fit(constant, y), util::PreconditionError);
-  EXPECT_THROW(linear_fit(y, std::vector<double>{1.0}),
+  EXPECT_THROW((void)linear_fit(constant, y), util::PreconditionError);
+  EXPECT_THROW((void)linear_fit(y, std::vector<double>{1.0}),
                util::PreconditionError);
 }
 

@@ -58,9 +58,9 @@ TEST(Config, TypedParseErrors) {
   cfg.set("n", "12x");
   cfg.set("d", "abc");
   cfg.set("b", "maybe");
-  EXPECT_THROW(cfg.get_int("n", 0), PreconditionError);
-  EXPECT_THROW(cfg.get_double("d", 0.0), PreconditionError);
-  EXPECT_THROW(cfg.get_bool("b", false), PreconditionError);
+  EXPECT_THROW((void)cfg.get_int("n", 0), PreconditionError);
+  EXPECT_THROW((void)cfg.get_double("d", 0.0), PreconditionError);
+  EXPECT_THROW((void)cfg.get_bool("b", false), PreconditionError);
 }
 
 TEST(Config, BoolSpellings) {

@@ -1,0 +1,113 @@
+// Edge cases for the strong unit types: extreme magnitudes, negative
+// quantities, infinities/NaN propagation, zero divisors, constexpr usage,
+// and the zero-overhead guarantee. The happy-path algebra lives in
+// test_units.cpp; this file pins down behaviour at the boundaries so
+// sanitizer builds and future refactors cannot silently change it.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace tgi::util {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMax = std::numeric_limits<double>::max();
+
+TEST(UnitsEdge, NegativeQuantitiesAreRepresentable) {
+  // A power *delta* (e.g. DVFS step-down) is legitimately negative.
+  const Watts delta = Watts(180.0) - Watts(250.0);
+  EXPECT_DOUBLE_EQ(delta.value(), -70.0);
+  EXPECT_LT(delta, Watts{});
+  EXPECT_DOUBLE_EQ((-delta).value(), 70.0);
+  // Sign is preserved through cross-unit arithmetic.
+  EXPECT_DOUBLE_EQ((delta * Seconds(10.0)).value(), -700.0);
+}
+
+TEST(UnitsEdge, LargeMagnitudesDoNotOverflowPrematurely) {
+  // An exaflop-scale machine for a day: well within double range.
+  const Joules e = megawatts(30.0) * hours(24.0);
+  EXPECT_DOUBLE_EQ(e.value(), 30e6 * 86400.0);
+  EXPECT_TRUE(std::isfinite(e.value()));
+  // Genuine overflow saturates to infinity, IEEE-754 style, not UB.
+  const Joules huge = Joules(kMax) * 2.0;
+  EXPECT_TRUE(std::isinf(huge.value()));
+}
+
+TEST(UnitsEdge, TinyMagnitudesKeepPrecision) {
+  // Nanosecond-scale event at microwatt power: denormal-adjacent but exact.
+  const Joules e = Watts(1e-6) * Seconds(1e-9);
+  EXPECT_DOUBLE_EQ(e.value(), 1e-15);
+  EXPECT_GT(e, Joules{});
+}
+
+TEST(UnitsEdge, DivisionByZeroFollowsIeee754) {
+  // Quantity math is deliberately IEEE-754: callers that need rejection
+  // guard with TGI_REQUIRE at the boundary (e.g. core::energy_efficiency).
+  const double ratio = Joules(5.0) / Joules(0.0);
+  EXPECT_TRUE(std::isinf(ratio));
+  const Watts avg = Joules(5.0) / Seconds(0.0);
+  EXPECT_TRUE(std::isinf(avg.value()));
+  const double zz = Joules(0.0) / Joules(0.0);
+  EXPECT_TRUE(std::isnan(zz));
+}
+
+TEST(UnitsEdge, NanPropagatesInsteadOfComparingEqual) {
+  const Watts nan_w(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan((nan_w + Watts(1.0)).value()));
+  EXPECT_FALSE(nan_w == nan_w);  // IEEE semantics survive the wrapper
+  EXPECT_FALSE(nan_w < Watts(1.0));
+}
+
+TEST(UnitsEdge, InfinityOrderingIsSane) {
+  EXPECT_LT(Watts(kMax), Watts(kInf));
+  EXPECT_LT(Watts(-kInf), Watts(0.0));
+}
+
+TEST(UnitsEdge, ConstexprAllTheWayThrough) {
+  // The whole algebra must be usable at compile time (catalog tables are
+  // constexpr-folded); failures here are compile errors, but the values
+  // are asserted anyway for documentation.
+  constexpr Joules e = kilowatts(2.0) * seconds(3.0);
+  static_assert(e.value() == 6000.0);
+  constexpr Seconds back = e / kilowatts(2.0);
+  static_assert(back.value() == 3.0);
+  constexpr double ratio = Joules(10.0) / Joules(4.0);
+  static_assert(ratio == 2.5);
+  SUCCEED();
+}
+
+TEST(UnitsEdge, ZeroOverheadLayout) {
+  static_assert(sizeof(Watts) == sizeof(double));
+  static_assert(sizeof(FlopRate) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Joules>);
+  static_assert(std::is_trivially_destructible_v<Seconds>);
+  SUCCEED();
+}
+
+TEST(UnitsEdge, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<Watts, Joules>);
+  static_assert(!std::is_convertible_v<Watts, Joules>);
+  static_assert(!std::is_convertible_v<double, Watts>);  // explicit ctor
+  SUCCEED();
+}
+
+TEST(UnitsEdge, FactoryAndReadbackRoundTripAtExtremes) {
+  EXPECT_DOUBLE_EQ(in_kilowatt_hours(kilowatt_hours(1e12)), 1e12);
+  EXPECT_DOUBLE_EQ(in_teraflops(teraflops(1e-12)), 1e-12);
+  EXPECT_DOUBLE_EQ(in_kilowatts(kilowatts(-3.0)), -3.0);
+}
+
+TEST(UnitsEdge, AccumulationIsAssociativeEnoughForSuites) {
+  // Summing many small energies must match the closed form to double
+  // precision — the suite runner accumulates per-phase energies this way.
+  Joules total{};
+  for (int i = 0; i < 1000; ++i) total += Joules(0.001);
+  EXPECT_NEAR(total.value(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tgi::util

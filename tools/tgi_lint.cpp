@@ -1,0 +1,80 @@
+// tgi_lint — static analyzer for this repository's own conventions.
+//
+// The Green Index is only as trustworthy as its measurement pipeline, and
+// the pipeline's invariants (seeded RNG everywhere, strong unit types across
+// module boundaries, throwing checks instead of assert, no stray stdout in
+// libraries) are lexical properties the compiler never sees. This tool
+// machine-checks them; it runs as a CTest test so `ctest -R lint` gates
+// every change.
+//
+//   tgi_lint                       # lint the current directory
+//   tgi_lint root=/path/to/repo    # lint an explicit checkout
+//   tgi_lint rules=banned-random   # run a subset of rules
+//   tgi_lint dirs=src,tools        # restrict the directories walked
+//   tgi_lint list_rules=1          # print the rule catalog and exit
+//
+// Output is one `file:line: [rule] message` per violation; exit status is
+// the number of violations clamped to 1 (0 = clean). A specific line can
+// opt out with a trailing `// tgi-lint: allow(<rule-id>)` marker.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/scanner.h"
+#include "util/config.h"
+#include "util/error.h"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  using namespace tgi;
+
+  const util::Config config = util::Config::from_args(argc, argv);
+
+  lint::RuleSet rules = config.has("rules")
+                            ? lint::rules_by_id(split_list(*config.get("rules")))
+                            : lint::default_rules();
+
+  if (config.get_bool("list_rules", false)) {
+    for (const auto& rule : rules) {
+      std::cout << rule->id() << "  " << rule->description() << "\n";
+    }
+    return 0;
+  }
+
+  lint::ScanOptions options;
+  if (config.has("dirs")) options.subdirs = split_list(*config.get("dirs"));
+
+  const std::string root = config.get_string("root", ".");
+  const lint::ScanReport report = lint::scan_tree(root, options, rules);
+
+  for (const auto& violation : report.violations) {
+    std::cout << lint::format_violation(violation) << "\n";
+  }
+  std::cout << "tgi-lint: " << report.files_scanned << " files, "
+            << report.violations.size() << " violation"
+            << (report.violations.size() == 1 ? "" : "s") << "\n";
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "tgi_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
