@@ -20,18 +20,26 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"clock (GHz)", "HPL GFLOPS", "HPL W",
                            "HPL MFLOPS/W", "TGI(AM)"});
+    const std::vector<double> clocks = {1.4, 1.7, 2.0, 2.3};
+    // One self-contained task per operating point (own tuning, own meter).
+    const auto points = util::parallel_map(
+        clocks.size(),
+        [&](std::size_t k) {
+          harness::SuiteConfig cfg;
+          cfg.tuning.cpu_clock_ghz = clocks[k];
+          power::ModelMeter meter(util::seconds(0.5));
+          harness::SuiteRunner runner(e.system_under_test, meter, cfg);
+          return runner.run_suite(128);
+        },
+        e.threads);
     double best_tgi = 0.0;
     double best_clock = 0.0;
     double nominal_tgi = 0.0;
-    for (const double ghz : {1.4, 1.7, 2.0, 2.3}) {
-      harness::SuiteConfig cfg;
-      cfg.tuning.cpu_clock_ghz = ghz;
-      power::ModelMeter meter(util::seconds(0.5));
-      harness::SuiteRunner runner(e.system_under_test, meter, cfg);
-      const auto point = runner.run_suite(128);
-      const auto& hpl = core::find_measurement(point.measurements, "HPL");
+    for (std::size_t k = 0; k < clocks.size(); ++k) {
+      const double ghz = clocks[k];
+      const auto& hpl = core::find_measurement(points[k].measurements, "HPL");
       const double tgi =
-          calc.compute(point.measurements,
+          calc.compute(points[k].measurements,
                        core::WeightScheme::kArithmeticMean)
               .tgi;
       if (tgi > best_tgi) {

@@ -16,22 +16,30 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"overlap", "HPL GFLOPS", "HPL MFLOPS/W",
                            "TGI(AM) @128"});
+    const std::vector<double> overlaps = {0.0, 0.25, 0.5, 0.75, 1.0};
+    // One self-contained task per overlap setting (own config, own meter).
+    const auto points = util::parallel_map(
+        overlaps.size(),
+        [&](std::size_t k) {
+          harness::SuiteConfig cfg;
+          cfg.hpl.comm_overlap = overlaps[k];
+          power::ModelMeter meter(util::seconds(0.5));
+          harness::SuiteRunner runner(e.system_under_test, meter, cfg);
+          return runner.run_suite(128);
+        },
+        e.threads);
     double ee_none = 0.0;
     double ee_full = 0.0;
-    for (const double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      harness::SuiteConfig cfg;
-      cfg.hpl.comm_overlap = overlap;
-      power::ModelMeter meter(util::seconds(0.5));
-      harness::SuiteRunner runner(e.system_under_test, meter, cfg);
-      const auto point = runner.run_suite(128);
-      const auto& hpl = core::find_measurement(point.measurements, "HPL");
+    for (std::size_t k = 0; k < overlaps.size(); ++k) {
+      const double overlap = overlaps[k];
+      const auto& hpl = core::find_measurement(points[k].measurements, "HPL");
       const double ee = hpl.performance / hpl.average_power.value();
       if (overlap == 0.0) ee_none = ee;
       if (overlap == 1.0) ee_full = ee;
       table.add_row(
           {util::percent(overlap, 0),
            util::fixed(hpl.performance / 1000.0, 1), util::fixed(ee, 1),
-           util::fixed(calc.compute(point.measurements,
+           util::fixed(calc.compute(points[k].measurements,
                                     core::WeightScheme::kArithmeticMean)
                            .tgi,
                        4)});

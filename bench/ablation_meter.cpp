@@ -24,29 +24,51 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"cores", "TGI exact", "TGI wattsup (5-run range)",
                            "max |rel err|"});
+    // One task per sweep point; every trial seeds its own meter from
+    // (trial, p) only, so the fan-out is order-independent by construction.
+    struct PointRow {
+      double truth = 0.0;
+      double lo = 0.0;
+      double hi = 0.0;
+      double worst = 0.0;
+    };
+    const auto rows = util::parallel_map(
+        e.sweep.size(),
+        [&](std::size_t k) {
+          const std::size_t p = e.sweep[k];
+          power::ModelMeter exact_point(util::seconds(0.5));
+          harness::SuiteRunner truth_runner(e.system_under_test, exact_point);
+          PointRow row;
+          row.truth =
+              calc.compute(truth_runner.run_suite(p).measurements,
+                           core::WeightScheme::kArithmeticMean)
+                  .tgi;
+          row.lo = 1e300;
+          row.hi = -1e300;
+          for (std::uint64_t trial = 0; trial < 5; ++trial) {
+            power::WattsUpConfig cfg;
+            cfg.seed = 0xfeedULL + trial * 977 + p;
+            power::WattsUpMeter plug(cfg);
+            harness::SuiteRunner runner(e.system_under_test, plug);
+            const double tgi =
+                calc.compute(runner.run_suite(p).measurements,
+                             core::WeightScheme::kArithmeticMean)
+                    .tgi;
+            row.lo = std::min(row.lo, tgi);
+            row.hi = std::max(row.hi, tgi);
+            row.worst = std::max(row.worst,
+                                 std::fabs(tgi - row.truth) / row.truth);
+          }
+          return row;
+        },
+        e.threads);
     double worst = 0.0;
-    for (const std::size_t p : e.sweep) {
-      const double truth =
-          calc.compute(exact_runner.run_suite(p).measurements,
-                       core::WeightScheme::kArithmeticMean)
-              .tgi;
-      double lo = 1e300;
-      double hi = -1e300;
-      for (std::uint64_t trial = 0; trial < 5; ++trial) {
-        power::WattsUpConfig cfg;
-        cfg.seed = 0xfeedULL + trial * 977 + p;
-        power::WattsUpMeter plug(cfg);
-        harness::SuiteRunner runner(e.system_under_test, plug);
-        const double tgi =
-            calc.compute(runner.run_suite(p).measurements,
-                         core::WeightScheme::kArithmeticMean)
-                .tgi;
-        lo = std::min(lo, tgi);
-        hi = std::max(hi, tgi);
-        worst = std::max(worst, std::fabs(tgi - truth) / truth);
-      }
-      table.add_row({std::to_string(p), util::fixed(truth, 4),
-                     util::fixed(lo, 4) + " .. " + util::fixed(hi, 4),
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      worst = std::max(worst, rows[k].worst);
+      table.add_row({std::to_string(e.sweep[k]),
+                     util::fixed(rows[k].truth, 4),
+                     util::fixed(rows[k].lo, 4) + " .. " +
+                         util::fixed(rows[k].hi, 4),
                      util::percent(worst)});
     }
     std::cout << table;

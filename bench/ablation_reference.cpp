@@ -23,21 +23,33 @@ int main(int argc, char** argv) {
 
     util::TextTable table({"reference", "TGI@16", "TGI@128",
                            "trend (128 vs 16)", "least REE @128"});
-    for (const auto& ref : refs) {
-      power::ModelMeter ref_meter(util::seconds(0.5));
-      const auto reference =
-          harness::reference_measurements(ref.spec, ref_meter);
-      const core::TgiCalculator calc(reference);
-      power::ModelMeter meter(util::seconds(0.5));
-      harness::SuiteRunner runner(e.system_under_test, meter);
-      const auto lo = calc.compute(runner.run_suite(16).measurements,
-                                   core::WeightScheme::kArithmeticMean);
-      const auto hi = calc.compute(runner.run_suite(128).measurements,
-                                   core::WeightScheme::kArithmeticMean);
-      table.add_row({ref.name, util::fixed(lo.tgi, 4),
-                     util::fixed(hi.tgi, 4),
-                     hi.tgi > lo.tgi ? "rising" : "falling",
-                     hi.least_ree().benchmark});
+    // One self-contained task per reference machine.
+    struct RefRow {
+      core::TgiResult lo;
+      core::TgiResult hi;
+    };
+    const auto rows = util::parallel_map(
+        refs.size(),
+        [&](std::size_t k) {
+          power::ModelMeter ref_meter(util::seconds(0.5));
+          const auto reference =
+              harness::reference_measurements(refs[k].spec, ref_meter);
+          const core::TgiCalculator calc(reference);
+          power::ModelMeter meter(util::seconds(0.5));
+          harness::SuiteRunner runner(e.system_under_test, meter);
+          RefRow row;
+          row.lo = calc.compute(runner.run_suite(16).measurements,
+                                core::WeightScheme::kArithmeticMean);
+          row.hi = calc.compute(runner.run_suite(128).measurements,
+                                core::WeightScheme::kArithmeticMean);
+          return row;
+        },
+        e.threads);
+    for (std::size_t k = 0; k < refs.size(); ++k) {
+      table.add_row({refs[k].name, util::fixed(rows[k].lo.tgi, 4),
+                     util::fixed(rows[k].hi.tgi, 4),
+                     rows[k].hi.tgi > rows[k].lo.tgi ? "rising" : "falling",
+                     rows[k].hi.least_ree().benchmark});
     }
     std::cout << table;
     std::cout <<

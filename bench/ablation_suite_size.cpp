@@ -24,19 +24,32 @@ int main(int argc, char** argv) {
     const core::TgiCalculator calc4(harness::reference_measurements(
         e.reference_system, ref_meter_4, four));
 
-    power::ModelMeter meter_3(util::seconds(0.5));
-    power::ModelMeter meter_4(util::seconds(0.5));
-    harness::SuiteRunner runner3(e.system_under_test, meter_3, three);
-    harness::SuiteRunner runner4(e.system_under_test, meter_4, four);
+    // Both compositions sweep on the parallel engine (exact meter, so the
+    // factory is trivially order-independent).
+    harness::ParallelSweepConfig cfg3;
+    cfg3.suite = three;
+    cfg3.threads = e.threads;
+    harness::ParallelSweep sweep3(
+        e.system_under_test, harness::model_meter_factory(util::seconds(0.5)),
+        cfg3);
+    harness::ParallelSweepConfig cfg4;
+    cfg4.suite = four;
+    cfg4.threads = e.threads;
+    harness::ParallelSweep sweep4(
+        e.system_under_test, harness::model_meter_factory(util::seconds(0.5)),
+        cfg4);
+    const auto points3 = sweep3.run(e.sweep);
+    const auto points4 = sweep4.run(e.sweep);
 
     util::TextTable table({"cores", "TGI (3 bench)", "TGI (3+GUPS)",
                            "REE(GUPS)", "least REE (4-bench)"});
     std::vector<double> tgi3;
     std::vector<double> tgi4;
-    for (const std::size_t p : e.sweep) {
-      const auto r3 = calc3.compute(runner3.run_suite(p).measurements,
+    for (std::size_t k = 0; k < e.sweep.size(); ++k) {
+      const std::size_t p = e.sweep[k];
+      const auto r3 = calc3.compute(points3[k].measurements,
                                     core::WeightScheme::kArithmeticMean);
-      const auto r4 = calc4.compute(runner4.run_suite(p).measurements,
+      const auto r4 = calc4.compute(points4[k].measurements,
                                     core::WeightScheme::kArithmeticMean);
       tgi3.push_back(r3.tgi);
       tgi4.push_back(r4.tgi);

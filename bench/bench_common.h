@@ -1,11 +1,15 @@
 // Shared machinery for the experiment harnesses.
 //
 // Every figure/table binary accepts `key=value` overrides on the command
-// line (seed=…, sweep=…, csv=path, meter=wattsup|model) and funnels through
-// run_sweep() so all eight experiments measure the same way the paper did:
-// Fire behind the plug meter, SystemG as the SPEC-style reference.
+// line (seed=…, sweep=…, csv=path, meter=wattsup|model, threads=N) and
+// funnels through run_sweep() so all eight experiments measure the same
+// way the paper did: Fire behind the plug meter, SystemG as the SPEC-style
+// reference. Sweeps run on the deterministic parallel engine
+// (harness::ParallelSweep): threads=1 reproduces the serial execution
+// bit-for-bit, threads=N prints the same numbers N× faster.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "core/tgi.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/suite.h"
 #include "sim/catalog.h"
@@ -22,6 +27,7 @@
 #include "util/error.h"
 #include "util/format.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace tgi::bench {
 
@@ -39,12 +45,38 @@ struct Experiment {
   sim::ClusterSpec system_under_test;
   sim::ClusterSpec reference_system;
   std::optional<std::string> csv_path;
+  std::uint64_t seed = 0;
+  std::string meter_kind;
+  /// Worker threads for sweeps and fan-outs; 0 = default (TGI_THREADS
+  /// env, else hardware concurrency), 1 = serial.
+  std::size_t threads = 0;
 };
+
+/// Parses argv, additionally accepting the conventional `--threads N` /
+/// `--threads=N` spellings as aliases for the repo's `threads=N` form.
+inline util::Config parse_bench_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg == "--threads" && i + 1 < argc) {
+      tokens.push_back(std::string("threads=") + argv[++i]);
+    } else if (arg.rfind(prefix, 0) == 0) {
+      tokens.push_back("threads=" + arg.substr(prefix.size()));
+    } else {
+      tokens.push_back(std::move(arg));
+    }
+  }
+  std::vector<const char*> args;
+  args.push_back(argc > 0 ? argv[0] : "bench");
+  for (const std::string& t : tokens) args.push_back(t.c_str());
+  return util::Config::from_args(static_cast<int>(args.size()), args.data());
+}
 
 /// Parses argv into an Experiment (throws on malformed arguments).
 inline Experiment make_experiment(int argc, const char* const* argv) {
   Experiment e;
-  e.config = util::Config::from_args(argc, argv);
+  e.config = parse_bench_args(argc, argv);
   std::vector<long long> sweep_raw;
   for (std::size_t p : default_sweep()) {
     sweep_raw.push_back(static_cast<long long>(p));
@@ -52,20 +84,22 @@ inline Experiment make_experiment(int argc, const char* const* argv) {
   for (long long p : e.config.get_int_list("sweep", sweep_raw)) {
     e.sweep.push_back(static_cast<std::size_t>(p));
   }
-  const auto seed =
-      static_cast<std::uint64_t>(e.config.get_int("seed", 0x9e3779b9LL));
-  const std::string meter_kind = e.config.get_string("meter", "wattsup");
+  e.seed = static_cast<std::uint64_t>(e.config.get_int("seed", 0x9e3779b9LL));
+  e.meter_kind = e.config.get_string("meter", "wattsup");
+  const long long threads = e.config.get_int("threads", 0);
+  TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
+  e.threads = static_cast<std::size_t>(threads);
   auto make_meter = [&](std::uint64_t salt) -> std::unique_ptr<power::PowerMeter> {
-    if (meter_kind == "model") {
+    if (e.meter_kind == "model") {
       return std::make_unique<power::ModelMeter>(util::seconds(0.5));
     }
-    if (meter_kind == "wattsup") {
+    if (e.meter_kind == "wattsup") {
       power::WattsUpConfig cfg;
-      cfg.seed = seed + salt;
+      cfg.seed = e.seed + salt;
       return std::make_unique<power::WattsUpMeter>(cfg);
     }
     throw util::PreconditionError("meter must be 'wattsup' or 'model', got '" +
-                                  meter_kind + "'");
+                                  e.meter_kind + "'");
   };
   e.meter = make_meter(0);
   e.reference_meter = make_meter(0x517cc1b7ULL);
@@ -75,10 +109,37 @@ inline Experiment make_experiment(int argc, const char* const* argv) {
   return e;
 }
 
-/// Runs the full suite sweep on the system under test.
-inline std::vector<harness::SuitePoint> run_sweep(Experiment& e) {
-  harness::SuiteRunner runner(e.system_under_test, *e.meter);
-  return runner.sweep(e.sweep);
+/// Measurements one run_suite() point performs (the WattsUp run_offset
+/// stride that makes a per-point meter replay the shared-meter streams).
+inline std::size_t suite_measurements(const harness::SuiteConfig& suite) {
+  return 3 + (suite.include_gups ? 1 : 0);
+}
+
+/// Per-point meter factory matching the experiment's meter= selection,
+/// seeded so point k's instrument replays exactly the error draws it
+/// would see from one meter shared across a serial sweep.
+inline harness::MeterFactory sweep_meter_factory(
+    const Experiment& e, std::size_t measurements_per_point,
+    std::uint64_t salt = 0) {
+  if (e.meter_kind == "model") {
+    return harness::model_meter_factory(util::seconds(0.5));
+  }
+  power::WattsUpConfig cfg;
+  cfg.seed = e.seed + salt;
+  return harness::wattsup_meter_factory(cfg, measurements_per_point);
+}
+
+/// Runs the full suite sweep on the system under test (parallel across
+/// sweep points; bit-identical output for any threads= value).
+inline std::vector<harness::SuitePoint> run_sweep(
+    Experiment& e, const harness::SuiteConfig& suite = {}) {
+  harness::ParallelSweepConfig cfg;
+  cfg.suite = suite;
+  cfg.threads = e.threads;
+  harness::ParallelSweep sweep(e.system_under_test,
+                               sweep_meter_factory(e, suite_measurements(suite)),
+                               cfg);
+  return sweep.run(e.sweep);
 }
 
 /// Per-benchmark EE (performance per watt) pulled out of a sweep.

@@ -15,19 +15,37 @@ int main(int argc, char** argv) {
   return bench::run_harness(argc, argv, [](bench::Experiment& e) {
     harness::print_banner(std::cout, "Figure 4",
                           "Energy Efficiency of IOzone (Fire cluster)");
-    harness::SuiteRunner runner(e.system_under_test, *e.meter);
+    // Node sweep on the parallel engine: one IOzone measurement per point,
+    // so point k's meter starts at run_offset k (bit-identical to one
+    // meter shared across the serial 1..8 loop).
+    std::vector<std::size_t> node_counts;
+    for (std::size_t nodes = 1; nodes <= e.system_under_test.nodes;
+         ++nodes) {
+      node_counts.push_back(nodes);
+    }
+    harness::ParallelSweepConfig cfg;
+    cfg.threads = e.threads;
+    harness::ParallelSweep sweep(e.system_under_test,
+                                 bench::sweep_meter_factory(e, 1), cfg);
+    const auto points = sweep.run_with(
+        node_counts, [](harness::SuiteRunner& runner, std::size_t nodes) {
+          harness::SuitePoint pt;
+          pt.nodes = nodes;
+          pt.measurements.push_back(runner.run_iozone(nodes));
+          return pt;
+        });
 
     harness::Series series;
     series.x_label = "nodes";
     series.y_label = "MBPS/W";
     util::TextTable detail(
         {"nodes", "aggregate MB/s", "power (W)", "time (s)"});
-    for (std::size_t nodes = 1; nodes <= e.system_under_test.nodes;
-         ++nodes) {
-      const auto m = runner.run_iozone(nodes);
-      series.x.push_back(static_cast<double>(nodes));
+    for (const auto& pt : points) {
+      const auto& m = pt.measurements.front();
+      series.x.push_back(static_cast<double>(pt.nodes));
       series.y.push_back(m.performance / m.average_power.value());
-      detail.add_row({std::to_string(nodes), util::fixed(m.performance, 1),
+      detail.add_row({std::to_string(pt.nodes),
+                      util::fixed(m.performance, 1),
                       util::fixed(m.average_power.value(), 0),
                       util::fixed(m.execution_time.value(), 0)});
     }

@@ -1,0 +1,129 @@
+// Microbench: the deterministic parallel sweep engine.
+//
+// Times the paper's Figure 5/6 suite sweep three ways — the legacy serial
+// path (one SuiteRunner, one shared meter), ParallelSweep with threads=1,
+// and ParallelSweep with threads=N — and proves the engine's contract on
+// the spot: all three produce bit-identical SuitePoint vectors, and the
+// threaded run is just faster. The speedup check needs real cores, so it
+// reports "skipped" on boxes with fewer than 4.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using tgi::harness::SuitePoint;
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Bitwise equality of two sweeps (== on every double, no tolerance: the
+/// determinism contract is exact).
+bool sweeps_identical(const std::vector<SuitePoint>& a,
+                      const std::vector<SuitePoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].processes != b[k].processes || a[k].nodes != b[k].nodes ||
+        a[k].measurements.size() != b[k].measurements.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a[k].measurements.size(); ++i) {
+      const auto& ma = a[k].measurements[i];
+      const auto& mb = b[k].measurements[i];
+      if (ma.benchmark != mb.benchmark || ma.metric_unit != mb.metric_unit ||
+          ma.performance != mb.performance ||
+          ma.average_power.value() != mb.average_power.value() ||
+          ma.execution_time.value() != mb.execution_time.value() ||
+          ma.energy.value() != mb.energy.value()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Microbench",
+                          "serial vs parallel suite sweep");
+    // Repeat the grid to give the pool enough points to chew on.
+    const auto repeat =
+        static_cast<std::size_t>(e.config.get_int("repeat", 4));
+    std::vector<std::size_t> grid;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      for (const std::size_t p : e.sweep) grid.push_back(p);
+    }
+    std::size_t threads = e.threads;
+    if (threads == 0) threads = util::ThreadPool::default_thread_count();
+
+    // Legacy serial path: one runner, one meter shared across all points.
+    const double t0 = now_seconds();
+    std::vector<SuitePoint> serial;
+    {
+      power::WattsUpConfig cfg;
+      cfg.seed = e.seed;
+      power::WattsUpMeter meter(cfg);
+      harness::SuiteRunner runner(e.system_under_test, meter);
+      serial = runner.sweep(grid);
+    }
+    const double t_serial = now_seconds() - t0;
+
+    harness::SuiteConfig suite;
+    power::WattsUpConfig base;
+    base.seed = e.seed;
+    const auto factory = harness::wattsup_meter_factory(
+        base, bench::suite_measurements(suite));
+
+    harness::ParallelSweepConfig one;
+    one.threads = 1;
+    const double t1 = now_seconds();
+    const auto points_1 =
+        harness::ParallelSweep(e.system_under_test, factory, one).run(grid);
+    const double t_one = now_seconds() - t1;
+
+    harness::ParallelSweepConfig many;
+    many.threads = threads;
+    const double t2 = now_seconds();
+    const auto points_n =
+        harness::ParallelSweep(e.system_under_test, factory, many).run(grid);
+    const double t_many = now_seconds() - t2;
+
+    util::TextTable table({"path", "threads", "wall (s)", "points/s"});
+    auto rate = [&](double secs) {
+      return util::fixed(static_cast<double>(grid.size()) /
+                             std::max(secs, 1e-9),
+                         1);
+    };
+    table.add_row({"serial SuiteRunner::sweep", "1",
+                   util::fixed(t_serial, 3), rate(t_serial)});
+    table.add_row({"ParallelSweep", "1", util::fixed(t_one, 3),
+                   rate(t_one)});
+    table.add_row({"ParallelSweep", std::to_string(threads),
+                   util::fixed(t_many, 3), rate(t_many)});
+    std::cout << table;
+    const double speedup = t_serial / std::max(t_many, 1e-9);
+    std::cout << "\n" << grid.size() << " sweep points; speedup vs serial: "
+              << util::fixed(speedup, 2) << "x with " << threads
+              << " threads\n";
+
+    bench::print_check("ParallelSweep(threads=1) output identical to serial",
+                       sweeps_identical(serial, points_1));
+    bench::print_check("ParallelSweep(threads=N) output identical to serial",
+                       sweeps_identical(serial, points_n));
+    const unsigned cores =
+        std::thread::hardware_concurrency();  // tgi-lint: allow(raw-thread)
+    if (cores >= 4 && threads >= 4) {
+      bench::print_check("speedup >= 2x on >= 4 cores", speedup >= 2.0);
+    } else {
+      std::cout << "[check] speedup >= 2x on >= 4 cores: skipped ("
+                << cores << " core(s) visible)\n";
+    }
+  });
+}

@@ -15,31 +15,46 @@ int main(int argc, char** argv) {
   return bench::run_harness(argc, argv, [](bench::Experiment& e) {
     harness::print_banner(std::cout, "Report",
                           "component energy breakdown (Fire, 128 cores)");
-    const sim::ExecutionSimulator simulator(e.system_under_test);
-
-    auto show = [&](const char* name, const sim::Workload& wl) {
-      const sim::SimulatedRun run = simulator.run(wl);
-      const power::EnergyBreakdown breakdown =
-          power::energy_breakdown(run.timeline);
-      std::cout << "\n--- " << name << " ("
-                << util::format(run.elapsed) << ", "
-                << util::format(breakdown.total()) << ") ---\n"
-                << power::render_breakdown(breakdown);
-      return breakdown;
-    };
-
     kernels::HplModelParams hpl;
     hpl.processes = 128;
-    const auto hpl_b =
-        show("HPL", kernels::make_hpl_workload(e.system_under_test, hpl));
     kernels::StreamModelParams stream;
     stream.processes = 128;
-    const auto stream_b = show(
-        "STREAM", kernels::make_stream_workload(e.system_under_test, stream));
     kernels::IozoneModelParams iozone;
     iozone.nodes = 8;
-    const auto io_b = show(
-        "IOzone", kernels::make_iozone_workload(e.system_under_test, iozone));
+    struct Item {
+      const char* name;
+      sim::Workload workload;
+    };
+    const std::vector<Item> items{
+        {"HPL", kernels::make_hpl_workload(e.system_under_test, hpl)},
+        {"STREAM",
+         kernels::make_stream_workload(e.system_under_test, stream)},
+        {"IOzone",
+         kernels::make_iozone_workload(e.system_under_test, iozone)}};
+
+    // Simulate the three runs concurrently (one simulator per task), then
+    // print in fixed order so the report is byte-stable.
+    struct Shown {
+      util::Seconds elapsed{0.0};
+      power::EnergyBreakdown breakdown;
+    };
+    const auto shown = util::parallel_map(
+        items.size(),
+        [&](std::size_t k) {
+          const sim::ExecutionSimulator simulator(e.system_under_test);
+          const sim::SimulatedRun run = simulator.run(items[k].workload);
+          return Shown{run.elapsed, power::energy_breakdown(run.timeline)};
+        },
+        e.threads);
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      std::cout << "\n--- " << items[k].name << " ("
+                << util::format(shown[k].elapsed) << ", "
+                << util::format(shown[k].breakdown.total()) << ") ---\n"
+                << power::render_breakdown(shown[k].breakdown);
+    }
+    const auto& hpl_b = shown[0].breakdown;
+    const auto& stream_b = shown[1].breakdown;
+    const auto& io_b = shown[2].breakdown;
 
     std::cout << "\nnon-compute energy share: HPL "
               << util::percent(hpl_b.non_compute_fraction(), 1)

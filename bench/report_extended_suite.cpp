@@ -32,15 +32,19 @@ int main(int argc, char** argv) {
     }
     const core::TgiCalculator calc(reference);
 
-    power::ModelMeter meter(util::seconds(0.5));
-    harness::SuiteRunner runner(e.system_under_test, meter);
+    harness::ParallelSweepConfig sweep_cfg;
+    sweep_cfg.threads = e.threads;
+    harness::ParallelSweep sweep(
+        e.system_under_test, harness::model_meter_factory(util::seconds(0.5)),
+        sweep_cfg);
+    const auto points = sweep.run_extended(e.sweep);
 
     util::TextTable table({"cores", "TGI(AM)", "REE HPL", "STREAM",
                            "IOzone", "GUPS", "PTRANS", "FFT",
                            "least REE"});
-    for (const std::size_t p : e.sweep) {
-      const auto point = runner.run_extended_suite(p);
-      const auto r = calc.compute(point.measurements,
+    for (std::size_t k = 0; k < e.sweep.size(); ++k) {
+      const std::size_t p = e.sweep[k];
+      const auto r = calc.compute(points[k].measurements,
                                   core::WeightScheme::kArithmeticMean);
       std::vector<std::string> row{std::to_string(p),
                                    util::fixed(r.tgi, 3)};

@@ -18,13 +18,20 @@ int main(int argc, char** argv) {
     const auto reference = bench::reference_suite(e);
     const core::TgiCalculator calc(reference);
 
-    power::ModelMeter m1(util::seconds(0.5));
-    power::ModelMeter m2(util::seconds(0.5));
-    harness::SuiteRunner fire_runner(e.system_under_test, m1);
     const sim::ClusterSpec accel = sim::accelerator_heavy_cluster();
-    harness::SuiteRunner accel_runner(accel, m2);
-    const auto fire = fire_runner.run_suite(128).measurements;
-    const auto box = accel_runner.run_suite(accel.total_cores()).measurements;
+    const std::vector<sim::ClusterSpec> machines{e.system_under_test, accel};
+    const std::vector<std::size_t> scales{128, accel.total_cores()};
+    // Both machines' suite points are independent; run them as two tasks.
+    const auto measured = util::parallel_map(
+        machines.size(),
+        [&](std::size_t k) {
+          power::ModelMeter meter(util::seconds(0.5));
+          harness::SuiteRunner runner(machines[k], meter);
+          return runner.run_suite(scales[k]).measurements;
+        },
+        e.threads);
+    const auto& fire = measured[0];
+    const auto& box = measured[1];
 
     // Sweep W over the simplex in steps of 0.05.
     const int steps = 20;

@@ -1,0 +1,81 @@
+#include "harness/parallel.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace tgi::harness {
+
+MeterFactory wattsup_meter_factory(power::WattsUpConfig base,
+                                   std::size_t measurements_per_point) {
+  TGI_REQUIRE(measurements_per_point >= 1,
+              "a sweep point performs at least one measurement");
+  return [base, measurements_per_point](std::size_t point_index) {
+    power::WattsUpConfig config = base;
+    config.run_offset =
+        base.run_offset +
+        static_cast<std::uint64_t>(point_index) * measurements_per_point;
+    return std::make_unique<power::WattsUpMeter>(config);
+  };
+}
+
+MeterFactory model_meter_factory(util::Seconds sample_interval) {
+  return [sample_interval](std::size_t /*point_index*/) {
+    return std::make_unique<power::ModelMeter>(sample_interval);
+  };
+}
+
+ParallelSweep::ParallelSweep(sim::ClusterSpec cluster,
+                             MeterFactory meter_factory,
+                             ParallelSweepConfig config)
+    : cluster_(std::move(cluster)),
+      meter_factory_(std::move(meter_factory)),
+      config_(std::move(config)) {
+  TGI_REQUIRE(static_cast<bool>(meter_factory_),
+              "ParallelSweep needs a meter factory");
+}
+
+std::vector<SuitePoint> ParallelSweep::run_with(
+    const std::vector<std::size_t>& values, const SweepPointFn& fn) const {
+  TGI_REQUIRE(static_cast<bool>(fn), "ParallelSweep::run_with: empty fn");
+  // Each point is fully self-contained: its own meter (seeded from the
+  // point index by the factory) and its own SuiteRunner. Results land in
+  // a preallocated slot, so completion order cannot reorder the output.
+  const auto run_point = [&](std::size_t k) {
+    const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
+    TGI_CHECK(meter != nullptr, "meter factory returned null");
+    SuiteRunner runner(cluster_, *meter, config_.suite);
+    return fn(runner, values[k]);
+  };
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) threads = util::ThreadPool::default_thread_count();
+  std::vector<SuitePoint> results(values.size());
+  if (threads <= 1 || values.size() <= 1) {
+    for (std::size_t k = 0; k < values.size(); ++k) results[k] = run_point(k);
+    return results;
+  }
+  util::ThreadPool pool(threads < values.size() ? threads : values.size());
+  util::parallel_for(pool, values.size(),
+                     [&](std::size_t k) { results[k] = run_point(k); });
+  return results;
+}
+
+std::vector<SuitePoint> ParallelSweep::run(
+    const std::vector<std::size_t>& process_counts) const {
+  return run_with(process_counts,
+                  [](SuiteRunner& runner, std::size_t processes) {
+                    return runner.run_suite(processes);
+                  });
+}
+
+std::vector<SuitePoint> ParallelSweep::run_extended(
+    const std::vector<std::size_t>& process_counts) const {
+  return run_with(process_counts,
+                  [](SuiteRunner& runner, std::size_t processes) {
+                    return runner.run_extended_suite(processes);
+                  });
+}
+
+}  // namespace tgi::harness

@@ -1,0 +1,93 @@
+// Deterministic parallel sweep engine.
+//
+// A suite sweep (Figures 5-6, Tables I-II, the ablations) is a vector of
+// independent points: each builds its own simulated cluster state behind
+// its own meter, mirroring the paper's repeat-per-scale procedure. That
+// makes the sweep embarrassingly parallel — provided the meter's error
+// draws stay reproducible when points run out of order.
+//
+// The determinism contract: sweep point k gets a FRESH meter constructed
+// by a MeterFactory from the pair (seed, k). For the WattsUp instrument
+// the factory sets WattsUpConfig::run_offset = k * measurements_per_point,
+// which replays exactly the RNG streams that a single meter shared across
+// a serial sweep would have used for point k. Results are collected into a
+// preallocated vector BY INDEX, never by completion order. Consequence:
+// the output is bit-identical for every thread count — threads=1
+// reproduces today's serial execution exactly, and threads=N reproduces
+// threads=1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "harness/suite.h"
+#include "power/meter.h"
+#include "sim/machine.h"
+#include "util/units.h"
+
+namespace tgi::harness {
+
+/// Builds the meter for sweep point `point_index`. Must be callable
+/// concurrently and must return an instrument whose error draws depend
+/// only on (its own configuration, point_index) — never on call order.
+using MeterFactory =
+    std::function<std::unique_ptr<power::PowerMeter>(std::size_t point_index)>;
+
+/// MeterFactory for the simulated Watts Up meter: point k's meter starts
+/// its run counter at k * measurements_per_point, so the per-measurement
+/// RNG streams are bit-identical to one meter of config `base` shared
+/// across a serial sweep (run_suite consumes 3 + include_gups
+/// measurements per point, run_extended_suite 6, run_iozone 1).
+[[nodiscard]] MeterFactory wattsup_meter_factory(
+    power::WattsUpConfig base, std::size_t measurements_per_point);
+
+/// MeterFactory for the exact ModelMeter (stateless, so the point index is
+/// ignored).
+[[nodiscard]] MeterFactory model_meter_factory(
+    util::Seconds sample_interval = util::Seconds(0.05));
+
+struct ParallelSweepConfig {
+  /// Per-benchmark knobs, forwarded to every point's SuiteRunner.
+  SuiteConfig suite;
+  /// Worker threads; 0 = ThreadPool::default_thread_count() (the
+  /// TGI_THREADS environment variable, else hardware concurrency), 1 =
+  /// inline serial execution on the calling thread.
+  std::size_t threads = 0;
+};
+
+/// Maps sweep points to SuitePoint results concurrently; output is
+/// bit-identical to the serial path for any thread count.
+class ParallelSweep {
+ public:
+  ParallelSweep(sim::ClusterSpec cluster, MeterFactory meter_factory,
+                ParallelSweepConfig config = {});
+
+  /// The standard suite across a process-count sweep: parallel equivalent
+  /// of SuiteRunner::sweep.
+  [[nodiscard]] std::vector<SuitePoint> run(
+      const std::vector<std::size_t>& process_counts) const;
+
+  /// The six-benchmark extended suite across a process-count sweep.
+  [[nodiscard]] std::vector<SuitePoint> run_extended(
+      const std::vector<std::size_t>& process_counts) const;
+
+  /// Generic form: point k is produced by fn(runner_for_point_k,
+  /// values[k]). Use for sweeps over something other than process counts
+  /// (e.g. Figure 4's node sweep calling run_iozone).
+  using SweepPointFn =
+      std::function<SuitePoint(SuiteRunner& runner, std::size_t value)>;
+  [[nodiscard]] std::vector<SuitePoint> run_with(
+      const std::vector<std::size_t>& values, const SweepPointFn& fn) const;
+
+  [[nodiscard]] const sim::ClusterSpec& cluster() const { return cluster_; }
+  [[nodiscard]] const ParallelSweepConfig& config() const { return config_; }
+
+ private:
+  sim::ClusterSpec cluster_;
+  MeterFactory meter_factory_;
+  ParallelSweepConfig config_;
+};
+
+}  // namespace tgi::harness

@@ -1,10 +1,10 @@
 #include "kernels/gups.h"
 
 #include <chrono>
-#include <thread>
 #include <vector>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace tgi::kernels {
 
@@ -87,12 +87,14 @@ GupsResult run_gups(const GupsConfig& config) {
     }
   };
 
+  // One pool serves both the timed pass and the verification pass; the
+  // partitions are disjoint, so tasks are race-free by construction.
+  util::ThreadPool pool(static_cast<std::size_t>(config.threads));
   auto run_pass = [&] {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
     for (int t = 0; t < config.threads; ++t) {
-      pool.emplace_back(apply_stream, t);
+      pool.submit([&apply_stream, t] { apply_stream(t); });
     }
+    pool.wait();
   };
 
   GupsResult result;

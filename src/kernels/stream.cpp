@@ -4,10 +4,10 @@
 #include <barrier>
 #include <chrono>
 #include <cmath>
-#include <thread>
 #include <vector>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace tgi::kernels {
 
@@ -61,10 +61,12 @@ StreamResult run_stream(const StreamConfig& config) {
   const double t_start = now_seconds();
 
   {
-    std::vector<std::jthread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
+    // A pool of exactly `threads` workers runs `threads` tasks that rank
+    // on a barrier: every task starts before any can finish, so no worker
+    // ever needs a second task and the barrier cannot deadlock.
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
+      pool.submit([&, t] {
         const Slice s = slice_for(n, t, threads);
         for (int it = 0; it < config.iterations; ++it) {
           const auto iu = static_cast<std::size_t>(it);
@@ -102,7 +104,8 @@ StreamResult run_stream(const StreamConfig& config) {
         }
       });
     }
-  }  // join
+    pool.wait();
+  }
 
   StreamResult result;
   result.elapsed = util::seconds(now_seconds() - t_start);

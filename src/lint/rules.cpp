@@ -151,6 +151,55 @@ class RawUnitDoubleRule final : public Rule {
   }
 };
 
+// --- raw-thread -----------------------------------------------------------
+
+/// std::thread / std::jthread / std::async outside util/thread_pool.
+/// Ad-hoc threads fragment the determinism story (unordered side effects)
+/// and TSan coverage; concurrency flows through util::ThreadPool.
+class RawThreadRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "raw-thread"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw std::thread / std::jthread / std::async outside "
+           "util/thread_pool (route concurrency through util::ThreadPool)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    // The one sanctioned home for raw threads.
+    if (starts_with(file.path, "src/util/thread_pool")) return;
+    static constexpr std::string_view kBanned[] = {"thread", "jthread",
+                                                   "async"};
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kBanned) {
+        if (mentions_std(line, name)) {
+          add(out, file, i + 1, id(),
+              "std::" + std::string(name) +
+                  " outside util/thread_pool; use util::ThreadPool so "
+                  "sweeps stay deterministic and TSan stays meaningful");
+        }
+      }
+    }
+  }
+
+ private:
+  /// True if `line` contains `std::<name>` with whole-identifier
+  /// boundaries on both `std` and `<name>` (so std::this_thread and
+  /// my_thread never match).
+  static bool mentions_std(std::string_view line, std::string_view name) {
+    const std::string needle = "std::" + std::string(name);
+    std::size_t pos = 0;
+    while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t end = pos + needle.size();
+      const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+      if (left_ok && right_ok) return true;
+      pos += 1;
+    }
+    return false;
+  }
+};
+
 // --- relative-include -----------------------------------------------------
 
 /// `#include "../foo.h"` — include paths must be repo-relative from src/.
@@ -289,6 +338,7 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<AssertMacroRule>());
   rules.push_back(std::make_unique<BannedRandomRule>());
   rules.push_back(std::make_unique<CoutInLibraryRule>());
+  rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
   rules.push_back(std::make_unique<RelativeIncludeRule>());
   return rules;

@@ -8,6 +8,12 @@
 //                     and friends anywhere outside util/rng — all randomness
 //                     must flow through seeded util::Xoshiro256 so figures
 //                     stay bit-reproducible.
+//   raw-thread        std::thread / std::jthread / std::async outside
+//                     util/thread_pool — concurrency flows through
+//                     util::ThreadPool (mpisim's ranks-as-threads runtime
+//                     carries a documented per-line waiver) so parallel
+//                     sweeps stay deterministic and TSan coverage of the
+//                     tree stays meaningful.
 //   raw-unit-double   `double`-typed parameters with unit-suspicious names
 //                     (watts, joules, seconds, energy, power, flops) in
 //                     public library headers — physical quantities crossing

@@ -120,8 +120,10 @@ void run(int nprocs, const std::function<void(Rank&)>& fn) {
   std::mutex error_mu;
 
   {
-    // CP.23/CP.25: joining threads as a scoped container.
-    std::vector<std::jthread> threads;
+    // CP.23/CP.25: joining threads as a scoped container. Ranks ARE
+    // threads in this runtime — each needs its own stack for the whole
+    // program, which a task pool cannot provide.
+    std::vector<std::jthread> threads;  // tgi-lint: allow(raw-thread)
     threads.reserve(static_cast<std::size_t>(nprocs));
     for (int r = 0; r < nprocs; ++r) {
       threads.emplace_back([&, r] {

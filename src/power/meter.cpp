@@ -18,7 +18,8 @@ MeterReading summarize(PowerTrace trace) {
   return reading;
 }
 
-WattsUpMeter::WattsUpMeter(WattsUpConfig config) : config_(config) {
+WattsUpMeter::WattsUpMeter(WattsUpConfig config)
+    : config_(config), run_counter_(config.run_offset) {
   TGI_REQUIRE(config_.sample_interval.value() > 0.0,
               "sample interval must be positive");
   TGI_REQUIRE(config_.resolution.value() >= 0.0,

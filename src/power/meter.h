@@ -57,6 +57,13 @@ struct WattsUpConfig {
   double dropout_rate = 0.0;
   /// Seed for the instrument's error draws (reproducible experiments).
   std::uint64_t seed = 0x9e3779b9ULL;
+  /// Starting value of the internal run counter. Each measure() call
+  /// advances the counter and derives its RNG stream from (seed, counter),
+  /// so a fresh meter constructed with run_offset = k behaves exactly like
+  /// a meter that already performed k measurements. harness::ParallelSweep
+  /// uses this to give every sweep point its own meter whose error draws
+  /// are bit-identical to one meter shared across a serial sweep.
+  std::uint64_t run_offset = 0;
 };
 
 /// Simulated plug meter with the Watts Up? PRO ES error model.

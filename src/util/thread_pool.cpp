@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>  // tgi-lint: allow(raw-thread)
+
+#include "util/error.h"
+
+namespace tgi::util {
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;   // workers wait here for tasks
+  std::condition_variable idle;         // wait() waits here for drain
+  std::deque<std::function<void()>> queue;
+  std::size_t in_flight = 0;            // popped but not yet finished
+  bool stopping = false;
+  std::exception_ptr first_error;
+  std::vector<std::jthread> workers;  // tgi-lint: allow(raw-thread)
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : state_(std::make_unique<State>()), thread_count_(threads) {
+  TGI_REQUIRE(threads >= 1, "ThreadPool needs at least one worker, got 0");
+  const auto worker_loop = [](State& state) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(state.mutex);
+        state.work_ready.wait(
+            lock, [&] { return state.stopping || !state.queue.empty(); });
+        if (state.queue.empty()) return;  // stopping and drained
+        task = std::move(state.queue.front());
+        state.queue.pop_front();
+        ++state.in_flight;
+      }
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::unique_lock lock(state.mutex);
+        if (error && !state.first_error) state.first_error = error;
+        --state.in_flight;
+        if (state.queue.empty() && state.in_flight == 0) {
+          state.idle.notify_all();
+        }
+      }
+    }
+  };
+  state_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    state_->workers.emplace_back(
+        [state = state_.get(), worker_loop] { worker_loop(*state); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->work_ready.notify_all();
+  state_->workers.clear();  // jthread joins; workers drain the queue first
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TGI_REQUIRE(static_cast<bool>(task), "ThreadPool::submit: empty task");
+  {
+    std::unique_lock lock(state_->mutex);
+    TGI_CHECK(!state_->stopping, "ThreadPool::submit after shutdown");
+    state_->queue.push_back(std::move(task));
+  }
+  state_->work_ready.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(state_->mutex);
+  state_->idle.wait(
+      lock, [&] { return state_->queue.empty() && state_->in_flight == 0; });
+  if (state_->first_error) {
+    std::exception_ptr error = state_->first_error;
+    state_->first_error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("TGI_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<std::size_t>(hw) : std::size_t{1};
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  TGI_REQUIRE(static_cast<bool>(fn), "parallel_for: empty function");
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace tgi::util

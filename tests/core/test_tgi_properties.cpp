@@ -77,6 +77,83 @@ TEST_P(TgiProperty, PermutationInvariance) {
   EXPECT_NEAR(calc.compute(system, WeightScheme::kEnergy).tgi, base, 1e-9);
 }
 
+TEST_P(TgiProperty, RandomPermutationInvarianceForEveryScheme) {
+  // Eq. 4 is a sum: TGI must not care how the suite CSV happens to be
+  // ordered, under any weight scheme. Shuffle with the seeded generator
+  // (Fisher-Yates) so the permutation itself is reproducible.
+  const std::size_t n = 6;
+  const TgiCalculator calc(random_suite(rng_, n));
+  auto system = random_suite(rng_, n);
+  std::vector<double> base;
+  for (WeightScheme scheme :
+       {WeightScheme::kArithmeticMean, WeightScheme::kTime,
+        WeightScheme::kEnergy, WeightScheme::kPower}) {
+    base.push_back(calc.compute(system, scheme).tgi);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = system.size() - 1; i > 0; --i) {
+      std::swap(system[i], system[rng_.uniform_index(i + 1)]);
+    }
+    std::size_t s = 0;
+    for (WeightScheme scheme :
+         {WeightScheme::kArithmeticMean, WeightScheme::kTime,
+          WeightScheme::kEnergy, WeightScheme::kPower}) {
+      EXPECT_NEAR(calc.compute(system, scheme).tgi, base[s],
+                  std::abs(base[s]) * 1e-9)
+          << weight_scheme_name(scheme) << " round " << round;
+      ++s;
+    }
+  }
+}
+
+TEST_P(TgiProperty, ClosedFormsMatchDefinitionalWeightsEqs10to12) {
+  // Eqs. 10-12 DEFINE the weights (W_ti = t_i/Σt_j, W_ei = e_i/Σe_j,
+  // W_pi = p_i/Σp_j); Eqs. 13-15 are the paper's algebraic
+  // simplifications the implementation computes. The two must agree: for
+  // each scheme, build the weight vector straight from the definition,
+  // form TGI = Σ W_i·REE_i, and compare against calc.compute.
+  const auto reference = random_suite(rng_, 5);
+  const TgiCalculator calc(reference);
+  const auto system = random_suite(rng_, 5);
+
+  const auto definitional = [&](auto quantity) {
+    double total = 0.0;
+    for (const auto& m : system) total += quantity(m);
+    double tgi = 0.0;
+    for (const auto& m : system) {
+      const auto& ref = find_measurement(reference, m.benchmark);
+      const double ree = (m.performance / m.average_power.value()) /
+                         (ref.performance / ref.average_power.value());
+      tgi += quantity(m) / total * ree;
+    }
+    return tgi;
+  };
+
+  const double by_time = definitional(
+      [](const BenchmarkMeasurement& m) { return m.execution_time.value(); });
+  const double by_energy = definitional(
+      [](const BenchmarkMeasurement& m) { return m.energy.value(); });
+  const double by_power = definitional(
+      [](const BenchmarkMeasurement& m) { return m.average_power.value(); });
+
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kTime).tgi, by_time,
+              std::abs(by_time) * 1e-9);
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kEnergy).tgi, by_energy,
+              std::abs(by_energy) * 1e-9);
+  EXPECT_NEAR(calc.compute(system, WeightScheme::kPower).tgi, by_power,
+              std::abs(by_power) * 1e-9);
+
+  // And the per-component weights the calculator reports ARE the
+  // definitional ones.
+  const TgiResult r = calc.compute(system, WeightScheme::kTime);
+  double total_t = 0.0;
+  for (const auto& m : system) total_t += m.execution_time.value();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    EXPECT_NEAR(r.components[i].weight,
+                system[i].execution_time.value() / total_t, 1e-9);
+  }
+}
+
 TEST_P(TgiProperty, LinearInSystemEfficiency) {
   // Doubling every benchmark's performance at fixed power doubles TGI
   // (Eq. 4 is linear in the REEs) under any measurement-derived weights

@@ -164,6 +164,55 @@ TEST(CoutInLibrary, AllowsExecutablesLogSinkAndLogging) {
                         "cout-in-library"));
 }
 
+// --- raw-thread -----------------------------------------------------------
+
+TEST(RawThread, FlagsRawThreadPrimitivesEverywhere) {
+  EXPECT_TRUE(has_rule(
+      lint("src/kernels/k.cpp", "std::thread worker(body);\n"), "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint("src/mpisim/r.cpp", "std::vector<std::jthread> pool;\n"),
+      "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint("tools/t.cpp", "auto f = std::async(run);\n"), "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint("tests/util/t.cpp", "std::thread t;\n"), "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint("bench/b.cpp", "std::thread::hardware_concurrency();\n"),
+      "raw-thread"));
+}
+
+TEST(RawThread, AllowsThreadPoolHomeAndNonThreadIdentifiers) {
+  // The sanctioned home for raw threads.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/thread_pool.cpp", "std::vector<std::jthread> w;\n"),
+      "raw-thread"));
+  EXPECT_FALSE(has_rule(
+      lint("src/util/thread_pool.h", "std::thread worker;\n"), "raw-thread"));
+  // std::this_thread is synchronization-free and fine.
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp", "std::this_thread::sleep_for(ms);\n"),
+      "raw-thread"));
+  // Pool usage, comments, and strings are all clean.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/p.cpp", "util::ThreadPool pool(4);\n"), "raw-thread"));
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp", "// std::thread is banned here\n"),
+      "raw-thread"));
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp", "const char* s = \"std::async\";\n"),
+      "raw-thread"));
+  // my_thread / threads / asynchrony: identifier boundaries must hold.
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp", "std::vector<int> threads;\n"), "raw-thread"));
+}
+
+TEST(RawThread, AllowMarkerWaivesDocumentedExceptions) {
+  const auto vs = lint(
+      "src/mpisim/runtime.cpp",
+      "std::vector<std::jthread> threads;  // tgi-lint: allow(raw-thread)\n");
+  EXPECT_FALSE(has_rule(vs, "raw-thread"));
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(RuleSet, FormatViolationMatchesPromisedShape) {
@@ -173,7 +222,7 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }

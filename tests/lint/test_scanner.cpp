@@ -14,10 +14,16 @@ namespace {
 namespace fs = std::filesystem;
 
 /// A throwaway repo skeleton under the system temp dir, removed on exit.
+/// The directory name embeds the test name: ctest runs each case as its
+/// own process concurrently, so a shared path would let one test's
+/// SetUp/TearDown remove the tree out from under another.
 class ScannerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::temp_directory_path() / "tgi_lint_scanner_test";
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("tgi_lint_scanner_test_") + info->name());
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

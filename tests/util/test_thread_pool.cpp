@@ -1,0 +1,134 @@
+// util::ThreadPool: task execution, ordering guarantees, exception
+// propagation, default sizing, and the parallel_for / parallel_map
+// helpers the sweep engine is built on.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait();  // must not hang
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait(): the destructor must finish the work, not cancel it.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw util::TgiError("task failed"); });
+  EXPECT_THROW(pool.wait(), util::TgiError);
+  // The error is consumed: the pool is usable again afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, RejectsZeroWorkersAndEmptyTasks) {
+  EXPECT_THROW(ThreadPool pool(0), util::PreconditionError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}),
+               util::PreconditionError);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvironment) {
+  ::setenv("TGI_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ::setenv("TGI_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::setenv("TGI_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::unsetenv("TGI_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(200, 0);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelMap, ResultsAreCollectedByIndexForAnyThreadCount) {
+  const auto job = [](std::size_t i) { return static_cast<int>(i * i); };
+  const auto serial = parallel_map(64, job, 1);
+  const auto threaded = parallel_map(64, job, 8);
+  EXPECT_EQ(serial, threaded);
+  ASSERT_EQ(serial.size(), 64u);
+  EXPECT_EQ(serial[7], 49);
+}
+
+TEST(ParallelMap, PropagatesTaskExceptions) {
+  EXPECT_THROW(parallel_map(
+                   8,
+                   [](std::size_t i) -> int {
+                     if (i == 3) throw util::TgiError("bad index");
+                     return 0;
+                   },
+                   4),
+               util::TgiError);
+}
+
+}  // namespace
+}  // namespace tgi::util

@@ -3,7 +3,12 @@
 // tgi_calc consumes.
 //
 //   tgi_sweep outdir=results [sweep=16,32,...,128] [seed=N] [meter=model]
-//             [cluster=my.conf] [reference_cluster=ref.conf]
+//             [cluster=my.conf] [reference_cluster=ref.conf] [threads=N]
+//
+// Sweep points run on harness::ParallelSweep: `threads=N` (or `--threads
+// N`, or the TGI_THREADS environment variable; default hardware
+// concurrency) picks the worker count, and every value of it writes
+// byte-identical CSVs — threads=1 is today's serial execution.
 //
 // `cluster`/`reference_cluster` load machine descriptions from spec files
 // (see sim/spec_io.h and clusters/*.conf); defaults are the paper's Fire
@@ -21,6 +26,7 @@
 
 #include "core/tgi.h"
 #include "harness/measurement_io.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/suite.h"
 #include "sim/catalog.h"
@@ -35,8 +41,28 @@ namespace {
 
 using namespace tgi;
 
+/// Accepts `--threads N` / `--threads=N` as aliases for `threads=N`.
+util::Config parse_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg == "--threads" && i + 1 < argc) {
+      tokens.push_back(std::string("threads=") + argv[++i]);
+    } else if (arg.rfind(prefix, 0) == 0) {
+      tokens.push_back("threads=" + arg.substr(prefix.size()));
+    } else {
+      tokens.push_back(std::move(arg));
+    }
+  }
+  std::vector<const char*> args;
+  args.push_back(argc > 0 ? argv[0] : "tgi_sweep");
+  for (const std::string& t : tokens) args.push_back(t.c_str());
+  return util::Config::from_args(static_cast<int>(args.size()), args.data());
+}
+
 int run(int argc, const char* const* argv) {
-  const util::Config cfg = util::Config::from_args(argc, argv);
+  const util::Config cfg = parse_args(argc, argv);
   const std::string outdir = cfg.get_string("outdir", "tgi_results");
   std::filesystem::create_directories(outdir);
   auto path = [&](const std::string& name) { return outdir + "/" + name; };
@@ -78,9 +104,25 @@ int run(int argc, const char* const* argv) {
   harness::write_measurements_file(path("reference_systemg.csv"), reference);
   const core::TgiCalculator calc(reference);
 
-  // Sweep.
-  auto meter = make_meter(0);
-  harness::SuiteRunner runner(system_cluster, *meter);
+  // Sweep: points run concurrently on the deterministic engine; the
+  // per-point WattsUp meters replay the exact RNG streams of one meter
+  // shared across a serial sweep, so the CSVs are thread-count-invariant.
+  const long long threads_raw = cfg.get_int("threads", 0);
+  TGI_REQUIRE(threads_raw >= 0, "threads must be >= 0 (0 = default)");
+  harness::MeterFactory factory;
+  if (exact) {
+    factory = harness::model_meter_factory(util::seconds(0.5));
+  } else {
+    power::WattsUpConfig wcfg;
+    wcfg.seed = seed;
+    factory = harness::wattsup_meter_factory(
+        wcfg, /*measurements_per_point=*/3);
+  }
+  harness::ParallelSweepConfig sweep_cfg;
+  sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
+  const harness::ParallelSweep engine(system_cluster, factory, sweep_cfg);
+  const std::vector<harness::SuitePoint> points = engine.run(sweep);
+
   std::map<std::string, std::vector<double>> ee;
   std::vector<double> x;
   std::map<core::WeightScheme, std::vector<double>> tgi;
@@ -95,8 +137,9 @@ int run(int argc, const char* const* argv) {
                      "stream_mbps", "stream_watts", "iozone_mbps",
                      "iozone_watts"});
 
-  for (const std::size_t p : sweep) {
-    const harness::SuitePoint point = runner.run_suite(p);
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const std::size_t p = sweep[k];
+    const harness::SuitePoint& point = points[k];
     harness::write_measurements_file(
         path("fire_" + std::to_string(p) + ".csv"), point.measurements);
     x.push_back(static_cast<double>(p));
