@@ -89,9 +89,6 @@ TgiResult TgiCalculator::compute_with_weights(
     const std::vector<BenchmarkMeasurement>& system,
     std::span<const double> weights, WeightScheme scheme,
     const CoolingModel& system_cooling, Aggregation aggregation) const {
-  TGI_REQUIRE(system.size() == reference_.size(),
-              "system suite has " << system.size() << " benchmarks; reference has "
-                                  << reference_.size());
   TGI_REQUIRE(weights.size() == system.size(),
               "weight count mismatches benchmark count");
   TGI_REQUIRE(stats::weights_valid(weights),
@@ -141,15 +138,53 @@ TgiResult TgiCalculator::compute_with_weights(
 TgiResult TgiCalculator::compute(
     const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme,
     const CoolingModel& system_cooling, Aggregation aggregation) const {
+  TGI_REQUIRE(system.size() == reference_.size(),
+              "system suite has " << system.size()
+                                  << " benchmarks; reference has "
+                                  << reference_.size()
+                                  << " (use compute_partial for a degraded "
+                                     "suite)");
   const std::vector<double> weights = derive_weights(system, scheme);
   return compute_with_weights(system, weights, scheme, system_cooling,
                               aggregation);
+}
+
+PartialTgiResult TgiCalculator::compute_partial(
+    const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme,
+    const CoolingModel& system_cooling, Aggregation aggregation) const {
+  TGI_REQUIRE(!system.empty(),
+              "partial TGI needs at least one surviving benchmark");
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    for (std::size_t j = i + 1; j < system.size(); ++j) {
+      TGI_REQUIRE(system[i].benchmark != system[j].benchmark,
+                  "duplicate system benchmark '" << system[i].benchmark
+                                                 << "'");
+    }
+  }
+  PartialTgiResult out;
+  for (const auto& ref : reference_) {
+    const bool present = std::any_of(
+        system.begin(), system.end(), [&](const BenchmarkMeasurement& m) {
+          return m.benchmark == ref.benchmark;
+        });
+    if (!present) out.missing.push_back(ref.benchmark);
+  }
+  // derive_weights normalizes over the surviving benchmarks only — the
+  // renormalization that keeps a degraded TGI a convex combination.
+  const std::vector<double> weights = derive_weights(system, scheme);
+  out.result = compute_with_weights(system, weights, scheme, system_cooling,
+                                    aggregation);
+  return out;
 }
 
 TgiResult TgiCalculator::compute_custom(
     const std::vector<BenchmarkMeasurement>& system,
     std::span<const double> weights,
     const CoolingModel& system_cooling, Aggregation aggregation) const {
+  TGI_REQUIRE(system.size() == reference_.size(),
+              "system suite has " << system.size()
+                                  << " benchmarks; reference has "
+                                  << reference_.size());
   return compute_with_weights(system, weights, WeightScheme::kCustom,
                               system_cooling, aggregation);
 }

@@ -73,6 +73,17 @@ struct TgiResult {
   [[nodiscard]] const TgiComponent& least_ree() const;
 };
 
+/// TGI computed over a degraded (partial) suite: the surviving benchmarks'
+/// result plus an explicit record of what is missing, so a number computed
+/// without (say) IOzone can never masquerade as the full Green Index.
+struct PartialTgiResult {
+  TgiResult result;
+  /// Reference benchmarks absent from the system set, in reference order.
+  std::vector<std::string> missing;
+
+  [[nodiscard]] bool partial() const { return !missing.empty(); }
+};
+
 /// Computes TGI against a fixed reference system.
 ///
 /// The reference plays the role SystemG plays in the paper (and the Sun
@@ -89,6 +100,18 @@ class TgiCalculator {
   /// TGI of `system` under a derived weight scheme (not kCustom).
   /// `system` must cover exactly the reference's benchmark set.
   [[nodiscard]] TgiResult compute(
+      const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme,
+      const CoolingModel& system_cooling = {},
+      Aggregation aggregation = Aggregation::kWeightedArithmetic) const;
+
+  /// TGI of a *partial* suite: `system` may cover any non-empty subset of
+  /// the reference's benchmark set (the degraded path when a benchmark is
+  /// lost after retry exhaustion — see harness/robust.h). The scheme's
+  /// weights are derived over the surviving benchmarks only, so they
+  /// renormalize to sum to 1 by construction, and the dropped reference
+  /// benchmarks are recorded in `missing`. A full `system` yields exactly
+  /// compute()'s result with an empty `missing`.
+  [[nodiscard]] PartialTgiResult compute_partial(
       const std::vector<BenchmarkMeasurement>& system, WeightScheme scheme,
       const CoolingModel& system_cooling = {},
       Aggregation aggregation = Aggregation::kWeightedArithmetic) const;

@@ -62,6 +62,36 @@ std::vector<SuitePoint> ParallelSweep::run_with(
   return results;
 }
 
+std::vector<RobustSuitePoint> ParallelSweep::run_robust(
+    const std::vector<std::size_t>& process_counts, const FaultPlan& plan,
+    const RobustConfig& robust) const {
+  // Same collection-by-index discipline as run_with; the fault plane adds
+  // no shared state (FaultPlan decisions are pure functions of indices).
+  const auto run_point = [&](std::size_t k) {
+    const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
+    TGI_CHECK(meter != nullptr, "meter factory returned null");
+    RobustSuiteRunner runner(cluster_, *meter, plan, robust, config_.suite,
+                             k);
+    return runner.run_suite(process_counts[k]);
+  };
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) threads = util::ThreadPool::default_thread_count();
+  std::vector<RobustSuitePoint> results(process_counts.size());
+  if (threads <= 1 || process_counts.size() <= 1) {
+    for (std::size_t k = 0; k < process_counts.size(); ++k) {
+      results[k] = run_point(k);
+    }
+    return results;
+  }
+  util::ThreadPool pool(threads < process_counts.size()
+                            ? threads
+                            : process_counts.size());
+  util::parallel_for(pool, process_counts.size(),
+                     [&](std::size_t k) { results[k] = run_point(k); });
+  return results;
+}
+
 std::vector<SuitePoint> ParallelSweep::run(
     const std::vector<std::size_t>& process_counts) const {
   return run_with(process_counts,

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness/robust.h"
 #include "harness/suite.h"
 #include "power/meter.h"
 #include "sim/machine.h"
@@ -80,6 +81,17 @@ class ParallelSweep {
       std::function<SuitePoint(SuiteRunner& runner, std::size_t value)>;
   [[nodiscard]] std::vector<SuitePoint> run_with(
       const std::vector<std::size_t>& values, const SweepPointFn& fn) const;
+
+  /// The standard suite sweep through the fault plane and recovery policy
+  /// (harness/robust.h): point k runs on a RobustSuiteRunner whose fault
+  /// and meter streams are keyed on k, so a fixed FaultPlan yields
+  /// bit-identical output for every thread count. Build the meter factory
+  /// with a robust_measurements_per_point(suite, robust) stride so
+  /// per-point instruments stay on non-overlapping streams even when
+  /// every attempt retries.
+  [[nodiscard]] std::vector<RobustSuitePoint> run_robust(
+      const std::vector<std::size_t>& process_counts, const FaultPlan& plan,
+      const RobustConfig& robust = {}) const;
 
   [[nodiscard]] const sim::ClusterSpec& cluster() const { return cluster_; }
   [[nodiscard]] const ParallelSweepConfig& config() const { return config_; }

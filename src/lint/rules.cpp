@@ -299,6 +299,78 @@ class CoutInLibraryRule final : public Rule {
   }
 };
 
+// --- unseeded-xoshiro -----------------------------------------------------
+
+/// Default-constructed util::Xoshiro256. The defaulted seed parameter
+/// makes `Xoshiro256 rng;` compile, but every such generator shares one
+/// stream — a silent correlation bug in anything statistical, and a
+/// determinism hazard for the fault plane, whose contract is that each
+/// decision derives a fresh generator from (seed, indices).
+class UnseededXoshiroRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "unseeded-xoshiro";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "default-constructed util::Xoshiro256 (pass an explicit seed "
+           "expression)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    // The class itself (and its default-seed constant) lives here.
+    if (starts_with(file.path, "src/util/rng")) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      if (default_constructs(file.code[i])) {
+        add(out, file, i + 1, id(),
+            "default-constructed Xoshiro256 reuses the shared default "
+            "seed; pass an explicit seed expression");
+      }
+    }
+  }
+
+ private:
+  /// True if `line` declares a Xoshiro256 without constructor arguments:
+  /// `Xoshiro256 rng;` / `Xoshiro256 rng_{};` / `= Xoshiro256{};` /
+  /// `Xoshiro256()`. Non-empty argument lists, parameters
+  /// (`Xoshiro256 rng,` / `Xoshiro256& rng`), and return types are left
+  /// alone.
+  static bool default_constructs(std::string_view line) {
+    std::size_t pos = 0;
+    static constexpr std::string_view kType = "Xoshiro256";
+    while ((pos = line.find(kType, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += kType.size();
+      if (start > 0 && is_ident_char(line[start - 1])) continue;
+      if (pos < line.size() && is_ident_char(line[pos])) continue;
+      // Optional declared name (absent for temporaries like Xoshiro256{}).
+      const std::size_t name_begin = skip_spaces(line, pos);
+      std::size_t name_end = name_begin;
+      while (name_end < line.size() && is_ident_char(line[name_end])) {
+        ++name_end;
+      }
+      const bool named = name_end > name_begin;
+      const std::size_t j = skip_spaces(line, name_end);
+      if (j >= line.size()) continue;
+      // `Xoshiro256 rng;` — a named declaration ending the statement.
+      if (named && line[j] == ';') return true;
+      // Empty brace-init on a declaration or a temporary, and the
+      // argument-less temporary `Xoshiro256()`. A *named* `rng()` is a
+      // function declaration (most vexing parse), not a generator.
+      if (line[j] == '{' || (!named && line[j] == '(')) {
+        const char close = line[j] == '{' ? '}' : ')';
+        const std::size_t k = skip_spaces(line, j + 1);
+        if (k < line.size() && line[k] == close) return true;
+      }
+    }
+    return false;
+  }
+
+  static std::size_t skip_spaces(std::string_view line, std::size_t j) {
+    while (j < line.size() && line[j] == ' ') ++j;
+    return j;
+  }
+};
+
 }  // namespace
 
 std::string format_violation(const Violation& v) {
@@ -341,6 +413,7 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
   rules.push_back(std::make_unique<RelativeIncludeRule>());
+  rules.push_back(std::make_unique<UnseededXoshiroRule>());
   return rules;
 }
 

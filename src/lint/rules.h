@@ -26,6 +26,11 @@
 //   cout-in-library   std::cout / std::cerr / printf in static-library
 //                     modules — diagnostics go through util/log, and
 //                     results are returned, not printed.
+//   unseeded-xoshiro  default-constructed util::Xoshiro256 outside util/rng —
+//                     the defaulted seed compiles but silently reuses one
+//                     shared stream; every generator must be seeded with an
+//                     explicit expression (derived from (seed, index) for
+//                     per-decision streams, as the fault plane does).
 //
 // A violation on a specific line can be waived with a trailing
 // `// tgi-lint: allow(<rule-id>)` marker.

@@ -242,6 +242,88 @@ TEST(Tgi, AggregationNames) {
                "weighted-geometric");
 }
 
+TEST(TgiPartial, FullSystemMatchesComputeWithEmptyMissing) {
+  const TgiCalculator calc(reference_suite());
+  for (const auto scheme :
+       {WeightScheme::kArithmeticMean, WeightScheme::kTime,
+        WeightScheme::kEnergy, WeightScheme::kPower}) {
+    const PartialTgiResult partial =
+        calc.compute_partial(system_suite(), scheme);
+    EXPECT_FALSE(partial.partial());
+    EXPECT_TRUE(partial.missing.empty());
+    EXPECT_EQ(partial.result.tgi, calc.compute(system_suite(), scheme).tgi)
+        << weight_scheme_name(scheme);
+  }
+}
+
+TEST(TgiPartial, RecordsMissingBenchmarksInReferenceOrder) {
+  const TgiCalculator calc(reference_suite());
+  const std::vector<BenchmarkMeasurement> survivors = {
+      make("STREAM", 120000.0, "MBPS", 2000.0, 300.0)};
+  const PartialTgiResult partial =
+      calc.compute_partial(survivors, WeightScheme::kArithmeticMean);
+  EXPECT_TRUE(partial.partial());
+  ASSERT_EQ(partial.missing.size(), 2u);
+  EXPECT_EQ(partial.missing[0], "HPL");
+  EXPECT_EQ(partial.missing[1], "IOzone");
+  ASSERT_EQ(partial.result.components.size(), 1u);
+  EXPECT_DOUBLE_EQ(partial.result.components[0].weight, 1.0);
+}
+
+TEST(TgiPartial, WeightsRenormalizeOverSurvivors) {
+  // Dropping IOzone from a time-weighted suite: the surviving weights must
+  // be the full-suite ratios renormalized to sum to 1.
+  const TgiCalculator calc(reference_suite());
+  auto survivors = system_suite();
+  survivors.pop_back();  // drop IOzone (600 s and 300 s survive)
+  const PartialTgiResult partial =
+      calc.compute_partial(survivors, WeightScheme::kTime);
+  ASSERT_EQ(partial.result.components.size(), 2u);
+  EXPECT_NEAR(partial.result.components[0].weight, 600.0 / 900.0, 1e-12);
+  EXPECT_NEAR(partial.result.components[1].weight, 300.0 / 900.0, 1e-12);
+  double weight_sum = 0.0;
+  for (const auto& comp : partial.result.components) {
+    weight_sum += comp.weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-12);
+  ASSERT_EQ(partial.missing.size(), 1u);
+  EXPECT_EQ(partial.missing[0], "IOzone");
+}
+
+TEST(TgiPartial, PartialTgiIsTheSurvivorWeightedMean) {
+  const TgiCalculator calc(reference_suite());
+  auto survivors = system_suite();
+  survivors.erase(survivors.begin());  // drop HPL
+  const PartialTgiResult partial =
+      calc.compute_partial(survivors, WeightScheme::kArithmeticMean);
+  const double ree_stream = (120000.0 / 2000.0) / (500000.0 / 25000.0);
+  const double ree_io = (60.0 / 1200.0) / (40.0 / 1520.0);
+  EXPECT_NEAR(partial.result.tgi, (ree_stream + ree_io) / 2.0, 1e-12);
+}
+
+TEST(TgiPartial, RejectsEmptyDuplicateAndUnknownSurvivors) {
+  const TgiCalculator calc(reference_suite());
+  EXPECT_THROW(calc.compute_partial({}, WeightScheme::kArithmeticMean),
+               util::PreconditionError);
+  const auto stream = make("STREAM", 120000.0, "MBPS", 2000.0, 300.0);
+  EXPECT_THROW(
+      calc.compute_partial({stream, stream}, WeightScheme::kArithmeticMean),
+      util::PreconditionError);
+  const auto rogue = make("LINPACK", 1.0, "MFLOPS", 1.0, 1.0);
+  EXPECT_THROW(calc.compute_partial({rogue}, WeightScheme::kArithmeticMean),
+               util::PreconditionError);
+}
+
+TEST(TgiPartial, FullComputeStillRequiresExactCoverage) {
+  const TgiCalculator calc(reference_suite());
+  auto survivors = system_suite();
+  survivors.pop_back();
+  EXPECT_THROW(calc.compute(survivors, WeightScheme::kArithmeticMean),
+               util::PreconditionError);
+  EXPECT_THROW(calc.compute_custom(survivors, std::vector<double>{0.5, 0.5}),
+               util::PreconditionError);
+}
+
 TEST(Tgi, SchemeNames) {
   EXPECT_STREQ(weight_scheme_name(WeightScheme::kArithmeticMean),
                "arithmetic-mean");

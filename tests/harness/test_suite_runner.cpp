@@ -67,6 +67,35 @@ TEST(SuiteRunner, IozonePowerGrowsWithNodes) {
             runner.run_iozone(1).average_power.value());
 }
 
+TEST(SuiteRunner, MeterDropoutIsBridgedThroughTheSuite) {
+  // End-to-end over the full metering stack: serial-link dropouts leave
+  // gaps in the instrument's trace, and the trapezoidal integration
+  // bridges them, so suite-level energies barely move. Gain and noise are
+  // zeroed so dropout is the only difference between the two runs.
+  power::WattsUpConfig clean_cfg;
+  clean_cfg.accuracy_pct = 0.0;
+  clean_cfg.noise_pct = 0.0;
+  power::WattsUpConfig lossy_cfg = clean_cfg;
+  lossy_cfg.dropout_rate = 0.2;
+  power::WattsUpMeter clean(clean_cfg);
+  power::WattsUpMeter lossy(lossy_cfg);
+  SuiteRunner clean_runner(sim::fire_cluster(), clean);
+  SuiteRunner lossy_runner(sim::fire_cluster(), lossy);
+  const SuitePoint a = clean_runner.run_suite(64);
+  const SuitePoint b = lossy_runner.run_suite(64);
+  ASSERT_EQ(a.measurements.size(), b.measurements.size());
+  for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+    EXPECT_EQ(a.measurements[i].benchmark, b.measurements[i].benchmark);
+    EXPECT_NEAR(b.measurements[i].energy.value(),
+                a.measurements[i].energy.value(),
+                0.02 * a.measurements[i].energy.value())
+        << a.measurements[i].benchmark;
+    // Performance does not depend on the meter at all.
+    EXPECT_DOUBLE_EQ(a.measurements[i].performance,
+                     b.measurements[i].performance);
+  }
+}
+
 TEST(ReferenceMeasurements, SubsetMeteringForIozone) {
   power::ModelMeter meter;
   const auto ref = reference_measurements(sim::system_g(), meter);

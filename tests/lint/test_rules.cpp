@@ -213,6 +213,53 @@ TEST(RawThread, AllowMarkerWaivesDocumentedExceptions) {
   EXPECT_FALSE(has_rule(vs, "raw-thread"));
 }
 
+// --- unseeded-xoshiro -----------------------------------------------------
+
+TEST(UnseededXoshiro, FlagsDefaultConstructionEverywhere) {
+  EXPECT_TRUE(has_rule(lint("src/harness/f.cpp", "util::Xoshiro256 rng;\n"),
+                       "unseeded-xoshiro"));
+  EXPECT_TRUE(has_rule(lint("src/power/m.h", "util::Xoshiro256 rng_{};\n"),
+                       "unseeded-xoshiro"));
+  EXPECT_TRUE(has_rule(
+      lint("tests/sim/t.cpp", "auto gen = util::Xoshiro256{};\n"),
+      "unseeded-xoshiro"));
+  EXPECT_TRUE(has_rule(
+      lint("bench/b.cpp", "double u = util::Xoshiro256().uniform();\n"),
+      "unseeded-xoshiro"));
+}
+
+TEST(UnseededXoshiro, AllowsSeededConstructionParamsAndTheRngHome) {
+  // Explicit seed expressions of any shape.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/f.cpp", "util::Xoshiro256 rng(derive(seed, i));\n"),
+      "unseeded-xoshiro"));
+  EXPECT_FALSE(has_rule(
+      lint("src/power/m.h", "util::Xoshiro256 rng_{config.seed};\n"),
+      "unseeded-xoshiro"));
+  // Passing an existing generator around is the whole point.
+  EXPECT_FALSE(has_rule(
+      lint("src/stats/b.h", "double resample(util::Xoshiro256& rng);\n"),
+      "unseeded-xoshiro"));
+  EXPECT_FALSE(has_rule(
+      lint("src/stats/b.cpp", "void fill(util::Xoshiro256 rng, int n);\n"),
+      "unseeded-xoshiro"));
+  // The class (and its default-seed constant) lives in util/rng.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/rng.h", "util::Xoshiro256 reference;\n"),
+      "unseeded-xoshiro"));
+  // Comments and strings are stripped before matching.
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/x.cpp", "// a bare `Xoshiro256 rng;` is flagged\n"),
+      "unseeded-xoshiro"));
+}
+
+TEST(UnseededXoshiro, AllowMarkerWaives) {
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/x.cpp",
+           "util::Xoshiro256 rng;  // tgi-lint: allow(unseeded-xoshiro)\n"),
+      "unseeded-xoshiro"));
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(RuleSet, FormatViolationMatchesPromisedShape) {
@@ -222,7 +269,7 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }

@@ -1,17 +1,23 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Four stages, fail-fast:
+# Six stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
 #   2. lint: the tgi-lint static analyzer over the whole tree, explicitly,
 #      so a broken test harness cannot mask a convention regression;
-#   3. sanitize: ASan+UBSan configure/build/test cycle with
+#   3. golden: byte-diff every figure/table harness transcript against
+#      tests/data/golden/, explicitly, so silent figure drift fails even
+#      if CTest discovery ever loses the golden_* tests;
+#   4. sanitize: ASan+UBSan configure/build/test cycle with
 #      halt-on-first-report semantics (-fno-sanitize-recover=all);
-#   4. tsan: ThreadSanitizer cycle over the same suite — the ThreadPool /
+#   5. tsan: ThreadSanitizer cycle over the same suite — the ThreadPool /
 #      ParallelSweep layer runs real threads, so data races are now a
-#      class of bug this repo can have; TSan keeps it empty.
+#      class of bug this repo can have; TSan keeps it empty;
+#   6. tsan-faults: the fault-injection ablation on the TSan build with
+#      threads=8 — the FaultyMeter/RobustSuiteRunner stack under real
+#      concurrency, with the fault plane actually firing.
 #
 # Usage: tools/ci.sh [jobs]          (from the repo root)
 set -eu
@@ -20,24 +26,30 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/4] tier-1: build + ctest =="
+echo "== [1/6] tier-1: build + ctest =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/4] lint: tgi-lint convention analyzer =="
+echo "== [2/6] lint: tgi-lint convention analyzer =="
 ./build/tools/tgi_lint root="$ROOT"
 
-echo "== [3/4] sanitize: ASan+UBSan build + ctest =="
+echo "== [3/6] golden: figure/table transcripts byte-identical =="
+ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
+
+echo "== [4/6] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [4/4] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/6] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
+
+echo "== [6/6] tsan-faults: fault plane under ThreadSanitizer =="
+./build-tsan/bench/ablation_faults threads=8
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,43 @@
+# Golden-regression check: runs one experiment harness and byte-compares
+# its stdout against the canonical transcript under tests/data/golden/.
+#
+# The harnesses are deterministic by construction (seeded RNG, thread-
+# invariant sweep engine, no wall-clock output), so ANY byte of drift means
+# a model or formatting change — rerun tools/regen_golden.sh only after
+# deciding the change is intentional, and re-check EXPERIMENTS.md.
+#
+# Usage:
+#   cmake -DBINARY=<harness> -DGOLDEN=<golden.txt> -DOUTPUT=<scratch.txt>
+#         -P golden_check.cmake
+foreach(var BINARY GOLDEN OUTPUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR
+    "golden transcript ${GOLDEN} is missing — generate it with "
+    "tools/regen_golden.sh and commit it")
+endif()
+
+# threads=2 exercises the parallel sweep engine; output is pinned to be
+# identical for every thread count, so the golden does not depend on it.
+execute_process(
+  COMMAND "${BINARY}" threads=2
+  OUTPUT_FILE "${OUTPUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUTPUT}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "stdout drifted from ${GOLDEN}\n"
+    "  actual: ${OUTPUT}\n"
+    "  diff the two files; if the change is intentional, run "
+    "tools/regen_golden.sh and review EXPERIMENTS.md")
+endif()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden stdout transcripts (tests/data/golden/) from the
+# current build. Run this ONLY after deciding a figure/table change is
+# intentional; review the git diff of the transcripts and EXPERIMENTS.md
+# before committing.
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-build}"
+out="$root/tests/data/golden"
+mkdir -p "$out"
+
+benches=(fig2_hpl_ee fig3_stream_ee fig4_iozone_ee fig5_tgi_arithmetic
+         fig6_tgi_weighted table1_systemg table2_pcc)
+for b in "${benches[@]}"; do
+  "$root/$build/bench/$b" threads=2 > "$out/$b.txt"
+  echo "regenerated tests/data/golden/$b.txt"
+done

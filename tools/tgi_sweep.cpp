@@ -4,6 +4,7 @@
 //
 //   tgi_sweep outdir=results [sweep=16,32,...,128] [seed=N] [meter=model]
 //             [cluster=my.conf] [reference_cluster=ref.conf] [threads=N]
+//             [faults=dropout=0.2,stuck=0.1,failure=0.05]
 //
 // Sweep points run on harness::ParallelSweep: `threads=N` (or `--threads
 // N`, or the TGI_THREADS environment variable; default hardware
@@ -13,6 +14,15 @@
 // `cluster`/`reference_cluster` load machine descriptions from spec files
 // (see sim/spec_io.h and clusters/*.conf); defaults are the paper's Fire
 // and SystemG.
+//
+// `faults=<spec>` (or `--faults <spec>`; see harness::parse_fault_spec for
+// the keys) runs the sweep through the deterministic fault plane and
+// recovery policy instead (DESIGN.md §9): benchmarks are retried with
+// accounted backoff, dropped after retry exhaustion, and degraded points
+// report a partial TGI over renormalized weights. This mode writes
+// faults_summary.csv plus the per-point measurement CSVs; figure CSVs are
+// only produced by fault-free sweeps. A fixed fault spec yields
+// byte-identical output at every thread count.
 //
 // Produces in `outdir`:
 //   fig2_hpl_ee.csv, fig3_stream_ee.csv, fig4_iozone_ee.csv,
@@ -25,8 +35,10 @@
 #include <map>
 
 #include "core/tgi.h"
+#include "harness/faults.h"
 #include "harness/measurement_io.h"
 #include "harness/parallel.h"
+#include "harness/robust.h"
 #include "harness/report.h"
 #include "harness/suite.h"
 #include "sim/catalog.h"
@@ -41,19 +53,28 @@ namespace {
 
 using namespace tgi;
 
-/// Accepts `--threads N` / `--threads=N` as aliases for `threads=N`.
+/// Accepts `--threads N` / `--threads=N` (and the same for `--faults`) as
+/// aliases for the `key=value` forms.
 util::Config parse_args(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    const std::string prefix = "--threads=";
-    if (arg == "--threads" && i + 1 < argc) {
-      tokens.push_back(std::string("threads=") + argv[++i]);
-    } else if (arg.rfind(prefix, 0) == 0) {
-      tokens.push_back("threads=" + arg.substr(prefix.size()));
-    } else {
-      tokens.push_back(std::move(arg));
+    bool aliased = false;
+    for (const char* key : {"threads", "faults"}) {
+      const std::string flag = std::string("--") + key;
+      if (arg == flag && i + 1 < argc) {
+        tokens.push_back(std::string(key) + "=" + argv[++i]);
+        aliased = true;
+        break;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        tokens.push_back(std::string(key) + "=" +
+                         arg.substr(flag.size() + 1));
+        aliased = true;
+        break;
+      }
     }
+    if (!aliased) tokens.push_back(std::move(arg));
   }
   std::vector<const char*> args;
   args.push_back(argc > 0 ? argv[0] : "tgi_sweep");
@@ -109,6 +130,78 @@ int run(int argc, const char* const* argv) {
   // shared across a serial sweep, so the CSVs are thread-count-invariant.
   const long long threads_raw = cfg.get_int("threads", 0);
   TGI_REQUIRE(threads_raw >= 0, "threads must be >= 0 (0 = default)");
+
+  // Fault mode: same sweep, but through the fault plane and recovery
+  // policy. Kept strictly separate from the plain path so a fault-free
+  // invocation reproduces today's CSVs byte-for-byte.
+  if (cfg.has("faults")) {
+    const harness::FaultSpec fspec =
+        harness::parse_fault_spec(*cfg.get("faults"));
+    const harness::FaultPlan plan(fspec);
+    harness::RobustConfig robust;
+    // The WattsUp simulation is noisy, so repeated bit-identical samples
+    // really are suspicious there; ModelMeter's flat phases are not.
+    if (!exact) robust.stuck_run_limit = 8;
+    harness::ParallelSweepConfig sweep_cfg;
+    sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
+    harness::MeterFactory factory;
+    if (exact) {
+      factory = harness::model_meter_factory(util::seconds(0.5));
+    } else {
+      power::WattsUpConfig wcfg;
+      wcfg.seed = seed;
+      factory = harness::wattsup_meter_factory(
+          wcfg,
+          harness::robust_measurements_per_point(sweep_cfg.suite, robust));
+    }
+    const harness::ParallelSweep engine(system_cluster, factory, sweep_cfg);
+    std::cout << "fault plane: " << harness::fault_spec_summary(fspec)
+              << "\n";
+    const std::vector<harness::RobustSuitePoint> points =
+        engine.run_robust(sweep, plan, robust);
+
+    std::ofstream fault_file(path("faults_summary.csv"));
+    util::CsvWriter fcsv(fault_file);
+    fcsv.write_row({"cores", "tgi_am", "missing", "attempts", "retries",
+                    "run_faults", "meter_faults", "rejected_readings",
+                    "dropped_benchmarks", "backoff_s", "stalled_s"});
+    for (std::size_t k = 0; k < sweep.size(); ++k) {
+      const harness::RobustSuitePoint& rp = points[k];
+      std::string missing;
+      for (const std::string& name : rp.missing) {
+        if (!missing.empty()) missing += '+';
+        missing += name;
+      }
+      std::string tgi_am = "nan";
+      if (!rp.point.measurements.empty()) {
+        const core::PartialTgiResult partial = calc.compute_partial(
+            rp.point.measurements, core::WeightScheme::kArithmeticMean);
+        tgi_am = util::fixed(partial.result.tgi, 6);
+        harness::write_measurements_file(
+            path("fire_" + std::to_string(sweep[k]) + ".csv"),
+            rp.point.measurements);
+      }
+      const harness::PointCounters& c = rp.counters;
+      fcsv.write_row({std::to_string(sweep[k]), tgi_am, missing,
+                      std::to_string(c.attempts), std::to_string(c.retries),
+                      std::to_string(c.run_faults),
+                      std::to_string(c.meter_faults),
+                      std::to_string(c.rejected_readings),
+                      std::to_string(c.dropped_benchmarks),
+                      util::fixed(c.backoff.value(), 1),
+                      util::fixed(c.stalled.value(), 1)});
+      std::cout << "cores " << sweep[k] << ": TGI(AM) " << tgi_am
+                << (rp.degraded() ? " [partial: missing " + missing + "]"
+                                  : "")
+                << " attempts=" << c.attempts << " retries=" << c.retries
+                << " faults=" << c.run_faults + c.meter_faults << "\n";
+    }
+    std::cout << "wrote " << outdir
+              << "/ (faults_summary.csv and measurement CSVs; figure CSVs "
+                 "need a fault-free sweep)\n";
+    return 0;
+  }
+
   harness::MeterFactory factory;
   if (exact) {
     factory = harness::model_meter_factory(util::seconds(0.5));
