@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -20,6 +22,7 @@
 #include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/suite.h"
+#include "obs/trace.h"
 #include "sim/catalog.h"
 #include "stats/correlation.h"
 #include "stats/regression.h"
@@ -45,6 +48,10 @@ struct Experiment {
   sim::ClusterSpec system_under_test;
   sim::ClusterSpec reference_system;
   std::optional<std::string> csv_path;
+  /// When set (trace=DIR), run_sweep() writes the deterministic
+  /// observability record (DIR/trace.json + DIR/metrics.csv, DESIGN.md
+  /// §10). Bit-identical for every threads= value; never changes results.
+  std::optional<std::string> trace_dir;
   std::uint64_t seed = 0;
   std::string meter_kind;
   /// Worker threads for sweeps and fan-outs; 0 = default (TGI_THREADS
@@ -106,13 +113,31 @@ inline Experiment make_experiment(int argc, const char* const* argv) {
   e.system_under_test = sim::fire_cluster();
   e.reference_system = sim::system_g();
   e.csv_path = e.config.get("csv");
+  e.trace_dir = e.config.get("trace");
   return e;
 }
 
 /// Measurements one run_suite() point performs (the WattsUp run_offset
-/// stride that makes a per-point meter replay the shared-meter streams).
+/// stride that makes a per-point meter replay the shared-meter streams) —
+/// derived from the same suite_benchmarks() roster run_suite executes.
 inline std::size_t suite_measurements(const harness::SuiteConfig& suite) {
-  return 3 + (suite.include_gups ? 1 : 0);
+  return harness::suite_benchmarks(suite).size();
+}
+
+/// Writes trace.json + metrics.csv into `dir` (created if needed).
+inline void write_trace_files(const obs::SweepTrace& trace,
+                              const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::ofstream json(dir + "/trace.json");
+  TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
+                                                       << "/trace.json");
+  trace.write_chrome_trace(json);
+  std::ofstream metrics(dir + "/metrics.csv");
+  TGI_REQUIRE(static_cast<bool>(metrics), "cannot write " << dir
+                                                          << "/metrics.csv");
+  trace.write_metrics_csv(metrics);
+  std::cout << "wrote " << dir << "/trace.json (" << trace.event_count()
+            << " events) and metrics.csv\n";
 }
 
 /// Per-point meter factory matching the experiment's meter= selection,
@@ -130,7 +155,8 @@ inline harness::MeterFactory sweep_meter_factory(
 }
 
 /// Runs the full suite sweep on the system under test (parallel across
-/// sweep points; bit-identical output for any threads= value).
+/// sweep points; bit-identical output for any threads= value). With
+/// trace=DIR on the command line, also emits the observability record.
 inline std::vector<harness::SuitePoint> run_sweep(
     Experiment& e, const harness::SuiteConfig& suite = {}) {
   harness::ParallelSweepConfig cfg;
@@ -139,7 +165,11 @@ inline std::vector<harness::SuitePoint> run_sweep(
   harness::ParallelSweep sweep(e.system_under_test,
                                sweep_meter_factory(e, suite_measurements(suite)),
                                cfg);
-  return sweep.run(e.sweep);
+  if (!e.trace_dir) return sweep.run(e.sweep);
+  obs::SweepTrace trace;
+  std::vector<harness::SuitePoint> points = sweep.run(e.sweep, &trace);
+  write_trace_files(trace, *e.trace_dir);
+  return points;
 }
 
 /// Per-benchmark EE (performance per watt) pulled out of a sweep.

@@ -27,13 +27,17 @@ int main(int argc, char** argv) {
     cfg.threads = e.threads;
     harness::ParallelSweep sweep(e.system_under_test,
                                  bench::sweep_meter_factory(e, 1), cfg);
+    obs::SweepTrace trace;
     const auto points = sweep.run_with(
-        node_counts, [](harness::SuiteRunner& runner, std::size_t nodes) {
+        node_counts,
+        [](harness::SuiteRunner& runner, std::size_t nodes) {
           harness::SuitePoint pt;
           pt.nodes = nodes;
           pt.measurements.push_back(runner.run_iozone(nodes));
           return pt;
-        });
+        },
+        e.trace_dir ? &trace : nullptr);
+    if (e.trace_dir) bench::write_trace_files(trace, *e.trace_dir);
 
     harness::Series series;
     series.x_label = "nodes";

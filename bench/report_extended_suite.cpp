@@ -37,7 +37,10 @@ int main(int argc, char** argv) {
     harness::ParallelSweep sweep(
         e.system_under_test, harness::model_meter_factory(util::seconds(0.5)),
         sweep_cfg);
-    const auto points = sweep.run_extended(e.sweep);
+    obs::SweepTrace trace;
+    const auto points =
+        sweep.run_extended(e.sweep, e.trace_dir ? &trace : nullptr);
+    if (e.trace_dir) bench::write_trace_files(trace, *e.trace_dir);
 
     util::TextTable table({"cores", "TGI(AM)", "REE HPL", "STREAM",
                            "IOzone", "GUPS", "PTRANS", "FFT",

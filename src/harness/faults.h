@@ -153,6 +153,18 @@ class FaultyMeter final : public power::PowerMeter {
   /// `tail_fraction` (the run-level kTruncatedTrace fault; one-shot).
   void arm_truncation(double tail_fraction);
 
+  /// Clears any armed truncation. Callers that arm per attempt MUST
+  /// disarm before the next attempt: if the measurement that was meant to
+  /// consume the truncation never happens (the inner meter threw, or the
+  /// attempt died before metering), the stale charge would otherwise fire
+  /// on an unrelated later measurement.
+  void disarm_truncation() { armed_truncation_ = 0.0; }
+
+  /// True while a truncation is armed but not yet consumed.
+  [[nodiscard]] bool truncation_armed() const {
+    return armed_truncation_ > 0.0;
+  }
+
   /// Meter faults actually applied so far (kNone decisions not counted).
   [[nodiscard]] std::size_t faults_applied() const { return faults_applied_; }
 

@@ -1,5 +1,6 @@
 #include "harness/parallel.h"
 
+#include <string>
 #include <utility>
 
 #include "util/error.h"
@@ -36,76 +37,116 @@ ParallelSweep::ParallelSweep(sim::ClusterSpec cluster,
               "ParallelSweep needs a meter factory");
 }
 
+namespace {
+
+/// Runs run_point(0 .. count-1) with the engine's execution discipline
+/// (inline when threads <= 1, else a pool), bracketing each point with a
+/// wall span when a profiler is attached. The profiler only observes —
+/// scheduling and results are identical with and without it.
+void execute_points(std::size_t count, std::size_t threads,
+                    obs::WallProfiler* profiler,
+                    const std::function<void(std::size_t)>& run_point) {
+  if (threads == 0) threads = util::ThreadPool::default_thread_count();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (profiler != nullptr) {
+        const double start = profiler->now_us();
+        run_point(k);
+        profiler->record("point " + std::to_string(k), 0, start,
+                         profiler->now_us());
+      } else {
+        run_point(k);
+      }
+    }
+    return;
+  }
+  util::ThreadPool pool(threads < count ? threads : count);
+  if (profiler != nullptr) pool.set_task_hook(profiler->task_hook("point"));
+  util::parallel_for(pool, count, run_point);
+}
+
+/// Preallocates one recorder per point (index + human label) when tracing
+/// is requested; empty otherwise.
+std::vector<obs::PointRecorder> make_recorders(
+    bool tracing, const std::vector<std::size_t>& values) {
+  std::vector<obs::PointRecorder> recorders;
+  if (!tracing) return recorders;
+  recorders.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    recorders.emplace_back(k, std::to_string(values[k]));
+  }
+  return recorders;
+}
+
+}  // namespace
+
 std::vector<SuitePoint> ParallelSweep::run_with(
-    const std::vector<std::size_t>& values, const SweepPointFn& fn) const {
+    const std::vector<std::size_t>& values, const SweepPointFn& fn,
+    obs::SweepTrace* trace) const {
   TGI_REQUIRE(static_cast<bool>(fn), "ParallelSweep::run_with: empty fn");
   // Each point is fully self-contained: its own meter (seeded from the
-  // point index by the factory) and its own SuiteRunner. Results land in
-  // a preallocated slot, so completion order cannot reorder the output.
+  // point index by the factory), its own SuiteRunner, and — when tracing —
+  // its own recorder. Results and recorders land in preallocated slots,
+  // so completion order cannot reorder the output.
+  std::vector<obs::PointRecorder> recorders =
+      make_recorders(trace != nullptr, values);
+  std::vector<SuitePoint> results(values.size());
   const auto run_point = [&](std::size_t k) {
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");
     SuiteRunner runner(cluster_, *meter, config_.suite);
-    return fn(runner, values[k]);
+    if (trace != nullptr) runner.attach_recorder(&recorders[k]);
+    results[k] = fn(runner, values[k]);
   };
 
-  std::size_t threads = config_.threads;
-  if (threads == 0) threads = util::ThreadPool::default_thread_count();
-  std::vector<SuitePoint> results(values.size());
-  if (threads <= 1 || values.size() <= 1) {
-    for (std::size_t k = 0; k < values.size(); ++k) results[k] = run_point(k);
-    return results;
-  }
-  util::ThreadPool pool(threads < values.size() ? threads : values.size());
-  util::parallel_for(pool, values.size(),
-                     [&](std::size_t k) { results[k] = run_point(k); });
+  execute_points(values.size(), config_.threads, config_.profiler, run_point);
+  if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
   return results;
 }
 
 std::vector<RobustSuitePoint> ParallelSweep::run_robust(
     const std::vector<std::size_t>& process_counts, const FaultPlan& plan,
-    const RobustConfig& robust) const {
+    const RobustConfig& robust, obs::SweepTrace* trace) const {
   // Same collection-by-index discipline as run_with; the fault plane adds
   // no shared state (FaultPlan decisions are pure functions of indices).
+  std::vector<obs::PointRecorder> recorders =
+      make_recorders(trace != nullptr, process_counts);
+  std::vector<RobustSuitePoint> results(process_counts.size());
   const auto run_point = [&](std::size_t k) {
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");
     RobustSuiteRunner runner(cluster_, *meter, plan, robust, config_.suite,
                              k);
-    return runner.run_suite(process_counts[k]);
+    if (trace != nullptr) runner.attach_recorder(&recorders[k]);
+    results[k] = runner.run_suite(process_counts[k]);
   };
 
-  std::size_t threads = config_.threads;
-  if (threads == 0) threads = util::ThreadPool::default_thread_count();
-  std::vector<RobustSuitePoint> results(process_counts.size());
-  if (threads <= 1 || process_counts.size() <= 1) {
-    for (std::size_t k = 0; k < process_counts.size(); ++k) {
-      results[k] = run_point(k);
-    }
-    return results;
-  }
-  util::ThreadPool pool(threads < process_counts.size()
-                            ? threads
-                            : process_counts.size());
-  util::parallel_for(pool, process_counts.size(),
-                     [&](std::size_t k) { results[k] = run_point(k); });
+  execute_points(process_counts.size(), config_.threads, config_.profiler,
+                 run_point);
+  if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
   return results;
 }
 
 std::vector<SuitePoint> ParallelSweep::run(
-    const std::vector<std::size_t>& process_counts) const {
-  return run_with(process_counts,
-                  [](SuiteRunner& runner, std::size_t processes) {
-                    return runner.run_suite(processes);
-                  });
+    const std::vector<std::size_t>& process_counts,
+    obs::SweepTrace* trace) const {
+  return run_with(
+      process_counts,
+      [](SuiteRunner& runner, std::size_t processes) {
+        return runner.run_suite(processes);
+      },
+      trace);
 }
 
 std::vector<SuitePoint> ParallelSweep::run_extended(
-    const std::vector<std::size_t>& process_counts) const {
-  return run_with(process_counts,
-                  [](SuiteRunner& runner, std::size_t processes) {
-                    return runner.run_extended_suite(processes);
-                  });
+    const std::vector<std::size_t>& process_counts,
+    obs::SweepTrace* trace) const {
+  return run_with(
+      process_counts,
+      [](SuiteRunner& runner, std::size_t processes) {
+        return runner.run_extended_suite(processes);
+      },
+      trace);
 }
 
 }  // namespace tgi::harness

@@ -24,6 +24,8 @@
 
 #include "harness/robust.h"
 #include "harness/suite.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "power/meter.h"
 #include "sim/machine.h"
 #include "util/units.h"
@@ -56,6 +58,11 @@ struct ParallelSweepConfig {
   /// TGI_THREADS environment variable, else hardware concurrency), 1 =
   /// inline serial execution on the calling thread.
   std::size_t threads = 0;
+  /// Optional wall-clock profiler (obs/profile.h): when set, every sweep
+  /// point is bracketed with a wall span ("point <k>" on the worker's
+  /// track). Explicitly NON-deterministic — it never feeds back into
+  /// results or the deterministic trace. Must outlive the sweep calls.
+  obs::WallProfiler* profiler = nullptr;
 };
 
 /// Maps sweep points to SuitePoint results concurrently; output is
@@ -66,13 +73,18 @@ class ParallelSweep {
                 ParallelSweepConfig config = {});
 
   /// The standard suite across a process-count sweep: parallel equivalent
-  /// of SuiteRunner::sweep.
+  /// of SuiteRunner::sweep. When `trace` is non-null it receives the
+  /// merged observability record (per-point recorders merged BY INDEX, so
+  /// trace output is bit-identical for every thread count); tracing is
+  /// observational and never changes the returned points.
   [[nodiscard]] std::vector<SuitePoint> run(
-      const std::vector<std::size_t>& process_counts) const;
+      const std::vector<std::size_t>& process_counts,
+      obs::SweepTrace* trace = nullptr) const;
 
   /// The six-benchmark extended suite across a process-count sweep.
   [[nodiscard]] std::vector<SuitePoint> run_extended(
-      const std::vector<std::size_t>& process_counts) const;
+      const std::vector<std::size_t>& process_counts,
+      obs::SweepTrace* trace = nullptr) const;
 
   /// Generic form: point k is produced by fn(runner_for_point_k,
   /// values[k]). Use for sweeps over something other than process counts
@@ -80,7 +92,8 @@ class ParallelSweep {
   using SweepPointFn =
       std::function<SuitePoint(SuiteRunner& runner, std::size_t value)>;
   [[nodiscard]] std::vector<SuitePoint> run_with(
-      const std::vector<std::size_t>& values, const SweepPointFn& fn) const;
+      const std::vector<std::size_t>& values, const SweepPointFn& fn,
+      obs::SweepTrace* trace = nullptr) const;
 
   /// The standard suite sweep through the fault plane and recovery policy
   /// (harness/robust.h): point k runs on a RobustSuiteRunner whose fault
@@ -91,7 +104,8 @@ class ParallelSweep {
   /// every attempt retries.
   [[nodiscard]] std::vector<RobustSuitePoint> run_robust(
       const std::vector<std::size_t>& process_counts, const FaultPlan& plan,
-      const RobustConfig& robust = {}) const;
+      const RobustConfig& robust = {},
+      obs::SweepTrace* trace = nullptr) const;
 
   [[nodiscard]] const sim::ClusterSpec& cluster() const { return cluster_; }
   [[nodiscard]] const ParallelSweepConfig& config() const { return config_; }

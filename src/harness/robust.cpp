@@ -49,14 +49,28 @@ std::string reading_defect(const power::MeterReading& reading,
 
   // Spike: a gain-spike window enters and exits with a sharp level jump
   // (the rogue gain is at least 1.5x), so two big interior jumps mark a
-  // transient window. The first and last intervals are excluded: ramp-in
-  // and ramp-out samples jump legitimately.
+  // transient window. The exclusion window is symmetric by contract: of
+  // the samples.size() - 1 adjacent-sample intervals, exactly the first
+  // and the last are skipped (ramp-in and ramp-out jump legitimately);
+  // every interior interval (samples[i-1], samples[i]) for i in
+  // [2, size - 2] is examined — including the one whose exit jump lands
+  // on the last interior interval.
   if (config.spike_jump_ratio > 1.0 && samples.size() >= 8) {
     std::size_t jumps = 0;
-    for (std::size_t i = 2; i + 1 < samples.size(); ++i) {
+    const std::size_t last_interior = samples.size() - 2;
+    for (std::size_t i = 2; i <= last_interior; ++i) {
       const double prev = samples[i - 1].watts.value();
       const double cur = samples[i].watts.value();
-      if (prev <= 0.0 || cur <= 0.0) continue;
+      if (prev <= 0.0 || cur <= 0.0) {
+        // A powered cluster never draws <= 0 W, so a non-positive
+        // interior sample is instrument garbage in its own right. Report
+        // it instead of skipping the interval: the old silent `continue`
+        // let all-zero and zero-padded traces sail through this check.
+        why << "non-positive interior sample ("
+            << (cur <= 0.0 ? cur : prev) << " W at sample "
+            << (cur <= 0.0 ? i : i - 1) << ")";
+        return why.str();
+      }
       const double ratio = cur > prev ? cur / prev : prev / cur;
       if (ratio > config.spike_jump_ratio) ++jumps;
     }
@@ -98,6 +112,10 @@ power::MeterReading ValidatingMeter::measure(const power::PowerSource& source,
       ++rejects_;
       throw ReadingRejected(inner_.name() + ": " + defect);
     }
+    if (metrics_ != nullptr) {
+      metrics_->add("samples_validated",
+                    static_cast<double>(reading.trace.samples().size()));
+    }
   }
   return reading;
 }
@@ -108,8 +126,9 @@ std::string ValidatingMeter::name() const {
 
 std::size_t robust_measurements_per_point(const SuiteConfig& suite,
                                           const RobustConfig& robust) {
-  const std::size_t benchmarks = 3 + (suite.include_gups ? 1 : 0);
-  return benchmarks * (robust.max_retries + 1);
+  // Derived from the same roster run_suite executes, so the meter stride
+  // cannot drift from the benchmark list when the suite grows a member.
+  return suite_benchmarks(suite).size() * (robust.max_retries + 1);
 }
 
 RobustSuiteRunner::RobustSuiteRunner(sim::ClusterSpec cluster,
@@ -125,66 +144,115 @@ RobustSuiteRunner::RobustSuiteRunner(sim::ClusterSpec cluster,
       validating_(faulty_, robust),
       runner_(std::move(cluster), validating_, suite) {}
 
+void RobustSuiteRunner::attach_recorder(obs::PointRecorder* recorder) {
+  recorder_ = recorder;
+  runner_.attach_recorder(recorder);
+  validating_.attach_metrics(recorder != nullptr ? &recorder->metrics()
+                                                 : nullptr);
+}
+
 RobustSuitePoint RobustSuiteRunner::run_suite(std::size_t processes) {
   RobustSuitePoint out;
   out.point.processes = processes;
   out.point.nodes = runner_.cluster().nodes_for(processes);
   const std::size_t meter_faults_before = faulty_.faults_applied();
 
-  struct Bench {
-    const char* name;
-    std::function<core::BenchmarkMeasurement()> run;
-  };
-  std::vector<Bench> benches;
-  benches.push_back({"HPL", [&] { return runner_.run_hpl(processes); }});
-  benches.push_back({"STREAM", [&] { return runner_.run_stream(processes); }});
-  benches.push_back(
-      {"IOzone", [&] { return runner_.run_iozone(out.point.nodes); }});
-  if (suite_.include_gups) {
-    benches.push_back({"GUPS", [&] { return runner_.run_gups(processes); }});
-  }
+  // The ONE suite enumeration (suite_benchmarks) drives this loop, the
+  // plain SuiteRunner::run_suite, and robust_measurements_per_point's
+  // meter stride alike.
+  const std::vector<std::string> benches = suite_benchmarks(suite_);
 
   for (std::size_t b = 0; b < benches.size(); ++b) {
     bool survived = false;
     core::BenchmarkMeasurement m;
     for (std::size_t attempt = 0; attempt <= robust_.max_retries; ++attempt) {
+      // A truncation armed by a previous attempt whose measurement never
+      // happened (e.g. the meter threw first) must not leak onto this
+      // attempt's reading.
+      faulty_.disarm_truncation();
       ++out.counters.attempts;
+      if (recorder_ != nullptr) {
+        recorder_->set_context(b, attempt);
+        recorder_->metrics().add("attempts");
+        recorder_->metrics().set_max(
+            "attempt_max", static_cast<double>(attempt));
+      }
       if (attempt > 0) {
         ++out.counters.retries;
-        out.counters.backoff +=
+        const util::Seconds backoff =
             robust_.backoff_base *
             std::ldexp(1.0, static_cast<int>(attempt) - 1);
+        out.counters.backoff += backoff;
+        if (recorder_ != nullptr) {
+          recorder_->span("backoff", "recovery", recorder_->now(), backoff);
+          recorder_->advance(backoff);
+          recorder_->metrics().add("retries");
+          recorder_->metrics().add("backoff_seconds", backoff.value());
+        }
       }
       const RunFault rf = plan_.run_fault(point_index_, b, attempt);
       if (rf.kind == RunFaultKind::kBenchmarkFailure) {
         ++out.counters.run_faults;
+        if (recorder_ != nullptr) {
+          recorder_->instant("benchmark-failure", "fault",
+                             {{"benchmark", benches[b]}});
+          recorder_->metrics().add("run_faults");
+        }
         continue;  // died before a measurement existed
       }
       if (rf.kind == RunFaultKind::kTimeout) {
         ++out.counters.run_faults;
         out.counters.stalled += robust_.timeout_stall;
+        if (recorder_ != nullptr) {
+          recorder_->span("stall", "fault", recorder_->now(),
+                          robust_.timeout_stall,
+                          {{"benchmark", benches[b]}});
+          recorder_->advance(robust_.timeout_stall);
+          recorder_->metrics().add("run_faults");
+          recorder_->metrics().add("stalled_seconds",
+                                   robust_.timeout_stall.value());
+        }
         continue;  // watchdog killed it; nothing to measure
       }
       if (rf.kind == RunFaultKind::kTruncatedTrace) {
         ++out.counters.run_faults;
         faulty_.arm_truncation(plan_.spec().truncation_fraction);
+        if (recorder_ != nullptr) {
+          recorder_->instant("truncated-trace", "fault",
+                             {{"benchmark", benches[b]}});
+          recorder_->metrics().add("run_faults");
+        }
       }
       try {
-        m = benches[b].run();
+        m = runner_.run_benchmark(benches[b], processes);
         survived = true;
         break;
-      } catch (const ReadingRejected&) {
+      } catch (const ReadingRejected& rejected) {
         ++out.counters.rejected_readings;
+        if (recorder_ != nullptr) {
+          recorder_->instant("reading-rejected", "fault",
+                             {{"why", rejected.what()}});
+          recorder_->metrics().add("rejected_readings");
+        }
       }
     }
     if (survived) {
       out.point.measurements.push_back(std::move(m));
     } else {
-      out.missing.emplace_back(benches[b].name);
+      out.missing.emplace_back(benches[b]);
       ++out.counters.dropped_benchmarks;
+      if (recorder_ != nullptr) {
+        recorder_->instant("benchmark-dropped", "recovery",
+                           {{"benchmark", benches[b]}});
+        recorder_->metrics().add("dropped_benchmarks");
+      }
     }
   }
   out.counters.meter_faults = faulty_.faults_applied() - meter_faults_before;
+  if (recorder_ != nullptr && out.counters.meter_faults > 0) {
+    recorder_->metrics().add(
+        "meter_faults", static_cast<double>(out.counters.meter_faults));
+  }
   return out;
 }
 

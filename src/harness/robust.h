@@ -21,6 +21,7 @@
 
 #include "harness/faults.h"
 #include "harness/suite.h"
+#include "obs/trace.h"
 #include "power/meter.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -88,10 +89,16 @@ class ValidatingMeter final : public power::PowerMeter {
   /// Readings rejected so far.
   [[nodiscard]] std::size_t rejects() const { return rejects_; }
 
+  /// Attaches (or detaches, with nullptr) a metric registry: every
+  /// validated reading adds its sample count to the "samples_validated"
+  /// counter. Observational only; must outlive the meter or be detached.
+  void attach_metrics(obs::MetricRegistry* metrics) { metrics_ = metrics; }
+
  private:
   power::PowerMeter& inner_;
   RobustConfig config_;
   std::size_t rejects_ = 0;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 /// What one robust suite point went through.
@@ -140,13 +147,20 @@ class RobustSuiteRunner {
                     FaultPlan plan, RobustConfig robust = {},
                     SuiteConfig suite = {}, std::size_t point_index = 0);
 
-  /// The paper suite (HPL, STREAM, IOzone, optional GUPS) at one scale,
-  /// run through the fault plane and the recovery policy.
+  /// The paper suite (suite_benchmarks(config)) at one scale, run through
+  /// the fault plane and the recovery policy.
   [[nodiscard]] RobustSuitePoint run_suite(std::size_t processes);
 
   [[nodiscard]] const sim::ClusterSpec& cluster() const {
     return runner_.cluster();
   }
+
+  /// Attaches (or detaches, with nullptr) a trace recorder. The robust
+  /// layer records fault and recovery events (failures, stalls, rejected
+  /// readings, backoff) on top of the SuiteRunner's benchmark spans, and
+  /// mirrors PointCounters into the recorder's metric registry.
+  /// Observational only; the recorder must outlive the runner.
+  void attach_recorder(obs::PointRecorder* recorder);
 
  private:
   FaultPlan plan_;
@@ -156,6 +170,7 @@ class RobustSuiteRunner {
   FaultyMeter faulty_;
   ValidatingMeter validating_;
   SuiteRunner runner_;
+  obs::PointRecorder* recorder_ = nullptr;
 };
 
 }  // namespace tgi::harness

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/measurement.h"
@@ -16,6 +17,7 @@
 #include "kernels/hpl_model.h"
 #include "kernels/iozone_model.h"
 #include "kernels/stream_model.h"
+#include "obs/trace.h"
 #include "power/meter.h"
 #include "sim/simulator.h"
 
@@ -48,6 +50,14 @@ struct SuitePoint {
   std::vector<core::BenchmarkMeasurement> measurements;
 };
 
+/// The ordered roster of the paper suite for `config` — the ONE
+/// enumeration that SuiteRunner::run_suite execution order,
+/// RobustSuiteRunner's retry loop, robust_measurements_per_point's meter
+/// stride, and the bench harnesses' measurements-per-point all derive
+/// from, so they cannot drift apart when the suite grows a member.
+[[nodiscard]] std::vector<std::string> suite_benchmarks(
+    const SuiteConfig& config);
+
 /// Runs the benchmark suite on a simulated cluster through a power meter.
 class SuiteRunner {
  public:
@@ -73,6 +83,12 @@ class SuiteRunner {
   /// Distributed FFT at `processes` ranks; performance in MFLOPS.
   [[nodiscard]] core::BenchmarkMeasurement run_fft(std::size_t processes);
 
+  /// Runs the suite member named in suite_benchmarks() ("HPL", "STREAM",
+  /// "IOzone", "GUPS") at `processes` ranks; IOzone uses the nodes hosting
+  /// the ranks. Throws PreconditionError for unknown names.
+  [[nodiscard]] core::BenchmarkMeasurement run_benchmark(
+      const std::string& name, std::size_t processes);
+
   /// The six-benchmark HPCC-flavored suite (paper trio + GUPS + PTRANS +
   /// FFT) at one scale.
   [[nodiscard]] SuitePoint run_extended_suite(std::size_t processes);
@@ -88,6 +104,13 @@ class SuiteRunner {
     return simulator_.cluster();
   }
 
+  /// Attaches (or detaches, with nullptr) a trace recorder: every
+  /// subsequent benchmark run records a span on the recorder's simulated
+  /// timeline and advances its clock by the run's elapsed time. Purely
+  /// observational — attaching a recorder never changes a measurement.
+  /// The recorder must outlive the runner (or be detached first).
+  void attach_recorder(obs::PointRecorder* recorder) { recorder_ = recorder; }
+
  private:
   [[nodiscard]] core::BenchmarkMeasurement measure(
       const sim::Workload& workload, double performance,
@@ -96,6 +119,7 @@ class SuiteRunner {
   sim::ExecutionSimulator simulator_;
   power::PowerMeter& meter_;
   SuiteConfig config_;
+  obs::PointRecorder* recorder_ = nullptr;
 };
 
 /// Reference measurements: the full suite at the reference cluster's full

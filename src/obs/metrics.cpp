@@ -1,0 +1,84 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace tgi::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+  }
+  return "?";
+}
+
+namespace {
+
+void require_name(const std::string& name) {
+  TGI_REQUIRE(!name.empty(), "metric name must not be empty");
+  TGI_REQUIRE(name.find(',') == std::string::npos &&
+                  name.find('\n') == std::string::npos &&
+                  name.find('"') == std::string::npos,
+              "metric name '" << name << "' must stay CSV/JSON-clean");
+}
+
+}  // namespace
+
+void MetricRegistry::add(const std::string& name, double delta) {
+  require_name(name);
+  auto [it, inserted] =
+      metrics_.try_emplace(name, Metric{name, MetricKind::kCounter, 0.0});
+  TGI_REQUIRE(it->second.kind == MetricKind::kCounter,
+              "metric '" << name << "' is a gauge, not a counter");
+  it->second.value += delta;
+}
+
+void MetricRegistry::set_max(const std::string& name, double value) {
+  require_name(name);
+  auto [it, inserted] =
+      metrics_.try_emplace(name, Metric{name, MetricKind::kGauge, value});
+  TGI_REQUIRE(it->second.kind == MetricKind::kGauge,
+              "metric '" << name << "' is a counter, not a gauge");
+  if (value > it->second.value) it->second.value = value;
+}
+
+bool MetricRegistry::has(const std::string& name) const {
+  return metrics_.count(name) != 0;
+}
+
+double MetricRegistry::value(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, metric] : other.metrics_) {
+    if (metric.kind == MetricKind::kCounter) {
+      add(name, metric.value);
+    } else {
+      set_max(name, metric.value);
+    }
+  }
+}
+
+std::vector<Metric> MetricRegistry::sorted() const {
+  std::vector<Metric> out;
+  out.reserve(metrics_.size());
+  for (const auto& [_, metric] : metrics_) out.push_back(metric);
+  return out;
+}
+
+std::string format_metric_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return util::fixed(value, 6);
+}
+
+}  // namespace tgi::obs

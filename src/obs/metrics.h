@@ -1,0 +1,72 @@
+// Deterministic counter/gauge registry for the observability plane.
+//
+// Every number the sweep engine wants to report about itself — runs,
+// retries, backoff seconds, meter faults, rejected readings — flows
+// through a MetricRegistry instead of ad-hoc struct fields, so the bench
+// harnesses and tgi_sweep can emit one uniform metrics.csv. Registries are
+// collected per sweep point (single-threaded within a point) and merged BY
+// POINT INDEX, never by completion order: counter merge is addition in
+// index order, gauge merge is max, so the merged table is bit-identical
+// for every thread count (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgi::obs {
+
+/// How a metric's samples combine.
+enum class MetricKind {
+  kCounter,  ///< monotone accumulator; merge = sum (in point-index order)
+  kGauge,    ///< level observation; merge = max
+};
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+/// One named metric with its kind and current value.
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+};
+
+/// A name -> metric map with deterministic enumeration (sorted by name)
+/// and deterministic merge semantics. Not thread-safe: one registry per
+/// sweep point, merged after the sweep joins.
+class MetricRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created at zero on first use).
+  /// Throws PreconditionError if `name` already names a gauge.
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Raises gauge `name` to at least `value` (created on first use).
+  /// Throws PreconditionError if `name` already names a counter.
+  void set_max(const std::string& name, double value);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Current value; 0.0 when the metric was never touched.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// Folds `other` into this registry: counters sum, gauges max. Call in
+  /// point-index order so floating-point sums are reproducible.
+  void merge(const MetricRegistry& other);
+
+  /// All metrics sorted by name — the deterministic emission order.
+  [[nodiscard]] std::vector<Metric> sorted() const;
+
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+  [[nodiscard]] bool empty() const { return metrics_.empty(); }
+
+ private:
+  std::map<std::string, Metric> metrics_;
+};
+
+/// Renders a metric value for CSV/JSON: integral values print without a
+/// fractional part ("36"), everything else as fixed 6-digit decimals —
+/// both deterministic for bit-identical inputs.
+[[nodiscard]] std::string format_metric_value(double value);
+
+}  // namespace tgi::obs

@@ -1,0 +1,76 @@
+// Wall-clock profile channel — the explicitly NON-deterministic side of
+// the observability plane.
+//
+// The deterministic tracer (obs/trace.h) answers "what did the sweep
+// decide and how much simulated time did it charge"; this channel answers
+// "where did the host's real milliseconds go". Span durations come from
+// std::chrono::steady_clock on whichever worker ran the task, so the
+// output varies run to run and thread count to thread count BY DESIGN. It
+// is therefore written to a separate profile.json and excluded from every
+// golden/byte comparison (DESIGN.md §10); nothing in the deterministic
+// pipeline may read it back.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tgi::obs {
+
+/// One wall-clock span, in microseconds since the profiler's epoch.
+struct WallSpan {
+  std::string name;
+  std::size_t track = 0;  ///< worker index (or 0 for the calling thread)
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// Thread-safe wall-clock span collector. Safe to share across pool
+/// workers; a mutex guards the entry list (contention is negligible next
+/// to the seconds-long tasks it brackets).
+class WallProfiler {
+ public:
+  /// Epoch = construction time; all timestamps are relative to it.
+  WallProfiler();
+
+  /// Microseconds elapsed since the epoch.
+  [[nodiscard]] double now_us() const;
+
+  /// Records a finished span. Precondition: end_us >= start_us.
+  void record(std::string name, std::size_t track, double start_us,
+              double end_us);
+
+  /// A ThreadPool task hook that brackets every pool task with a wall
+  /// span named "<name_prefix> <task>". Install with
+  /// ThreadPool::set_task_hook before submitting; the profiler must
+  /// outlive the pool.
+  [[nodiscard]] util::ThreadPool::TaskHook task_hook(
+      std::string name_prefix = "task");
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Chrome trace-event-format JSON (tid = worker track). Entries are
+  /// sorted by (start, track, name) at write time so the file is stable
+  /// for a given set of spans, but the spans themselves are wall-clock
+  /// measurements: never byte-compare two runs' profiles.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Open {
+    std::size_t task = 0;
+    double start_us = 0.0;
+    bool active = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<WallSpan> spans_;
+  std::vector<Open> open_;  // per-worker in-flight task, for task_hook
+};
+
+}  // namespace tgi::obs

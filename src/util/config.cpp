@@ -17,6 +17,43 @@ std::string trim(const std::string& s) {
 }
 }  // namespace
 
+long long parse_int(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos);
+    TGI_REQUIRE(pos == text.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw PreconditionError(what + " is not an integer: '" + text + "'");
+  }
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    TGI_REQUIRE(pos == text.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw PreconditionError(what + " is not a number: '" + text + "'");
+  }
+}
+
+std::vector<double> parse_double_list(const std::string& text,
+                                      const std::string& what) {
+  std::vector<double> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string stripped = trim(item);
+    if (stripped.empty()) continue;
+    out.push_back(parse_double(
+        stripped, what + " item " + std::to_string(out.size() + 1)));
+  }
+  TGI_REQUIRE(!out.empty(), what << " is an empty list");
+  return out;
+}
+
 Config Config::parse(const std::string& text) {
   Config cfg;
   std::istringstream in(text);
@@ -74,29 +111,13 @@ std::string Config::get_string(const std::string& key,
 long long Config::get_int(const std::string& key, long long fallback) const {
   const auto raw = get(key);
   if (!raw) return fallback;
-  try {
-    std::size_t pos = 0;
-    const long long v = std::stoll(*raw, &pos);
-    TGI_REQUIRE(pos == raw->size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw PreconditionError("config key '" + key + "' is not an integer: '" +
-                            *raw + "'");
-  }
+  return parse_int(*raw, "config key '" + key + "'");
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
   const auto raw = get(key);
   if (!raw) return fallback;
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(*raw, &pos);
-    TGI_REQUIRE(pos == raw->size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw PreconditionError("config key '" + key + "' is not a number: '" +
-                            *raw + "'");
-  }
+  return parse_double(*raw, "config key '" + key + "'");
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
@@ -122,12 +143,9 @@ std::vector<long long> Config::get_int_list(
   while (std::getline(in, item, ',')) {
     const std::string stripped = trim(item);
     if (stripped.empty()) continue;
-    try {
-      out.push_back(std::stoll(stripped));
-    } catch (const std::exception&) {
-      throw PreconditionError("config key '" + key +
-                              "' has a non-integer item: '" + stripped + "'");
-    }
+    // Whole-item parse: "12abc" used to slip through a bare std::stoll.
+    out.push_back(parse_int(stripped, "config key '" + key + "' item " +
+                                          std::to_string(out.size() + 1)));
   }
   TGI_REQUIRE(!out.empty(), "config key '" << key << "' is an empty list");
   return out;

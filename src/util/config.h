@@ -12,6 +12,23 @@
 
 namespace tgi::util {
 
+/// Checked numeric parsing — the engine behind Config's typed getters,
+/// exposed for CLI code so every number entering the system is validated
+/// the same way. The WHOLE string must parse: empty strings and trailing
+/// garbage ("0.5x", "12abc") throw PreconditionError naming `what` (e.g.
+/// "config key 'pue'", "weight 2"), never a bare std::invalid_argument.
+[[nodiscard]] long long parse_int(const std::string& text,
+                                  const std::string& what);
+[[nodiscard]] double parse_double(const std::string& text,
+                                  const std::string& what);
+
+/// Parses a comma-separated list of numbers ("0.1,0.7,0.2") with the same
+/// whole-string discipline per item; surrounding whitespace is trimmed and
+/// empty items are skipped. Throws PreconditionError when an item is
+/// malformed or the list ends up empty.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& text,
+                                                    const std::string& what);
+
 /// An ordered key -> string-value map with typed getters.
 ///
 /// Grammar: one `key = value` per line; '#' starts a comment; blank lines

@@ -12,22 +12,28 @@
 namespace tgi::util {
 
 struct ThreadPool::State {
+  struct Task {
+    std::function<void()> body;
+    std::size_t sequence = 0;  // submission order; parallel_for's index
+  };
   std::mutex mutex;
   std::condition_variable work_ready;   // workers wait here for tasks
   std::condition_variable idle;         // wait() waits here for drain
-  std::deque<std::function<void()>> queue;
+  std::deque<Task> queue;
+  std::size_t next_sequence = 0;        // total tasks ever submitted
   std::size_t in_flight = 0;            // popped but not yet finished
   bool stopping = false;
   std::exception_ptr first_error;
+  TaskHook task_hook;  // immutable after first submit; read without lock
   std::vector<std::jthread> workers;  // tgi-lint: allow(raw-thread)
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
     : state_(std::make_unique<State>()), thread_count_(threads) {
   TGI_REQUIRE(threads >= 1, "ThreadPool needs at least one worker, got 0");
-  const auto worker_loop = [](State& state) {
+  const auto worker_loop = [](State& state, std::size_t worker) {
     for (;;) {
-      std::function<void()> task;
+      State::Task task;
       {
         std::unique_lock lock(state.mutex);
         state.work_ready.wait(
@@ -37,12 +43,17 @@ ThreadPool::ThreadPool(std::size_t threads)
         state.queue.pop_front();
         ++state.in_flight;
       }
+      // The hook is set-before-first-submit, so reading it unlocked here is
+      // race-free; it brackets the body outside the lock and the end call
+      // fires even when the task throws.
+      if (state.task_hook) state.task_hook(worker, task.sequence, true);
       std::exception_ptr error;
       try {
-        task();
+        task.body();
       } catch (...) {
         error = std::current_exception();
       }
+      if (state.task_hook) state.task_hook(worker, task.sequence, false);
       {
         std::unique_lock lock(state.mutex);
         if (error && !state.first_error) state.first_error = error;
@@ -56,7 +67,7 @@ ThreadPool::ThreadPool(std::size_t threads)
   state_->workers.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     state_->workers.emplace_back(
-        [state = state_.get(), worker_loop] { worker_loop(*state); });
+        [state = state_.get(), worker_loop, i] { worker_loop(*state, i); });
   }
 }
 
@@ -69,12 +80,20 @@ ThreadPool::~ThreadPool() {
   state_->workers.clear();  // jthread joins; workers drain the queue first
 }
 
+void ThreadPool::set_task_hook(TaskHook hook) {
+  std::unique_lock lock(state_->mutex);
+  TGI_REQUIRE(state_->next_sequence == 0,
+              "ThreadPool::set_task_hook must run before the first submit");
+  state_->task_hook = std::move(hook);
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   TGI_REQUIRE(static_cast<bool>(task), "ThreadPool::submit: empty task");
   {
     std::unique_lock lock(state_->mutex);
     TGI_CHECK(!state_->stopping, "ThreadPool::submit after shutdown");
-    state_->queue.push_back(std::move(task));
+    state_->queue.push_back({std::move(task), state_->next_sequence});
+    ++state_->next_sequence;
   }
   state_->work_ready.notify_one();
 }

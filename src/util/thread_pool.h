@@ -32,12 +32,27 @@ namespace tgi::util {
 ///    worker — the serial execution, just off the calling thread.
 class ThreadPool {
  public:
+  /// Observation hook bracketing every task: called as
+  /// hook(worker, task, true) on the worker thread immediately before the
+  /// task body runs and hook(worker, task, false) immediately after (the
+  /// end call fires even when the task throws). `task` is the submission
+  /// sequence number (0-based FIFO order), so under parallel_for it equals
+  /// the loop index. The hook runs outside the pool lock and must be
+  /// thread-safe; it is observation-only and must not submit work.
+  using TaskHook = std::function<void(std::size_t worker, std::size_t task,
+                                      bool begin)>;
+
   /// Spawns `threads` workers. Precondition: threads >= 1.
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Installs (or clears, with an empty hook) the task hook. Precondition:
+  /// no task has been submitted yet — the hook is part of the pool's
+  /// configuration, not a mid-flight toggle.
+  void set_task_hook(TaskHook hook);
 
   /// Enqueues one task. Precondition: task is callable (non-null).
   void submit(std::function<void()> task);

@@ -361,5 +361,24 @@ TEST(FaultyMeter, ArmedTruncationIsOneShot) {
   EXPECT_THROW(faulty.arm_truncation(1.5), util::PreconditionError);
 }
 
+TEST(FaultyMeter, DisarmClearsAStaleArmedTruncation) {
+  // An armed truncation is consumed only by a completed measurement; when
+  // the inner meter throws first, the charge survives. The recovery layer
+  // must be able to disarm before reusing the decorator (the stale charge
+  // used to corrupt the next attempt's reading).
+  power::ModelMeter inner(util::seconds(1.0));
+  FaultyMeter faulty(inner, FaultPlan{});
+  const power::PowerSource source = [](util::Seconds) {
+    return util::watts(400.0);
+  };
+  EXPECT_FALSE(faulty.truncation_armed());
+  faulty.arm_truncation(0.35);
+  EXPECT_TRUE(faulty.truncation_armed());
+  faulty.disarm_truncation();
+  EXPECT_FALSE(faulty.truncation_armed());
+  const auto whole = faulty.measure(source, util::seconds(100.0));
+  EXPECT_GT(whole.duration.value(), 0.99 * 100.0);
+}
+
 }  // namespace
 }  // namespace tgi::harness

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/tgi.h"
@@ -80,6 +81,38 @@ TEST(ReadingDefect, AcceptsASingleLevelShiftAndBoundaryRamps) {
   EXPECT_EQ(reading_defect(ramped, util::seconds(99.0), RobustConfig{}), "");
 }
 
+TEST(ReadingDefect, FlagsANonPositiveInteriorSample) {
+  // A powered cluster never draws <= 0 W; a zero-watt interior sample is
+  // instrument garbage, not data the spike check may silently skip over.
+  const auto reading = reading_of(make_trace(
+      100, [](std::size_t i) { return i == 50 ? 0.0 : 1000.0; }));
+  const std::string defect =
+      reading_defect(reading, util::seconds(99.0), RobustConfig{});
+  EXPECT_NE(defect.find("non-positive"), std::string::npos) << defect;
+}
+
+TEST(ReadingDefect, RejectsAnAllZeroTrace) {
+  // Regression: the spike detector used to `continue` past non-positive
+  // samples, so an all-zero trace (a dead instrument) passed validation.
+  const auto reading =
+      reading_of(make_trace(100, [](std::size_t) { return 0.0; }));
+  const std::string defect =
+      reading_defect(reading, util::seconds(99.0), RobustConfig{});
+  EXPECT_NE(defect.find("non-positive"), std::string::npos) << defect;
+}
+
+TEST(ReadingDefect, CountsAnExitJumpOnTheLastInteriorInterval) {
+  // A spike window whose exit jump lands on the last interior interval
+  // (samples 97 -> 98 of 100): the symmetric ramp-in/ramp-out exclusion
+  // skips exactly the first and last intervals, so both jumps count.
+  const auto reading = reading_of(make_trace(100, [](std::size_t i) {
+    return (i >= 30 && i < 98) ? 2000.0 : 1000.0;
+  }));
+  const std::string defect =
+      reading_defect(reading, util::seconds(99.0), RobustConfig{});
+  EXPECT_NE(defect.find("jump"), std::string::npos) << defect;
+}
+
 TEST(ReadingDefect, StuckRunCheckIsOptIn) {
   const auto reading = reading_of(make_trace(100, [](std::size_t i) {
     return (i >= 20 && i < 60) ? 1234.5 : 1000.0 + static_cast<double>(i);
@@ -133,6 +166,98 @@ TEST(RobustMeasurementsPerPoint, CoversEveryRetry) {
   extended.include_gups = true;
   robust.max_retries = 2;
   EXPECT_EQ(robust_measurements_per_point(extended, robust), 12u);
+}
+
+TEST(RobustMeasurementsPerPoint, DerivesFromTheSuiteRosterNotAConstant) {
+  // Regression: this stride used to hard-code `3 + include_gups`, a second
+  // copy of run_suite's benchmark list that would silently diverge the
+  // moment the suite grew a member. Both sides now read suite_benchmarks.
+  for (const bool gups : {false, true}) {
+    SuiteConfig suite;
+    suite.include_gups = gups;
+    EXPECT_EQ(suite_benchmarks(suite).size(), gups ? 4u : 3u);
+    RobustConfig robust;
+    robust.max_retries = 4;
+    EXPECT_EQ(robust_measurements_per_point(suite, robust),
+              suite_benchmarks(suite).size() * 5u);
+  }
+}
+
+/// Throws ReadingRejected on its first measure() call — before any trace
+/// exists — then delegates. Models an instrument that dies mid-attempt.
+class RejectOnceMeter final : public power::PowerMeter {
+ public:
+  explicit RejectOnceMeter(power::PowerMeter& inner) : inner_(inner) {}
+  [[nodiscard]] power::MeterReading measure(const power::PowerSource& source,
+                                            util::Seconds duration) override {
+    if (!rejected_) {
+      rejected_ = true;
+      throw ReadingRejected("injected instrument death before any trace");
+    }
+    return inner_.measure(source, duration);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "RejectOnce(" + inner_.name() + ")";
+  }
+
+ private:
+  power::PowerMeter& inner_;
+  bool rejected_ = false;
+};
+
+/// A truncation-only spec whose seed makes exactly one decision pattern:
+/// (benchmark 0, attempt 0) draws kTruncatedTrace and every other attempt
+/// of the point draws kNone.
+FaultSpec leaky_truncation_spec() {
+  FaultSpec spec;
+  spec.truncation_rate = 0.5;
+  for (std::uint64_t seed = 0; seed < 20000; ++seed) {
+    spec.seed = seed;
+    const FaultPlan plan(spec);
+    const auto kind = [&](std::uint64_t b, std::uint64_t a) {
+      return plan.run_fault(0, b, a).kind;
+    };
+    bool rest_clean = true;
+    for (std::uint64_t b = 0; b < 3 && rest_clean; ++b) {
+      for (std::uint64_t a = 0; a < 3; ++a) {
+        if (b == 0 && a == 0) continue;
+        if (kind(b, a) != RunFaultKind::kNone) {
+          rest_clean = false;
+          break;
+        }
+      }
+    }
+    if (rest_clean && kind(0, 0) == RunFaultKind::kTruncatedTrace) {
+      return spec;
+    }
+  }
+  ADD_FAILURE() << "no seed under 20000 produces the needed fault pattern";
+  return spec;
+}
+
+TEST(RobustSuiteRunner, StaleArmedTruncationDoesNotLeakAcrossAttempts) {
+  // Regression: attempt 0 of HPL draws kTruncatedTrace and arms the
+  // FaultyMeter, but the instrument throws before a measurement consumes
+  // the charge. The runner used to leave it armed, so the retry — whose
+  // own fault draw is kNone — came back truncated and was rejected too.
+  // The runner must disarm at the top of every attempt.
+  const FaultSpec spec = leaky_truncation_spec();
+  power::WattsUpConfig wcfg;
+  wcfg.seed = 21;
+  power::WattsUpMeter wattsup(wcfg);
+  RejectOnceMeter meter(wattsup);
+  RobustSuiteRunner runner(sim::fire_cluster(), meter, FaultPlan(spec));
+  const RobustSuitePoint point = runner.run_suite(64);
+  EXPECT_FALSE(point.degraded());
+  EXPECT_EQ(point.point.measurements.size(), 3u);
+  // HPL: the injected rejection plus one clean retry; STREAM and IOzone
+  // complete first try. With the leak, the stale truncation caused a
+  // second rejection (attempts=5, rejected=2).
+  EXPECT_EQ(point.counters.attempts, 4u);
+  EXPECT_EQ(point.counters.retries, 1u);
+  EXPECT_EQ(point.counters.rejected_readings, 1u);
+  EXPECT_EQ(point.counters.run_faults, 1u);
+  EXPECT_EQ(point.counters.meter_faults, 0u);
 }
 
 TEST(RobustSuiteRunner, ZeroFaultRunIsBitIdenticalToPlainSuiteRunner) {

@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tgi::obs {
+namespace {
+
+TEST(MetricRegistry, CountersAccumulate) {
+  MetricRegistry registry;
+  EXPECT_FALSE(registry.has("runs"));
+  EXPECT_EQ(registry.value("runs"), 0.0);
+
+  registry.add("runs");
+  registry.add("runs", 2.0);
+  EXPECT_TRUE(registry.has("runs"));
+  EXPECT_EQ(registry.value("runs"), 3.0);
+}
+
+TEST(MetricRegistry, GaugesKeepTheMax) {
+  MetricRegistry registry;
+  registry.set_max("attempt_max", 1.0);
+  registry.set_max("attempt_max", 3.0);
+  registry.set_max("attempt_max", 2.0);
+  EXPECT_EQ(registry.value("attempt_max"), 3.0);
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  MetricRegistry registry;
+  registry.add("runs");
+  registry.set_max("peak", 1.0);
+  EXPECT_THROW(registry.set_max("runs", 1.0), util::PreconditionError);
+  EXPECT_THROW(registry.add("peak"), util::PreconditionError);
+}
+
+TEST(MetricRegistry, RejectsCsvHostileNames) {
+  MetricRegistry registry;
+  EXPECT_THROW(registry.add(""), util::PreconditionError);
+  EXPECT_THROW(registry.add("a,b"), util::PreconditionError);
+  EXPECT_THROW(registry.add("a\nb"), util::PreconditionError);
+  EXPECT_THROW(registry.add("a\"b"), util::PreconditionError);
+}
+
+TEST(MetricRegistry, MergeSumsCountersAndMaxesGauges) {
+  MetricRegistry a;
+  a.add("runs", 2.0);
+  a.add("backoff_seconds", 5.0);
+  a.set_max("attempt_max", 1.0);
+
+  MetricRegistry b;
+  b.add("runs", 3.0);
+  b.set_max("attempt_max", 2.0);
+  b.add("retries", 1.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.value("runs"), 5.0);
+  EXPECT_EQ(a.value("backoff_seconds"), 5.0);
+  EXPECT_EQ(a.value("attempt_max"), 2.0);
+  EXPECT_EQ(a.value("retries"), 1.0);
+}
+
+TEST(MetricRegistry, SortedEnumeratesByName) {
+  MetricRegistry registry;
+  registry.add("zeta");
+  registry.add("alpha");
+  registry.set_max("mid", 7.0);
+
+  const std::vector<Metric> metrics = registry.sorted();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].name, "alpha");
+  EXPECT_EQ(metrics[1].name, "mid");
+  EXPECT_EQ(metrics[2].name, "zeta");
+  EXPECT_EQ(metrics[1].kind, MetricKind::kGauge);
+}
+
+TEST(MetricRegistry, MergeOrderIsCallerControlled) {
+  // The registry itself just folds left-to-right; the engine guarantees
+  // reproducibility by always merging in point-index order. Pin the
+  // left-to-right contract here.
+  MetricRegistry total;
+  MetricRegistry p0;
+  p0.add("x", 0.1);
+  MetricRegistry p1;
+  p1.add("x", 0.2);
+  total.merge(p0);
+  total.merge(p1);
+
+  MetricRegistry expected;
+  expected.add("x", 0.1);
+  expected.add("x", 0.2);
+  EXPECT_EQ(total.value("x"), expected.value("x"));
+}
+
+TEST(FormatMetricValue, IntegralValuesPrintWithoutFraction) {
+  EXPECT_EQ(format_metric_value(0.0), "0");
+  EXPECT_EQ(format_metric_value(36.0), "36");
+  EXPECT_EQ(format_metric_value(-4.0), "-4");
+}
+
+TEST(FormatMetricValue, FractionalValuesPrintFixed) {
+  EXPECT_EQ(format_metric_value(2.5), "2.500000");
+  EXPECT_EQ(format_metric_value(0.125), "0.125000");
+}
+
+TEST(MetricKindName, NamesBothKinds) {
+  EXPECT_STREQ(metric_kind_name(MetricKind::kCounter), "counter");
+  EXPECT_STREQ(metric_kind_name(MetricKind::kGauge), "gauge");
+}
+
+}  // namespace
+}  // namespace tgi::obs

@@ -1,0 +1,85 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace tgi::obs {
+namespace {
+
+TEST(WallProfiler, RecordsSpansAndRendersChromeJson) {
+  WallProfiler profiler;
+  profiler.record("setup", 0, 1.0, 4.5);
+  profiler.record("teardown", 1, 5.0, 6.0);
+  EXPECT_EQ(profiler.span_count(), 2u);
+
+  std::ostringstream out;
+  profiler.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\":\"setup\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"teardown\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  // setup starts earlier, so it must appear first in the sorted output.
+  EXPECT_LT(json.find("\"name\":\"setup\""), json.find("\"name\":\"teardown\""));
+}
+
+TEST(WallProfiler, RejectsBackwardsSpans) {
+  WallProfiler profiler;
+  EXPECT_THROW(profiler.record("bad", 0, 2.0, 1.0), util::PreconditionError);
+}
+
+TEST(WallProfiler, ClockIsMonotonic) {
+  WallProfiler profiler;
+  const double a = profiler.now_us();
+  const double b = profiler.now_us();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(WallProfiler, TaskHookBracketsEveryPoolTask) {
+  WallProfiler profiler;
+  util::ThreadPool pool(2);
+  pool.set_task_hook(profiler.task_hook("sweep-point"));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(profiler.span_count(), 5u);
+
+  std::ostringstream out;
+  profiler.write_chrome_trace(out);
+  // Task names carry the submission sequence number regardless of which
+  // worker ran them.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(out.str().find("sweep-point " + std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+TEST(WallProfiler, TaskHookRecordsSpanEvenWhenTaskThrows) {
+  WallProfiler profiler;
+  util::ThreadPool pool(1);
+  pool.set_task_hook(profiler.task_hook());
+  pool.submit([] { throw util::PreconditionError("boom"); });
+  EXPECT_THROW(pool.wait(), util::PreconditionError);
+  EXPECT_EQ(profiler.span_count(), 1u);
+}
+
+TEST(ThreadPool, TaskHookAfterSubmitThrows) {
+  util::ThreadPool pool(1);
+  pool.submit([] {});
+  pool.wait();
+  EXPECT_THROW(pool.set_task_hook([](std::size_t, std::size_t, bool) {}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::obs

@@ -93,5 +93,49 @@ TEST(Config, IntListFallbackAndErrors) {
   EXPECT_THROW(cfg.get_int_list("empty", {}), PreconditionError);
 }
 
+TEST(Config, IntListRejectsTrailingGarbage) {
+  // Regression: "32abc" used to slip through a bare std::stoll as 32.
+  Config cfg;
+  cfg.set("sweep", "16,32abc");
+  EXPECT_THROW((void)cfg.get_int_list("sweep", {}), PreconditionError);
+}
+
+TEST(ParseNumber, WholeStringDiscipline) {
+  EXPECT_EQ(parse_int("42", "n"), 42);
+  EXPECT_EQ(parse_int(" -7", "n"), -7);
+  EXPECT_THROW((void)parse_int("12abc", "n"), PreconditionError);
+  EXPECT_THROW((void)parse_int("", "n"), PreconditionError);
+  EXPECT_DOUBLE_EQ(parse_double("2.5e3", "x"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_double("-0.125", "x"), -0.125);
+  EXPECT_THROW((void)parse_double("0.5x", "x"), PreconditionError);
+  EXPECT_THROW((void)parse_double("abc", "x"), PreconditionError);
+  EXPECT_THROW((void)parse_double("", "x"), PreconditionError);
+}
+
+TEST(ParseNumber, ErrorNamesTheOffendingValue) {
+  try {
+    (void)parse_double("0.5x", "weights item 2");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("weights item 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("0.5x"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseDoubleList, TrimsItemsAndRejectsGarbage) {
+  const auto v = parse_double_list("0.1, 0.7 ,0.2", "weights");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[1], 0.7);
+  EXPECT_DOUBLE_EQ(v[2], 0.2);
+  EXPECT_THROW((void)parse_double_list("0.1,x,0.2", "weights"),
+               PreconditionError);
+  EXPECT_THROW((void)parse_double_list("0.1,0.7x", "weights"),
+               PreconditionError);
+  EXPECT_THROW((void)parse_double_list(",,", "weights"), PreconditionError);
+  EXPECT_THROW((void)parse_double_list("", "weights"), PreconditionError);
+}
+
 }  // namespace
 }  // namespace tgi::util

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Six stages, fail-fast:
+# Seven stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -17,7 +17,11 @@
 #      class of bug this repo can have; TSan keeps it empty;
 #   6. tsan-faults: the fault-injection ablation on the TSan build with
 #      threads=8 — the FaultyMeter/RobustSuiteRunner stack under real
-#      concurrency, with the fault plane actually firing.
+#      concurrency, with the fault plane actually firing;
+#   7. tsan-trace: a traced + profiled faulted sweep on the TSan build at
+#      every thread count — the observability plane (DESIGN.md §10) under
+#      real concurrency — then a byte-diff proving trace.json/metrics.csv
+#      are thread-count invariant (profile.json is wall clock and exempt).
 #
 # Usage: tools/ci.sh [jobs]          (from the repo root)
 set -eu
@@ -26,30 +30,49 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/6] tier-1: build + ctest =="
+echo "== [1/7] tier-1: build + ctest =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/6] lint: tgi-lint convention analyzer =="
+echo "== [2/7] lint: tgi-lint convention analyzer =="
 ./build/tools/tgi_lint root="$ROOT"
 
-echo "== [3/6] golden: figure/table transcripts byte-identical =="
+echo "== [3/7] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/6] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/7] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/6] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/7] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/6] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/7] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
+
+echo "== [7/7] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+TRACE_SCRATCH="build-tsan/trace_gate"
+rm -rf "$TRACE_SCRATCH"
+for t in 1 2 8; do
+  ./build-tsan/tools/tgi_sweep threads="$t" \
+    --faults dropout=0.2,failure=0.1,timeout=0.05,truncation=0.05 \
+    sweep=16,48,80 seed=7 outdir="$TRACE_SCRATCH/results_t$t" \
+    trace="$TRACE_SCRATCH/trace_t$t" profile="$TRACE_SCRATCH/profile_t$t" \
+    > /dev/null
+done
+for t in 2 8; do
+  cmp "$TRACE_SCRATCH/trace_t1/trace.json" \
+      "$TRACE_SCRATCH/trace_t$t/trace.json"
+  cmp "$TRACE_SCRATCH/trace_t1/metrics.csv" \
+      "$TRACE_SCRATCH/trace_t$t/metrics.csv"
+  cmp "$TRACE_SCRATCH/results_t1/faults_summary.csv" \
+      "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
+done
 
 echo "ci.sh: all gates passed"

@@ -19,7 +19,6 @@
 //   pue=X             facility PUE of the system under test (default 1)
 //   ref_pue=X         facility PUE of the reference (default 1)
 #include <iostream>
-#include <sstream>
 
 #include "core/tgi.h"
 #include "harness/measurement_io.h"
@@ -69,15 +68,11 @@ core::Aggregation parse_aggregation(const std::string& name) {
 }
 
 std::vector<double> parse_weights(const std::string& spec) {
-  std::vector<double> out;
-  std::istringstream in(spec);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    if (item.empty()) continue;
-    out.push_back(std::stod(item));
-  }
-  TGI_REQUIRE(!out.empty(), "weights list is empty");
-  return out;
+  // Checked whole-string parsing (util/config.cpp): "0.5x" and "abc" get
+  // a PreconditionError naming the offending weight instead of a bare
+  // std::stod that accepted trailing garbage or threw raw
+  // std::invalid_argument past the CLI's error message.
+  return util::parse_double_list(spec, "weights");
 }
 
 int run(int argc, const char* const* argv) {

@@ -5,6 +5,7 @@
 //   tgi_sweep outdir=results [sweep=16,32,...,128] [seed=N] [meter=model]
 //             [cluster=my.conf] [reference_cluster=ref.conf] [threads=N]
 //             [faults=dropout=0.2,stuck=0.1,failure=0.05]
+//             [trace=DIR] [profile=DIR]
 //
 // Sweep points run on harness::ParallelSweep: `threads=N` (or `--threads
 // N`, or the TGI_THREADS environment variable; default hardware
@@ -24,6 +25,15 @@
 // only produced by fault-free sweeps. A fixed fault spec yields
 // byte-identical output at every thread count.
 //
+// `trace=DIR` (or `--trace DIR`) additionally writes the deterministic
+// observability record (DESIGN.md §10): DIR/trace.json (Chrome
+// trace-event format on the SIMULATED timeline, spans keyed by
+// point/benchmark/attempt) and DIR/metrics.csv (per-point and merged
+// counters/gauges). Both files are bit-identical for every thread count,
+// for plain and faulted sweeps alike, and tracing never changes the sweep
+// output. `profile=DIR` writes DIR/profile.json, the wall-clock profile
+// channel — explicitly NON-deterministic, never byte-compared.
+//
 // Produces in `outdir`:
 //   fig2_hpl_ee.csv, fig3_stream_ee.csv, fig4_iozone_ee.csv,
 //   fig5_tgi_am.csv, fig6_tgi_weighted.csv, table2_pcc.csv,
@@ -36,6 +46,8 @@
 
 #include "core/tgi.h"
 #include "harness/faults.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "harness/measurement_io.h"
 #include "harness/parallel.h"
 #include "harness/robust.h"
@@ -53,14 +65,14 @@ namespace {
 
 using namespace tgi;
 
-/// Accepts `--threads N` / `--threads=N` (and the same for `--faults`) as
-/// aliases for the `key=value` forms.
+/// Accepts `--threads N` / `--threads=N` (and the same for `--faults`,
+/// `--trace`, `--profile`) as aliases for the `key=value` forms.
 util::Config parse_args(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     bool aliased = false;
-    for (const char* key : {"threads", "faults"}) {
+    for (const char* key : {"threads", "faults", "trace", "profile"}) {
       const std::string flag = std::string("--") + key;
       if (arg == flag && i + 1 < argc) {
         tokens.push_back(std::string(key) + "=" + argv[++i]);
@@ -131,6 +143,35 @@ int run(int argc, const char* const* argv) {
   const long long threads_raw = cfg.get_int("threads", 0);
   TGI_REQUIRE(threads_raw >= 0, "threads must be >= 0 (0 = default)");
 
+  // Observability knobs (DESIGN.md §10). The deterministic trace and the
+  // wall profile are independent channels; either may be enabled alone.
+  const auto trace_dir = cfg.get("trace");
+  const auto profile_dir = cfg.get("profile");
+  obs::WallProfiler profiler;
+  const auto write_trace_files = [](const obs::SweepTrace& trace,
+                                    const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    std::ofstream json(dir + "/trace.json");
+    TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
+                                                         << "/trace.json");
+    trace.write_chrome_trace(json);
+    std::ofstream metrics(dir + "/metrics.csv");
+    TGI_REQUIRE(static_cast<bool>(metrics), "cannot write " << dir
+                                                            << "/metrics.csv");
+    trace.write_metrics_csv(metrics);
+    std::cout << "wrote " << dir << "/trace.json ("
+              << trace.event_count() << " events) and metrics.csv\n";
+  };
+  const auto write_profile_file = [&profiler](const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    std::ofstream json(dir + "/profile.json");
+    TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
+                                                         << "/profile.json");
+    profiler.write_chrome_trace(json);
+    std::cout << "wrote " << dir
+              << "/profile.json (wall clock; non-deterministic)\n";
+  };
+
   // Fault mode: same sweep, but through the fault plane and recovery
   // policy. Kept strictly separate from the plain path so a fault-free
   // invocation reproduces today's CSVs byte-for-byte.
@@ -144,6 +185,7 @@ int run(int argc, const char* const* argv) {
     if (!exact) robust.stuck_run_limit = 8;
     harness::ParallelSweepConfig sweep_cfg;
     sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
+    if (profile_dir) sweep_cfg.profiler = &profiler;
     harness::MeterFactory factory;
     if (exact) {
       factory = harness::model_meter_factory(util::seconds(0.5));
@@ -157,8 +199,11 @@ int run(int argc, const char* const* argv) {
     const harness::ParallelSweep engine(system_cluster, factory, sweep_cfg);
     std::cout << "fault plane: " << harness::fault_spec_summary(fspec)
               << "\n";
-    const std::vector<harness::RobustSuitePoint> points =
-        engine.run_robust(sweep, plan, robust);
+    obs::SweepTrace trace;
+    const std::vector<harness::RobustSuitePoint> points = engine.run_robust(
+        sweep, plan, robust, trace_dir ? &trace : nullptr);
+    if (trace_dir) write_trace_files(trace, *trace_dir);
+    if (profile_dir) write_profile_file(*profile_dir);
 
     std::ofstream fault_file(path("faults_summary.csv"));
     util::CsvWriter fcsv(fault_file);
@@ -202,19 +247,26 @@ int run(int argc, const char* const* argv) {
     return 0;
   }
 
+  harness::ParallelSweepConfig sweep_cfg;
+  sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
+  if (profile_dir) sweep_cfg.profiler = &profiler;
   harness::MeterFactory factory;
   if (exact) {
     factory = harness::model_meter_factory(util::seconds(0.5));
   } else {
     power::WattsUpConfig wcfg;
     wcfg.seed = seed;
+    // One measurement per suite member — derived from the same roster
+    // run_suite executes, not a hand-maintained constant.
     factory = harness::wattsup_meter_factory(
-        wcfg, /*measurements_per_point=*/3);
+        wcfg, harness::suite_benchmarks(sweep_cfg.suite).size());
   }
-  harness::ParallelSweepConfig sweep_cfg;
-  sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
   const harness::ParallelSweep engine(system_cluster, factory, sweep_cfg);
-  const std::vector<harness::SuitePoint> points = engine.run(sweep);
+  obs::SweepTrace trace;
+  const std::vector<harness::SuitePoint> points =
+      engine.run(sweep, trace_dir ? &trace : nullptr);
+  if (trace_dir) write_trace_files(trace, *trace_dir);
+  if (profile_dir) write_profile_file(*profile_dir);
 
   std::map<std::string, std::vector<double>> ee;
   std::vector<double> x;
