@@ -1,17 +1,18 @@
 // Shared machinery for the experiment harnesses.
 //
 // Every figure/table binary accepts `key=value` overrides on the command
-// line (seed=…, sweep=…, csv=path, meter=wattsup|model, threads=N) and
-// funnels through run_sweep() so all eight experiments measure the same
-// way the paper did: Fire behind the plug meter, SystemG as the SPEC-style
-// reference. Sweeps run on the deterministic parallel engine
-// (harness::ParallelSweep): threads=1 reproduces the serial execution
-// bit-for-bit, threads=N prints the same numbers N× faster.
+// line (seed=…, sweep=…, csv=path, meter=wattsup|model, threads=N,
+// checkpoint=DIR, resume=1) and funnels through run_sweep() so all eight
+// experiments measure the same way the paper did: Fire behind the plug
+// meter, SystemG as the SPEC-style reference. Sweeps run on the
+// deterministic parallel engine (harness::ParallelSweep): threads=1
+// reproduces the serial execution bit-for-bit, threads=N prints the same
+// numbers N× faster. checkpoint=DIR journals completed points
+// (DESIGN.md §11); resume=1 replays them after a crash, byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -19,13 +20,16 @@
 #include <vector>
 
 #include "core/tgi.h"
+#include "harness/checkpoint.h"
 #include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/suite.h"
 #include "obs/trace.h"
 #include "sim/catalog.h"
+#include "sim/spec_io.h"
 #include "stats/correlation.h"
 #include "stats/regression.h"
+#include "util/atomic_file.h"
 #include "util/config.h"
 #include "util/error.h"
 #include "util/format.h"
@@ -52,6 +56,11 @@ struct Experiment {
   /// observability record (DIR/trace.json + DIR/metrics.csv, DESIGN.md
   /// §10). Bit-identical for every threads= value; never changes results.
   std::optional<std::string> trace_dir;
+  /// When set (checkpoint=DIR), run_sweep() journals completed points to
+  /// DIR/journal.tgij; resume=1 replays the journal after a crash and the
+  /// output stays byte-identical to an uninterrupted run (DESIGN.md §11).
+  std::optional<std::string> checkpoint_dir;
+  bool resume = false;
   std::uint64_t seed = 0;
   std::string meter_kind;
   /// Worker threads for sweeps and fan-outs; 0 = default (TGI_THREADS
@@ -114,6 +123,10 @@ inline Experiment make_experiment(int argc, const char* const* argv) {
   e.reference_system = sim::system_g();
   e.csv_path = e.config.get("csv");
   e.trace_dir = e.config.get("trace");
+  e.checkpoint_dir = e.config.get("checkpoint");
+  e.resume = e.config.get_bool("resume", false);
+  TGI_REQUIRE(!e.resume || e.checkpoint_dir,
+              "resume=1 requires checkpoint=DIR (nothing to resume from)");
   return e;
 }
 
@@ -124,20 +137,45 @@ inline std::size_t suite_measurements(const harness::SuiteConfig& suite) {
   return harness::suite_benchmarks(suite).size();
 }
 
-/// Writes trace.json + metrics.csv into `dir` (created if needed).
+/// Writes trace.json + metrics.csv into `dir` (created if needed); each
+/// file is published atomically (write-to-temp + rename).
 inline void write_trace_files(const obs::SweepTrace& trace,
                               const std::string& dir) {
   std::filesystem::create_directories(dir);
-  std::ofstream json(dir + "/trace.json");
-  TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
-                                                       << "/trace.json");
-  trace.write_chrome_trace(json);
-  std::ofstream metrics(dir + "/metrics.csv");
-  TGI_REQUIRE(static_cast<bool>(metrics), "cannot write " << dir
-                                                          << "/metrics.csv");
-  trace.write_metrics_csv(metrics);
+  util::AtomicFile json(dir + "/trace.json");
+  trace.write_chrome_trace(json.stream());
+  json.commit();
+  util::AtomicFile metrics(dir + "/metrics.csv");
+  trace.write_metrics_csv(metrics.stream());
+  metrics.commit();
   std::cout << "wrote " << dir << "/trace.json (" << trace.event_count()
             << " events) and metrics.csv\n";
+}
+
+/// Builds the checkpoint journal for a plain bench sweep when the user
+/// passed checkpoint=DIR (nullptr otherwise). The spec text captures
+/// everything that determines the sweep bytes — cluster, seed, meter
+/// kind, suite roster — so a stale journal from a different experiment
+/// setup is rejected instead of silently replayed.
+inline std::unique_ptr<harness::CheckpointJournal> make_checkpoint_journal(
+    const Experiment& e, const harness::SuiteConfig& suite) {
+  if (!e.checkpoint_dir) return nullptr;
+  std::string spec_text;
+  spec_text += "meter=" + e.meter_kind + "\n";
+  spec_text += "seed=" + std::to_string(e.seed) + "\n";
+  std::string roster;
+  for (const std::string& name : harness::suite_benchmarks(suite)) {
+    if (!roster.empty()) roster += ',';
+    roster += name;
+  }
+  spec_text += "suite=" + roster + "\n";
+  spec_text += sim::cluster_to_config(e.system_under_test);
+  harness::CheckpointConfig ccfg;
+  ccfg.directory = *e.checkpoint_dir;
+  ccfg.resume = e.resume;
+  return std::make_unique<harness::CheckpointJournal>(
+      std::move(ccfg), harness::journal_spec_hash(spec_text), "plain",
+      e.sweep);
 }
 
 /// Per-point meter factory matching the experiment's meter= selection,
@@ -162,6 +200,9 @@ inline std::vector<harness::SuitePoint> run_sweep(
   harness::ParallelSweepConfig cfg;
   cfg.suite = suite;
   cfg.threads = e.threads;
+  const std::unique_ptr<harness::CheckpointJournal> journal =
+      make_checkpoint_journal(e, suite);
+  cfg.checkpoint = journal.get();
   harness::ParallelSweep sweep(e.system_under_test,
                                sweep_meter_factory(e, suite_measurements(suite)),
                                cfg);

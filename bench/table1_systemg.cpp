@@ -6,8 +6,6 @@
 // the magnitudes (TFLOPS class, kW class) rather than digits.
 #include "bench_common.h"
 
-#include <fstream>
-
 int main(int argc, char** argv) {
   using namespace tgi;
   return bench::run_harness(argc, argv, [](bench::Experiment& e) {
@@ -45,8 +43,8 @@ int main(int argc, char** argv) {
                            hpl.average_power.value() < 6e4);
 
     if (e.csv_path) {
-      std::ofstream out(*e.csv_path);
-      util::CsvWriter csv(out);
+      util::AtomicFile out(*e.csv_path);
+      util::CsvWriter csv(out.stream());
       csv.write_row({"benchmark", "performance", "unit", "watts", "seconds",
                      "joules"});
       for (const auto& m : reference) {
@@ -56,6 +54,7 @@ int main(int argc, char** argv) {
                        util::fixed(m.execution_time.value(), 3),
                        util::fixed(m.energy.value(), 3)});
       }
+      out.commit();
       std::cout << "wrote " << *e.csv_path << "\n";
     }
   });

@@ -9,7 +9,6 @@
 // weights lose the desired property.
 #include "bench_common.h"
 
-#include <fstream>
 #include <map>
 
 #include "stats/bootstrap.h"
@@ -72,8 +71,8 @@ int main(int argc, char** argv) {
             stats::pearson(we, hpl) > stats::pearson(we, stream));
 
     if (e.csv_path) {
-      std::ofstream out(*e.csv_path);
-      util::CsvWriter csv(out);
+      util::AtomicFile out(*e.csv_path);
+      util::CsvWriter csv(out.stream());
       csv.write_row({"benchmark", "am", "time", "energy", "power"});
       for (const auto& [name, ee] :
            std::vector<std::pair<std::string, const std::vector<double>*>>{
@@ -85,6 +84,7 @@ int main(int argc, char** argv) {
         }
         csv.write_row(cells);
       }
+      out.commit();
       std::cout << "wrote " << *e.csv_path << "\n";
     }
   });

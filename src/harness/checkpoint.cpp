@@ -1,0 +1,773 @@
+#include "harness/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "harness/measurement_io.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace tgi::harness {
+
+std::uint64_t journal_spec_hash(std::string_view canonical_spec) {
+  // FNV-1a 64: tiny, dependency-free, and stable across platforms — this
+  // hash only guards against resuming under a different spec, it is not a
+  // cryptographic commitment.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char ch : canonical_spec) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr char kMagic[] = "TGIJ1";
+constexpr char kFieldSep = '\x1f';  // US: separates name=value fields
+constexpr char kListSep = '\x1e';   // RS: separates nested list elements
+
+/// Percent-escapes the bytes that would break record/field/list structure.
+std::string escape(std::string_view raw) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (const char ch : raw) {
+    if (ch == '%' || ch == '\n' || ch == '\r' || ch == kFieldSep ||
+        ch == kListSep) {
+      const auto byte = static_cast<unsigned char>(ch);
+      out += '%';
+      out += kHex[byte >> 4U];
+      out += kHex[byte & 0xFU];
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+int hex_digit(char ch) {
+  if (ch >= '0' && ch <= '9') return ch - '0';
+  if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+  if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+  return -1;
+}
+
+std::string unescape(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char ch = escaped[i];
+    if (ch != '%') {
+      out += ch;
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      throw util::TgiError("journal: truncated percent escape");
+    }
+    const int hi = hex_digit(escaped[i + 1]);
+    const int lo = hex_digit(escaped[i + 2]);
+    if (hi < 0 || lo < 0) {
+      throw util::TgiError("journal: malformed percent escape");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+/// Bit-exact double serialization: C hexfloat via printf %a / strtod.
+std::string encode_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double decode_double(const std::string& text) {
+  if (text.empty()) throw util::TgiError("journal: empty double field");
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    throw util::TgiError("journal: bad double '" + text + "'");
+  }
+  return v;
+}
+
+std::size_t decode_size(const std::string& text) {
+  if (text.empty()) throw util::TgiError("journal: empty integer field");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || text[0] == '-' ||
+      text[0] == '+') {
+    throw util::TgiError("journal: bad integer '" + text + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return buf;
+}
+
+std::uint64_t decode_hash(const std::string& text) {
+  if (text.size() != 16) {
+    throw util::TgiError("journal: spec hash must be 16 hex digits");
+  }
+  std::uint64_t hash = 0;
+  for (const char ch : text) {
+    const int digit = hex_digit(ch);
+    if (digit < 0) throw util::TgiError("journal: bad spec hash digit");
+    hash = (hash << 4U) | static_cast<std::uint64_t>(digit);
+  }
+  return hash;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Ordered field list serializer: name=escape(value) joined by US.
+class FieldWriter {
+ public:
+  void add(std::string_view name, std::string_view value) {
+    if (!payload_.empty()) payload_ += kFieldSep;
+    payload_.append(name);
+    payload_ += '=';
+    payload_ += escape(value);
+  }
+  void add_size(std::string_view name, std::size_t value) {
+    add(name, std::to_string(value));
+  }
+  void add_double(std::string_view name, double value) {
+    add(name, encode_double(value));
+  }
+  [[nodiscard]] const std::string& payload() const { return payload_; }
+
+ private:
+  std::string payload_;
+};
+
+/// Parsed field map with require-style accessors that throw TgiError.
+class FieldReader {
+ public:
+  explicit FieldReader(const std::string& payload) {
+    for (const std::string& token : split(payload, kFieldSep)) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw util::TgiError("journal: field is not name=value");
+      }
+      const std::string name = token.substr(0, eq);
+      if (!fields_.emplace(name, unescape(token.substr(eq + 1))).second) {
+        throw util::TgiError("journal: duplicate field '" + name + "'");
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& get(const std::string& name) const {
+    const auto it = fields_.find(name);
+    if (it == fields_.end()) {
+      throw util::TgiError("journal: missing field '" + name + "'");
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& name) const {
+    return decode_size(get(name));
+  }
+  [[nodiscard]] double get_double(const std::string& name) const {
+    return decode_double(get(name));
+  }
+  [[nodiscard]] bool get_flag(const std::string& name) const {
+    const std::string& v = get(name);
+    if (v == "1") return true;
+    if (v == "0") return false;
+    throw util::TgiError("journal: flag '" + name + "' must be 0 or 1");
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+std::string encode_record_line(const std::string& kind,
+                               const std::string& payload) {
+  const std::string checked = kind + " " + payload;
+  return std::string(kMagic) + " " + kind + " " +
+         crc_hex(util::crc32(checked)) + " " + payload + "\n";
+}
+
+std::string encode_values(const std::vector<std::size_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> decode_values(const std::string& text) {
+  std::vector<std::size_t> out;
+  if (text.empty()) return out;
+  for (const std::string& item : split(text, ',')) {
+    out.push_back(decode_size(item));
+  }
+  return out;
+}
+
+std::string encode_measurements(
+    const std::vector<core::BenchmarkMeasurement>& ms) {
+  if (ms.empty()) return {};
+  std::ostringstream out;
+  write_measurements(out, ms);
+  return out.str();
+}
+
+std::vector<core::BenchmarkMeasurement> decode_measurements(
+    const std::string& text) {
+  if (text.empty()) return {};
+  std::istringstream in(text);
+  return read_measurements(in);  // validates header, rows, physics
+}
+
+std::string encode_events(const std::vector<obs::TraceEvent>& events) {
+  std::string out;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::TraceEvent& e = events[i];
+    if (i != 0) out += kListSep;
+    std::string enc;
+    enc += (e.kind == obs::TraceEvent::Kind::kSpan) ? 'S' : 'I';
+    enc += kFieldSep;
+    enc += escape(e.name);
+    enc += kFieldSep;
+    enc += escape(e.category);
+    enc += kFieldSep;
+    enc += std::to_string(e.benchmark);
+    enc += kFieldSep;
+    enc += std::to_string(e.attempt);
+    enc += kFieldSep;
+    enc += encode_double(e.start.value());
+    enc += kFieldSep;
+    enc += encode_double(e.duration.value());
+    for (const auto& [key, value] : e.args) {
+      enc += kFieldSep;
+      enc += escape(key);
+      enc += kFieldSep;
+      enc += escape(value);
+    }
+    out += enc;
+  }
+  return out;
+}
+
+std::vector<obs::TraceEvent> decode_events(const std::string& text) {
+  std::vector<obs::TraceEvent> out;
+  if (text.empty()) return out;
+  for (const std::string& item : split(text, kListSep)) {
+    const std::vector<std::string> f = split(item, kFieldSep);
+    if (f.size() < 7 || (f.size() - 7) % 2 != 0) {
+      throw util::TgiError("journal: malformed trace event");
+    }
+    obs::TraceEvent e;
+    if (f[0] == "S") {
+      e.kind = obs::TraceEvent::Kind::kSpan;
+    } else if (f[0] == "I") {
+      e.kind = obs::TraceEvent::Kind::kInstant;
+    } else {
+      throw util::TgiError("journal: unknown trace event kind '" + f[0] +
+                           "'");
+    }
+    e.name = unescape(f[1]);
+    e.category = unescape(f[2]);
+    e.benchmark = decode_size(f[3]);
+    e.attempt = decode_size(f[4]);
+    e.start = util::Seconds(decode_double(f[5]));
+    e.duration = util::Seconds(decode_double(f[6]));
+    for (std::size_t i = 7; i + 1 < f.size(); i += 2) {
+      e.args.emplace_back(unescape(f[i]), unescape(f[i + 1]));
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string encode_metrics(const std::vector<obs::Metric>& metrics) {
+  std::string out;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const obs::Metric& m = metrics[i];
+    if (i != 0) out += kListSep;
+    out += escape(m.name);
+    out += kFieldSep;
+    out += (m.kind == obs::MetricKind::kGauge) ? 'g' : 'c';
+    out += kFieldSep;
+    out += encode_double(m.value);
+  }
+  return out;
+}
+
+std::vector<obs::Metric> decode_metrics(const std::string& text) {
+  std::vector<obs::Metric> out;
+  if (text.empty()) return out;
+  for (const std::string& item : split(text, kListSep)) {
+    const std::vector<std::string> f = split(item, kFieldSep);
+    if (f.size() != 3) throw util::TgiError("journal: malformed metric");
+    obs::Metric m;
+    m.name = unescape(f[0]);
+    if (f[1] == "c") {
+      m.kind = obs::MetricKind::kCounter;
+    } else if (f[1] == "g") {
+      m.kind = obs::MetricKind::kGauge;
+    } else {
+      throw util::TgiError("journal: unknown metric kind '" + f[1] + "'");
+    }
+    m.value = decode_double(f[2]);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::string encode_missing(const std::vector<std::string>& missing) {
+  std::string out;
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    if (i != 0) out += kListSep;
+    out += escape(missing[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> decode_missing(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  for (const std::string& item : split(text, kListSep)) {
+    out.push_back(unescape(item));
+  }
+  return out;
+}
+
+PointRecord parse_point_payload(const std::string& payload) {
+  const FieldReader fields(payload);
+  PointRecord record;
+  record.index = fields.get_size("index");
+  record.value = fields.get_size("value");
+  record.point.processes = fields.get_size("processes");
+  record.point.nodes = fields.get_size("nodes");
+  record.point.measurements = decode_measurements(fields.get("measurements"));
+  record.robust = fields.get_flag("robust");
+  if (record.robust) {
+    record.missing = decode_missing(fields.get("missing"));
+    record.counters.attempts = fields.get_size("attempts");
+    record.counters.retries = fields.get_size("retries");
+    record.counters.run_faults = fields.get_size("run_faults");
+    record.counters.meter_faults = fields.get_size("meter_faults");
+    record.counters.rejected_readings = fields.get_size("rejected_readings");
+    record.counters.dropped_benchmarks = fields.get_size("dropped_benchmarks");
+    record.counters.backoff = util::Seconds(fields.get_double("backoff"));
+    record.counters.stalled = util::Seconds(fields.get_double("stalled"));
+  }
+  record.traced = fields.get_flag("traced");
+  if (record.traced) {
+    record.trace_now = util::Seconds(fields.get_double("now"));
+    if (record.trace_now.value() < 0.0) {
+      throw util::TgiError("journal: negative recorder clock");
+    }
+    record.events = decode_events(fields.get("events"));
+    record.trace_metrics = decode_metrics(fields.get("metrics"));
+  }
+  return record;
+}
+
+struct ParsedLine {
+  std::string kind;
+  std::string payload;
+};
+
+/// Validates magic + tokenization + CRC of one journal line; throws
+/// TgiError with the quarantine reason on any defect.
+ParsedLine parse_record_line(const std::string& line) {
+  const std::size_t s1 = line.find(' ');
+  if (s1 == std::string::npos || line.substr(0, s1) != kMagic) {
+    throw util::TgiError("not a journal record (bad magic)");
+  }
+  const std::size_t s2 = line.find(' ', s1 + 1);
+  if (s2 == std::string::npos) {
+    throw util::TgiError("truncated record (no checksum field)");
+  }
+  const std::size_t s3 = line.find(' ', s2 + 1);
+  if (s3 == std::string::npos) {
+    throw util::TgiError("truncated record (no payload)");
+  }
+  ParsedLine parsed;
+  parsed.kind = line.substr(s1 + 1, s2 - s1 - 1);
+  const std::string crc_field = line.substr(s2 + 1, s3 - s2 - 1);
+  parsed.payload = line.substr(s3 + 1);
+  if (crc_field.size() != 8) {
+    throw util::TgiError("checksum field must be 8 hex digits");
+  }
+  std::uint32_t expected = 0;
+  for (const char ch : crc_field) {
+    const int digit = hex_digit(ch);
+    if (digit < 0) throw util::TgiError("bad checksum digit");
+    expected = (expected << 4U) | static_cast<std::uint32_t>(digit);
+  }
+  const std::uint32_t actual =
+      util::crc32(parsed.kind + " " + parsed.payload);
+  if (actual != expected) {
+    throw util::TgiError("checksum mismatch (want " + crc_hex(expected) +
+                         ", record hashes to " + crc_hex(actual) + ")");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::string encode_header_record(std::uint64_t spec_hash,
+                                 const std::string& mode,
+                                 const std::vector<std::size_t>& values) {
+  TGI_REQUIRE(mode == "plain" || mode == "robust",
+              "journal mode must be 'plain' or 'robust', got '" << mode
+                                                                << "'");
+  FieldWriter fields;
+  fields.add("v", "1");
+  fields.add("spec", hash_hex(spec_hash));
+  fields.add("mode", mode);
+  fields.add("values", encode_values(values));
+  return encode_record_line("header", fields.payload());
+}
+
+std::string encode_point_record(const PointRecord& record) {
+  FieldWriter fields;
+  fields.add_size("index", record.index);
+  fields.add_size("value", record.value);
+  fields.add_size("processes", record.point.processes);
+  fields.add_size("nodes", record.point.nodes);
+  fields.add("measurements", encode_measurements(record.point.measurements));
+  fields.add("robust", record.robust ? "1" : "0");
+  if (record.robust) {
+    fields.add("missing", encode_missing(record.missing));
+    fields.add_size("attempts", record.counters.attempts);
+    fields.add_size("retries", record.counters.retries);
+    fields.add_size("run_faults", record.counters.run_faults);
+    fields.add_size("meter_faults", record.counters.meter_faults);
+    fields.add_size("rejected_readings", record.counters.rejected_readings);
+    fields.add_size("dropped_benchmarks",
+                    record.counters.dropped_benchmarks);
+    fields.add_double("backoff", record.counters.backoff.value());
+    fields.add_double("stalled", record.counters.stalled.value());
+  }
+  fields.add("traced", record.traced ? "1" : "0");
+  if (record.traced) {
+    fields.add_double("now", record.trace_now.value());
+    fields.add("events", encode_events(record.events));
+    fields.add("metrics", encode_metrics(record.trace_metrics));
+  }
+  return encode_record_line("point", fields.payload());
+}
+
+JournalContents read_journal(const std::string& text) {
+  JournalContents contents;
+  if (text.empty()) return contents;
+  const bool torn_tail = text.back() != '\n';
+  const std::vector<std::string> lines = split(text, '\n');
+  // split() yields one trailing empty element when the text ends in '\n';
+  // drop it so line numbering matches the file.
+  std::size_t count = lines.size();
+  if (!torn_tail && count > 0 && lines[count - 1].empty()) --count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t line_no = i + 1;
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    try {
+      if (i == count - 1 && torn_tail) {
+        throw util::TgiError(
+            "torn record (no trailing newline — interrupted append)");
+      }
+      const ParsedLine parsed = parse_record_line(line);
+      if (parsed.kind == "header") {
+        if (contents.header_valid) {
+          throw util::TgiError("duplicate header record");
+        }
+        const FieldReader fields(parsed.payload);
+        if (fields.get("v") != "1") {
+          throw util::TgiError("unsupported journal version '" +
+                               fields.get("v") + "'");
+        }
+        const std::string& mode = fields.get("mode");
+        if (mode != "plain" && mode != "robust") {
+          throw util::TgiError("unknown journal mode '" + mode + "'");
+        }
+        contents.spec_hash = decode_hash(fields.get("spec"));
+        contents.mode = mode;
+        contents.values = decode_values(fields.get("values"));
+        contents.header_valid = true;
+      } else if (parsed.kind == "point") {
+        contents.points.push_back(parse_point_payload(parsed.payload));
+        contents.point_lines.push_back(line_no);
+      } else {
+        throw util::TgiError("unknown record kind '" + parsed.kind + "'");
+      }
+    } catch (const util::TgiError& e) {
+      contents.damage.push_back(JournalDamage{line_no, e.what()});
+    }
+  }
+  return contents;
+}
+
+JournalContents read_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TGI_REQUIRE(in.good(), "cannot open journal '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_journal(buffer.str());
+}
+
+JournalState reconcile_journal(const JournalContents& contents,
+                               std::uint64_t spec_hash,
+                               const std::string& mode,
+                               const std::vector<std::size_t>& values) {
+  JournalState state;
+  state.damage = contents.damage;
+  if (!contents.header_valid) {
+    state.damage.push_back(JournalDamage{
+        0, "journal header missing or damaged; recomputing every point"});
+    return state;
+  }
+  if (contents.spec_hash != spec_hash) {
+    throw util::TgiError(
+        "checkpoint journal was written for a different sweep spec (journal "
+        "spec " +
+        hash_hex(contents.spec_hash) + ", current spec " +
+        hash_hex(spec_hash) +
+        "); delete the checkpoint directory or rerun without resume");
+  }
+  if (contents.mode != mode) {
+    throw util::TgiError("checkpoint journal mode is '" + contents.mode +
+                         "' but this sweep runs '" + mode + "'");
+  }
+  if (contents.values != values) {
+    throw util::TgiError(
+        "checkpoint journal sweep values do not match this sweep");
+  }
+  state.header_valid = true;
+  const bool robust = (mode == "robust");
+  for (std::size_t i = 0; i < contents.points.size(); ++i) {
+    const PointRecord& record = contents.points[i];
+    const std::size_t line =
+        i < contents.point_lines.size() ? contents.point_lines[i] : 0;
+    if (record.index >= values.size()) {
+      state.damage.push_back(
+          JournalDamage{line, "point index " + std::to_string(record.index) +
+                                  " is outside this sweep"});
+      continue;
+    }
+    if (record.value != values[record.index]) {
+      state.damage.push_back(JournalDamage{
+          line, "point " + std::to_string(record.index) +
+                    " records sweep value " + std::to_string(record.value) +
+                    " but this sweep has " +
+                    std::to_string(values[record.index])});
+      continue;
+    }
+    if (record.robust != robust) {
+      state.damage.push_back(JournalDamage{
+          line, "point " + std::to_string(record.index) +
+                    " was journaled in the other sweep mode"});
+      continue;
+    }
+    if (!record.traced) {
+      // The engine always journals the observability section (resume must
+      // be able to serve --trace); a record without one is foreign.
+      state.damage.push_back(JournalDamage{
+          line, "point " + std::to_string(record.index) +
+                    " lacks the observability section"});
+      continue;
+    }
+    if (!state.completed.emplace(record.index, record).second) {
+      state.damage.push_back(JournalDamage{
+          line, "duplicate record for point " +
+                    std::to_string(record.index) + " (first valid wins)"});
+    }
+  }
+  return state;
+}
+
+namespace {
+
+void fill_trace_section(PointRecord& record,
+                        const obs::PointRecorder* recorder) {
+  if (recorder == nullptr) return;
+  record.traced = true;
+  record.trace_now = recorder->now();
+  record.events = recorder->events();
+  record.trace_metrics = recorder->metrics().sorted();
+}
+
+}  // namespace
+
+PointRecord make_point_record(std::size_t index, std::size_t value,
+                              const SuitePoint& point,
+                              const obs::PointRecorder* recorder) {
+  PointRecord record;
+  record.index = index;
+  record.value = value;
+  record.point = point;
+  record.robust = false;
+  fill_trace_section(record, recorder);
+  return record;
+}
+
+PointRecord make_robust_point_record(std::size_t index, std::size_t value,
+                                     const RobustSuitePoint& point,
+                                     const obs::PointRecorder* recorder) {
+  PointRecord record;
+  record.index = index;
+  record.value = value;
+  record.point = point.point;
+  record.robust = true;
+  record.missing = point.missing;
+  record.counters = point.counters;
+  fill_trace_section(record, recorder);
+  return record;
+}
+
+void restore_recorder(const PointRecord& record,
+                      obs::PointRecorder& recorder) {
+  TGI_REQUIRE(record.traced,
+              "point " << record.index
+                       << " was journaled without a trace section");
+  for (const obs::TraceEvent& event : record.events) {
+    recorder.restore_event(event);
+  }
+  for (const obs::Metric& metric : record.trace_metrics) {
+    if (metric.kind == obs::MetricKind::kGauge) {
+      recorder.metrics().set_max(metric.name, metric.value);
+    } else {
+      recorder.metrics().add(metric.name, metric.value);
+    }
+  }
+  recorder.advance(record.trace_now);  // exact: clock starts at 0.0
+}
+
+CheckpointJournal::CheckpointJournal(CheckpointConfig config,
+                                     std::uint64_t spec_hash,
+                                     std::string mode,
+                                     std::vector<std::size_t> values)
+    : config_(std::move(config)),
+      spec_hash_(spec_hash),
+      mode_(std::move(mode)),
+      values_(std::move(values)) {
+  TGI_REQUIRE(!config_.directory.empty(),
+              "CheckpointJournal needs a directory");
+  TGI_REQUIRE(mode_ == "plain" || mode_ == "robust",
+              "journal mode must be 'plain' or 'robust'");
+  std::error_code ec;
+  std::filesystem::create_directories(config_.directory, ec);
+  TGI_REQUIRE(!ec, "cannot create checkpoint directory '"
+                       << config_.directory << "': " << ec.message());
+  journal_path_ = config_.directory + "/journal.tgij";
+
+  const std::string header =
+      encode_header_record(spec_hash_, mode_, values_);
+  if (config_.resume && std::filesystem::exists(journal_path_)) {
+    JournalState state = reconcile_journal(read_journal_file(journal_path_),
+                                           spec_hash_, mode_, values_);
+    completed_ = std::move(state.completed);
+    damage_ = std::move(state.damage);
+    for (const JournalDamage& d : damage_) {
+      TGI_LOG_WARN("checkpoint: quarantined journal record (line "
+                   << d.line << "): " << d.reason);
+    }
+    TGI_LOG_INFO("checkpoint: resuming with "
+                 << completed_.size() << "/" << values_.size()
+                 << " points from " << journal_path_);
+    // Compact: rewrite header + surviving records in index order, so
+    // damage and duplicates heal on every resume. Atomic — a crash here
+    // leaves the old journal intact.
+    std::string compacted = header;
+    for (const auto& [index, record] : completed_) {
+      compacted += encode_point_record(record);
+    }
+    util::atomic_write_file(journal_path_, compacted);
+  } else {
+    if (config_.resume) {
+      TGI_LOG_WARN("checkpoint: no journal at " << journal_path_
+                                                << "; starting fresh");
+    }
+    util::atomic_write_file(journal_path_, header);
+  }
+  // The journal is the one output that must survive a SIGKILL mid-sweep,
+  // so it appends in place; per-record CRCs replace rename atomicity.
+  // tgi-lint: allow(nonatomic-output-write)
+  out_.open(journal_path_, std::ios::binary | std::ios::app);
+  TGI_REQUIRE(out_.good(), "cannot open journal '" << journal_path_
+                                                   << "' for appending");
+}
+
+bool CheckpointJournal::is_complete(std::size_t index) const {
+  return completed_.find(index) != completed_.end();
+}
+
+const PointRecord& CheckpointJournal::completed(std::size_t index) const {
+  const auto it = completed_.find(index);
+  TGI_REQUIRE(it != completed_.end(),
+              "point " << index << " is not in the journal");
+  return it->second;
+}
+
+void CheckpointJournal::record(const PointRecord& record) {
+  TGI_REQUIRE(record.index < values_.size(),
+              "journal record index out of range");
+  TGI_REQUIRE(record.robust == (mode_ == "robust"),
+              "journal record mode does not match the journal");
+  const std::string line = encode_point_record(record);
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();
+  TGI_CHECK(out_.good(), "journal append failed for '" << journal_path_
+                                                       << "'");
+}
+
+void CheckpointJournal::note_resumed(std::size_t index, std::size_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  resumed_[index] = value;
+}
+
+void CheckpointJournal::finalize() {
+  if (!config_.resume) return;
+  // One `point_resumed` instant per replayed point, built with the same
+  // obs machinery as trace.json but written to a separate file: which
+  // points resume depends on where the previous run died, so this record
+  // must never leak into the byte-compared trace channel.
+  std::vector<obs::PointRecorder> recorders;
+  recorders.reserve(resumed_.size());
+  for (const auto& [index, value] : resumed_) {
+    obs::PointRecorder recorder(index, std::to_string(value));
+    recorder.instant("point_resumed", "resume",
+                     {{"value", std::to_string(value)},
+                      {"source", "journal"}});
+    recorder.metrics().add("points_resumed");
+    recorders.push_back(std::move(recorder));
+  }
+  const obs::SweepTrace trace = obs::SweepTrace::merge(std::move(recorders));
+  util::AtomicFile out(config_.directory + "/resume.json");
+  trace.write_chrome_trace(out.stream());
+  out.commit();
+}
+
+}  // namespace tgi::harness

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -35,9 +36,11 @@ void write_measurements(std::ostream& out,
 void write_measurements_file(
     const std::string& path,
     const std::vector<core::BenchmarkMeasurement>& ms) {
-  std::ofstream out(path);
-  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  write_measurements(out, ms);
+  // Write-to-temp + rename: a crash mid-write can never leave a truncated
+  // measurement CSV where a previous good one stood (DESIGN.md §11).
+  util::AtomicFile out(path);
+  write_measurements(out.stream(), ms);
+  out.commit();
 }
 
 std::vector<std::string> split_csv_record(const std::string& line) {

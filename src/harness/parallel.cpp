@@ -80,26 +80,70 @@ std::vector<obs::PointRecorder> make_recorders(
 
 }  // namespace
 
+namespace {
+
+/// Validates the journal handle against the call and returns it (null when
+/// checkpointing is off).
+CheckpointJournal* checked_journal(const ParallelSweepConfig& config,
+                                   const char* mode,
+                                   const std::vector<std::size_t>& values) {
+  CheckpointJournal* journal = config.checkpoint;
+  if (journal == nullptr) return nullptr;
+  TGI_REQUIRE(journal->mode() == mode,
+              "checkpoint journal mode '" << journal->mode()
+                                          << "' does not match this sweep ('"
+                                          << mode << "')");
+  TGI_REQUIRE(journal->values() == values,
+              "checkpoint journal sweep values do not match this sweep");
+  return journal;
+}
+
+}  // namespace
+
 std::vector<SuitePoint> ParallelSweep::run_with(
     const std::vector<std::size_t>& values, const SweepPointFn& fn,
     obs::SweepTrace* trace) const {
   TGI_REQUIRE(static_cast<bool>(fn), "ParallelSweep::run_with: empty fn");
+  CheckpointJournal* journal = checked_journal(config_, "plain", values);
   // Each point is fully self-contained: its own meter (seeded from the
   // point index by the factory), its own SuiteRunner, and — when tracing —
   // its own recorder. Results and recorders land in preallocated slots,
-  // so completion order cannot reorder the output.
+  // so completion order cannot reorder the output. Journaling always
+  // attaches recorders (attaching is observational): each record carries
+  // its observability section so a later resume can serve --trace.
   std::vector<obs::PointRecorder> recorders =
-      make_recorders(trace != nullptr, values);
+      make_recorders(trace != nullptr || journal != nullptr, values);
   std::vector<SuitePoint> results(values.size());
-  const auto run_point = [&](std::size_t k) {
+  // Replay journaled points serially, in index order, into their
+  // preallocated slots; only the remainder enters the parallel phase.
+  std::vector<std::size_t> pending;
+  pending.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    if (journal != nullptr && journal->is_complete(k)) {
+      const PointRecord& record = journal->completed(k);
+      results[k] = record.point;
+      restore_recorder(record, recorders[k]);
+      journal->note_resumed(k, values[k]);
+    } else {
+      pending.push_back(k);
+    }
+  }
+  const auto run_point = [&](std::size_t i) {
+    const std::size_t k = pending[i];
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");
     SuiteRunner runner(cluster_, *meter, config_.suite);
-    if (trace != nullptr) runner.attach_recorder(&recorders[k]);
+    if (!recorders.empty()) runner.attach_recorder(&recorders[k]);
     results[k] = fn(runner, values[k]);
+    if (journal != nullptr) {
+      journal->record(
+          make_point_record(k, values[k], results[k], &recorders[k]));
+    }
   };
 
-  execute_points(values.size(), config_.threads, config_.profiler, run_point);
+  execute_points(pending.size(), config_.threads, config_.profiler,
+                 run_point);
+  if (journal != nullptr) journal->finalize();
   if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
   return results;
 }
@@ -109,20 +153,42 @@ std::vector<RobustSuitePoint> ParallelSweep::run_robust(
     const RobustConfig& robust, obs::SweepTrace* trace) const {
   // Same collection-by-index discipline as run_with; the fault plane adds
   // no shared state (FaultPlan decisions are pure functions of indices).
+  CheckpointJournal* journal =
+      checked_journal(config_, "robust", process_counts);
   std::vector<obs::PointRecorder> recorders =
-      make_recorders(trace != nullptr, process_counts);
+      make_recorders(trace != nullptr || journal != nullptr, process_counts);
   std::vector<RobustSuitePoint> results(process_counts.size());
-  const auto run_point = [&](std::size_t k) {
+  std::vector<std::size_t> pending;
+  pending.reserve(process_counts.size());
+  for (std::size_t k = 0; k < process_counts.size(); ++k) {
+    if (journal != nullptr && journal->is_complete(k)) {
+      const PointRecord& record = journal->completed(k);
+      results[k] =
+          RobustSuitePoint{record.point, record.missing, record.counters};
+      restore_recorder(record, recorders[k]);
+      journal->note_resumed(k, process_counts[k]);
+    } else {
+      pending.push_back(k);
+    }
+  }
+  const auto run_point = [&](std::size_t i) {
+    const std::size_t k = pending[i];
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");
     RobustSuiteRunner runner(cluster_, *meter, plan, robust, config_.suite,
                              k);
-    if (trace != nullptr) runner.attach_recorder(&recorders[k]);
+    if (!recorders.empty()) runner.attach_recorder(&recorders[k]);
     results[k] = runner.run_suite(process_counts[k]);
+    if (journal != nullptr) {
+      journal->record(
+          make_robust_point_record(k, process_counts[k], results[k],
+                                   &recorders[k]));
+    }
   };
 
-  execute_points(process_counts.size(), config_.threads, config_.profiler,
+  execute_points(pending.size(), config_.threads, config_.profiler,
                  run_point);
+  if (journal != nullptr) journal->finalize();
   if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
   return results;
 }

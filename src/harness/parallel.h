@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "harness/checkpoint.h"
 #include "harness/robust.h"
 #include "harness/suite.h"
 #include "obs/profile.h"
@@ -63,6 +64,14 @@ struct ParallelSweepConfig {
   /// track). Explicitly NON-deterministic — it never feeds back into
   /// results or the deterministic trace. Must outlive the sweep calls.
   obs::WallProfiler* profiler = nullptr;
+  /// Optional checkpoint journal (harness/checkpoint.h, DESIGN.md §11).
+  /// When set, every completed point is journaled as it finishes, and
+  /// points the journal already holds are replayed instead of recomputed —
+  /// results land in the same preallocated slots, so a resumed sweep is
+  /// byte-identical to an uninterrupted one at any thread count. The
+  /// journal's mode must match the call (plain for run/run_extended/
+  /// run_with, robust for run_robust). Must outlive the sweep calls.
+  CheckpointJournal* checkpoint = nullptr;
 };
 
 /// Maps sweep points to SuitePoint results concurrently; output is

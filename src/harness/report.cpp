@@ -1,9 +1,9 @@
 #include "harness/report.h"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/format.h"
 #include "util/table.h"
@@ -46,19 +46,18 @@ void print_multi_series(std::ostream& os, const MultiSeries& multi,
 
 void write_csv(const Series& series, const std::string& path) {
   TGI_REQUIRE(series.x.size() == series.y.size(), "series length mismatch");
-  std::ofstream out(path);
-  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  util::CsvWriter csv(out);
+  util::AtomicFile out(path);
+  util::CsvWriter csv(out.stream());
   csv.write_row({series.x_label, series.y_label});
   for (std::size_t i = 0; i < series.x.size(); ++i) {
     csv.write_row({util::fixed(series.x[i], 6), util::fixed(series.y[i], 6)});
   }
+  out.commit();
 }
 
 void write_csv(const MultiSeries& multi, const std::string& path) {
-  std::ofstream out(path);
-  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  util::CsvWriter csv(out);
+  util::AtomicFile out(path);
+  util::CsvWriter csv(out.stream());
   std::vector<std::string> header{multi.x_label};
   for (const auto& [label, _] : multi.series) header.push_back(label);
   csv.write_row(header);
@@ -71,18 +70,19 @@ void write_csv(const MultiSeries& multi, const std::string& path) {
     }
     csv.write_row(row);
   }
+  out.commit();
 }
 
 void write_trace_csv(const power::PowerTrace& trace,
                      const std::string& path) {
-  std::ofstream out(path);
-  TGI_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
-  util::CsvWriter csv(out);
+  util::AtomicFile out(path);
+  util::CsvWriter csv(out.stream());
   csv.write_row({"seconds", "watts"});
   for (const auto& sample : trace.samples()) {
     csv.write_row({util::fixed(sample.t.value(), 6),
                    util::fixed(sample.watts.value(), 3)});
   }
+  out.commit();
 }
 
 std::string sparkline(const std::vector<double>& y) {

@@ -299,6 +299,41 @@ class CoutInLibraryRule final : public Rule {
   }
 };
 
+// --- nonatomic-output-write -----------------------------------------------
+
+/// Direct std::ofstream use in the output-emitting layers (src/harness,
+/// src/obs, tools). A bare ofstream that dies mid-write (crash, SIGKILL,
+/// ENOSPC) leaves a truncated file where a good one may have stood;
+/// results, traces, and figure CSVs must go through util::AtomicFile /
+/// util::atomic_write_file (write-to-temp + rename, DESIGN.md §11).
+/// Deliberate append-mode writers (the checkpoint journal, which replaces
+/// rename atomicity with per-record checksums) carry a per-line waiver.
+class NonatomicOutputWriteRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "nonatomic-output-write";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "direct std::ofstream in src/harness, src/obs, or tools "
+           "(publish files through util::AtomicFile)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/harness/") &&
+        !starts_with(file.path, "src/obs/") &&
+        !starts_with(file.path, "tools/")) {
+      return;
+    }
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      if (contains_identifier(file.code[i], "ofstream")) {
+        add(out, file, i + 1, id(),
+            "std::ofstream writes are not crash-safe; publish through "
+            "util::AtomicFile (or waive a deliberate append-mode journal)");
+      }
+    }
+  }
+};
+
 // --- unseeded-xoshiro -----------------------------------------------------
 
 /// Default-constructed util::Xoshiro256. The defaulted seed parameter
@@ -410,6 +445,7 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<AssertMacroRule>());
   rules.push_back(std::make_unique<BannedRandomRule>());
   rules.push_back(std::make_unique<CoutInLibraryRule>());
+  rules.push_back(std::make_unique<NonatomicOutputWriteRule>());
   rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
   rules.push_back(std::make_unique<RelativeIncludeRule>());

@@ -31,6 +31,11 @@
 //                     shared stream; every generator must be seeded with an
 //                     explicit expression (derived from (seed, index) for
 //                     per-decision streams, as the fault plane does).
+//   nonatomic-output-write  direct std::ofstream in src/harness, src/obs,
+//                     or tools — published files (CSVs, traces, figures)
+//                     must go through util::AtomicFile so a crash mid-write
+//                     can never leave a truncated file; deliberate
+//                     append-mode journals carry a per-line waiver.
 //
 // A violation on a specific line can be waived with a trailing
 // `// tgi-lint: allow(<rule-id>)` marker.

@@ -80,6 +80,11 @@ class PointRecorder {
   /// Records a zero-duration marker at the current simulated time.
   void instant(std::string name, std::string category, ArgList args = {});
 
+  /// Replays a previously recorded event verbatim (checkpoint resume,
+  /// DESIGN.md §11): no context stamping, no clock coupling — a restored
+  /// recorder reproduces the journaling one byte-for-byte.
+  void restore_event(TraceEvent event) { events_.push_back(std::move(event)); }
+
   [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricRegistry& metrics() const { return metrics_; }
 

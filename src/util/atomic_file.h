@@ -1,0 +1,74 @@
+// Crash-consistent file output: temp-file + rename atomic writes, plus the
+// CRC-32 checksum the checkpoint journal stamps on its records.
+//
+// Every artifact this repository publishes (figure CSVs, measurement
+// interchange files, trace.json, the sweep summaries) used to be written
+// through a bare std::ofstream — a crash or ENOSPC mid-write would leave a
+// torn file that downstream tools might half-parse. This module gives the
+// repo one audited write path with all-or-nothing semantics: content is
+// staged in memory (or in a sibling temp file), flushed, and atomically
+// renamed over the destination, so readers only ever observe the old bytes
+// or the complete new bytes. The tgi-lint `nonatomic-output-write` rule
+// keeps src/harness, src/obs and tools/ on this path mechanically.
+//
+// The one output that cannot use rename — the append-only checkpoint
+// journal (harness/checkpoint.h) — gets crash consistency from per-record
+// CRC-32 checksums instead: a torn tail record fails its checksum and is
+// quarantined on read. The checksum primitive lives here so both halves of
+// the durability story share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tgi::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zip/PNG
+/// checksum). Deterministic across platforms; used for journal records.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// The staging path `atomic_write_file` uses for `path` (path + ".tmp").
+/// Deterministic by design: the writer assumes a single writer per
+/// destination, which is how every emitter in this repo behaves.
+[[nodiscard]] std::string atomic_temp_path(const std::string& path);
+
+/// Writes `content` to `path` with all-or-nothing semantics: stage into
+/// the temp path, flush, then rename over the destination. Throws TgiError
+/// on any failure (unopenable temp, short write, failed rename) after
+/// removing the temp file — a previously existing file at `path` is left
+/// byte-for-byte intact.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+/// Stream-style atomic writer: accumulate output in memory, then commit()
+/// performs the atomic write. Destruction without commit() abandons the
+/// content and leaves any existing file at `path` untouched, so an emitter
+/// that throws halfway through formatting can never tear its output.
+///
+///   util::AtomicFile out(path);
+///   util::CsvWriter csv(out.stream());
+///   csv.write_row({...});
+///   out.commit();
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile() = default;  // not committed => nothing touches `path`
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The in-memory staging stream.
+  [[nodiscard]] std::ostream& stream() { return buffer_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Atomically publishes the buffered content to path(). At most once.
+  void commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+}  // namespace tgi::util

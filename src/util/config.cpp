@@ -158,4 +158,26 @@ std::vector<std::string> Config::keys() const {
   return out;
 }
 
+void require_known_keys(const Config& config,
+                        const std::vector<std::string>& allowed,
+                        const std::string& context) {
+  for (const std::string& key : config.keys()) {
+    bool known = false;
+    for (const std::string& candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string options;
+    for (const std::string& candidate : allowed) {
+      if (!options.empty()) options += ", ";
+      options += candidate;
+    }
+    throw PreconditionError(context + ": unknown option '" + key +
+                            "' (valid options: " + options + ")");
+  }
+}
+
 }  // namespace tgi::util

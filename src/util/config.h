@@ -73,4 +73,12 @@ class Config {
   std::map<std::string, std::string> values_;
 };
 
+/// Rejects unknown configuration keys: every key in `config` must appear in
+/// `allowed`, else PreconditionError naming the offending key, the
+/// `context` (e.g. "tgi_sweep"), and the full list of valid options — so a
+/// typo like `thread=8` fails loudly instead of being silently swallowed.
+void require_known_keys(const Config& config,
+                        const std::vector<std::string>& allowed,
+                        const std::string& context);
+
 }  // namespace tgi::util

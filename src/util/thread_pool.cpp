@@ -45,15 +45,22 @@ ThreadPool::ThreadPool(std::size_t threads)
       }
       // The hook is set-before-first-submit, so reading it unlocked here is
       // race-free; it brackets the body outside the lock and the end call
-      // fires even when the task throws.
-      if (state.task_hook) state.task_hook(worker, task.sequence, true);
+      // fires even when the task throws. A throwing hook must not escape
+      // the worker loop (that would std::terminate the process), so both
+      // hook calls are captured like task errors: the pool keeps draining
+      // and wait() rethrows the first one.
       std::exception_ptr error;
       try {
+        if (state.task_hook) state.task_hook(worker, task.sequence, true);
         task.body();
       } catch (...) {
         error = std::current_exception();
       }
-      if (state.task_hook) state.task_hook(worker, task.sequence, false);
+      try {
+        if (state.task_hook) state.task_hook(worker, task.sequence, false);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
       {
         std::unique_lock lock(state.mutex);
         if (error && !state.first_error) state.first_error = error;

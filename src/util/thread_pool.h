@@ -38,7 +38,10 @@ class ThreadPool {
   /// end call fires even when the task throws). `task` is the submission
   /// sequence number (0-based FIFO order), so under parallel_for it equals
   /// the loop index. The hook runs outside the pool lock and must be
-  /// thread-safe; it is observation-only and must not submit work.
+  /// thread-safe; it is observation-only and must not submit work. A
+  /// throwing hook is handled like a throwing task: the pool drains and
+  /// wait() rethrows the first error (a begin-hook throw skips that task's
+  /// body; a task error outranks the same task's end-hook error).
   using TaskHook = std::function<void(std::size_t worker, std::size_t task,
                                       bool begin)>;
 

@@ -1,0 +1,554 @@
+// Checkpoint/resume journal (DESIGN.md §11): record round-trips, kill-and-
+// resume determinism at every thread count, checksum quarantine of torn and
+// corrupted records, and the fuzz-lite corruption sweep mirroring the
+// measurement_io tests — a damaged journal may cost recomputation, never
+// correctness.
+#include "harness/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/parallel.h"
+#include "harness/robust.h"
+#include "harness/suite.h"
+#include "obs/trace.h"
+#include "power/meter.h"
+#include "sim/catalog.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::size_t> kSweep = {16, 48, 80, 128};
+constexpr std::uint64_t kSpec = 0x5eedc0ffee5eedULL;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("tgi_checkpoint_test_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string dir(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static void spill(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+ParallelSweep make_engine(std::size_t threads, std::size_t stride,
+                          CheckpointJournal* journal = nullptr) {
+  power::WattsUpConfig base;
+  base.seed = 0x0b5e7fULL;
+  ParallelSweepConfig cfg;
+  cfg.threads = threads;
+  cfg.checkpoint = journal;
+  return {sim::fire_cluster(), wattsup_meter_factory(base, stride), cfg};
+}
+
+std::size_t plain_stride() { return suite_benchmarks({}).size(); }
+
+FaultSpec hot_spec() {
+  FaultSpec spec;
+  spec.dropout_burst_rate = 0.3;
+  spec.failure_rate = 0.15;
+  spec.timeout_rate = 0.08;
+  spec.truncation_rate = 0.07;
+  return spec;
+}
+
+std::pair<std::string, std::string> serialize(const obs::SweepTrace& trace) {
+  std::ostringstream json;
+  trace.write_chrome_trace(json);
+  std::ostringstream csv;
+  trace.write_metrics_csv(csv);
+  return {json.str(), csv.str()};
+}
+
+void expect_bitwise_equal(const std::vector<SuitePoint>& a,
+                          const std::vector<SuitePoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].processes, b[k].processes);
+    EXPECT_EQ(a[k].nodes, b[k].nodes);
+    ASSERT_EQ(a[k].measurements.size(), b[k].measurements.size());
+    for (std::size_t i = 0; i < a[k].measurements.size(); ++i) {
+      const auto& x = a[k].measurements[i];
+      const auto& y = b[k].measurements[i];
+      EXPECT_EQ(x.benchmark, y.benchmark);
+      EXPECT_EQ(x.performance, y.performance);
+      EXPECT_EQ(x.metric_unit, y.metric_unit);
+      EXPECT_EQ(x.average_power.value(), y.average_power.value());
+      EXPECT_EQ(x.execution_time.value(), y.execution_time.value());
+      EXPECT_EQ(x.energy.value(), y.energy.value());
+    }
+  }
+}
+
+PointRecord sample_record() {
+  PointRecord record;
+  record.index = 2;
+  record.value = 80;
+  record.point.processes = 80;
+  record.point.nodes = 10;
+  core::BenchmarkMeasurement m;
+  m.benchmark = "HPL";
+  m.performance = 123.4567890123456789;
+  m.metric_unit = "MFLOPS";
+  m.average_power = util::watts(4321.125);
+  m.execution_time = util::seconds(17.03125);
+  m.energy = util::joules(4321.125 * 17.03125);
+  record.point.measurements.push_back(m);
+  record.traced = true;
+  record.trace_now = util::Seconds(17.03125);
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kSpan;
+  e.name = "HPL";
+  e.category = "benchmark";
+  e.benchmark = 0;
+  e.attempt = 0;
+  e.start = util::Seconds(0.0);
+  e.duration = util::Seconds(17.03125);
+  e.args = {{"note", "weird,chars\npercent % and\x1f sep"}};
+  record.events.push_back(e);
+  record.trace_metrics.push_back(
+      obs::Metric{"runs", obs::MetricKind::kCounter, 1.0});
+  record.trace_metrics.push_back(
+      obs::Metric{"peak_watts", obs::MetricKind::kGauge, 4321.125});
+  return record;
+}
+
+// ---------------------------------------------------------------- records
+
+TEST(JournalRecord, HeaderRoundTrips) {
+  const std::string line = encode_header_record(kSpec, "robust", kSweep);
+  EXPECT_EQ(line.back(), '\n');
+  const JournalContents contents = read_journal(line);
+  EXPECT_TRUE(contents.damage.empty());
+  ASSERT_TRUE(contents.header_valid);
+  EXPECT_EQ(contents.spec_hash, kSpec);
+  EXPECT_EQ(contents.mode, "robust");
+  EXPECT_EQ(contents.values, kSweep);
+}
+
+TEST(JournalRecord, PointRoundTripsBitExactly) {
+  const PointRecord record = sample_record();
+  const std::string text =
+      encode_header_record(kSpec, "plain", kSweep) +
+      encode_point_record(record);
+  const JournalContents contents = read_journal(text);
+  ASSERT_TRUE(contents.damage.empty())
+      << contents.damage.front().reason;
+  ASSERT_EQ(contents.points.size(), 1u);
+  const PointRecord& got = contents.points[0];
+  EXPECT_EQ(got.index, record.index);
+  EXPECT_EQ(got.value, record.value);
+  EXPECT_EQ(got.point.processes, record.point.processes);
+  EXPECT_EQ(got.point.nodes, record.point.nodes);
+  ASSERT_EQ(got.point.measurements.size(), 1u);
+  // Bitwise: doubles ride the 17-digit interchange format / hexfloats.
+  EXPECT_EQ(got.point.measurements[0].performance,
+            record.point.measurements[0].performance);
+  EXPECT_EQ(got.point.measurements[0].energy.value(),
+            record.point.measurements[0].energy.value());
+  EXPECT_EQ(got.trace_now.value(), record.trace_now.value());
+  ASSERT_EQ(got.events.size(), 1u);
+  EXPECT_EQ(got.events[0].name, "HPL");
+  EXPECT_EQ(got.events[0].duration.value(),
+            record.events[0].duration.value());
+  ASSERT_EQ(got.events[0].args.size(), 1u);
+  EXPECT_EQ(got.events[0].args[0].second,
+            record.events[0].args[0].second);
+  ASSERT_EQ(got.trace_metrics.size(), 2u);
+  EXPECT_EQ(got.trace_metrics[1].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(got.trace_metrics[1].value, 4321.125);
+}
+
+TEST(JournalRecord, RobustSectionRoundTrips) {
+  PointRecord record = sample_record();
+  record.robust = true;
+  record.missing = {"IOzone", "GUPS"};
+  record.counters.attempts = 9;
+  record.counters.retries = 5;
+  record.counters.run_faults = 3;
+  record.counters.meter_faults = 2;
+  record.counters.rejected_readings = 1;
+  record.counters.dropped_benchmarks = 2;
+  record.counters.backoff = util::Seconds(35.0);
+  record.counters.stalled = util::Seconds(240.0);
+  const JournalContents contents =
+      read_journal(encode_point_record(record));
+  ASSERT_EQ(contents.points.size(), 1u);
+  const PointRecord& got = contents.points[0];
+  EXPECT_TRUE(got.robust);
+  EXPECT_EQ(got.missing, record.missing);
+  EXPECT_EQ(got.counters.attempts, 9u);
+  EXPECT_EQ(got.counters.retries, 5u);
+  EXPECT_EQ(got.counters.dropped_benchmarks, 2u);
+  EXPECT_EQ(got.counters.backoff.value(), 35.0);
+  EXPECT_EQ(got.counters.stalled.value(), 240.0);
+}
+
+TEST(JournalRecord, SpecHashIsStable) {
+  // Pin the FNV-1a implementation so journals survive rebuilds.
+  EXPECT_EQ(journal_spec_hash(""), 14695981039346656037ULL);
+  EXPECT_EQ(journal_spec_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(journal_spec_hash("cluster=fire"),
+            journal_spec_hash("cluster=systemg"));
+}
+
+// ------------------------------------------------------------- quarantine
+
+TEST(JournalQuarantine, TornTailIsQuarantined) {
+  const std::string text = encode_header_record(kSpec, "plain", kSweep) +
+                           encode_point_record(sample_record());
+  // Kill mid-append: the final record loses its tail (and newline).
+  const std::string torn = text.substr(0, text.size() - 7);
+  const JournalContents contents = read_journal(torn);
+  EXPECT_TRUE(contents.header_valid);
+  EXPECT_TRUE(contents.points.empty());
+  ASSERT_EQ(contents.damage.size(), 1u);
+  EXPECT_NE(contents.damage[0].reason.find("torn"), std::string::npos);
+}
+
+TEST(JournalQuarantine, EveryBitFlipIsDetected) {
+  const std::string line = encode_point_record(sample_record());
+  // Flip each byte of the record (newline excluded) at one bit position;
+  // the CRC must catch all of them.
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    std::string flipped = line;
+    flipped[i] = static_cast<char>(
+        static_cast<unsigned char>(flipped[i]) ^ (1u << (i % 8)));
+    if (flipped[i] == '\n') continue;  // handled by the torn/merge paths
+    const JournalContents contents = read_journal(flipped);
+    EXPECT_TRUE(contents.points.empty()) << "byte " << i;
+    EXPECT_FALSE(contents.damage.empty()) << "byte " << i;
+  }
+}
+
+TEST(JournalQuarantine, ReconcileDropsForeignAndDuplicateRecords) {
+  PointRecord valid = sample_record();
+  PointRecord dup = valid;
+  PointRecord out_of_range = valid;
+  out_of_range.index = 99;
+  PointRecord wrong_value = valid;
+  wrong_value.index = 1;  // kSweep[1] == 48, but record.value stays 80
+  const std::string text =
+      encode_header_record(kSpec, "plain", kSweep) +
+      encode_point_record(valid) + encode_point_record(dup) +
+      encode_point_record(out_of_range) + encode_point_record(wrong_value);
+  const JournalState state =
+      reconcile_journal(read_journal(text), kSpec, "plain", kSweep);
+  EXPECT_TRUE(state.header_valid);
+  EXPECT_EQ(state.completed.size(), 1u);
+  EXPECT_TRUE(state.completed.count(2));
+  EXPECT_EQ(state.damage.size(), 3u);
+}
+
+TEST(JournalQuarantine, SpecHashMismatchThrows) {
+  const std::string text = encode_header_record(kSpec, "plain", kSweep);
+  EXPECT_THROW(
+      reconcile_journal(read_journal(text), kSpec + 1, "plain", kSweep),
+      util::TgiError);
+  EXPECT_THROW(reconcile_journal(read_journal(text), kSpec, "robust", kSweep),
+               util::TgiError);
+  EXPECT_THROW(
+      reconcile_journal(read_journal(text), kSpec, "plain", {16, 48}),
+      util::TgiError);
+}
+
+TEST(JournalQuarantine, MissingHeaderQuarantinesEverything) {
+  const std::string text = encode_point_record(sample_record());
+  const JournalState state =
+      reconcile_journal(read_journal(text), kSpec, "plain", kSweep);
+  EXPECT_FALSE(state.header_valid);
+  EXPECT_TRUE(state.completed.empty());
+  EXPECT_FALSE(state.damage.empty());
+}
+
+// ------------------------------------------------------- engine integration
+
+TEST_F(CheckpointTest, CheckpointingDoesNotPerturbResultsOrTrace) {
+  obs::SweepTrace bare_trace;
+  const auto bare =
+      make_engine(2, plain_stride()).run(kSweep, &bare_trace);
+  CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                            "plain", kSweep);
+  obs::SweepTrace checkpointed_trace;
+  const auto checkpointed = make_engine(2, plain_stride(), &journal)
+                                .run(kSweep, &checkpointed_trace);
+  expect_bitwise_equal(checkpointed, bare);
+  EXPECT_EQ(serialize(checkpointed_trace), serialize(bare_trace));
+}
+
+TEST_F(CheckpointTest, FreshJournalReplaysCompletely) {
+  const auto baseline = make_engine(1, plain_stride()).run(kSweep);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                              "plain", kSweep);
+    (void)make_engine(2, plain_stride(), &journal).run(kSweep);
+  }
+  // Resume over a complete journal: every point replays, none recompute.
+  CheckpointJournal journal(CheckpointConfig{dir("cp"), true}, kSpec,
+                            "plain", kSweep);
+  EXPECT_EQ(journal.completed_count(), kSweep.size());
+  const auto resumed = make_engine(4, plain_stride(), &journal).run(kSweep);
+  expect_bitwise_equal(resumed, baseline);
+  EXPECT_TRUE(fs::exists(dir("cp") + "/resume.json"));
+}
+
+TEST_F(CheckpointTest, KillAndResumeIsByteIdenticalAtEveryThreadCount) {
+  obs::SweepTrace baseline_trace;
+  const auto baseline =
+      make_engine(1, plain_stride()).run(kSweep, &baseline_trace);
+  const auto baseline_bytes = serialize(baseline_trace);
+  // A full checkpointed run provides the journal we will truncate.
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("full"), false}, kSpec,
+                              "plain", kSweep);
+    (void)make_engine(1, plain_stride(), &journal).run(kSweep);
+  }
+  const std::string full = slurp(dir("full") + "/journal.tgij");
+  std::vector<std::string> lines;
+  std::istringstream in(full);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1 + kSweep.size());
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (std::size_t keep = 0; keep <= kSweep.size(); ++keep) {
+      // "Killed" journal: header + the first `keep` completed points.
+      const std::string cp =
+          dir("k" + std::to_string(threads) + "_" + std::to_string(keep));
+      fs::create_directories(cp);
+      std::string partial = lines[0] + "\n";
+      for (std::size_t i = 0; i < keep; ++i) partial += lines[1 + i] + "\n";
+      spill(cp + "/journal.tgij", partial);
+
+      CheckpointJournal journal(CheckpointConfig{cp, true}, kSpec, "plain",
+                                kSweep);
+      EXPECT_EQ(journal.completed_count(), keep);
+      obs::SweepTrace trace;
+      const auto resumed =
+          make_engine(threads, plain_stride(), &journal).run(kSweep, &trace);
+      expect_bitwise_equal(resumed, baseline);
+      EXPECT_EQ(serialize(trace), baseline_bytes)
+          << "threads=" << threads << " keep=" << keep;
+    }
+  }
+}
+
+TEST_F(CheckpointTest, RobustKillAndResumeIsByteIdentical) {
+  const RobustConfig robust;
+  const std::size_t stride = robust_measurements_per_point({}, robust);
+  obs::SweepTrace baseline_trace;
+  const auto baseline = make_engine(1, stride).run_robust(
+      kSweep, FaultPlan(hot_spec()), robust, &baseline_trace);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("full"), false}, kSpec,
+                              "robust", kSweep);
+    (void)make_engine(1, stride, &journal)
+        .run_robust(kSweep, FaultPlan(hot_spec()), robust);
+  }
+  const std::string full = slurp(dir("full") + "/journal.tgij");
+  // Keep header + first two records: two points replay, two recompute.
+  std::vector<std::string> lines;
+  std::istringstream in(full);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1 + kSweep.size());
+  for (const std::size_t threads : {1u, 8u}) {
+    const std::string cp = dir("r" + std::to_string(threads));
+    fs::create_directories(cp);
+    spill(cp + "/journal.tgij",
+          lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
+    CheckpointJournal journal(CheckpointConfig{cp, true}, kSpec, "robust",
+                              kSweep);
+    EXPECT_EQ(journal.completed_count(), 2u);
+    obs::SweepTrace trace;
+    const auto resumed =
+        make_engine(threads, stride, &journal)
+            .run_robust(kSweep, FaultPlan(hot_spec()), robust, &trace);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t k = 0; k < baseline.size(); ++k) {
+      EXPECT_EQ(resumed[k].missing, baseline[k].missing);
+      EXPECT_EQ(resumed[k].counters.attempts, baseline[k].counters.attempts);
+      EXPECT_EQ(resumed[k].counters.backoff.value(),
+                baseline[k].counters.backoff.value());
+      ASSERT_EQ(resumed[k].point.measurements.size(),
+                baseline[k].point.measurements.size());
+      for (std::size_t i = 0; i < baseline[k].point.measurements.size();
+           ++i) {
+        EXPECT_EQ(resumed[k].point.measurements[i].energy.value(),
+                  baseline[k].point.measurements[i].energy.value());
+      }
+    }
+    EXPECT_EQ(serialize(trace), serialize(baseline_trace))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(CheckpointTest, TornRecordIsQuarantinedAndRecomputed) {
+  const auto baseline = make_engine(1, plain_stride()).run(kSweep);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                              "plain", kSweep);
+    (void)make_engine(1, plain_stride(), &journal).run(kSweep);
+  }
+  // SIGKILL mid-append: chop the journal mid-record, no trailing newline.
+  const std::string full = slurp(dir("cp") + "/journal.tgij");
+  spill(dir("cp") + "/journal.tgij", full.substr(0, full.size() - 101));
+  CheckpointJournal journal(CheckpointConfig{dir("cp"), true}, kSpec,
+                            "plain", kSweep);
+  EXPECT_EQ(journal.completed_count(), kSweep.size() - 1);
+  ASSERT_FALSE(journal.damage().empty());
+  EXPECT_NE(journal.damage().back().reason.find("torn"), std::string::npos);
+  const auto resumed = make_engine(2, plain_stride(), &journal).run(kSweep);
+  expect_bitwise_equal(resumed, baseline);
+}
+
+TEST_F(CheckpointTest, ResumeCompactsTheJournal) {
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                              "plain", kSweep);
+    (void)make_engine(1, plain_stride(), &journal).run(kSweep);
+  }
+  // Corrupt one record, then resume twice: the first resume quarantines
+  // and recomputes; the journal it leaves behind must be fully valid.
+  std::string text = slurp(dir("cp") + "/journal.tgij");
+  text[text.size() / 2] ^= 0x20;
+  spill(dir("cp") + "/journal.tgij", text);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), true}, kSpec,
+                              "plain", kSweep);
+    EXPECT_FALSE(journal.damage().empty());
+    (void)make_engine(2, plain_stride(), &journal).run(kSweep);
+  }
+  CheckpointJournal journal(CheckpointConfig{dir("cp"), true}, kSpec,
+                            "plain", kSweep);
+  EXPECT_TRUE(journal.damage().empty());
+  EXPECT_EQ(journal.completed_count(), kSweep.size());
+}
+
+TEST_F(CheckpointTest, ThrowingPointLeavesAResumableJournal) {
+  // A point that dies after others journaled (satellite: ThreadPool
+  // failure paths): the sweep rethrows, the journal stays checksum-valid,
+  // and a resume completes the remaining points bit-identically.
+  const auto baseline = make_engine(1, plain_stride()).run(kSweep);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                              "plain", kSweep);
+    auto engine = make_engine(4, plain_stride(), &journal);
+    EXPECT_THROW(
+        (void)engine.run_with(
+            kSweep,
+            [](SuiteRunner& runner, std::size_t value) {
+              if (value == 128) throw util::TgiError("injected point crash");
+              return runner.run_suite(value);
+            }),
+        util::TgiError);
+  }
+  CheckpointJournal journal(CheckpointConfig{dir("cp"), true}, kSpec,
+                            "plain", kSweep);
+  EXPECT_TRUE(journal.damage().empty());
+  EXPECT_EQ(journal.completed_count(), kSweep.size() - 1);
+  const auto resumed = make_engine(2, plain_stride(), &journal).run(kSweep);
+  expect_bitwise_equal(resumed, baseline);
+}
+
+// ------------------------------------------------------------- fuzz-lite
+
+TEST_F(CheckpointTest, FuzzedJournalsNeverCorruptAResumedSweep) {
+  const auto baseline = make_engine(1, plain_stride()).run(kSweep);
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("full"), false}, kSpec,
+                              "plain", kSweep);
+    (void)make_engine(1, plain_stride(), &journal).run(kSweep);
+  }
+  const std::string pristine = slurp(dir("full") + "/journal.tgij");
+  util::Xoshiro256 rng(0xfa22edULL);
+  const auto rand_index = [&](std::size_t n) {
+    return static_cast<std::size_t>(rng.next() % n);
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = pristine;
+    switch (trial % 5) {
+      case 0:  // random truncation (torn tail)
+        text = text.substr(0, rand_index(text.size()) + 1);
+        break;
+      case 1:  // random bit flip
+        text[rand_index(text.size())] ^=
+            static_cast<char>(1u << rand_index(8));
+        break;
+      case 2: {  // duplicate a random line
+        std::vector<std::string> lines;
+        std::istringstream in(text);
+        for (std::string line; std::getline(in, line);)
+          lines.push_back(line);
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(
+                                         rand_index(lines.size())),
+                     lines[rand_index(lines.size())]);
+        text.clear();
+        for (const std::string& line : lines) text += line + "\n";
+        break;
+      }
+      case 3: {  // reverse the record order
+        std::vector<std::string> lines;
+        std::istringstream in(text);
+        for (std::string line; std::getline(in, line);)
+          lines.push_back(line);
+        std::reverse(lines.begin(), lines.end());
+        text.clear();
+        for (const std::string& line : lines) text += line + "\n";
+        break;
+      }
+      case 4:  // overwrite a random byte with garbage
+        text[rand_index(text.size())] =
+            static_cast<char>(rng.next() % 256);
+        break;
+    }
+    const std::string cp = dir("fuzz" + std::to_string(trial));
+    fs::create_directories(cp);
+    spill(cp + "/journal.tgij", text);
+    try {
+      CheckpointJournal journal(CheckpointConfig{cp, true}, kSpec, "plain",
+                                kSweep);
+      const auto resumed =
+          make_engine(2, plain_stride(), &journal).run(kSweep);
+      // Damage may cost recomputation — never a different answer.
+      expect_bitwise_equal(resumed, baseline);
+    } catch (const util::TgiError&) {
+      // Acceptable: corruption in the header can masquerade as a
+      // different spec, which resume must refuse to trust.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tgi::harness

@@ -260,6 +260,49 @@ TEST(UnseededXoshiro, AllowMarkerWaives) {
       "unseeded-xoshiro"));
 }
 
+// --- nonatomic-output-write -----------------------------------------------
+
+TEST(NonatomicOutputWrite, FlagsOfstreamInOutputLayers) {
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/report.cpp", "std::ofstream out(path);\n"),
+      "nonatomic-output-write"));
+  EXPECT_TRUE(has_rule(
+      lint("src/obs/trace.cpp", "std::ofstream json(dir + \"/t.json\");\n"),
+      "nonatomic-output-write"));
+  EXPECT_TRUE(has_rule(lint("tools/tgi_sweep.cpp",
+                            "std::ofstream summary(path(\"s.csv\"));\n"),
+                       "nonatomic-output-write"));
+  // Member declarations count too: holding an ofstream IS a direct write
+  // path.
+  EXPECT_TRUE(has_rule(lint("src/harness/journal.h", "std::ofstream out_;\n"),
+                       "nonatomic-output-write"));
+}
+
+TEST(NonatomicOutputWrite, OtherLayersSubstringsAndCommentsPass) {
+  // util owns the atomic writer itself; bench and tests are out of scope.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/atomic_file.cpp", "std::ofstream out(temp);\n"),
+      "nonatomic-output-write"));
+  EXPECT_FALSE(has_rule(lint("tests/harness/t.cpp", "std::ofstream f(p);\n"),
+                        "nonatomic-output-write"));
+  // Identifier boundaries: my_ofstream_like is not an ofstream; prose in
+  // comments and strings is stripped before matching.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/x.cpp", "int my_ofstream_like = 0;\n"),
+      "nonatomic-output-write"));
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/x.cpp", "// std::ofstream would tear here\n"),
+      "nonatomic-output-write"));
+}
+
+TEST(NonatomicOutputWrite, AllowMarkerWaivesAppendJournals) {
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/journal.h",
+           "std::ofstream out_;  // tgi-lint: allow(nonatomic-output-write)"
+           "\n"),
+      "nonatomic-output-write"));
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(RuleSet, FormatViolationMatchesPromisedShape) {
@@ -269,7 +312,7 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }

@@ -1,0 +1,132 @@
+// Atomic file writes: all-or-nothing semantics, CRC-32 correctness, and the
+// failed-write regression the checkpoint layer depends on (a write that
+// cannot complete must leave the previous file byte-for-byte intact).
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+
+namespace tgi::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Throwaway directory under the system temp dir, named per test so the
+/// concurrently-run ctest processes never share a tree.
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("tgi_atomic_file_test_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string path(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  fs::path root_;
+};
+
+TEST(Crc32, MatchesIeeeTestVectors) {
+  // The canonical check value for the reflected 0xEDB88320 polynomial.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(std::string(1, '\0')), 0xD202EF8Du);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  const std::string base = "benchmark,performance,unit\nhpl,1.5,GFLOPS\n";
+  const std::uint32_t reference = crc32(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = base;
+      flipped[i] = static_cast<char>(
+          static_cast<unsigned char>(flipped[i]) ^ (1u << bit));
+      EXPECT_NE(crc32(flipped), reference)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(AtomicFileTest, WritesAndOverwrites) {
+  const std::string target = path("out.csv");
+  atomic_write_file(target, "first\n");
+  EXPECT_EQ(slurp(target), "first\n");
+  atomic_write_file(target, "second, longer content\n");
+  EXPECT_EQ(slurp(target), "second, longer content\n");
+  EXPECT_FALSE(fs::exists(atomic_temp_path(target)));
+}
+
+TEST_F(AtomicFileTest, FailedWriteLeavesOldFileIntact) {
+  // Regression for the checkpoint layer: simulate a write that cannot
+  // complete by parking a directory at the deterministic staging path; the
+  // previously published bytes must survive untouched.
+  const std::string target = path("sweep_summary.csv");
+  atomic_write_file(target, "the old, good content\n");
+  fs::create_directories(atomic_temp_path(target));
+  EXPECT_THROW(atomic_write_file(target, "torn"), TgiError);
+  EXPECT_EQ(slurp(target), "the old, good content\n");
+  fs::remove_all(atomic_temp_path(target));
+}
+
+TEST_F(AtomicFileTest, FailedWriteToMissingDirectoryCreatesNothing) {
+  const std::string target = path("no_such_dir/out.csv");
+  EXPECT_THROW(atomic_write_file(target, "content"), TgiError);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(atomic_temp_path(target)));
+}
+
+TEST_F(AtomicFileTest, StreamCommitPublishes) {
+  const std::string target = path("metrics.csv");
+  AtomicFile out(target);
+  out.stream() << "metric,value\n" << "tasks_executed," << 42 << "\n";
+  EXPECT_FALSE(fs::exists(target)) << "nothing published before commit";
+  out.commit();
+  EXPECT_EQ(slurp(target), "metric,value\ntasks_executed,42\n");
+}
+
+TEST_F(AtomicFileTest, AbandonedWriterTouchesNothing) {
+  const std::string target = path("trace.json");
+  atomic_write_file(target, "{\"old\": true}\n");
+  {
+    AtomicFile out(target);
+    out.stream() << "{\"half\": ";
+    // Destroyed without commit(): the emitter threw mid-format.
+  }
+  EXPECT_EQ(slurp(target), "{\"old\": true}\n");
+  EXPECT_FALSE(fs::exists(atomic_temp_path(target)));
+}
+
+TEST_F(AtomicFileTest, DoubleCommitIsACallerBug) {
+  AtomicFile out(path("once.txt"));
+  out.stream() << "x";
+  out.commit();
+  EXPECT_THROW(out.commit(), PreconditionError);
+}
+
+TEST_F(AtomicFileTest, EmptyPathRejected) {
+  EXPECT_THROW(atomic_write_file("", "x"), PreconditionError);
+  EXPECT_THROW(AtomicFile(""), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tgi::util

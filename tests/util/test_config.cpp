@@ -137,5 +137,27 @@ TEST(ParseDoubleList, TrimsItemsAndRejectsGarbage) {
   EXPECT_THROW((void)parse_double_list("", "weights"), PreconditionError);
 }
 
+TEST(RequireKnownKeys, AcceptsKnownAndEmpty) {
+  Config cfg;
+  EXPECT_NO_THROW(require_known_keys(cfg, {"threads"}, "tool"));
+  cfg.set("threads", "8");
+  cfg.set("seed", "42");
+  EXPECT_NO_THROW(require_known_keys(cfg, {"seed", "threads"}, "tool"));
+}
+
+TEST(RequireKnownKeys, RejectsTypoNamingKeyAndOptions) {
+  Config cfg;
+  cfg.set("thread", "8");  // typo for "threads"
+  try {
+    require_known_keys(cfg, {"seed", "threads"}, "tgi_sweep");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tgi_sweep"), std::string::npos) << what;
+    EXPECT_NE(what.find("'thread'"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed, threads"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace tgi::util

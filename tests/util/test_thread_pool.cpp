@@ -79,6 +79,72 @@ TEST(ThreadPool, WaitRethrowsFirstTaskException) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPool, ThrowingBeginHookDrainsPoolAndRethrows) {
+  // A hook that throws must not std::terminate the worker; the pool keeps
+  // draining (so already-journaled work is preserved) and wait() reports
+  // the first failure like any task error.
+  ThreadPool pool(2);
+  std::atomic<int> bodies{0};
+  std::atomic<int> begin_calls{0};
+  pool.set_task_hook([&](std::size_t, std::size_t sequence, bool begin) {
+    if (!begin) return;
+    begin_calls.fetch_add(1);
+    if (sequence == 1) throw util::TgiError("begin hook failed");
+  });
+  for (int i = 0; i < 6; ++i) {
+    pool.submit([&bodies] { bodies.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), util::TgiError);
+  // Every task was popped and bracketed; only the poisoned one skipped its
+  // body (the begin hook threw before it ran).
+  EXPECT_EQ(begin_calls.load(), 6);
+  EXPECT_EQ(bodies.load(), 5);
+  // The error is consumed; the pool survives for the next batch.
+  pool.submit([&bodies] { bodies.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(bodies.load(), 6);
+}
+
+TEST(ThreadPool, ThrowingEndHookDrainsPoolAndRethrows) {
+  ThreadPool pool(2);
+  std::atomic<int> bodies{0};
+  std::atomic<int> end_calls{0};
+  pool.set_task_hook([&](std::size_t, std::size_t sequence, bool begin) {
+    if (begin) return;
+    end_calls.fetch_add(1);
+    if (sequence == 0) throw util::TgiError("end hook failed");
+  });
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&bodies] { bodies.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), util::TgiError);
+  // End hooks fire even for the failing task; every body still ran.
+  EXPECT_EQ(end_calls.load(), 4);
+  EXPECT_EQ(bodies.load(), 4);
+}
+
+TEST(ThreadPool, TaskErrorWinsOverLaterEndHookError) {
+  // When both the body and its end hook throw, wait() reports the body's
+  // error — it happened first and is the root cause.
+  ThreadPool pool(1);
+  pool.set_task_hook([&](std::size_t, std::size_t, bool begin) {
+    if (!begin) throw util::PreconditionError("end hook failed");
+  });
+  pool.submit([] { throw util::InternalError("body failed"); });
+  try {
+    pool.wait();
+    FAIL() << "expected InternalError";
+  } catch (const util::InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("body failed"), std::string::npos);
+  }
+  // The end-hook error for that task was dropped in favour of the body's;
+  // the next batch starts clean.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), util::PreconditionError);
+  EXPECT_EQ(count.load(), 1);
+}
+
 TEST(ThreadPool, RejectsZeroWorkersAndEmptyTasks) {
   EXPECT_THROW(ThreadPool pool(0), util::PreconditionError);
   ThreadPool pool(1);

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Seven stages, fail-fast:
+# Eight stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -21,7 +21,12 @@
 #   7. tsan-trace: a traced + profiled faulted sweep on the TSan build at
 #      every thread count — the observability plane (DESIGN.md §10) under
 #      real concurrency — then a byte-diff proving trace.json/metrics.csv
-#      are thread-count invariant (profile.json is wall clock and exempt).
+#      are thread-count invariant (profile.json is wall clock and exempt);
+#   8. tsan-resume: crash tolerance (DESIGN.md §11) under TSan — a traced
+#      faulted checkpointed sweep is SIGKILLed partway, then resumed at a
+#      different thread count and byte-diffed against an uninterrupted
+#      run; a second variant truncates the journal mid-record and checks
+#      the torn record is quarantined and recomputed, byte-identically.
 #
 # Usage: tools/ci.sh [jobs]          (from the repo root)
 set -eu
@@ -30,33 +35,33 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/7] tier-1: build + ctest =="
+echo "== [1/8] tier-1: build + ctest =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/7] lint: tgi-lint convention analyzer =="
+echo "== [2/8] lint: tgi-lint convention analyzer =="
 ./build/tools/tgi_lint root="$ROOT"
 
-echo "== [3/7] golden: figure/table transcripts byte-identical =="
+echo "== [3/8] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/7] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/8] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/7] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/8] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/7] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/8] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
 
-echo "== [7/7] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+echo "== [7/8] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
 TRACE_SCRATCH="build-tsan/trace_gate"
 rm -rf "$TRACE_SCRATCH"
 for t in 1 2 8; do
@@ -74,5 +79,66 @@ for t in 2 8; do
   cmp "$TRACE_SCRATCH/results_t1/faults_summary.csv" \
       "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
 done
+
+echo "== [8/8] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
+CKPT_SCRATCH="build-tsan/checkpoint_gate"
+rm -rf "$CKPT_SCRATCH"
+mkdir -p "$CKPT_SCRATCH"
+CKPT_ARGS="sweep=16,48,80,128 seed=7"
+CKPT_FAULTS="dropout=0.2,failure=0.1,timeout=0.05,truncation=0.05"
+# Uninterrupted truth (threads=2, traced, faulted). The outdir name
+# appears in stdout's "wrote ..." lines, so it is normalized to OUT;
+# everything else must match byte for byte.
+./build-tsan/tools/tgi_sweep $CKPT_ARGS threads=2 --faults "$CKPT_FAULTS" \
+  outdir="$CKPT_SCRATCH/base" trace="$CKPT_SCRATCH/base_trace" \
+  | sed "s|$CKPT_SCRATCH/base|OUT|g" > "$CKPT_SCRATCH/base.stdout"
+# Variant A: real SIGKILL partway through a checkpointed run (threads=1 so
+# the journal grows record by record), then resume at threads=8.
+./build-tsan/tools/tgi_sweep $CKPT_ARGS threads=1 --faults "$CKPT_FAULTS" \
+  outdir="$CKPT_SCRATCH/killed" trace="$CKPT_SCRATCH/killed_trace" \
+  --checkpoint "$CKPT_SCRATCH/ckpt_kill" > /dev/null &
+KILL_PID=$!
+# Wait until at least one point record is journaled, then kill -9.
+JOURNAL="$CKPT_SCRATCH/ckpt_kill/journal.tgij"
+i=0
+while [ "$i" -lt 600 ]; do
+  if [ -f "$JOURNAL" ] && grep -q '^TGIJ1 point' "$JOURNAL" 2>/dev/null; then
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.1
+done
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+./build-tsan/tools/tgi_sweep $CKPT_ARGS threads=8 --faults "$CKPT_FAULTS" \
+  outdir="$CKPT_SCRATCH/resumed" trace="$CKPT_SCRATCH/resumed_trace" \
+  --checkpoint "$CKPT_SCRATCH/ckpt_kill" --resume \
+  | sed "s|$CKPT_SCRATCH/resumed|OUT|g" > "$CKPT_SCRATCH/resumed.stdout"
+cmp "$CKPT_SCRATCH/base.stdout" "$CKPT_SCRATCH/resumed.stdout"
+cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
+    "$CKPT_SCRATCH/resumed/faults_summary.csv"
+cmp "$CKPT_SCRATCH/base_trace/trace.json" \
+    "$CKPT_SCRATCH/resumed_trace/trace.json"
+cmp "$CKPT_SCRATCH/base_trace/metrics.csv" \
+    "$CKPT_SCRATCH/resumed_trace/metrics.csv"
+# Variant B: complete journal truncated mid-record (torn tail, no trailing
+# newline); the torn record must be quarantined and recomputed.
+./build-tsan/tools/tgi_sweep $CKPT_ARGS threads=2 --faults "$CKPT_FAULTS" \
+  outdir="$CKPT_SCRATCH/full" --checkpoint "$CKPT_SCRATCH/ckpt_torn" \
+  > /dev/null
+TORN="$CKPT_SCRATCH/ckpt_torn/journal.tgij"
+head -c "$(($(wc -c < "$TORN") - 37))" "$TORN" > "$TORN.tmp"
+mv "$TORN.tmp" "$TORN"
+./build-tsan/tools/tgi_sweep $CKPT_ARGS threads=1 --faults "$CKPT_FAULTS" \
+  outdir="$CKPT_SCRATCH/healed" trace="$CKPT_SCRATCH/healed_trace" \
+  --checkpoint "$CKPT_SCRATCH/ckpt_torn" --resume \
+  2> "$CKPT_SCRATCH/healed.stderr" \
+  | sed "s|$CKPT_SCRATCH/healed|OUT|g" > "$CKPT_SCRATCH/healed.stdout"
+grep -q "checkpoint: quarantined journal record" "$CKPT_SCRATCH/healed.stderr"
+cmp "$CKPT_SCRATCH/base.stdout" "$CKPT_SCRATCH/healed.stdout"
+cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
+    "$CKPT_SCRATCH/healed/faults_summary.csv"
+cmp "$CKPT_SCRATCH/base_trace/trace.json" \
+    "$CKPT_SCRATCH/healed_trace/trace.json"
 
 echo "ci.sh: all gates passed"

@@ -77,6 +77,10 @@ std::vector<double> parse_weights(const std::string& spec) {
 
 int run(int argc, const char* const* argv) {
   const util::Config cfg = util::Config::from_args(argc, argv);
+  util::require_known_keys(cfg,
+                           {"system", "reference", "scheme", "weights",
+                            "metric", "aggregation", "pue", "ref_pue"},
+                           "tgi_calc");
   const auto system_path = cfg.get("system");
   const auto reference_path = cfg.get("reference");
   if (!system_path || !reference_path) {

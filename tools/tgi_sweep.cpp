@@ -5,7 +5,7 @@
 //   tgi_sweep outdir=results [sweep=16,32,...,128] [seed=N] [meter=model]
 //             [cluster=my.conf] [reference_cluster=ref.conf] [threads=N]
 //             [faults=dropout=0.2,stuck=0.1,failure=0.05]
-//             [trace=DIR] [profile=DIR]
+//             [trace=DIR] [profile=DIR] [checkpoint=DIR] [--resume]
 //
 // Sweep points run on harness::ParallelSweep: `threads=N` (or `--threads
 // N`, or the TGI_THREADS environment variable; default hardware
@@ -34,17 +34,31 @@
 // output. `profile=DIR` writes DIR/profile.json, the wall-clock profile
 // channel — explicitly NON-deterministic, never byte-compared.
 //
+// `checkpoint=DIR` (or `--checkpoint DIR`) journals every completed sweep
+// point to DIR/journal.tgij as it finishes (DESIGN.md §11): one
+// checksummed append-only record carrying the point's measurements,
+// fault/robust accounting, and observability sections. After a crash (or
+// SIGKILL), rerunning the same command with `--resume` replays the
+// journaled points and recomputes only the missing ones — stdout, every
+// CSV, and trace.json come out byte-identical to an uninterrupted run, at
+// any thread count. A journal written under a different spec (cluster,
+// seed, meter, sweep, faults) is rejected; corrupted or torn records are
+// quarantined with a logged reason and recomputed. Resume provenance goes
+// to DIR/resume.json (`point_resumed` instants) and stderr, never stdout.
+//
 // Produces in `outdir`:
 //   fig2_hpl_ee.csv, fig3_stream_ee.csv, fig4_iozone_ee.csv,
 //   fig5_tgi_am.csv, fig6_tgi_weighted.csv, table2_pcc.csv,
 //   reference_systemg.csv, fire_<cores>.csv (one measurement set per
 //   sweep point), and sweep_summary.csv.
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "core/tgi.h"
+#include "harness/checkpoint.h"
 #include "harness/faults.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -56,6 +70,7 @@
 #include "sim/catalog.h"
 #include "sim/spec_io.h"
 #include "stats/correlation.h"
+#include "util/atomic_file.h"
 #include "util/config.h"
 #include "util/error.h"
 #include "util/format.h"
@@ -66,13 +81,20 @@ namespace {
 using namespace tgi;
 
 /// Accepts `--threads N` / `--threads=N` (and the same for `--faults`,
-/// `--trace`, `--profile`) as aliases for the `key=value` forms.
+/// `--trace`, `--profile`, `--checkpoint`) as aliases for the `key=value`
+/// forms, plus the bare `--resume` flag. Unknown keys and unknown --flags
+/// are rejected with the full list of valid options.
 util::Config parse_args(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--resume") {
+      tokens.push_back("resume=1");
+      continue;
+    }
     bool aliased = false;
-    for (const char* key : {"threads", "faults", "trace", "profile"}) {
+    for (const char* key :
+         {"threads", "faults", "trace", "profile", "checkpoint"}) {
       const std::string flag = std::string("--") + key;
       if (arg == flag && i + 1 < argc) {
         tokens.push_back(std::string(key) + "=" + argv[++i]);
@@ -91,7 +113,14 @@ util::Config parse_args(int argc, const char* const* argv) {
   std::vector<const char*> args;
   args.push_back(argc > 0 ? argv[0] : "tgi_sweep");
   for (const std::string& t : tokens) args.push_back(t.c_str());
-  return util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::Config cfg =
+      util::Config::from_args(static_cast<int>(args.size()), args.data());
+  util::require_known_keys(
+      cfg,
+      {"outdir", "sweep", "seed", "meter", "cluster", "reference_cluster",
+       "threads", "faults", "trace", "profile", "checkpoint", "resume"},
+      "tgi_sweep");
+  return cfg;
 }
 
 int run(int argc, const char* const* argv) {
@@ -151,41 +180,82 @@ int run(int argc, const char* const* argv) {
   const auto write_trace_files = [](const obs::SweepTrace& trace,
                                     const std::string& dir) {
     std::filesystem::create_directories(dir);
-    std::ofstream json(dir + "/trace.json");
-    TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
-                                                         << "/trace.json");
-    trace.write_chrome_trace(json);
-    std::ofstream metrics(dir + "/metrics.csv");
-    TGI_REQUIRE(static_cast<bool>(metrics), "cannot write " << dir
-                                                            << "/metrics.csv");
-    trace.write_metrics_csv(metrics);
+    util::AtomicFile json(dir + "/trace.json");
+    trace.write_chrome_trace(json.stream());
+    json.commit();
+    util::AtomicFile metrics(dir + "/metrics.csv");
+    trace.write_metrics_csv(metrics.stream());
+    metrics.commit();
     std::cout << "wrote " << dir << "/trace.json ("
               << trace.event_count() << " events) and metrics.csv\n";
   };
   const auto write_profile_file = [&profiler](const std::string& dir) {
     std::filesystem::create_directories(dir);
-    std::ofstream json(dir + "/profile.json");
-    TGI_REQUIRE(static_cast<bool>(json), "cannot write " << dir
-                                                         << "/profile.json");
-    profiler.write_chrome_trace(json);
+    util::AtomicFile json(dir + "/profile.json");
+    profiler.write_chrome_trace(json.stream());
+    json.commit();
     std::cout << "wrote " << dir
               << "/profile.json (wall clock; non-deterministic)\n";
   };
 
+  // Fault plane, parsed before the checkpoint journal so the journal mode
+  // and spec hash can reflect it.
+  std::optional<harness::FaultSpec> fspec;
+  if (cfg.has("faults")) {
+    fspec = harness::parse_fault_spec(*cfg.get("faults"));
+  }
+  harness::RobustConfig robust;
+  // The WattsUp simulation is noisy, so repeated bit-identical samples
+  // really are suspicious there; ModelMeter's flat phases are not.
+  if (!exact) robust.stuck_run_limit = 8;
+
+  harness::ParallelSweepConfig sweep_cfg;
+  sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
+  if (profile_dir) sweep_cfg.profiler = &profiler;
+
+  // Checkpoint journal (DESIGN.md §11). The spec text below must capture
+  // everything that determines a sweep point's bytes: the system cluster,
+  // the RNG seed, the meter kind, the suite roster, and the fault plane +
+  // recovery policy. The sweep values themselves live in the journal
+  // header. reference_cluster is deliberately EXCLUDED — it only affects
+  // derived TGI output, which resume recomputes from the journaled raw
+  // measurements.
+  const auto checkpoint_dir = cfg.get("checkpoint");
+  const bool resume = cfg.get_bool("resume", false);
+  TGI_REQUIRE(!resume || checkpoint_dir,
+              "resume requires checkpoint=DIR (nothing to resume from)");
+  std::unique_ptr<harness::CheckpointJournal> journal;
+  if (checkpoint_dir) {
+    std::string spec_text;
+    spec_text += "meter=" + std::string(exact ? "model" : "wattsup") + "\n";
+    spec_text += "seed=" + std::to_string(seed) + "\n";
+    std::string roster;
+    for (const std::string& name :
+         harness::suite_benchmarks(sweep_cfg.suite)) {
+      if (!roster.empty()) roster += ',';
+      roster += name;
+    }
+    spec_text += "suite=" + roster + "\n";
+    if (fspec) {
+      spec_text += "faults=" + harness::fault_spec_summary(*fspec) + "\n";
+      spec_text += "stuck_run_limit=" +
+                   std::to_string(robust.stuck_run_limit) + "\n";
+    }
+    spec_text += sim::cluster_to_config(system_cluster);
+    harness::CheckpointConfig ccfg;
+    ccfg.directory = *checkpoint_dir;
+    ccfg.resume = resume;
+    journal = std::make_unique<harness::CheckpointJournal>(
+        std::move(ccfg), harness::journal_spec_hash(spec_text),
+        fspec ? "robust" : "plain", sweep);
+    sweep_cfg.checkpoint = journal.get();
+  }
+
   // Fault mode: same sweep, but through the fault plane and recovery
   // policy. Kept strictly separate from the plain path so a fault-free
   // invocation reproduces today's CSVs byte-for-byte.
-  if (cfg.has("faults")) {
-    const harness::FaultSpec fspec =
-        harness::parse_fault_spec(*cfg.get("faults"));
-    const harness::FaultPlan plan(fspec);
-    harness::RobustConfig robust;
-    // The WattsUp simulation is noisy, so repeated bit-identical samples
-    // really are suspicious there; ModelMeter's flat phases are not.
-    if (!exact) robust.stuck_run_limit = 8;
-    harness::ParallelSweepConfig sweep_cfg;
-    sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
-    if (profile_dir) sweep_cfg.profiler = &profiler;
+  if (fspec) {
+    const harness::FaultPlan plan(*fspec);
     harness::MeterFactory factory;
     if (exact) {
       factory = harness::model_meter_factory(util::seconds(0.5));
@@ -197,7 +267,7 @@ int run(int argc, const char* const* argv) {
           harness::robust_measurements_per_point(sweep_cfg.suite, robust));
     }
     const harness::ParallelSweep engine(system_cluster, factory, sweep_cfg);
-    std::cout << "fault plane: " << harness::fault_spec_summary(fspec)
+    std::cout << "fault plane: " << harness::fault_spec_summary(*fspec)
               << "\n";
     obs::SweepTrace trace;
     const std::vector<harness::RobustSuitePoint> points = engine.run_robust(
@@ -205,8 +275,8 @@ int run(int argc, const char* const* argv) {
     if (trace_dir) write_trace_files(trace, *trace_dir);
     if (profile_dir) write_profile_file(*profile_dir);
 
-    std::ofstream fault_file(path("faults_summary.csv"));
-    util::CsvWriter fcsv(fault_file);
+    util::AtomicFile fault_file(path("faults_summary.csv"));
+    util::CsvWriter fcsv(fault_file.stream());
     fcsv.write_row({"cores", "tgi_am", "missing", "attempts", "retries",
                     "run_faults", "meter_faults", "rejected_readings",
                     "dropped_benchmarks", "backoff_s", "stalled_s"});
@@ -241,15 +311,13 @@ int run(int argc, const char* const* argv) {
                 << " attempts=" << c.attempts << " retries=" << c.retries
                 << " faults=" << c.run_faults + c.meter_faults << "\n";
     }
+    fault_file.commit();
     std::cout << "wrote " << outdir
               << "/ (faults_summary.csv and measurement CSVs; figure CSVs "
                  "need a fault-free sweep)\n";
     return 0;
   }
 
-  harness::ParallelSweepConfig sweep_cfg;
-  sweep_cfg.threads = static_cast<std::size_t>(threads_raw);
-  if (profile_dir) sweep_cfg.profiler = &profiler;
   harness::MeterFactory factory;
   if (exact) {
     factory = harness::model_meter_factory(util::seconds(0.5));
@@ -275,8 +343,8 @@ int run(int argc, const char* const* argv) {
       core::WeightScheme::kArithmeticMean, core::WeightScheme::kTime,
       core::WeightScheme::kEnergy, core::WeightScheme::kPower};
 
-  std::ofstream summary_file(path("sweep_summary.csv"));
-  util::CsvWriter summary(summary_file);
+  util::AtomicFile summary_file(path("sweep_summary.csv"));
+  util::CsvWriter summary(summary_file.stream());
   summary.write_row({"cores", "tgi_am", "tgi_time", "tgi_energy",
                      "tgi_power", "hpl_mflops", "hpl_watts",
                      "stream_mbps", "stream_watts", "iozone_mbps",
@@ -304,6 +372,7 @@ int run(int argc, const char* const* argv) {
     std::cout << "cores " << p << ": TGI(AM) "
               << util::fixed(tgi[schemes[0]].back(), 4) << "\n";
   }
+  summary_file.commit();
 
   // Figure CSVs.
   harness::write_csv(
@@ -330,8 +399,8 @@ int run(int argc, const char* const* argv) {
 
   // Table II CSV (correlations need at least two sweep points).
   if (x.size() >= 2) {
-    std::ofstream out(path("table2_pcc.csv"));
-    util::CsvWriter csv(out);
+    util::AtomicFile out(path("table2_pcc.csv"));
+    util::CsvWriter csv(out.stream());
     csv.write_row({"benchmark", "am", "time", "energy", "power"});
     for (const char* name : {"IOzone", "STREAM", "HPL"}) {
       std::vector<std::string> row{name};
@@ -341,6 +410,7 @@ int run(int argc, const char* const* argv) {
       }
       csv.write_row(row);
     }
+    out.commit();
   }
 
   std::cout << "wrote " << outdir << "/ (figures, tables, and "
