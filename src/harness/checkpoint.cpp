@@ -713,7 +713,6 @@ CheckpointJournal::CheckpointJournal(CheckpointConfig config,
   }
   // The journal is the one output that must survive a SIGKILL mid-sweep,
   // so it appends in place; per-record CRCs replace rename atomicity.
-  // tgi-lint: allow(nonatomic-output-write)
   out_.open(journal_path_, std::ios::binary | std::ios::app);
   TGI_REQUIRE(out_.good(), "cannot open journal '" << journal_path_
                                                    << "' for appending");

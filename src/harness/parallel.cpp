@@ -128,7 +128,8 @@ std::vector<SuitePoint> ParallelSweep::run_with(
       pending.push_back(k);
     }
   }
-  const auto run_point = [&](std::size_t i) {
+  const auto run_point = [this, &pending, &recorders, &results, &fn, &values,
+                          journal](std::size_t i) {
     const std::size_t k = pending[i];
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");
@@ -171,7 +172,8 @@ std::vector<RobustSuitePoint> ParallelSweep::run_robust(
       pending.push_back(k);
     }
   }
-  const auto run_point = [&](std::size_t i) {
+  const auto run_point = [this, &pending, &recorders, &results, &plan,
+                          &robust, &process_counts, journal](std::size_t i) {
     const std::size_t k = pending[i];
     const std::unique_ptr<power::PowerMeter> meter = meter_factory_(k);
     TGI_CHECK(meter != nullptr, "meter factory returned null");

@@ -13,8 +13,11 @@ namespace tgi::kernels {
 namespace {
 
 double now_seconds() {
-  const auto t = std::chrono::steady_clock::now().time_since_epoch();
-  return std::chrono::duration<double>(t).count();
+  // Native kernels time real execution, not the simulated timeline —
+  // kernels' sanctioned wall-clock read.
+  using wall = std::chrono::steady_clock;  // tgi-lint: allow(wall-clock-in-deterministic-path)
+  return std::chrono::duration<double>(wall::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Module-level include-graph pass for tgi-lint.
+//
+// Every `#include "module/file.h"` in src/ is an edge in the module
+// dependency graph (includes are repo-relative from src/, so the first
+// path segment *is* the module). Two whole-graph rules run over it:
+//
+//   include-cycle       the module graph must stay a DAG — a cycle means
+//                       two modules cannot be built, tested, or reasoned
+//                       about independently.
+//   layering-violation  edges must also respect the declared layering
+//                       spec below: a module may include only modules in
+//                       strictly lower layers (or its exact `only` pin).
+//
+// The spec is checked into the repo (default_layering_spec()) so the
+// system map in DESIGN.md §3 is machine-verified, not prose. Format, one
+// directive per line ('#' comments allowed):
+//
+//   layer <module> [<module>...]   — next layer up; earlier lines are lower
+//   only <module>: [<dep>...]      — additionally pin <module> to exactly
+//                                    this dependency set (subset of the
+//                                    lower layers its position allows)
+//
+// Like every other rule, a specific include line can be waived with a
+// trailing allow-marker naming `layering-violation` or `include-cycle`;
+// `--audit-waivers` keeps those honest.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+#include "lint/source_file.h"
+
+namespace tgi::lint {
+
+/// One `#include "other_module/..."` occurrence, attributed to the source
+/// module of the including file.
+struct IncludeEdge {
+  std::string from_module;
+  std::string to_module;
+  std::string file;      // repo-relative path of the including file
+  std::size_t line = 0;  // 1-based line of the #include
+  bool waived_layering = false;  // line carries allow(layering-violation)
+  bool waived_cycle = false;     // line carries allow(include-cycle)
+};
+
+/// Module name of a repo-relative path: "src/<module>/..." → "<module>",
+/// empty string for anything not under src/ (tools, tests, benches sit on
+/// top of the graph and are not layered).
+std::string module_of_path(std::string_view repo_relative_path);
+
+/// All module-crossing include edges in one file. Self-edges
+/// (intra-module includes) and relative includes are skipped — the
+/// `relative-include` per-file rule owns the latter.
+std::vector<IncludeEdge> collect_includes(const SourceFile& file);
+
+/// The declared bottom-up module layering, parsed from the spec text.
+class LayeringSpec {
+ public:
+  /// Parses the directive format documented above. Throws PreconditionError
+  /// on malformed lines, unknown directives, or duplicate modules.
+  static LayeringSpec parse(std::string_view text);
+
+  /// 0-based layer index of `module`; npos for modules not in the spec.
+  [[nodiscard]] std::size_t layer_of(std::string_view module) const;
+
+  /// Exact dependency pin from an `only` directive, or nullptr.
+  [[nodiscard]] const std::set<std::string>* only_deps(
+      std::string_view module) const;
+
+  /// All modules named in the spec, sorted.
+  [[nodiscard]] std::vector<std::string> modules() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::map<std::string, std::size_t, std::less<>> layer_;
+  std::map<std::string, std::set<std::string>, std::less<>> only_;
+};
+
+/// The spec this repository is held to — DESIGN.md §3's dependency order,
+/// machine-checkable. Kept in code (not a loose file) so the linter can
+/// never run against a missing or drifted spec.
+const LayeringSpec& default_layering_spec();
+
+/// Accumulates include edges across a scan and runs the whole-graph rules.
+class IncludeGraph {
+ public:
+  /// Parses and records `file`'s module-crossing includes.
+  void add_file(const SourceFile& file);
+
+  /// Records one edge directly (the synthetic-tree unit-test seam).
+  void add_edge(IncludeEdge edge);
+
+  /// Every recorded edge, in insertion order.
+  [[nodiscard]] const std::vector<IncludeEdge>& edges() const {
+    return edges_;
+  }
+
+  /// `layering-violation` findings: edges to a module in the same or a
+  /// higher layer, to a module missing from the spec, from a module
+  /// missing from the spec, or outside an `only` pin. Sorted by
+  /// (file, line, message). With `honor_waivers`, edges whose include line
+  /// carries allow(layering-violation) are skipped.
+  [[nodiscard]] std::vector<Violation> check_layering(
+      const LayeringSpec& spec, bool honor_waivers = true) const;
+
+  /// `include-cycle` findings: one violation per distinct module cycle,
+  /// anchored at the smallest (file, line) edge on the cycle. Sorted by
+  /// (file, line, message). With `honor_waivers`, cycles where *every*
+  /// edge is waived are skipped.
+  [[nodiscard]] std::vector<Violation> check_cycles(
+      bool honor_waivers = true) const;
+
+ private:
+  std::vector<IncludeEdge> edges_;
+};
+
+}  // namespace tgi::lint

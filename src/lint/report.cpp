@@ -1,0 +1,102 @@
+#include "lint/report.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+
+Selection default_selection() {
+  Selection selection;
+  selection.file_rules = default_rules();
+  return selection;
+}
+
+Selection selection_by_id(const std::vector<std::string>& ids) {
+  Selection selection;
+  selection.layering = false;
+  selection.cycles = false;
+  std::vector<std::string> file_ids;
+  for (const std::string& id : ids) {
+    if (id == "layering-violation") {
+      selection.layering = true;
+    } else if (id == "include-cycle") {
+      selection.cycles = true;
+    } else if (id == "stale-waiver" || id == "unknown-waiver") {
+      TGI_REQUIRE(false, "'" << id
+                             << "' is an --audit-waivers finding, not a "
+                                "selectable rule; run with audit_waivers=1");
+    } else {
+      file_ids.push_back(id);
+    }
+  }
+  selection.file_rules = rules_by_id(file_ids);  // throws on unknown ids
+  return selection;
+}
+
+std::string render_text(const ScanReport& report) {
+  std::ostringstream out;
+  for (const Violation& violation : report.violations) {
+    out << format_violation(violation) << "\n";
+  }
+  out << "tgi-lint: " << report.files_scanned << " files, "
+      << report.violations.size() << " violation"
+      << (report.violations.size() == 1 ? "" : "s") << "\n";
+  return out.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const ScanReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"tgi-lint\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"clean\": " << (report.clean() ? "true" : "false") << ",\n";
+  out << "  \"violations\": [";
+  const char* sep = "\n";
+  for (const Violation& v : report.violations) {
+    out << sep << "    {\"file\": \"" << json_escape(v.file)
+        << "\", \"line\": " << v.line << ", \"rule\": \"" << json_escape(v.rule)
+        << "\", \"message\": \"" << json_escape(v.message) << "\"}";
+    sep = ",\n";
+  }
+  if (!report.violations.empty()) out << "\n  ";
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tgi::lint

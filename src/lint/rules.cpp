@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 
@@ -406,6 +407,330 @@ class UnseededXoshiroRule final : public Rule {
   }
 };
 
+// --- shared cross-line matching helpers -----------------------------------
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+/// Every whole-identifier occurrence of `ident` in `text`.
+std::vector<std::size_t> identifier_positions(std::string_view text,
+                                              std::string_view ident) {
+  std::vector<std::size_t> positions;
+  std::size_t pos = 0;
+  while ((pos = text.find(ident, pos)) != kNpos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) positions.push_back(pos);
+    pos += 1;
+  }
+  return positions;
+}
+
+/// Skips spaces, tabs, and newlines (the flat stream keeps line breaks).
+std::size_t skip_layout(std::string_view text, std::size_t i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Position of the delimiter matching the opener at `text[open]`, or npos.
+std::size_t matching_close(std::string_view text, std::size_t open, char oc,
+                           char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == oc) {
+      ++depth;
+    } else if (text[i] == cc) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+/// Position of the '>' matching the '<' at `text[open]`, or npos. Counting
+/// is enough for declaration-position template argument lists; `->` is
+/// skipped so `map<K, decltype(f()->g())>` still balances.
+std::size_t matching_angle(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') {
+      ++depth;
+    } else if (text[i] == '>' && (i == 0 || text[i - 1] != '-')) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+// --- unordered-iteration-in-output ----------------------------------------
+
+/// Range-for over a std::unordered_map / std::unordered_set in the layers
+/// that feed published artifacts (src/harness, src/obs, src/core, tools).
+/// Hash-table iteration order is unspecified and may differ across
+/// standard libraries and runs, so letting it reach a CSV row order, a
+/// trace event order, or a stdout transcript silently breaks the
+/// byte-reproducibility contract. Matched on the cross-line token stream:
+/// container declarations are collected first (across line breaks), then
+/// every range-for whose range expression names one of them — or names an
+/// unordered container type directly — is flagged.
+class UnorderedIterationRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "unordered-iteration-in-output";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "range-for over std::unordered_map/unordered_set in an "
+           "output-emitting layer (hash order could reach a published "
+           "artifact; use an ordered container or sort first)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/harness/") &&
+        !starts_with(file.path, "src/obs/") &&
+        !starts_with(file.path, "src/core/") &&
+        !starts_with(file.path, "tools/")) {
+      return;
+    }
+    const std::string_view flat = file.flat;
+    const std::vector<std::string> names = declared_container_names(flat);
+    for (const std::size_t pos : identifier_positions(flat, "for")) {
+      const std::size_t open = skip_layout(flat, pos + 3);
+      if (open >= flat.size() || flat[open] != '(') continue;
+      const std::size_t close = matching_close(flat, open, '(', ')');
+      if (close == kNpos) continue;
+      const std::size_t colon = range_for_colon(flat, open + 1, close);
+      if (colon == kNpos) continue;
+      const std::string_view range = flat.substr(colon + 1, close - colon - 1);
+      std::string culprit;
+      if (contains_identifier(range, "unordered_map") ||
+          contains_identifier(range, "unordered_set")) {
+        culprit = "an unordered container expression";
+      } else {
+        for (const std::string& name : names) {
+          if (contains_identifier(range, name)) {
+            culprit = "'" + name + "'";
+            break;
+          }
+        }
+      }
+      if (!culprit.empty()) {
+        add(out, file, line_at_offset(file, pos), id(),
+            "range-for over " + culprit +
+                " iterates in unspecified hash order, which can reach a "
+                "published artifact; use std::map/std::set or sort before "
+                "emitting");
+      }
+    }
+  }
+
+ private:
+  /// Names declared with an unordered container type anywhere in the file
+  /// (variables, members, parameters) — `std::unordered_map<K, V> name`.
+  static std::vector<std::string> declared_container_names(
+      std::string_view flat) {
+    std::vector<std::string> names;
+    for (std::string_view type : {"unordered_map", "unordered_set"}) {
+      for (const std::size_t pos : identifier_positions(flat, type)) {
+        std::size_t i = skip_layout(flat, pos + type.size());
+        if (i >= flat.size() || flat[i] != '<') continue;
+        const std::size_t close = matching_angle(flat, i);
+        if (close == kNpos) continue;
+        i = skip_layout(flat, close + 1);
+        while (i < flat.size() && (flat[i] == '&' || flat[i] == '*')) {
+          i = skip_layout(flat, i + 1);
+        }
+        std::size_t end = i;
+        while (end < flat.size() && is_ident_char(flat[end])) ++end;
+        if (end > i) names.emplace_back(flat.substr(i, end - i));
+      }
+    }
+    return names;
+  }
+
+  /// Offset of the range-for ':' at paren depth 0 inside (begin, end), or
+  /// npos for a classic `for (;;)` (top-level ';') / no colon. `::` never
+  /// counts.
+  static std::size_t range_for_colon(std::string_view flat, std::size_t begin,
+                                     std::size_t end) {
+    int depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = flat[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        --depth;
+      } else if (depth == 0 && c == ';') {
+        return kNpos;  // classic three-clause for
+      } else if (depth == 0 && c == ':') {
+        if (i + 1 < end && flat[i + 1] == ':') {
+          ++i;  // skip '::'
+        } else if (i > begin && flat[i - 1] == ':') {
+          continue;
+        } else {
+          return i;
+        }
+      }
+    }
+    return kNpos;
+  }
+};
+
+// --- wall-clock-in-deterministic-path -------------------------------------
+
+/// Wall-clock reads in library code or tools. Every published number lives
+/// on the simulated timeline (util/sim_clock, DESIGN.md §10): a real clock
+/// read in the deterministic path makes output depend on host speed and
+/// scheduling. The two quarantined homes are excluded wholesale
+/// (util/thread_pool's internals, the obs wall-clock profile channel that
+/// is documented as non-deterministic and never byte-compared); the native
+/// real-kernel timing helpers in src/kernels carry documented per-line
+/// waivers because timing real execution is their entire job.
+class WallClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "wall-clock-in-deterministic-path";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "wall-clock read (system/steady/high_resolution_clock, time(), "
+           "clock_gettime()) in src/ or tools outside the quarantined "
+           "thread-pool and obs-profile homes";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/") && !starts_with(file.path, "tools/")) {
+      return;
+    }
+    if (starts_with(file.path, "src/util/thread_pool") ||
+        starts_with(file.path, "src/obs/profile")) {
+      return;  // the documented wall-clock homes
+    }
+    static constexpr std::string_view kClocks[] = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    static constexpr std::string_view kCalls[] = {"time", "clock_gettime"};
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kClocks) {
+        if (contains_identifier(line, name)) {
+          add(out, file, i + 1, id(),
+              "std::chrono::" + std::string(name) +
+                  " in the deterministic path; results live on simulated "
+                  "time — waive only documented native-timing/profiling "
+                  "homes");
+        }
+      }
+      for (std::string_view name : kCalls) {
+        if (contains_call(line, name)) {
+          add(out, file, i + 1, id(),
+              std::string(name) +
+                  "() reads the wall clock in the deterministic path; "
+                  "results live on simulated time");
+        }
+      }
+    }
+  }
+};
+
+// --- ref-capture-in-parallel-task -----------------------------------------
+
+/// A `[&]`-default-capturing lambda handed to the parallel primitives
+/// (util::parallel_map / util::parallel_for / ThreadPool::submit), matched
+/// across line breaks. Blanket by-reference capture is how unordered
+/// side effects sneak into sweep tasks: nothing in the capture list says
+/// which state the task mutates, so review and TSan triage cannot audit
+/// it. Tasks must capture explicitly; deliberate [&] uses (barrier-synced
+/// worker lanes that provably drain before scope exit) carry per-line
+/// waivers saying why. Also catches the two-step form where the lambda is
+/// first bound to a name (`auto job = [&](...)`) and the name is passed.
+class RefCaptureRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "ref-capture-in-parallel-task";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "[&]-default-capturing lambda (or a name bound to one) passed "
+           "to parallel_map / parallel_for / ThreadPool::submit (capture "
+           "explicitly so task state is auditable)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/") && !starts_with(file.path, "tools/")) {
+      return;
+    }
+    if (starts_with(file.path, "src/util/thread_pool")) {
+      return;  // the primitives' own implementation
+    }
+    const std::string_view flat = file.flat;
+
+    // Pass 1: every `[&]` / `[&,` lambda introducer, plus the names bound
+    // directly to one (`name = [&] ...`).
+    std::vector<std::size_t> intros;
+    std::vector<std::pair<std::string, std::size_t>> bound;  // name, line
+    std::size_t pos = 0;
+    while ((pos = flat.find('[', pos)) != kNpos) {
+      const std::size_t open = pos;
+      pos += 1;
+      std::size_t j = skip_layout(flat, open + 1);
+      if (j >= flat.size() || flat[j] != '&') continue;
+      j = skip_layout(flat, j + 1);
+      if (j >= flat.size() || (flat[j] != ']' && flat[j] != ',')) continue;
+      intros.push_back(open);
+      // Binding? Walk back over layout to '=', then collect the name.
+      std::size_t b = open;
+      while (b > 0 && (flat[b - 1] == ' ' || flat[b - 1] == '\t' ||
+                       flat[b - 1] == '\n')) {
+        --b;
+      }
+      if (b == 0 || flat[b - 1] != '=') continue;
+      --b;
+      while (b > 0 && (flat[b - 1] == ' ' || flat[b - 1] == '\t' ||
+                       flat[b - 1] == '\n')) {
+        --b;
+      }
+      std::size_t name_end = b;
+      while (b > 0 && is_ident_char(flat[b - 1])) --b;
+      if (name_end > b) {
+        bound.emplace_back(std::string(flat.substr(b, name_end - b)),
+                           line_at_offset(file, open));
+      }
+    }
+    if (intros.empty()) return;
+
+    // Pass 2: the argument span of every parallel-primitive call; flag any
+    // default-ref introducer or bound name inside it.
+    for (std::string_view fn : {"parallel_map", "parallel_for", "submit"}) {
+      for (const std::size_t call : identifier_positions(flat, fn)) {
+        const std::size_t open = skip_layout(flat, call + fn.size());
+        if (open >= flat.size() || flat[open] != '(') continue;
+        const std::size_t close = matching_close(flat, open, '(', ')');
+        if (close == kNpos) continue;
+        for (const std::size_t intro : intros) {
+          if (intro > open && intro < close) {
+            add(out, file, line_at_offset(file, intro), id(),
+                "[&] default capture passed to " + std::string(fn) +
+                    "(); capture explicitly (or waive with a comment "
+                    "proving the pool drains before the captured scope "
+                    "dies)");
+          }
+        }
+        const std::string_view args = flat.substr(open + 1, close - open - 1);
+        for (const auto& [name, decl_line] : bound) {
+          for (const std::size_t hit : identifier_positions(args, name)) {
+            add(out, file, line_at_offset(file, open + 1 + hit), id(),
+                "'" + name + "' (a [&]-capturing lambda, line " +
+                    std::to_string(decl_line) + ") passed to " +
+                    std::string(fn) + "(); capture explicitly so task "
+                    "state is auditable");
+          }
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::string format_violation(const Violation& v) {
@@ -448,8 +773,11 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<NonatomicOutputWriteRule>());
   rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
+  rules.push_back(std::make_unique<RefCaptureRule>());
   rules.push_back(std::make_unique<RelativeIncludeRule>());
+  rules.push_back(std::make_unique<UnorderedIterationRule>());
   rules.push_back(std::make_unique<UnseededXoshiroRule>());
+  rules.push_back(std::make_unique<WallClockRule>());
   return rules;
 }
 
@@ -465,12 +793,51 @@ RuleSet rules_by_id(const std::vector<std::string>& ids) {
         break;
       }
     }
-    TGI_REQUIRE(found, "unknown lint rule id '" << wanted << "'");
+    if (!found) {
+      std::ostringstream valid;
+      const char* sep = "";
+      for (const RuleInfo& info : rule_catalog()) {
+        valid << sep << info.id;
+        sep = ", ";
+      }
+      TGI_REQUIRE(found, "unknown lint rule id '" << wanted
+                             << "' (valid ids: " << valid.str() << ")");
+    }
   }
   return picked;
 }
 
-std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules) {
+std::vector<RuleInfo> rule_catalog() {
+  std::vector<RuleInfo> catalog;
+  for (const auto& rule : default_rules()) {
+    catalog.push_back(
+        RuleInfo{std::string(rule->id()), std::string(rule->description())});
+  }
+  catalog.push_back(RuleInfo{
+      "include-cycle",
+      "cyclic module dependency in the src/ include graph (the module DAG "
+      "in DESIGN.md §3 must stay acyclic)"});
+  catalog.push_back(RuleInfo{
+      "layering-violation",
+      "#include crossing the declared module layering spec upward or "
+      "sideways (see lint/include_graph.h and DESIGN.md §8)"});
+  catalog.push_back(RuleInfo{
+      "stale-waiver",
+      "a `tgi-lint: allow(...)` marker that no longer suppresses any "
+      "violation on its line (delete it; found by --audit-waivers)"});
+  catalog.push_back(RuleInfo{
+      "unknown-waiver",
+      "a `tgi-lint: allow(...)` marker naming a rule id that does not "
+      "exist (found by --audit-waivers)"});
+  std::sort(catalog.begin(), catalog.end(),
+            [](const RuleInfo& a, const RuleInfo& b) { return a.id < b.id; });
+  return catalog;
+}
+
+namespace {
+
+std::vector<Violation> run_rules_impl(const SourceFile& file,
+                                      const RuleSet& rules, bool suppress) {
   std::vector<Violation> found;
   for (const auto& rule : rules) {
     TGI_CHECK(rule != nullptr, "null rule in rule set");
@@ -481,16 +848,39 @@ std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules) {
   for (Violation& v : found) {
     TGI_CHECK(v.line >= 1 && v.line <= file.raw.size(),
               "rule '" << v.rule << "' reported out-of-range line " << v.line);
-    if (!line_is_suppressed(file.raw[v.line - 1], v.rule)) {
+    // Markers are read from the comments view: a waiver quoted inside a
+    // string literal must never suppress a real violation.
+    if (!suppress || !line_is_suppressed(file.comments[v.line - 1], v.rule)) {
       kept.push_back(std::move(v));
     }
   }
   std::sort(kept.begin(), kept.end(),
             [](const Violation& a, const Violation& b) {
               if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
             });
+  // A cross-line matcher can hit the same construct twice (e.g. a bound
+  // lambda named in both the capture list and the body of one call);
+  // report each distinct finding once.
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Violation& a, const Violation& b) {
+                           return a.line == b.line && a.rule == b.rule &&
+                                  a.message == b.message;
+                         }),
+             kept.end());
   return kept;
+}
+
+}  // namespace
+
+std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules) {
+  return run_rules_impl(file, rules, /*suppress=*/true);
+}
+
+std::vector<Violation> run_rules_unsuppressed(const SourceFile& file,
+                                              const RuleSet& rules) {
+  return run_rules_impl(file, rules, /*suppress=*/false);
 }
 
 }  // namespace tgi::lint

@@ -37,8 +37,34 @@
 //                     can never leave a truncated file; deliberate
 //                     append-mode journals carry a per-line waiver.
 //
+// Cross-line determinism rules (matched on SourceFile::flat, so the
+// pattern may span line breaks):
+//
+//   unordered-iteration-in-output  range-for over a std::unordered_map /
+//                     std::unordered_set in src/harness, src/obs, src/core,
+//                     or tools — iteration order is unspecified and those
+//                     layers feed published artifacts (CSVs, traces,
+//                     stdout transcripts), so hash order would leak into
+//                     bytes that must be reproducible.
+//   wall-clock-in-deterministic-path  system_clock / steady_clock /
+//                     high_resolution_clock / time() / clock_gettime()
+//                     in src/ or tools outside src/util/thread_pool* and
+//                     the quarantined src/obs/profile* channel — results
+//                     live on simulated time; real-kernel timing homes
+//                     (src/kernels native runs) carry documented per-line
+//                     waivers.
+//   ref-capture-in-parallel-task  a `[&]`-default-capturing lambda (or a
+//                     name bound to one) handed to parallel_map /
+//                     parallel_for / ThreadPool::submit in src/ or tools —
+//                     blanket by-reference capture makes shared mutable
+//                     state invisible to review; capture explicitly, or
+//                     waive with a comment proving the pool drains before
+//                     the captured scope dies.
+//
 // A violation on a specific line can be waived with a trailing
-// `// tgi-lint: allow(<rule-id>)` marker.
+// `// tgi-lint: allow(<rule-id>)` marker (the marker must sit in a real
+// comment; quoted markers in string literals are inert). `tgi_lint
+// --audit-waivers` flags markers that no longer suppress anything.
 #pragma once
 
 #include <cstddef>
@@ -74,16 +100,33 @@ class Rule {
 
 using RuleSet = std::vector<std::unique_ptr<Rule>>;
 
-/// All rules, in stable id order.
+/// All per-file rules, in stable id order.
 RuleSet default_rules();
 
 /// The subset of `default_rules()` whose ids appear in `ids`.
-/// Throws PreconditionError on an unknown id.
+/// Throws PreconditionError on an unknown id, listing the valid ones.
 RuleSet rules_by_id(const std::vector<std::string>& ids);
+
+/// One entry of the full rule catalog (`tgi_lint --list-rules`).
+struct RuleInfo {
+  std::string id;
+  std::string description;
+};
+
+/// Every rule id tgi-lint can report, in stable id order: the per-file
+/// rules from `default_rules()`, the include-graph pass rules
+/// (`include-cycle`, `layering-violation` — see lint/include_graph.h), and
+/// the waiver-audit findings (`stale-waiver`, `unknown-waiver`).
+std::vector<RuleInfo> rule_catalog();
 
 /// Runs every rule over one file, honoring per-line allow markers; returns
 /// violations sorted by (line, rule).
 std::vector<Violation> run_rules(const SourceFile& file, const RuleSet& rules);
+
+/// Same, but with allow markers ignored — the waiver audit compares this
+/// against the markers to find waivers that no longer suppress anything.
+std::vector<Violation> run_rules_unsuppressed(const SourceFile& file,
+                                              const RuleSet& rules);
 
 // --- Token-level helpers shared by the matchers (exposed for tests) -------
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "util/error.h"
 
@@ -31,6 +33,54 @@ std::string relative_path(const std::filesystem::path& file,
   return std::filesystem::relative(file, root).generic_string();
 }
 
+void sort_report(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+/// Accumulated state for the waiver audit: all markers seen, and every
+/// (file, line, rule) location where some pass would fire with waivers
+/// ignored — a marker not backed by such a location is stale.
+struct AuditState {
+  struct Marker {
+    std::string file;
+    std::size_t line = 0;
+    std::string rule_id;
+  };
+  std::vector<Marker> markers;
+  std::set<std::tuple<std::string, std::size_t, std::string>> raw_hits;
+
+  void add_hits(const std::vector<Violation>& raw) {
+    for (const Violation& v : raw) {
+      raw_hits.insert({v.file, v.line, v.rule});
+    }
+  }
+};
+
+std::vector<Violation> audit_findings(const AuditState& audit) {
+  std::set<std::string> known_ids;
+  for (const RuleInfo& info : rule_catalog()) known_ids.insert(info.id);
+  std::vector<Violation> out;
+  for (const AuditState::Marker& m : audit.markers) {
+    if (known_ids.count(m.rule_id) == 0) {
+      out.push_back(Violation{
+          m.file, m.line, "unknown-waiver",
+          "`tgi-lint: allow(" + m.rule_id +
+              ")` names a rule id that does not exist (see --list-rules)"});
+    } else if (audit.raw_hits.count({m.file, m.line, m.rule_id}) == 0) {
+      out.push_back(Violation{
+          m.file, m.line, "stale-waiver",
+          "`tgi-lint: allow(" + m.rule_id +
+              ")` suppresses nothing on this line; delete the marker"});
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Violation> scan_file(const std::filesystem::path& on_disk,
@@ -45,6 +95,14 @@ ScanReport scan_tree(const std::filesystem::path& root,
   TGI_REQUIRE(std::filesystem::exists(root),
               "lint root '" << root.string() << "' does not exist");
   ScanReport report;
+  IncludeGraph graph;
+  AuditState audit;
+  // The audit measures markers against the full catalog, not the possibly
+  // narrowed `rules` selection — a waiver for an unselected rule is not
+  // stale.
+  const RuleSet all_rules = options.audit_waivers ? default_rules() : RuleSet{};
+  const bool need_graph = options.check_layering || options.check_cycles ||
+                          options.audit_waivers;
   for (const std::string& subdir : options.subdirs) {
     const std::filesystem::path dir = root / subdir;
     if (!std::filesystem::is_directory(dir)) continue;
@@ -59,19 +117,47 @@ ScanReport scan_tree(const std::filesystem::path& root,
     // Directory iteration order is unspecified; sort for stable reports.
     std::sort(files.begin(), files.end());
     for (const auto& file : files) {
-      auto violations = scan_file(file, relative_path(file, root), rules);
+      const SourceFile source =
+          make_source_file(relative_path(file, root), read_file(file));
       report.files_scanned += 1;
+      std::vector<Violation> violations = run_rules(source, rules);
       report.violations.insert(report.violations.end(),
                                std::make_move_iterator(violations.begin()),
                                std::make_move_iterator(violations.end()));
+      if (need_graph) graph.add_file(source);
+      if (options.audit_waivers) {
+        for (WaiverMarker& marker : collect_waivers(source)) {
+          audit.markers.push_back(AuditState::Marker{
+              source.path, marker.line, std::move(marker.rule_id)});
+        }
+        audit.add_hits(run_rules_unsuppressed(source, all_rules));
+      }
     }
   }
-  std::sort(report.violations.begin(), report.violations.end(),
-            [](const Violation& a, const Violation& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  const LayeringSpec& spec = options.layering_spec != nullptr
+                                 ? *options.layering_spec
+                                 : default_layering_spec();
+  if (options.check_layering) {
+    std::vector<Violation> found = graph.check_layering(spec);
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(found.begin()),
+                             std::make_move_iterator(found.end()));
+  }
+  if (options.check_cycles) {
+    std::vector<Violation> found = graph.check_cycles();
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(found.begin()),
+                             std::make_move_iterator(found.end()));
+  }
+  if (options.audit_waivers) {
+    audit.add_hits(graph.check_layering(spec, /*honor_waivers=*/false));
+    audit.add_hits(graph.check_cycles(/*honor_waivers=*/false));
+    std::vector<Violation> found = audit_findings(audit);
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(found.begin()),
+                             std::make_move_iterator(found.end()));
+  }
+  sort_report(report.violations);
   return report;
 }
 

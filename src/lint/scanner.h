@@ -1,5 +1,6 @@
 // Filesystem driver for tgi-lint: walks the repo tree, feeds each C++
-// source file through the rule set, and aggregates the violations.
+// source file through the rule set, accumulates the module include graph,
+// and aggregates the violations from every pass.
 #pragma once
 
 #include <cstddef>
@@ -7,17 +8,31 @@
 #include <string>
 #include <vector>
 
+#include "lint/include_graph.h"
 #include "lint/rules.h"
 
 namespace tgi::lint {
 
-/// Which parts of the repository to scan.
+/// Which parts of the repository to scan and which passes to run.
 struct ScanOptions {
   /// Top-level directories under the repo root to walk, in order.
   std::vector<std::string> subdirs = {"src", "tools", "bench", "examples",
                                       "tests"};
   /// File extensions treated as C++ sources.
   std::vector<std::string> extensions = {".h", ".hpp", ".cpp", ".cc"};
+  /// Run the include-graph layering check over src/ (`layering-violation`).
+  bool check_layering = true;
+  /// Run the include-graph cycle check over src/ (`include-cycle`).
+  bool check_cycles = true;
+  /// Audit `tgi-lint: allow(...)` markers: report `unknown-waiver` for
+  /// markers naming a rule id that does not exist and `stale-waiver` for
+  /// markers that suppress no violation on their line. The audit always
+  /// measures against the FULL rule set and both graph passes (independent
+  /// of any rules= subset), and audit findings are themselves unwaivable.
+  bool audit_waivers = false;
+  /// Layering spec for the graph pass; nullptr means the checked-in
+  /// default_layering_spec().
+  const LayeringSpec* layering_spec = nullptr;
 };
 
 /// Result of one tree scan.
@@ -28,13 +43,16 @@ struct ScanReport {
   [[nodiscard]] bool clean() const { return violations.empty(); }
 };
 
-/// Reads and lints one file on disk. `repo_relative` is the path recorded in
-/// violations and used to classify the file; `on_disk` is where to read it.
+/// Reads and lints one file on disk with the per-file rules only. The
+/// graph passes need the whole tree and live in scan_tree. `repo_relative`
+/// is the path recorded in violations and used to classify the file;
+/// `on_disk` is where to read it.
 std::vector<Violation> scan_file(const std::filesystem::path& on_disk,
                                  const std::string& repo_relative,
                                  const RuleSet& rules);
 
-/// Walks `root`'s configured subdirectories and lints every matching file.
+/// Walks `root`'s configured subdirectories, lints every matching file,
+/// then runs the enabled whole-tree passes (include graph, waiver audit).
 /// Missing subdirectories are skipped (a repo need not have examples/).
 /// Throws PreconditionError if `root` itself does not exist.
 ScanReport scan_tree(const std::filesystem::path& root,

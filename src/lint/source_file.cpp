@@ -1,5 +1,7 @@
 #include "lint/source_file.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace tgi::lint {
@@ -51,7 +53,15 @@ FileKind classify_path(std::string_view path) {
   return FileKind::kOther;
 }
 
-std::vector<std::string> strip_comments_and_strings(std::string_view text) {
+namespace {
+
+/// Both stripped shadows, computed in one pass so they stay aligned.
+struct StrippedViews {
+  std::vector<std::string> code;      // comments + literals blanked
+  std::vector<std::string> comments;  // only comment interiors survive
+};
+
+StrippedViews strip_views(std::string_view text) {
   // Single forward pass with a small state machine. Stripped characters are
   // replaced by spaces so every surviving token keeps its line and column.
   enum class State {
@@ -63,10 +73,22 @@ std::vector<std::string> strip_comments_and_strings(std::string_view text) {
     kRawString,
   };
 
-  std::vector<std::string> lines;
-  std::string current;
+  StrippedViews views;
+  std::string code_line;
+  std::string comment_line;
   State state = State::kCode;
   std::string raw_delim;  // delimiter of an active R"delim( ... )delim"
+
+  // Emits `count` characters: `c` into the code view and a space into the
+  // comment view (or the reverse when `to_comment` is set).
+  const auto put = [&](char c, bool to_comment = false) {
+    code_line += to_comment ? ' ' : c;
+    comment_line += to_comment ? c : ' ';
+  };
+  const auto put_blank = [&](std::size_t count) {
+    code_line.append(count, ' ');
+    comment_line.append(count, ' ');
+  };
 
   const std::size_t n = text.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -76,8 +98,10 @@ std::vector<std::string> strip_comments_and_strings(std::string_view text) {
     if (c == '\n') {
       // Newlines always advance the line; a line comment ends here.
       if (state == State::kLineComment) state = State::kCode;
-      lines.push_back(current);
-      current.clear();
+      views.code.push_back(code_line);
+      views.comments.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
       continue;
     }
 
@@ -85,11 +109,11 @@ std::vector<std::string> strip_comments_and_strings(std::string_view text) {
       case State::kCode:
         if (c == '/' && next == '/') {
           state = State::kLineComment;
-          current += "  ";
+          put_blank(2);
           ++i;
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
-          current += "  ";
+          put_blank(2);
           ++i;
         } else if (c == 'R' && next == '"') {
           // Possible raw string literal: R"delim( ... )delim". Collect the
@@ -104,57 +128,57 @@ std::vector<std::string> strip_comments_and_strings(std::string_view text) {
           if (j < n && text[j] == '(') {
             state = State::kRawString;
             raw_delim = delim;
-            current.append(j - i + 1, ' ');
+            put_blank(j - i + 1);
             i = j;
           } else {
-            current += c;  // not actually a raw string prefix
+            put(c);  // not actually a raw string prefix
           }
         } else if (c == '"') {
           state = State::kString;
-          current += ' ';
+          put_blank(1);
         } else if (c == '\'') {
           state = State::kChar;
-          current += ' ';
+          put_blank(1);
         } else {
-          current += c;
+          put(c);
         }
         break;
 
       case State::kLineComment:
-        current += ' ';
+        put(c, /*to_comment=*/true);
         break;
 
       case State::kBlockComment:
         if (c == '*' && next == '/') {
           state = State::kCode;
-          current += "  ";
+          put_blank(2);
           ++i;
         } else {
-          current += ' ';
+          put(c, /*to_comment=*/true);
         }
         break;
 
       case State::kString:
         if (c == '\\') {
-          current += "  ";
+          put_blank(2);
           ++i;
         } else if (c == '"') {
           state = State::kCode;
-          current += ' ';
+          put_blank(1);
         } else {
-          current += ' ';
+          put_blank(1);
         }
         break;
 
       case State::kChar:
         if (c == '\\') {
-          current += "  ";
+          put_blank(2);
           ++i;
         } else if (c == '\'') {
           state = State::kCode;
-          current += ' ';
+          put_blank(1);
         } else {
-          current += ' ';
+          put_blank(1);
         }
         break;
 
@@ -162,18 +186,29 @@ std::vector<std::string> strip_comments_and_strings(std::string_view text) {
         // Terminator is )delim" — check for it starting at i.
         const std::string terminator = ")" + raw_delim + "\"";
         if (text.substr(i, terminator.size()) == terminator) {
-          current.append(terminator.size(), ' ');
+          put_blank(terminator.size());
           i += terminator.size() - 1;
           state = State::kCode;
         } else {
-          current += ' ';
+          put_blank(1);
         }
         break;
       }
     }
   }
-  lines.push_back(current);
-  return lines;
+  views.code.push_back(code_line);
+  views.comments.push_back(comment_line);
+  return views;
+}
+
+}  // namespace
+
+std::vector<std::string> strip_comments_and_strings(std::string_view text) {
+  return strip_views(text).code;
+}
+
+std::vector<std::string> comment_lines(std::string_view text) {
+  return strip_views(text).comments;
 }
 
 SourceFile make_source_file(std::string path, std::string_view content) {
@@ -181,7 +216,9 @@ SourceFile make_source_file(std::string path, std::string_view content) {
   SourceFile file;
   file.kind = classify_path(path);
   file.path = std::move(path);
-  file.code = strip_comments_and_strings(content);
+  StrippedViews views = strip_views(content);
+  file.code = std::move(views.code);
+  file.comments = std::move(views.comments);
   file.raw.reserve(file.code.size());
   std::size_t start = 0;
   for (std::size_t i = 0; i <= content.size(); ++i) {
@@ -193,12 +230,50 @@ SourceFile make_source_file(std::string path, std::string_view content) {
   TGI_CHECK(file.raw.size() == file.code.size(),
             "raw/code line counts diverged: " << file.raw.size() << " vs "
                                               << file.code.size());
+  file.line_starts.reserve(file.code.size());
+  for (const std::string& line : file.code) {
+    file.line_starts.push_back(file.flat.size());
+    file.flat += line;
+    file.flat += '\n';
+  }
+  if (!file.flat.empty()) file.flat.pop_back();  // no trailing separator
   return file;
 }
 
-bool line_is_suppressed(std::string_view raw_line, std::string_view rule_id) {
+std::size_t line_at_offset(const SourceFile& file, std::size_t offset) {
+  TGI_CHECK(!file.line_starts.empty(), "SourceFile has no lines");
+  const auto it = std::upper_bound(file.line_starts.begin(),
+                                  file.line_starts.end(), offset);
+  return static_cast<std::size_t>(it - file.line_starts.begin());
+}
+
+bool line_is_suppressed(std::string_view line, std::string_view rule_id) {
   const std::string marker = "tgi-lint: allow(" + std::string(rule_id) + ")";
-  return raw_line.find(marker) != std::string_view::npos;
+  return line.find(marker) != std::string_view::npos;
+}
+
+std::vector<WaiverMarker> collect_waivers(const SourceFile& file) {
+  static constexpr std::string_view kPrefix = "tgi-lint: allow(";
+  std::vector<WaiverMarker> found;
+  for (std::size_t i = 0; i < file.comments.size(); ++i) {
+    const std::string& line = file.comments[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kPrefix, pos)) != std::string::npos) {
+      std::size_t j = pos + kPrefix.size();
+      std::string id;
+      while (j < line.size() &&
+             ((line[j] >= 'a' && line[j] <= 'z') ||
+              (line[j] >= '0' && line[j] <= '9') || line[j] == '-')) {
+        id += line[j];
+        ++j;
+      }
+      if (!id.empty() && j < line.size() && line[j] == ')') {
+        found.push_back(WaiverMarker{i + 1, std::move(id)});
+      }
+      pos += kPrefix.size();
+    }
+  }
+  return found;
 }
 
 }  // namespace tgi::lint

@@ -7,8 +7,19 @@
 // ordinary CTest test. The one piece of real lexing we do is comment and
 // string-literal stripping, so that rule matchers never fire on prose or on
 // quoted example code.
+//
+// Three aligned views of every file are kept:
+//   raw      — the bytes as written (include parsing, diagnostics);
+//   code     — comments and string/char literals blanked to spaces
+//              (token matching), also joined into `flat`, the cross-line
+//              token stream the multi-line determinism rules scan;
+//   comments — ONLY comment interiors survive (everything else blanked).
+//              Suppression markers and the waiver audit read this view, so
+//              a `tgi-lint: allow(...)` quoted inside a string literal is
+//              never mistaken for a real waiver.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,19 +51,25 @@ FileKind classify_path(std::string_view repo_relative_path);
   return kind == FileKind::kLibraryHeader || kind == FileKind::kLibrarySource;
 }
 
-/// One source file split into lines, with a comment/string-stripped shadow
-/// copy for token-level matching.
+/// One source file split into lines, with comment/string-stripped shadow
+/// copies for token-level and cross-line matching.
 struct SourceFile {
   std::string path;  // repo-relative, '/'-separated
   FileKind kind = FileKind::kOther;
   std::vector<std::string> raw;   // lines as written (for include rules,
-                                  // suppression markers, diagnostics)
+                                  // diagnostics)
   std::vector<std::string> code;  // same lines with comments and string /
                                   // character literals blanked to spaces
+  std::vector<std::string> comments;  // only comment interiors survive;
+                                      // code and literals blanked (waiver
+                                      // markers live here)
+  std::string flat;  // `code` joined with '\n' — the cross-line token
+                     // stream the multi-line determinism rules scan
+  std::vector<std::size_t> line_starts;  // flat offset of each line's start
 };
 
 /// Builds a SourceFile from in-memory content: splits lines, classifies the
-/// path, and computes the stripped shadow. This is the seam the unit tests
+/// path, and computes the stripped shadows. This is the seam the unit tests
 /// use — no filesystem involved.
 SourceFile make_source_file(std::string path, std::string_view content);
 
@@ -61,8 +78,29 @@ SourceFile make_source_file(std::string path, std::string_view content);
 /// positions. Exposed for direct testing.
 std::vector<std::string> strip_comments_and_strings(std::string_view content);
 
-/// True when the raw line carries a `tgi-lint: allow(<rule-id>)` marker for
-/// the given rule, which suppresses violations reported on that line.
-bool line_is_suppressed(std::string_view raw_line, std::string_view rule_id);
+/// The complementary view: only comment interiors survive; code and
+/// string/char literals are blanked to spaces. Line/column aligned with
+/// `strip_comments_and_strings`.
+std::vector<std::string> comment_lines(std::string_view content);
+
+/// 1-based line number of byte `offset` within `file.flat`. Offsets at or
+/// past the end map to the last line.
+std::size_t line_at_offset(const SourceFile& file, std::size_t offset);
+
+/// True when the line carries a `tgi-lint: allow(<rule-id>)` marker for
+/// the given rule. `run_rules` feeds it the `comments` view, so markers
+/// quoted inside string literals never suppress anything.
+bool line_is_suppressed(std::string_view line, std::string_view rule_id);
+
+/// One `tgi-lint: allow(<id>)` marker found in a file's comments.
+struct WaiverMarker {
+  std::size_t line = 0;  // 1-based
+  std::string rule_id;
+};
+
+/// Every well-formed waiver marker in `file.comments`, in line order.
+/// Ids are lowercase [a-z0-9-] words; documentation placeholders like
+/// `allow(<rule-id>)` are not markers and are skipped.
+std::vector<WaiverMarker> collect_waivers(const SourceFile& file);
 
 }  // namespace tgi::lint

@@ -43,8 +43,8 @@ void atomic_write_file(const std::string& path, std::string_view content) {
   TGI_REQUIRE(!path.empty(), "atomic_write_file: empty path");
   const std::string temp = atomic_temp_path(path);
   {
-    // tgi-lint: allow(nonatomic-output-write) — this IS the atomic writer;
-    // the ofstream targets the staging path, never the destination.
+    // This IS the atomic writer; the ofstream targets the staging path,
+    // never the destination.
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) {
       throw TgiError("atomic_write_file: cannot open staging file '" + temp +

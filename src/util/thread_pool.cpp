@@ -5,7 +5,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
-#include <thread>  // tgi-lint: allow(raw-thread)
+#include <thread>
 
 #include "util/error.h"
 
@@ -25,7 +25,7 @@ struct ThreadPool::State {
   bool stopping = false;
   std::exception_ptr first_error;
   TaskHook task_hook;  // immutable after first submit; read without lock
-  std::vector<std::jthread> workers;  // tgi-lint: allow(raw-thread)
+  std::vector<std::jthread> workers;
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -63,7 +63,13 @@ ThreadPool::ThreadPool(std::size_t threads)
       }
       {
         std::unique_lock lock(state.mutex);
-        if (error && !state.first_error) state.first_error = error;
+        // Transfer (or drop) the worker's exception reference while holding
+        // the mutex: the exception object must never be destroyed on this
+        // thread after wait() rethrows it on another, and libstdc++'s
+        // exception_ptr refcounting is not a synchronization point TSan can
+        // see — the mutex is.
+        if (error && !state.first_error) state.first_error = std::move(error);
+        error = nullptr;
         --state.in_flight;
         if (state.queue.empty() && state.in_flight == 0) {
           state.idle.notify_all();

@@ -1,0 +1,217 @@
+// Include-graph pass: module attribution, spec parsing, and the two
+// whole-graph rules over synthetic in-memory trees.
+#include "lint/include_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::lint {
+namespace {
+
+/// Feeds in-memory files (path, content) through the real collection path.
+IncludeGraph graph_of(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  IncludeGraph graph;
+  for (const auto& [path, content] : files) {
+    graph.add_file(make_source_file(path, content));
+  }
+  return graph;
+}
+
+TEST(ModuleOfPath, FirstSegmentUnderSrc) {
+  EXPECT_EQ(module_of_path("src/util/rng.h"), "util");
+  EXPECT_EQ(module_of_path("src/harness/sub/dir.cpp"), "harness");
+  EXPECT_EQ(module_of_path("tools/tgi_lint.cpp"), "");
+  EXPECT_EQ(module_of_path("tests/lint/t.cpp"), "");
+  EXPECT_EQ(module_of_path("src/loose_file.h"), "");
+}
+
+TEST(CollectIncludes, ParsesQuotedModuleIncludesOnly) {
+  const SourceFile file = make_source_file(
+      "src/sim/simulator.cpp",
+      "#include \"sim/simulator.h\"\n"       // intra-module: skipped
+      "#include <vector>\n"                  // system: skipped
+      "#include \"util/rng.h\"\n"            // edge sim -> util
+      "  #  include \"power/meter.h\"\n"     // whitespace forms parse
+      "#include \"../util/old.h\"\n"         // relative-include owns this
+      "// #include \"core/tgi.h\"\n"         // commented out — still a
+                                             // parsed raw line by design?
+      "#include \"loose.h\"\n");             // no module segment: skipped
+  const auto edges = collect_includes(file);
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from_module, "sim");
+  EXPECT_EQ(edges[0].to_module, "util");
+  EXPECT_EQ(edges[0].line, 3u);
+  EXPECT_EQ(edges[1].to_module, "power");
+  EXPECT_EQ(edges[1].line, 4u);
+}
+
+TEST(CollectIncludes, WaiverFlagsComeFromTheCommentView) {
+  const SourceFile file = make_source_file(
+      "src/util/x.cpp",
+      "#include \"harness/a.h\"  // tgi-lint: allow(layering-violation)\n"
+      "#include \"harness/b.h\"\n");
+  const auto edges = collect_includes(file);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].waived_layering);
+  EXPECT_FALSE(edges[0].waived_cycle);
+  EXPECT_FALSE(edges[1].waived_layering);
+}
+
+TEST(LayeringSpec, ParsesLayersAndOnlyPins) {
+  const LayeringSpec spec = LayeringSpec::parse(
+      "# comment\n"
+      "layer base\n"
+      "layer mid1 mid2\n"
+      "layer top\n"
+      "only top: base\n");
+  EXPECT_EQ(spec.layer_of("base"), 0u);
+  EXPECT_EQ(spec.layer_of("mid1"), 1u);
+  EXPECT_EQ(spec.layer_of("mid2"), 1u);
+  EXPECT_EQ(spec.layer_of("top"), 2u);
+  EXPECT_EQ(spec.layer_of("absent"), LayeringSpec::npos);
+  ASSERT_NE(spec.only_deps("top"), nullptr);
+  EXPECT_EQ(spec.only_deps("top")->count("base"), 1u);
+  EXPECT_EQ(spec.only_deps("base"), nullptr);
+  EXPECT_EQ(spec.modules().size(), 4u);
+}
+
+TEST(LayeringSpec, RejectsMalformedSpecs) {
+  using util::PreconditionError;
+  EXPECT_THROW(LayeringSpec::parse(""), PreconditionError);
+  EXPECT_THROW(LayeringSpec::parse("layer\n"), PreconditionError);
+  EXPECT_THROW(LayeringSpec::parse("layer a\nlayer a\n"), PreconditionError);
+  EXPECT_THROW(LayeringSpec::parse("tier a\n"), PreconditionError);
+  EXPECT_THROW(LayeringSpec::parse("layer a\nonly b: a\n"),
+               PreconditionError);
+  EXPECT_THROW(LayeringSpec::parse("layer a b\nonly b: ghost\n"),
+               PreconditionError);
+}
+
+TEST(DefaultSpec, MatchesTheDocumentedModuleMap) {
+  const LayeringSpec& spec = default_layering_spec();
+  EXPECT_EQ(spec.layer_of("util"), 0u);
+  EXPECT_LT(spec.layer_of("util"), spec.layer_of("stats"));
+  EXPECT_LT(spec.layer_of("stats"), spec.layer_of("power"));
+  EXPECT_EQ(spec.layer_of("power"), spec.layer_of("obs"));
+  EXPECT_LT(spec.layer_of("fs"), spec.layer_of("sim"));
+  EXPECT_LT(spec.layer_of("sim"), spec.layer_of("kernels"));
+  EXPECT_LT(spec.layer_of("kernels"), spec.layer_of("core"));
+  EXPECT_LT(spec.layer_of("core"), spec.layer_of("harness"));
+  EXPECT_LT(spec.layer_of("harness"), spec.layer_of("lint"));
+  ASSERT_NE(spec.only_deps("lint"), nullptr);
+  EXPECT_EQ(spec.only_deps("lint")->size(), 1u);
+  EXPECT_EQ(spec.only_deps("lint")->count("util"), 1u);
+}
+
+TEST(CheckLayering, CleanDagPasses) {
+  const auto graph = graph_of({
+      {"src/util/a.h", "int a();\n"},
+      {"src/sim/b.h", "#include \"util/a.h\"\n"},
+      {"src/harness/c.h", "#include \"sim/b.h\"\n#include \"util/a.h\"\n"},
+  });
+  EXPECT_TRUE(graph.check_layering(default_layering_spec()).empty());
+  EXPECT_TRUE(graph.check_cycles().empty());
+}
+
+TEST(CheckLayering, FlagsUpwardSidewaysUnknownAndPinBreaches) {
+  const LayeringSpec spec = LayeringSpec::parse(
+      "layer base\nlayer mid1 mid2\nlayer top\nonly top: base\n");
+  IncludeGraph graph;
+  const auto edge = [](const char* from, const char* to, const char* file,
+                       std::size_t line) {
+    IncludeEdge e;
+    e.from_module = from;
+    e.to_module = to;
+    e.file = file;
+    e.line = line;
+    return e;
+  };
+  graph.add_edge(edge("base", "mid1", "src/base/up.h", 1));     // upward
+  graph.add_edge(edge("mid1", "mid2", "src/mid1/side.h", 2));   // sideways
+  graph.add_edge(edge("mid1", "ghost", "src/mid1/ghost.h", 3)); // unknown to
+  graph.add_edge(edge("alien", "base", "src/alien/a.h", 4));    // unknown from
+  graph.add_edge(edge("top", "mid1", "src/top/pin.h", 5));      // outside pin
+  graph.add_edge(edge("mid2", "base", "src/mid2/ok.h", 6));     // fine
+  const auto violations = graph.check_layering(spec);
+  ASSERT_EQ(violations.size(), 5u);
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.rule, "layering-violation");
+  }
+  EXPECT_EQ(violations[0].file, "src/alien/a.h");
+  EXPECT_NE(violations[1].message.find("strictly lower"), std::string::npos);
+  EXPECT_NE(violations[2].message.find("ghost"), std::string::npos);
+  EXPECT_NE(violations[4].message.find("`only` pin"), std::string::npos);
+}
+
+TEST(CheckCycles, FlagsTwoAndThreeCyclesOnce) {
+  const auto graph = graph_of({
+      {"src/core/a.h", "#include \"harness/b.h\"\n"},
+      {"src/harness/b.h", "#include \"core/a.h\"\n"},
+  });
+  const auto violations = graph.check_cycles();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "include-cycle");
+  // Anchored at the smallest (file, line) edge on the cycle.
+  EXPECT_EQ(violations[0].file, "src/core/a.h");
+  EXPECT_NE(violations[0].message.find("core -> harness -> core"),
+            std::string::npos);
+
+  const auto tri = graph_of({
+      {"src/sim/a.h", "#include \"power/b.h\"\n"},
+      {"src/power/b.h", "#include \"net/c.h\"\n"},
+      {"src/net/c.h", "#include \"sim/a.h\"\n"},
+  });
+  const auto tri_violations = tri.check_cycles();
+  ASSERT_EQ(tri_violations.size(), 1u);
+  EXPECT_NE(tri_violations[0].message.find("net -> sim -> power -> net"),
+            std::string::npos);
+}
+
+TEST(CheckCycles, SelfContainedDagReportsNothing) {
+  const auto graph = graph_of({
+      {"src/sim/a.h", "#include \"util/u.h\"\n#include \"power/p.h\"\n"},
+      {"src/power/p.h", "#include \"util/u.h\"\n"},
+  });
+  EXPECT_TRUE(graph.check_cycles().empty());
+}
+
+TEST(Waivers, LayeringWaiverSkipsOnlyThatEdge) {
+  const auto graph = graph_of({
+      {"src/util/a.cpp",
+       "#include \"harness/h.h\"  // tgi-lint: allow(layering-violation)\n"
+       "#include \"harness/i.h\"\n"},
+  });
+  const auto honored = graph.check_layering(default_layering_spec());
+  ASSERT_EQ(honored.size(), 1u);
+  EXPECT_EQ(honored[0].line, 2u);
+  // The audit's raw view sees both.
+  const auto raw =
+      graph.check_layering(default_layering_spec(), /*honor_waivers=*/false);
+  EXPECT_EQ(raw.size(), 2u);
+}
+
+TEST(Waivers, CycleSkippedOnlyWhenEveryEdgeIsWaived) {
+  const auto half = graph_of({
+      {"src/core/a.h",
+       "#include \"harness/b.h\"  // tgi-lint: allow(include-cycle)\n"},
+      {"src/harness/b.h", "#include \"core/a.h\"\n"},
+  });
+  EXPECT_EQ(half.check_cycles().size(), 1u);
+  const auto full = graph_of({
+      {"src/core/a.h",
+       "#include \"harness/b.h\"  // tgi-lint: allow(include-cycle)\n"},
+      {"src/harness/b.h",
+       "#include \"core/a.h\"  // tgi-lint: allow(include-cycle)\n"},
+  });
+  EXPECT_TRUE(full.check_cycles().empty());
+  EXPECT_EQ(full.check_cycles(/*honor_waivers=*/false).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tgi::lint

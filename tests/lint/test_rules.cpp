@@ -303,6 +303,183 @@ TEST(NonatomicOutputWrite, AllowMarkerWaivesAppendJournals) {
       "nonatomic-output-write"));
 }
 
+// --- unordered-iteration-in-output ----------------------------------------
+
+TEST(UnorderedIteration, FlagsRangeForOverUnorderedContainers) {
+  const std::string content =
+      "#include <unordered_map>\n"
+      "std::unordered_map<std::string, double> totals;\n"
+      "void emit() {\n"
+      "  for (const auto& [k, v] : totals) {\n"
+      "    write_row(k, v);\n"
+      "  }\n"
+      "}\n";
+  const auto vs = lint("src/harness/report.cpp", content);
+  ASSERT_TRUE(has_rule(vs, "unordered-iteration-in-output"));
+}
+
+TEST(UnorderedIteration, MatchesAcrossLineBreaks) {
+  const std::string content =
+      "std::unordered_set<int>\n"
+      "    seen;\n"
+      "void dump() {\n"
+      "  for (const int v\n"
+      "       : seen) {\n"
+      "    out(v);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint("src/obs/metrics.cpp", content),
+                       "unordered-iteration-in-output"));
+}
+
+TEST(UnorderedIteration, OrderedContainersClassicForsAndOtherLayersPass) {
+  // Ordered containers are the sanctioned fix.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/r.cpp",
+           "std::map<int, int> m;\nvoid f() { for (auto& [k, v] : m) g(k); }\n"),
+      "unordered-iteration-in-output"));
+  // A classic three-clause for over anything is fine.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/r.cpp",
+           "std::unordered_map<int, int> m;\n"
+           "void f() { for (int i = 0; i < 3; ++i) g(i); }\n"),
+      "unordered-iteration-in-output"));
+  // sim/ does not emit artifacts directly; out of scope.
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp",
+           "std::unordered_map<int, int> m;\n"
+           "void f() { for (auto& [k, v] : m) g(k); }\n"),
+      "unordered-iteration-in-output"));
+}
+
+TEST(UnorderedIteration, AllowMarkerWaivesOnTheReportedLineOnly) {
+  // A marker on the preceding line does not waive: suppression is per-line.
+  const std::string preceding =
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  // tgi-lint: allow(unordered-iteration-in-output)\n"
+      "  for (auto& [k, v] : m) accumulate(k, v);\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint("src/core/agg.cpp", preceding),
+                       "unordered-iteration-in-output"));
+  // Marker must sit on the line the violation is reported at (the `for`).
+  const std::string waived =
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  for (auto& [k, v] :  // tgi-lint: allow(unordered-iteration-in-output)\n"
+      "       m) {\n"
+      "    accumulate(k, v);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint("src/core/agg.cpp", waived),
+                        "unordered-iteration-in-output"));
+}
+
+// --- wall-clock-in-deterministic-path -------------------------------------
+
+TEST(WallClock, FlagsClockReadsInLibraryAndTools) {
+  EXPECT_TRUE(has_rule(
+      lint("src/sim/s.cpp", "auto t = std::chrono::steady_clock::now();\n"),
+      "wall-clock-in-deterministic-path"));
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/h.cpp",
+           "auto t = std::chrono::high_resolution_clock::now();\n"),
+      "wall-clock-in-deterministic-path"));
+  EXPECT_TRUE(has_rule(lint("tools/t.cpp", "time_t now = time(nullptr);\n"),
+                       "wall-clock-in-deterministic-path"));
+  EXPECT_TRUE(has_rule(
+      lint("src/obs/trace.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);\n"),
+      "wall-clock-in-deterministic-path"));
+}
+
+TEST(WallClock, QuarantinedHomesOtherDirsAndNonClockTimePass) {
+  // The two documented wall-clock homes.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/thread_pool.cpp", "std::chrono::steady_clock::now();\n"),
+      "wall-clock-in-deterministic-path"));
+  EXPECT_FALSE(has_rule(
+      lint("src/obs/profile.cpp", "std::chrono::steady_clock::now();\n"),
+      "wall-clock-in-deterministic-path"));
+  // bench/tests time things on purpose.
+  EXPECT_FALSE(has_rule(
+      lint("bench/micro.cpp", "std::chrono::steady_clock::now();\n"),
+      "wall-clock-in-deterministic-path"));
+  // `time` as part of a longer identifier, and simulated-time APIs.
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "double sim_time(const State& s);\n"),
+      "wall-clock-in-deterministic-path"));
+  EXPECT_FALSE(has_rule(lint("src/sim/s.cpp", "// time() is banned here\n"),
+                        "wall-clock-in-deterministic-path"));
+}
+
+TEST(WallClock, AllowMarkerWaivesNativeTimingHomes) {
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp",
+           "using wall = std::chrono::steady_clock;  "
+           "// tgi-lint: allow(wall-clock-in-deterministic-path)\n"),
+      "wall-clock-in-deterministic-path"));
+}
+
+// --- ref-capture-in-parallel-task -----------------------------------------
+
+TEST(RefCapture, FlagsDefaultRefLambdaPassedToParallelPrimitives) {
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/p.cpp", "pool.submit([&] { work(i); });\n"),
+      "ref-capture-in-parallel-task"));
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/p.cpp",
+           "util::parallel_map(pool, n, [&, k](std::size_t i) { f(i, k); });\n"),
+      "ref-capture-in-parallel-task"));
+}
+
+TEST(RefCapture, MatchesAcrossLineBreaksAndBoundNames) {
+  // The introducer and the call on different lines.
+  const std::string wrapped =
+      "util::parallel_for(pool, count,\n"
+      "                   [&](std::size_t i) {\n"
+      "                     run(i);\n"
+      "                   });\n";
+  EXPECT_TRUE(has_rule(lint("src/harness/p.cpp", wrapped),
+                       "ref-capture-in-parallel-task"));
+  // Two-step form: the lambda is bound to a name first.
+  const std::string bound =
+      "const auto job = [&](std::size_t i) { run(i); };\n"
+      "util::parallel_for(pool, count, job);\n";
+  EXPECT_TRUE(has_rule(lint("src/harness/p.cpp", bound),
+                       "ref-capture-in-parallel-task"));
+}
+
+TEST(RefCapture, ExplicitCapturesOtherCallsAndThreadPoolHomePass) {
+  // Explicit capture lists are the sanctioned style.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/p.cpp",
+           "pool.submit([&results, k] { results[k] = f(k); });\n"),
+      "ref-capture-in-parallel-task"));
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/p.cpp",
+           "const auto job = [this, &out](std::size_t i) { out[i] = g(i); };\n"
+           "util::parallel_for(pool, n, job);\n"),
+      "ref-capture-in-parallel-task"));
+  // [&] outside a parallel primitive is ordinary C++.
+  EXPECT_FALSE(has_rule(
+      lint("src/harness/p.cpp", "std::sort(v.begin(), v.end(), [&](int a, int b)"
+                                " { return key[a] < key[b]; });\n"),
+      "ref-capture-in-parallel-task"));
+  // The primitives' own implementation is exempt.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/thread_pool.h", "submit([&] { drain(); });\n"),
+      "ref-capture-in-parallel-task"));
+}
+
+TEST(RefCapture, AllowMarkerWaives) {
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp",
+           "pool.submit([&, t] {  // tgi-lint: allow(ref-capture-in-parallel-task)\n"
+           "  body(t);\n"
+           "});\n"),
+      "ref-capture-in-parallel-task"));
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(RuleSet, FormatViolationMatchesPromisedShape) {
@@ -312,10 +489,29 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 11u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }
+}
+
+TEST(RuleSet, CatalogCoversPerFileGraphAndAuditRules) {
+  const std::vector<RuleInfo> catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 15u);  // 11 per-file + 2 graph + 2 audit
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].id, catalog[i].id);
+  }
+  const auto has = [&](std::string_view id) {
+    for (const RuleInfo& info : catalog) {
+      if (info.id == id) return true;
+    }
+    return false;
+  };
+  for (const auto& rule : default_rules()) EXPECT_TRUE(has(rule->id()));
+  EXPECT_TRUE(has("include-cycle"));
+  EXPECT_TRUE(has("layering-violation"));
+  EXPECT_TRUE(has("stale-waiver"));
+  EXPECT_TRUE(has("unknown-waiver"));
 }
 
 TEST(RuleSet, RulesByIdSelectsSubsetAndRejectsUnknown) {
@@ -323,6 +519,15 @@ TEST(RuleSet, RulesByIdSelectsSubsetAndRejectsUnknown) {
   ASSERT_EQ(one.size(), 1u);
   EXPECT_EQ(one[0]->id(), "banned-random");
   EXPECT_THROW(rules_by_id({"no-such-rule"}), util::PreconditionError);
+  // The error names every valid id so typos are self-diagnosing.
+  try {
+    rules_by_id({"no-such-rule"});
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("banned-random"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("layering-violation"),
+              std::string::npos);
+  }
 }
 
 TEST(RuleSet, AllowMarkerSuppressesOnlyThatLineAndRule) {
@@ -332,6 +537,24 @@ TEST(RuleSet, AllowMarkerSuppressesOnlyThatLineAndRule) {
   const auto vs = lint("src/sim/x.cpp", content);
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(RuleSet, MarkerQuotedInStringLiteralIsInert) {
+  // The marker text lives in a string literal, not a comment — it must not
+  // suppress the real violation on the same line.
+  const std::string content =
+      "std::mt19937 a; f(\"// tgi-lint: allow(banned-random)\");\n";
+  EXPECT_TRUE(has_rule(lint("src/sim/x.cpp", content), "banned-random"));
+}
+
+TEST(RuleSet, RunRulesUnsuppressedIgnoresMarkers) {
+  const std::string content =
+      "std::mt19937 a;  // tgi-lint: allow(banned-random)\n";
+  const SourceFile file = make_source_file("src/sim/x.cpp", content);
+  EXPECT_TRUE(run_rules(file, default_rules()).empty());
+  const auto raw = run_rules_unsuppressed(file, default_rules());
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].rule, "banned-random");
 }
 
 TEST(RuleSet, ViolationsSortedByLineThenRule) {

@@ -100,5 +100,89 @@ TEST_F(ScannerTest, ScanFileUsesTheRecordedRelativePath) {
   EXPECT_EQ(violations[0].line, 1u);
 }
 
+// --- include-graph passes through the scanner -----------------------------
+
+TEST_F(ScannerTest, LayeringViolationSurfacesFromTheWalk) {
+  // util (layer 0) reaching up into harness is the canonical breach.
+  write("src/util/bad.cpp", "#include \"harness/suite.h\"\nint x;\n");
+  write("src/harness/suite.h", "int suite();\n");
+  const ScanReport report = scan_tree(root_, ScanOptions{}, default_rules());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "layering-violation");
+  EXPECT_EQ(report.violations[0].file, "src/util/bad.cpp");
+  EXPECT_EQ(report.violations[0].line, 1u);
+}
+
+TEST_F(ScannerTest, IncludeCycleSurfacesFromTheWalk) {
+  write("src/core/a.h", "#include \"harness/b.h\"\n");
+  write("src/harness/b.h", "#include \"core/a.h\"\n");
+  ScanOptions options;
+  options.check_layering = false;  // isolate the cycle finding
+  const ScanReport report = scan_tree(root_, options, default_rules());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "include-cycle");
+  EXPECT_NE(report.violations[0].message.find("core -> harness -> core"),
+            std::string::npos);
+}
+
+TEST_F(ScannerTest, GraphPassesCanBeDisabled) {
+  write("src/util/bad.cpp", "#include \"harness/suite.h\"\n");
+  ScanOptions options;
+  options.check_layering = false;
+  options.check_cycles = false;
+  const ScanReport report = scan_tree(root_, options, default_rules());
+  EXPECT_TRUE(report.clean());
+}
+
+// --- waiver audit ---------------------------------------------------------
+
+TEST_F(ScannerTest, AuditFlagsStaleAndUnknownWaivers) {
+  write("src/sim/x.cpp",
+        "int a;  // tgi-lint: allow(banned-random)\n"          // stale
+        "int b;  // tgi-lint: allow(not-a-rule)\n"             // unknown
+        "std::mt19937 g;  // tgi-lint: allow(banned-random)\n");  // live
+  ScanOptions options;
+  options.audit_waivers = true;
+  const ScanReport report = scan_tree(root_, options, default_rules());
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].rule, "stale-waiver");
+  EXPECT_EQ(report.violations[0].line, 1u);
+  EXPECT_EQ(report.violations[1].rule, "unknown-waiver");
+  EXPECT_EQ(report.violations[1].line, 2u);
+  EXPECT_NE(report.violations[1].message.find("not-a-rule"),
+            std::string::npos);
+}
+
+TEST_F(ScannerTest, AuditMeasuresAgainstTheFullRuleSet) {
+  // The waiver is live for banned-random even though the scan itself only
+  // selects assert-macro — a narrowed rules= must not mark it stale.
+  write("src/sim/x.cpp",
+        "std::mt19937 g;  // tgi-lint: allow(banned-random)\n");
+  ScanOptions options;
+  options.audit_waivers = true;
+  const ScanReport report =
+      scan_tree(root_, options, rules_by_id({"assert-macro"}));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(ScannerTest, AuditOffIgnoresMarkers) {
+  write("src/sim/x.cpp", "int a;  // tgi-lint: allow(banned-random)\n");
+  const ScanReport report = scan_tree(root_, ScanOptions{}, default_rules());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(ScannerTest, GraphWaiversAreHonoredAndAuditable) {
+  // A waived layering breach: the scan is clean, and the audit sees the
+  // marker as live (the raw pass still fires there).
+  write("src/util/bad.cpp",
+        "#include \"harness/suite.h\"  "
+        "// tgi-lint: allow(layering-violation)\n");
+  write("src/harness/suite.h", "int suite();\n");
+  ScanOptions options;
+  options.audit_waivers = true;
+  const ScanReport report = scan_tree(root_, options, default_rules());
+  EXPECT_TRUE(report.clean());
+}
+
 }  // namespace
 }  // namespace tgi::lint

@@ -103,5 +103,58 @@ TEST(Suppression, MatchesExactRuleId) {
   EXPECT_FALSE(line_is_suppressed("std::mt19937 g;", "banned-random"));
 }
 
+TEST(CommentView, KeepsOnlyCommentInteriors) {
+  const auto lines = comment_lines(
+      "int a;  // keep this\n"
+      "f(\"// not a comment\");\n"
+      "/* block\n   body */ int b;\n");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find("keep this"), std::string::npos);
+  EXPECT_EQ(lines[0].find("int a"), std::string::npos);
+  // The quoted pseudo-comment is a string literal — blanked in both views.
+  EXPECT_EQ(lines[1].find("not a comment"), std::string::npos);
+  EXPECT_NE(lines[2].find("block"), std::string::npos);
+  EXPECT_NE(lines[3].find("body"), std::string::npos);
+  EXPECT_EQ(lines[3].find("int b"), std::string::npos);
+}
+
+TEST(CommentView, AlignsWithCodeView) {
+  const std::string content = "int a;  // rand()\n";
+  const SourceFile f = make_source_file("src/x/y.cpp", content);
+  ASSERT_EQ(f.comments.size(), f.code.size());
+  EXPECT_EQ(f.comments[0].size(), f.code[0].size());
+  EXPECT_EQ(f.code[0].find("rand"), std::string::npos);
+  EXPECT_NE(f.comments[0].find("rand"), std::string::npos);
+}
+
+TEST(FlatStream, JoinsCodeLinesWithOffsets) {
+  const SourceFile f = make_source_file("src/x/y.cpp", "ab\ncd\nef");
+  EXPECT_EQ(f.flat, "ab\ncd\nef");
+  ASSERT_EQ(f.line_starts.size(), 3u);
+  EXPECT_EQ(f.line_starts[0], 0u);
+  EXPECT_EQ(f.line_starts[1], 3u);
+  EXPECT_EQ(f.line_starts[2], 6u);
+  EXPECT_EQ(line_at_offset(f, 0), 1u);
+  EXPECT_EQ(line_at_offset(f, 2), 1u);  // the separator belongs to line 1
+  EXPECT_EQ(line_at_offset(f, 3), 2u);
+  EXPECT_EQ(line_at_offset(f, 7), 3u);
+  EXPECT_EQ(line_at_offset(f, 999), 3u);  // past-the-end clamps to last
+}
+
+TEST(CollectWaivers, FindsRealMarkersOnly) {
+  const SourceFile f = make_source_file(
+      "src/x/y.cpp",
+      "std::mt19937 a;  // tgi-lint: allow(banned-random)\n"
+      "f(\"// tgi-lint: allow(raw-thread)\");\n"   // string literal: inert
+      "// waive with `tgi-lint: allow(<rule-id>)`\n"  // placeholder: inert
+      "int b;  // tgi-lint: allow(no-such-id)\n");
+  const auto waivers = collect_waivers(f);
+  ASSERT_EQ(waivers.size(), 2u);
+  EXPECT_EQ(waivers[0].line, 1u);
+  EXPECT_EQ(waivers[0].rule_id, "banned-random");
+  EXPECT_EQ(waivers[1].line, 4u);
+  EXPECT_EQ(waivers[1].rule_id, "no-such-id");
+}
+
 }  // namespace
 }  // namespace tgi::lint

@@ -5,8 +5,11 @@
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
-#   2. lint: the tgi-lint static analyzer over the whole tree, explicitly,
-#      so a broken test harness cannot mask a convention regression;
+#   2. lint: the tgi-lint static analyzer over the whole tree — per-file
+#      rules, the include-graph layering/cycle passes, and the waiver
+#      audit — explicitly, so a broken test harness cannot mask a
+#      convention regression; the machine-readable report lands in
+#      build/lint.json;
 #   3. golden: byte-diff every figure/table harness transcript against
 #      tests/data/golden/, explicitly, so silent figure drift fails even
 #      if CTest discovery ever loses the golden_* tests;
@@ -40,8 +43,8 @@ cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/8] lint: tgi-lint convention analyzer =="
-./build/tools/tgi_lint root="$ROOT"
+echo "== [2/8] lint: tgi-lint convention analyzer + waiver audit =="
+./build/tools/tgi_lint root="$ROOT" audit_waivers=1 out=build/lint.json
 
 echo "== [3/8] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'

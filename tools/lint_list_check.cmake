@@ -1,0 +1,41 @@
+# Rule-catalog check: `tgi_lint --list-rules` must match the committed
+# catalog transcript byte-for-byte, so the documented rule tables (README,
+# DESIGN.md §8) and the tool can never silently drift apart.
+#
+# An intentional catalog change (new rule, reworded description) must
+# regenerate tests/data/golden/lint_list_rules.txt via tools/regen_golden.sh
+# and update the rule tables in the docs.
+#
+# Usage:
+#   cmake -DTGI_LINT=<tool> -DGOLDEN=<golden.txt> -DOUT=<scratch.txt>
+#         -P lint_list_check.cmake
+foreach(var TGI_LINT GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "lint_list_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR
+    "rule catalog transcript ${GOLDEN} is missing — generate it with "
+    "tools/regen_golden.sh and commit it")
+endif()
+
+execute_process(
+  COMMAND "${TGI_LINT}" --list-rules
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${TGI_LINT} --list-rules exited with ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "--list-rules drifted from ${GOLDEN}\n"
+    "  actual: ${OUT}\n"
+    "  if the catalog change is intentional, run tools/regen_golden.sh "
+    "and update the rule tables in README.md and DESIGN.md §8")
+endif()

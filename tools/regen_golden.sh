@@ -18,3 +18,9 @@ for b in "${benches[@]}"; do
   "$root/$build/bench/$b" threads=2 > "$out/$b.txt"
   echo "regenerated tests/data/golden/$b.txt"
 done
+
+# The lint rule catalog is pinned the same way (lint_list_rules_golden);
+# after regenerating, keep the rule tables in README.md and DESIGN.md §8
+# in sync with it.
+"$root/$build/tools/tgi_lint" --list-rules > "$out/lint_list_rules.txt"
+echo "regenerated tests/data/golden/lint_list_rules.txt"

@@ -3,25 +3,37 @@
 // The Green Index is only as trustworthy as its measurement pipeline, and
 // the pipeline's invariants (seeded RNG everywhere, strong unit types across
 // module boundaries, throwing checks instead of assert, no stray stdout in
-// libraries) are lexical properties the compiler never sees. This tool
-// machine-checks them; it runs as a CTest test so `ctest -R lint` gates
-// every change.
+// libraries, deterministic iteration/time/capture in the sweep path, the
+// DESIGN.md §3 module layering) are properties the compiler never sees.
+// This tool machine-checks them; it runs as a CTest test so `ctest -R lint`
+// gates every change.
 //
-//   tgi_lint                       # lint the current directory
-//   tgi_lint root=/path/to/repo    # lint an explicit checkout
-//   tgi_lint rules=banned-random   # run a subset of rules
-//   tgi_lint dirs=src,tools        # restrict the directories walked
-//   tgi_lint list_rules=1          # print the rule catalog and exit
+//   tgi_lint                         # lint the current directory
+//   tgi_lint root=/path/to/repo      # lint an explicit checkout
+//   tgi_lint rules=banned-random     # run a subset of rules
+//   tgi_lint dirs=src,tools          # restrict the directories walked
+//   tgi_lint --list-rules            # print the full rule catalog and exit
+//   tgi_lint --format json           # machine-readable report on stdout
+//   tgi_lint out=build/lint.json     # also write the JSON report to a file
+//                                    # (atomically, for CI artifacts)
+//   tgi_lint --audit-waivers         # additionally flag stale/unknown
+//                                    # `tgi-lint: allow(...)` markers
 //
-// Output is one `file:line: [rule] message` per violation; exit status is
-// the number of violations clamped to 1 (0 = clean). A specific line can
-// opt out with a trailing `// tgi-lint: allow(<rule-id>)` marker.
+// `--format FMT`, `--out FILE`, `--list-rules`, and `--audit-waivers` are
+// aliases for `format=FMT`, `out=FILE`, `list_rules=1`, `audit_waivers=1`.
+//
+// Text output is one `file:line: [rule] message` per violation; exit status
+// is the number of violations clamped to 1 (0 = clean, 2 = usage error). A
+// specific line can opt out with a trailing `// tgi-lint: allow(<rule-id>)`
+// marker; the audit keeps those markers honest.
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/report.h"
 #include "lint/scanner.h"
+#include "util/atomic_file.h"
 #include "util/config.h"
 #include "util/error.h"
 
@@ -37,34 +49,90 @@ std::vector<std::string> split_list(const std::string& spec) {
   return out;
 }
 
+/// Accepts `--format FMT` / `--format=FMT` and `--out FILE` / `--out=FILE`
+/// as aliases for the `key=value` forms, plus the bare `--list-rules` and
+/// `--audit-waivers` flags. Unknown keys and unknown --flags are rejected
+/// with the full list of valid options.
+tgi::util::Config parse_args(int argc, const char* const* argv) {
+  using tgi::util::Config;
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      tokens.push_back("list_rules=1");
+      continue;
+    }
+    if (arg == "--audit-waivers") {
+      tokens.push_back("audit_waivers=1");
+      continue;
+    }
+    bool aliased = false;
+    for (const char* key : {"format", "out", "rules", "dirs", "root"}) {
+      const std::string flag = std::string("--") + key;
+      if (arg == flag && i + 1 < argc) {
+        tokens.push_back(std::string(key) + "=" + argv[++i]);
+        aliased = true;
+        break;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        tokens.push_back(std::string(key) + "=" + arg.substr(flag.size() + 1));
+        aliased = true;
+        break;
+      }
+    }
+    if (!aliased) tokens.push_back(std::move(arg));
+  }
+  std::vector<const char*> args;
+  args.push_back(argc > 0 ? argv[0] : "tgi_lint");
+  for (const std::string& t : tokens) args.push_back(t.c_str());
+  Config cfg = Config::from_args(static_cast<int>(args.size()), args.data());
+  tgi::util::require_known_keys(cfg,
+                                {"root", "rules", "dirs", "format", "out",
+                                 "list_rules", "audit_waivers"},
+                                "tgi_lint");
+  return cfg;
+}
+
 int run(int argc, char** argv) {
   using namespace tgi;
 
-  const util::Config config = util::Config::from_args(argc, argv);
-
-  lint::RuleSet rules = config.has("rules")
-                            ? lint::rules_by_id(split_list(*config.get("rules")))
-                            : lint::default_rules();
+  const util::Config config = parse_args(argc, argv);
 
   if (config.get_bool("list_rules", false)) {
-    for (const auto& rule : rules) {
-      std::cout << rule->id() << "  " << rule->description() << "\n";
+    for (const lint::RuleInfo& info : lint::rule_catalog()) {
+      std::cout << info.id << "  " << info.description << "\n";
     }
     return 0;
   }
 
+  const std::string format = config.get_string("format", "text");
+  TGI_REQUIRE(format == "text" || format == "json",
+              "format must be 'text' or 'json', got '" << format << "'");
+
+  lint::Selection selection =
+      config.has("rules") ? lint::selection_by_id(split_list(*config.get("rules")))
+                          : lint::default_selection();
+
   lint::ScanOptions options;
   if (config.has("dirs")) options.subdirs = split_list(*config.get("dirs"));
+  options.check_layering = selection.layering;
+  options.check_cycles = selection.cycles;
+  options.audit_waivers = config.get_bool("audit_waivers", false);
 
   const std::string root = config.get_string("root", ".");
-  const lint::ScanReport report = lint::scan_tree(root, options, rules);
+  const lint::ScanReport report =
+      lint::scan_tree(root, options, selection.file_rules);
 
-  for (const auto& violation : report.violations) {
-    std::cout << lint::format_violation(violation) << "\n";
+  if (format == "json") {
+    std::cout << lint::render_json(report);
+  } else {
+    std::cout << lint::render_text(report);
   }
-  std::cout << "tgi-lint: " << report.files_scanned << " files, "
-            << report.violations.size() << " violation"
-            << (report.violations.size() == 1 ? "" : "s") << "\n";
+  if (config.has("out")) {
+    // CI artifact: always the JSON form, written atomically so a crashed
+    // run can never leave a truncated report behind.
+    util::atomic_write_file(*config.get("out"), lint::render_json(report));
+  }
   return report.clean() ? 0 : 1;
 }
 
