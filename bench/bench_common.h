@@ -2,7 +2,8 @@
 //
 // Every figure/table binary accepts `key=value` overrides on the command
 // line (seed=…, sweep=…, csv=path, meter=wattsup|model, threads=N,
-// checkpoint=DIR, resume=1) and funnels through run_sweep() so all eight
+// granularity=point|task, checkpoint=DIR, resume=1) and funnels through
+// run_sweep() so all eight
 // experiments measure the same way the paper did: Fire behind the plug
 // meter, SystemG as the SPEC-style reference. Sweeps run on the
 // deterministic parallel engine (harness::ParallelSweep): threads=1
@@ -66,6 +67,11 @@ struct Experiment {
   /// Worker threads for sweeps and fan-outs; 0 = default (TGI_THREADS
   /// env, else hardware concurrency), 1 = serial.
   std::size_t threads = 0;
+  /// Sweep decomposition (granularity=point|task, DESIGN.md §12): `point`
+  /// keeps whole sweep points as the unit of work; `task` pipelines
+  /// benchmark-level graph nodes through the pool. Byte-identical output
+  /// either way.
+  harness::SweepGranularity granularity = harness::SweepGranularity::kPoint;
 };
 
 /// Parses argv, additionally accepting the conventional `--threads N` /
@@ -105,6 +111,15 @@ inline Experiment make_experiment(int argc, const char* const* argv) {
   const long long threads = e.config.get_int("threads", 0);
   TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
   e.threads = static_cast<std::size_t>(threads);
+  const std::string granularity =
+      e.config.get_string("granularity", "point");
+  if (granularity == "task") {
+    e.granularity = harness::SweepGranularity::kTask;
+  } else {
+    TGI_REQUIRE(granularity == "point",
+                "granularity must be 'point' or 'task', got '" + granularity +
+                    "'");
+  }
   auto make_meter = [&](std::uint64_t salt) -> std::unique_ptr<power::PowerMeter> {
     if (e.meter_kind == "model") {
       return std::make_unique<power::ModelMeter>(util::seconds(0.5));
@@ -192,6 +207,20 @@ inline harness::MeterFactory sweep_meter_factory(
   return harness::wattsup_meter_factory(cfg, measurements_per_point);
 }
 
+/// Per-task meter factory for granularity=task sweeps: member b of point
+/// k gets the replay offset k*stride+b, i.e. exactly the stream position
+/// a serial shared meter reaches after those measurements.
+inline harness::TaskMeterFactory sweep_task_meter_factory(
+    const Experiment& e, std::size_t measurements_per_point,
+    std::uint64_t salt = 0) {
+  if (e.meter_kind == "model") {
+    return harness::model_task_meter_factory(util::seconds(0.5));
+  }
+  power::WattsUpConfig cfg;
+  cfg.seed = e.seed + salt;
+  return harness::wattsup_task_meter_factory(cfg, measurements_per_point);
+}
+
 /// Runs the full suite sweep on the system under test (parallel across
 /// sweep points; bit-identical output for any threads= value). With
 /// trace=DIR on the command line, also emits the observability record.
@@ -200,6 +229,10 @@ inline std::vector<harness::SuitePoint> run_sweep(
   harness::ParallelSweepConfig cfg;
   cfg.suite = suite;
   cfg.threads = e.threads;
+  cfg.granularity = e.granularity;
+  if (e.granularity == harness::SweepGranularity::kTask) {
+    cfg.task_meters = sweep_task_meter_factory(e, suite_measurements(suite));
+  }
   const std::unique_ptr<harness::CheckpointJournal> journal =
       make_checkpoint_journal(e, suite);
   cfg.checkpoint = journal.get();

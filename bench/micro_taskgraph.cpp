@@ -1,0 +1,206 @@
+// Microbench: sweep decomposition tail latency (DESIGN.md §12).
+//
+// A skewed sweep — one slow point, N fast — is exactly where
+// point-granularity parallelism stalls: the slow point's suite members
+// run serially on one worker while the rest of the pool drains the fast
+// points and idles. Task granularity decomposes the slow point into
+// per-member graph nodes, so its members pipeline across workers and the
+// tail shrinks. This bench builds both graph shapes over a controlled
+// synthetic spin workload (the simulator is too fast to show the skew),
+// times them, and asserts task-mode tail <= point-mode on >= 4 cores.
+//
+// It also runs the REAL engine both ways and proves the §12 contract on
+// the spot: granularity=task output bit-identical to granularity=point.
+//
+// Results land in BENCH_taskgraph.json (out=PATH to move it), written via
+// util::AtomicFile — the first entry of the repo's recorded perf
+// trajectory (BENCH_*.json series, see ROADMAP).
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/task_graph.h"
+
+namespace {
+
+using tgi::harness::SuitePoint;
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+void spin_for(double seconds) {
+  const double t0 = now_seconds();
+  while (now_seconds() - t0 < seconds) {
+  }
+}
+
+/// Tail (slowest-point) latency of a point-granularity graph: one node
+/// per sweep point running all `members` benchmarks back to back.
+double point_mode_tail(std::size_t threads,
+                       const std::vector<double>& member_work,
+                       std::size_t members) {
+  tgi::util::TaskGraph graph;
+  for (std::size_t i = 0; i < member_work.size(); ++i) {
+    const double work = member_work[i];
+    graph.add_node("point " + std::to_string(i), [work, members] {
+      for (std::size_t b = 0; b < members; ++b) spin_for(work);
+    });
+  }
+  const double t0 = now_seconds();
+  graph.run(threads);
+  return now_seconds() - t0;
+}
+
+/// Tail latency of the task-granularity shape: `members` independent
+/// nodes per point feeding a join, the same decomposition
+/// harness/taskgraph.cpp builds for a plain sweep.
+double task_mode_tail(std::size_t threads,
+                      const std::vector<double>& member_work,
+                      std::size_t members) {
+  tgi::util::TaskGraph graph;
+  for (std::size_t i = 0; i < member_work.size(); ++i) {
+    const double work = member_work[i];
+    const auto join = graph.add_node("point " + std::to_string(i) + " join",
+                                     [] {});
+    for (std::size_t b = 0; b < members; ++b) {
+      const auto node = graph.add_node(
+          "point " + std::to_string(i) + " member " + std::to_string(b),
+          [work] { spin_for(work); });
+      graph.add_edge(node, join);
+    }
+  }
+  const double t0 = now_seconds();
+  graph.run(threads);
+  return now_seconds() - t0;
+}
+
+/// Bitwise sweep equality (== on every double: the §12 contract is exact).
+bool sweeps_identical(const std::vector<SuitePoint>& a,
+                      const std::vector<SuitePoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].processes != b[k].processes || a[k].nodes != b[k].nodes ||
+        a[k].measurements.size() != b[k].measurements.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a[k].measurements.size(); ++i) {
+      const auto& ma = a[k].measurements[i];
+      const auto& mb = b[k].measurements[i];
+      if (ma.benchmark != mb.benchmark || ma.metric_unit != mb.metric_unit ||
+          ma.performance != mb.performance ||
+          ma.average_power.value() != mb.average_power.value() ||
+          ma.execution_time.value() != mb.execution_time.value() ||
+          ma.energy.value() != mb.energy.value()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Microbench",
+                          "task-graph sweep decomposition: tail latency");
+    const auto fast_points =
+        static_cast<std::size_t>(e.config.get_int("points", 12));
+    const double unit = e.config.get_double("unit_ms", 4.0) / 1000.0;
+    const double skew = e.config.get_double("skew", 8.0);
+    const auto trials = static_cast<std::size_t>(e.config.get_int("trials", 3));
+    const std::string out_path =
+        e.config.get_string("out", "BENCH_taskgraph.json");
+    std::size_t threads = e.threads;
+    if (threads == 0) threads = util::ThreadPool::default_thread_count();
+    const std::size_t members = harness::suite_benchmarks({}).size();
+
+    // One slow point up front (worst case for index-ordered collection),
+    // then the fast tail.
+    std::vector<double> member_work{unit * skew};
+    for (std::size_t i = 0; i < fast_points; ++i) member_work.push_back(unit);
+
+    double point_tail = 1e300;
+    double task_tail = 1e300;
+    for (std::size_t t = 0; t < trials; ++t) {
+      point_tail =
+          std::min(point_tail, point_mode_tail(threads, member_work, members));
+      task_tail =
+          std::min(task_tail, task_mode_tail(threads, member_work, members));
+    }
+
+    util::TextTable table({"granularity", "graph nodes", "tail (ms)"});
+    table.add_row({"point", std::to_string(member_work.size()),
+                   util::fixed(point_tail * 1e3, 2)});
+    table.add_row({"task", std::to_string(member_work.size() * (members + 1)),
+                   util::fixed(task_tail * 1e3, 2)});
+    std::cout << table;
+    std::cout << "\n" << member_work.size() << " points (1 slow @ "
+              << util::fixed(skew, 1) << "x, " << fast_points << " fast), "
+              << members << " members each, " << threads << " threads; "
+              << "best of " << trials << " trials\n";
+
+    // The §12 byte contract, proven on the real engine: a task-granularity
+    // sweep is bitwise the point-granularity sweep.
+    const harness::SuiteConfig suite;
+    const auto run_real = [&](harness::SweepGranularity granularity) {
+      harness::ParallelSweepConfig cfg;
+      cfg.suite = suite;
+      cfg.threads = threads;
+      cfg.granularity = granularity;
+      if (granularity == harness::SweepGranularity::kTask) {
+        cfg.task_meters =
+            bench::sweep_task_meter_factory(e, bench::suite_measurements(suite));
+      }
+      return harness::ParallelSweep(
+                 e.system_under_test,
+                 bench::sweep_meter_factory(e, bench::suite_measurements(suite)),
+                 cfg)
+          .run(e.sweep);
+    };
+    const bool identical =
+        sweeps_identical(run_real(harness::SweepGranularity::kPoint),
+                         run_real(harness::SweepGranularity::kTask));
+    bench::print_check("granularity=task output identical to granularity=point",
+                       identical);
+
+    const unsigned cores =
+        std::thread::hardware_concurrency();  // tgi-lint: allow(raw-thread)
+    const bool tail_checked = cores >= 4 && threads >= 4;
+    if (tail_checked) {
+      bench::print_check("task-mode tail <= point-mode tail on skewed sweep",
+                         task_tail <= point_tail);
+    } else {
+      std::cout << "[check] task-mode tail <= point-mode tail on skewed "
+                   "sweep: skipped ("
+                << cores << " core(s) visible, " << threads << " thread(s))\n";
+    }
+
+    util::AtomicFile json(out_path);
+    json.stream() << "{\n"
+                  << "  \"bench\": \"micro_taskgraph\",\n"
+                  << "  \"threads\": " << threads << ",\n"
+                  << "  \"cores\": " << cores << ",\n"
+                  << "  \"points\": " << member_work.size() << ",\n"
+                  << "  \"members\": " << members << ",\n"
+                  << "  \"skew\": " << util::fixed(skew, 2) << ",\n"
+                  << "  \"unit_ms\": " << util::fixed(unit * 1e3, 3) << ",\n"
+                  << "  \"trials\": " << trials << ",\n"
+                  << "  \"point_tail_s\": " << util::fixed(point_tail, 6)
+                  << ",\n"
+                  << "  \"task_tail_s\": " << util::fixed(task_tail, 6)
+                  << ",\n"
+                  << "  \"tail_checked\": "
+                  << (tail_checked ? "true" : "false") << ",\n"
+                  << "  \"identical\": " << (identical ? "true" : "false")
+                  << "\n"
+                  << "}\n";
+    json.commit();
+    std::cout << "wrote " << out_path << "\n";
+  });
+}

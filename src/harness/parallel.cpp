@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "harness/taskgraph.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -23,6 +24,32 @@ MeterFactory wattsup_meter_factory(power::WattsUpConfig base,
 
 MeterFactory model_meter_factory(util::Seconds sample_interval) {
   return [sample_interval](std::size_t /*point_index*/) {
+    return std::make_unique<power::ModelMeter>(sample_interval);
+  };
+}
+
+TaskMeterFactory wattsup_task_meter_factory(
+    power::WattsUpConfig base, std::size_t measurements_per_point) {
+  TGI_REQUIRE(measurements_per_point >= 1,
+              "a sweep point performs at least one measurement");
+  return [base, measurements_per_point](std::size_t point_index,
+                                        std::size_t task_index) {
+    TGI_REQUIRE(task_index < measurements_per_point,
+                "task index " << task_index << " out of range for "
+                              << measurements_per_point
+                              << " measurements per point");
+    power::WattsUpConfig config = base;
+    config.run_offset =
+        base.run_offset +
+        static_cast<std::uint64_t>(point_index) * measurements_per_point +
+        task_index;
+    return std::make_unique<power::WattsUpMeter>(config);
+  };
+}
+
+TaskMeterFactory model_task_meter_factory(util::Seconds sample_interval) {
+  return [sample_interval](std::size_t /*point_index*/,
+                           std::size_t /*task_index*/) {
     return std::make_unique<power::ModelMeter>(sample_interval);
   };
 }
@@ -98,6 +125,50 @@ CheckpointJournal* checked_journal(const ParallelSweepConfig& config,
   return journal;
 }
 
+/// Replays journaled plain points serially, in index order, into their
+/// preallocated slots, and returns the indices still to compute. Shared by
+/// the point-granularity and task-granularity paths so resume semantics
+/// cannot drift between them.
+std::vector<std::size_t> replay_plain_points(
+    CheckpointJournal* journal, const std::vector<std::size_t>& values,
+    std::vector<SuitePoint>& results,
+    std::vector<obs::PointRecorder>& recorders) {
+  std::vector<std::size_t> pending;
+  pending.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    if (journal != nullptr && journal->is_complete(k)) {
+      const PointRecord& record = journal->completed(k);
+      results[k] = record.point;
+      restore_recorder(record, recorders[k]);
+      journal->note_resumed(k, values[k]);
+    } else {
+      pending.push_back(k);
+    }
+  }
+  return pending;
+}
+
+/// Robust twin of replay_plain_points.
+std::vector<std::size_t> replay_robust_points(
+    CheckpointJournal* journal, const std::vector<std::size_t>& values,
+    std::vector<RobustSuitePoint>& results,
+    std::vector<obs::PointRecorder>& recorders) {
+  std::vector<std::size_t> pending;
+  pending.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    if (journal != nullptr && journal->is_complete(k)) {
+      const PointRecord& record = journal->completed(k);
+      results[k] =
+          RobustSuitePoint{record.point, record.missing, record.counters};
+      restore_recorder(record, recorders[k]);
+      journal->note_resumed(k, values[k]);
+    } else {
+      pending.push_back(k);
+    }
+  }
+  return pending;
+}
+
 }  // namespace
 
 std::vector<SuitePoint> ParallelSweep::run_with(
@@ -116,18 +187,8 @@ std::vector<SuitePoint> ParallelSweep::run_with(
   std::vector<SuitePoint> results(values.size());
   // Replay journaled points serially, in index order, into their
   // preallocated slots; only the remainder enters the parallel phase.
-  std::vector<std::size_t> pending;
-  pending.reserve(values.size());
-  for (std::size_t k = 0; k < values.size(); ++k) {
-    if (journal != nullptr && journal->is_complete(k)) {
-      const PointRecord& record = journal->completed(k);
-      results[k] = record.point;
-      restore_recorder(record, recorders[k]);
-      journal->note_resumed(k, values[k]);
-    } else {
-      pending.push_back(k);
-    }
-  }
+  const std::vector<std::size_t> pending =
+      replay_plain_points(journal, values, results, recorders);
   const auto run_point = [this, &pending, &recorders, &results, &fn, &values,
                           journal](std::size_t i) {
     const std::size_t k = pending[i];
@@ -142,8 +203,14 @@ std::vector<SuitePoint> ParallelSweep::run_with(
     }
   };
 
-  execute_points(pending.size(), config_.threads, config_.profiler,
-                 run_point);
+  if (config_.granularity == SweepGranularity::kTask) {
+    // The caller's fn is opaque, so the graph holds whole-point nodes —
+    // same per-point body, graph-executor scheduling (DESIGN.md §12).
+    run_point_task_graph(config_, pending, run_point);
+  } else {
+    execute_points(pending.size(), config_.threads, config_.profiler,
+                   run_point);
+  }
   if (journal != nullptr) journal->finalize();
   if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
   return results;
@@ -159,18 +226,21 @@ std::vector<RobustSuitePoint> ParallelSweep::run_robust(
   std::vector<obs::PointRecorder> recorders =
       make_recorders(trace != nullptr || journal != nullptr, process_counts);
   std::vector<RobustSuitePoint> results(process_counts.size());
-  std::vector<std::size_t> pending;
-  pending.reserve(process_counts.size());
-  for (std::size_t k = 0; k < process_counts.size(); ++k) {
-    if (journal != nullptr && journal->is_complete(k)) {
-      const PointRecord& record = journal->completed(k);
-      results[k] =
-          RobustSuitePoint{record.point, record.missing, record.counters};
-      restore_recorder(record, recorders[k]);
-      journal->note_resumed(k, process_counts[k]);
-    } else {
-      pending.push_back(k);
+  const std::vector<std::size_t> pending =
+      replay_robust_points(journal, process_counts, results, recorders);
+  if (config_.granularity == SweepGranularity::kTask) {
+    // Benchmark chains per point (harness/taskgraph.h): the FaultyMeter
+    // stream is a serial per-point resource, so members are edges in a
+    // chain, not a fan-out.
+    const TaskSweepInputs inputs{cluster_,        config_,  meter_factory_,
+                                 process_counts,  pending,  recorders,
+                                 journal};
+    run_robust_task_graph(inputs, plan, robust, results);
+    if (journal != nullptr) journal->finalize();
+    if (trace != nullptr) {
+      *trace = obs::SweepTrace::merge(std::move(recorders));
     }
+    return results;
   }
   const auto run_point = [this, &pending, &recorders, &results, &plan,
                           &robust, &process_counts, journal](std::size_t i) {
@@ -195,9 +265,29 @@ std::vector<RobustSuitePoint> ParallelSweep::run_robust(
   return results;
 }
 
+std::vector<SuitePoint> ParallelSweep::run_suite_graph(
+    const std::vector<std::size_t>& values, bool extended,
+    obs::SweepTrace* trace) const {
+  CheckpointJournal* journal = checked_journal(config_, "plain", values);
+  std::vector<obs::PointRecorder> recorders =
+      make_recorders(trace != nullptr || journal != nullptr, values);
+  std::vector<SuitePoint> results(values.size());
+  const std::vector<std::size_t> pending =
+      replay_plain_points(journal, values, results, recorders);
+  const TaskSweepInputs inputs{cluster_, config_,   meter_factory_, values,
+                               pending,  recorders, journal};
+  run_plain_task_graph(inputs, extended, results);
+  if (journal != nullptr) journal->finalize();
+  if (trace != nullptr) *trace = obs::SweepTrace::merge(std::move(recorders));
+  return results;
+}
+
 std::vector<SuitePoint> ParallelSweep::run(
     const std::vector<std::size_t>& process_counts,
     obs::SweepTrace* trace) const {
+  if (config_.granularity == SweepGranularity::kTask) {
+    return run_suite_graph(process_counts, /*extended=*/false, trace);
+  }
   return run_with(
       process_counts,
       [](SuiteRunner& runner, std::size_t processes) {
@@ -209,6 +299,9 @@ std::vector<SuitePoint> ParallelSweep::run(
 std::vector<SuitePoint> ParallelSweep::run_extended(
     const std::vector<std::size_t>& process_counts,
     obs::SweepTrace* trace) const {
+  if (config_.granularity == SweepGranularity::kTask) {
+    return run_suite_graph(process_counts, /*extended=*/true, trace);
+  }
   return run_with(
       process_counts,
       [](SuiteRunner& runner, std::size_t processes) {

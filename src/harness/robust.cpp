@@ -151,18 +151,24 @@ void RobustSuiteRunner::attach_recorder(obs::PointRecorder* recorder) {
                                                  : nullptr);
 }
 
-RobustSuitePoint RobustSuiteRunner::run_suite(std::size_t processes) {
-  RobustSuitePoint out;
+void RobustSuiteRunner::begin_point(RobustSuitePoint& out,
+                                    std::size_t processes) {
   out.point.processes = processes;
   out.point.nodes = runner_.cluster().nodes_for(processes);
-  const std::size_t meter_faults_before = faulty_.faults_applied();
+  meter_faults_before_ = faulty_.faults_applied();
+}
 
-  // The ONE suite enumeration (suite_benchmarks) drives this loop, the
+void RobustSuiteRunner::run_member(RobustSuitePoint& out, std::size_t member,
+                                   std::size_t processes) {
+  // The ONE suite enumeration (suite_benchmarks) drives this member, the
   // plain SuiteRunner::run_suite, and robust_measurements_per_point's
   // meter stride alike.
   const std::vector<std::string> benches = suite_benchmarks(suite_);
-
-  for (std::size_t b = 0; b < benches.size(); ++b) {
+  TGI_REQUIRE(member < benches.size(),
+              "run_member index " << member << " out of range for a "
+                                  << benches.size() << "-member suite");
+  {
+    const std::size_t b = member;
     bool survived = false;
     core::BenchmarkMeasurement m;
     for (std::size_t attempt = 0; attempt <= robust_.max_retries; ++attempt) {
@@ -248,11 +254,24 @@ RobustSuitePoint RobustSuiteRunner::run_suite(std::size_t processes) {
       }
     }
   }
-  out.counters.meter_faults = faulty_.faults_applied() - meter_faults_before;
+}
+
+void RobustSuiteRunner::finish_point(RobustSuitePoint& out) {
+  out.counters.meter_faults = faulty_.faults_applied() - meter_faults_before_;
   if (recorder_ != nullptr && out.counters.meter_faults > 0) {
     recorder_->metrics().add(
         "meter_faults", static_cast<double>(out.counters.meter_faults));
   }
+}
+
+RobustSuitePoint RobustSuiteRunner::run_suite(std::size_t processes) {
+  RobustSuitePoint out;
+  begin_point(out, processes);
+  const std::size_t members = suite_benchmarks(suite_).size();
+  for (std::size_t b = 0; b < members; ++b) {
+    run_member(out, b, processes);
+  }
+  finish_point(out);
   return out;
 }
 

@@ -58,6 +58,12 @@ struct SuitePoint {
 [[nodiscard]] std::vector<std::string> suite_benchmarks(
     const SuiteConfig& config);
 
+/// The ordered roster of the six-benchmark extended suite (paper trio +
+/// GUPS + PTRANS + FFT) — the enumeration SuiteRunner::run_extended_suite
+/// executes and the task-graph decomposition (harness/taskgraph.h)
+/// mirrors, member for member.
+[[nodiscard]] std::vector<std::string> extended_suite_benchmarks();
+
 /// Runs the benchmark suite on a simulated cluster through a power meter.
 class SuiteRunner {
  public:
@@ -83,8 +89,9 @@ class SuiteRunner {
   /// Distributed FFT at `processes` ranks; performance in MFLOPS.
   [[nodiscard]] core::BenchmarkMeasurement run_fft(std::size_t processes);
 
-  /// Runs the suite member named in suite_benchmarks() ("HPL", "STREAM",
-  /// "IOzone", "GUPS") at `processes` ranks; IOzone uses the nodes hosting
+  /// Runs the suite member named in suite_benchmarks() or
+  /// extended_suite_benchmarks() ("HPL", "STREAM", "IOzone", "GUPS",
+  /// "PTRANS", "FFT") at `processes` ranks; IOzone uses the nodes hosting
   /// the ranks. Throws PreconditionError for unknown names.
   [[nodiscard]] core::BenchmarkMeasurement run_benchmark(
       const std::string& name, std::size_t processes);

@@ -1,0 +1,215 @@
+#include "harness/taskgraph.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+#include "util/task_graph.h"
+
+namespace tgi::harness {
+
+namespace {
+
+/// The profile hook for a task-graph run: per-node wall spans on the
+/// "task" track when a profiler is attached, nothing otherwise. Like the
+/// point path's hook, observation only.
+util::ThreadPool::TaskHook graph_hook(const ParallelSweepConfig& config) {
+  if (config.profiler != nullptr) return config.profiler->task_hook("task");
+  return {};
+}
+
+/// Folds one member's sub-recorder onto the point's real timeline, at the
+/// join, in roster order. Each plain member records exactly one span at
+/// sub-time 0.0, so re-basing is `0.0 + point.now()` — IEEE-exact, i.e.
+/// bitwise the timestamp the serial interleaving would have recorded —
+/// and the clock/metric folds (`advance(e_b)` per member, counter `+=`
+/// per member) are the serial path's folds in the serial order.
+void fold_member_recorder(obs::PointRecorder& point,
+                          const obs::PointRecorder& sub) {
+  for (obs::TraceEvent event : sub.events()) {
+    event.start = event.start + point.now();
+    point.restore_event(std::move(event));
+  }
+  point.advance(sub.now());
+  point.metrics().merge(sub.metrics());
+}
+
+/// The whole-point fallback: without a TaskMeterFactory there is no
+/// per-measurement replay contract to key member meters on, so each
+/// pending point becomes one edge-free node running the classic serial
+/// point body.
+void run_whole_point_graph(const TaskSweepInputs& in, bool extended,
+                           std::vector<SuitePoint>& results) {
+  util::TaskGraph graph;
+  for (std::size_t i = 0; i < in.pending.size(); ++i) {
+    const std::size_t k = in.pending[i];
+    graph.add_node(
+        "point " + std::to_string(k), [&in, &results, extended, k] {
+          const std::unique_ptr<power::PowerMeter> meter = in.point_meters(k);
+          TGI_CHECK(meter != nullptr, "meter factory returned null");
+          SuiteRunner runner(in.cluster, *meter, in.config.suite);
+          if (!in.recorders.empty()) {
+            runner.attach_recorder(&in.recorders[k]);
+          }
+          results[k] = extended ? runner.run_extended_suite(in.values[k])
+                                : runner.run_suite(in.values[k]);
+          if (in.journal != nullptr) {
+            in.journal->record(make_point_record(k, in.values[k], results[k],
+                                                 &in.recorders[k]));
+          }
+        });
+  }
+  graph.run(in.config.threads, graph_hook(in.config));
+}
+
+}  // namespace
+
+void run_plain_task_graph(const TaskSweepInputs& in, bool extended,
+                          std::vector<SuitePoint>& results) {
+  if (!in.config.task_meters) {
+    run_whole_point_graph(in, extended, results);
+    return;
+  }
+  const std::vector<std::string> benches =
+      extended ? extended_suite_benchmarks()
+               : suite_benchmarks(in.config.suite);
+  const std::size_t members = benches.size();
+  // Per-pending-point scratch the member nodes fill and the join drains:
+  // one measurement slot and (when the sweep records) one sub-recorder per
+  // roster member. Graph edges (member -> join) provide the happens-before
+  // that makes the join's reads race-free.
+  std::vector<std::vector<core::BenchmarkMeasurement>> measured(
+      in.pending.size(), std::vector<core::BenchmarkMeasurement>(members));
+  std::vector<std::vector<obs::PointRecorder>> subs(
+      in.pending.size(),
+      std::vector<obs::PointRecorder>(in.recorders.empty() ? 0 : members));
+  util::TaskGraph graph;
+  for (std::size_t i = 0; i < in.pending.size(); ++i) {
+    const std::size_t k = in.pending[i];
+    std::vector<util::TaskGraph::NodeId> member_ids;
+    member_ids.reserve(members);
+    for (std::size_t b = 0; b < members; ++b) {
+      member_ids.push_back(graph.add_node(
+          "point " + std::to_string(k) + " " + benches[b],
+          [&in, &benches, &measured, &subs, extended, i, b, k] {
+            // This member's meter replays exactly the measurement the
+            // serial point runner's shared meter would perform b
+            // measurements in (TaskMeterFactory contract).
+            const std::unique_ptr<power::PowerMeter> meter =
+                in.config.task_meters(k, b);
+            TGI_CHECK(meter != nullptr, "task meter factory returned null");
+            SuiteRunner runner(in.cluster, *meter, in.config.suite);
+            if (!subs[i].empty()) {
+              // run_suite stamps (benchmark, attempt 0) per member;
+              // run_extended_suite never stamps (extended spans carry
+              // benchmark=0, attempt=0) — mirror both exactly.
+              if (!extended) subs[i][b].set_context(b, 0);
+              runner.attach_recorder(&subs[i][b]);
+            }
+            measured[i][b] = runner.run_benchmark(benches[b], in.values[k]);
+          }));
+    }
+    const util::TaskGraph::NodeId join = graph.add_node(
+        "point " + std::to_string(k) + " join",
+        [&in, &measured, &subs, &results, members, i, k] {
+          SuitePoint point;
+          point.processes = in.values[k];
+          point.nodes = in.cluster.nodes_for(in.values[k]);
+          point.measurements.reserve(members);
+          for (std::size_t b = 0; b < members; ++b) {
+            point.measurements.push_back(std::move(measured[i][b]));
+          }
+          for (std::size_t b = 0; b < subs[i].size(); ++b) {
+            fold_member_recorder(in.recorders[k], subs[i][b]);
+          }
+          results[k] = std::move(point);
+          if (in.journal != nullptr) {
+            in.journal->record(make_point_record(k, in.values[k], results[k],
+                                                 &in.recorders[k]));
+          }
+        });
+    for (const util::TaskGraph::NodeId member : member_ids) {
+      graph.add_edge(member, join);
+    }
+  }
+  graph.run(in.config.threads, graph_hook(in.config));
+}
+
+namespace {
+
+/// Per-point state a robust chain threads through its nodes. The meter is
+/// declared before the runner so the runner (which holds a reference to
+/// it) is destroyed first.
+struct RobustPointScratch {
+  std::unique_ptr<power::PowerMeter> meter;
+  std::unique_ptr<RobustSuiteRunner> runner;
+  RobustSuitePoint out;
+};
+
+}  // namespace
+
+void run_robust_task_graph(const TaskSweepInputs& in, const FaultPlan& plan,
+                           const RobustConfig& robust,
+                           std::vector<RobustSuitePoint>& results) {
+  const std::vector<std::string> benches = suite_benchmarks(in.config.suite);
+  const std::size_t members = benches.size();
+  std::vector<RobustPointScratch> scratch(in.pending.size());
+  util::TaskGraph graph;
+  for (std::size_t i = 0; i < in.pending.size(); ++i) {
+    const std::size_t k = in.pending[i];
+    // A CHAIN, not a fan-out: the FaultyMeter stream is a serial per-point
+    // resource (see RobustSuiteRunner::begin_point docs), so members run
+    // in roster order on the one shared runner. The chain edges give each
+    // node happens-before over its predecessor's scratch writes.
+    util::TaskGraph::NodeId prev = 0;
+    for (std::size_t b = 0; b < members; ++b) {
+      const util::TaskGraph::NodeId id = graph.add_node(
+          "point " + std::to_string(k) + " " + benches[b],
+          [&in, &plan, &robust, &scratch, i, b, k] {
+            RobustPointScratch& s = scratch[i];
+            if (b == 0) {
+              s.meter = in.point_meters(k);
+              TGI_CHECK(s.meter != nullptr, "meter factory returned null");
+              s.runner = std::make_unique<RobustSuiteRunner>(
+                  in.cluster, *s.meter, plan, robust, in.config.suite, k);
+              if (!in.recorders.empty()) {
+                s.runner->attach_recorder(&in.recorders[k]);
+              }
+              s.runner->begin_point(s.out, in.values[k]);
+            }
+            s.runner->run_member(s.out, b, in.values[k]);
+          });
+      if (b > 0) graph.add_edge(prev, id);
+      prev = id;
+    }
+    const util::TaskGraph::NodeId join = graph.add_node(
+        "point " + std::to_string(k) + " join",
+        [&in, &scratch, &results, i, k] {
+          RobustPointScratch& s = scratch[i];
+          s.runner->finish_point(s.out);
+          results[k] = std::move(s.out);
+          if (in.journal != nullptr) {
+            in.journal->record(make_robust_point_record(
+                k, in.values[k], results[k], &in.recorders[k]));
+          }
+          s.runner.reset();
+          s.meter.reset();
+        });
+    graph.add_edge(prev, join);
+  }
+  graph.run(in.config.threads, graph_hook(in.config));
+}
+
+void run_point_task_graph(const ParallelSweepConfig& config,
+                          const std::vector<std::size_t>& pending,
+                          const std::function<void(std::size_t)>& run_point) {
+  util::TaskGraph graph;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    graph.add_node("point " + std::to_string(pending[i]),
+                   [&run_point, i] { run_point(i); });
+  }
+  graph.run(config.threads, graph_hook(config));
+}
+
+}  // namespace tgi::harness

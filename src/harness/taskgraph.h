@@ -1,0 +1,80 @@
+// Task-graph decomposition of sweep points (DESIGN.md §12).
+//
+// ParallelSweep's classic unit of work is a whole sweep point; with
+// ParallelSweepConfig::granularity = SweepGranularity::kTask the engine
+// routes through this layer instead, which decomposes each pending point
+// into benchmark-level util::TaskGraph nodes and merges results at join
+// nodes in fixed (point, benchmark, attempt) index order — never
+// completion order — so the task-granularity sweep is byte-identical to
+// the point-granularity one at every thread count.
+//
+// Node taxonomy (§12):
+//  - PLAIN suites (run/run_extended): one independent node per roster
+//    member. Each node builds its own meter via the TaskMeterFactory
+//    (WattsUp run_offset = point * measurements_per_point + member, the
+//    exact stream the serial runner's shared meter would consume), its own
+//    SuiteRunner, and — when tracing — its own sub-recorder. The point's
+//    join node (depending on all members) assembles measurements in
+//    roster order, re-bases each sub-recorder onto the point timeline in
+//    the same order, and journals the whole point. Without a
+//    TaskMeterFactory the decomposition falls back to one whole-point
+//    node per point (stateful or unknown instruments have no per-
+//    measurement replay contract).
+//  - ROBUST suites (run_robust): a dependency CHAIN per point — the
+//    FaultyMeter stream is a serial per-point resource (failed attempts
+//    consume no measurement), so members must run in roster order on one
+//    shared RobustSuiteRunner. The chain's edges provide the
+//    happens-before that lets every member record into the point's real
+//    recorder directly; the join finishes the accounting and journals.
+//  - OPAQUE sweeps (run_with): one whole-point node per point — the
+//    caller's fn is a black box, so there is nothing finer to decompose.
+//
+// The checkpoint plane (§11) is untouched by granularity: join nodes
+// journal whole points, exactly like the point-granularity engine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/parallel.h"
+
+namespace tgi::harness {
+
+/// Everything a task-graph sweep phase needs from the engine: the cluster
+/// and config, the point-level meter factory (robust chains and the
+/// whole-point fallback), the full sweep values, the indices still to
+/// compute (journal replay already happened), the preallocated per-point
+/// recorders (empty when neither tracing nor journaling), and the journal
+/// handle (null when checkpointing is off).
+struct TaskSweepInputs {
+  const sim::ClusterSpec& cluster;
+  const ParallelSweepConfig& config;
+  const MeterFactory& point_meters;
+  const std::vector<std::size_t>& values;
+  const std::vector<std::size_t>& pending;
+  std::vector<obs::PointRecorder>& recorders;
+  CheckpointJournal* journal;
+};
+
+/// Runs the pending points of a plain suite sweep (standard roster, or the
+/// extended six-benchmark roster when `extended`) as a benchmark-level
+/// task graph, writing each point into its preallocated `results` slot.
+void run_plain_task_graph(const TaskSweepInputs& in, bool extended,
+                          std::vector<SuitePoint>& results);
+
+/// Runs the pending points of a robust sweep as per-point benchmark
+/// chains through the fault plane and recovery policy.
+void run_robust_task_graph(const TaskSweepInputs& in, const FaultPlan& plan,
+                           const RobustConfig& robust,
+                           std::vector<RobustSuitePoint>& results);
+
+/// Runs `pending.size()` opaque whole-point tasks (`run_point(i)` computes
+/// pending[i]) through an edge-free task graph with the engine's
+/// thread-count and profiler discipline — the granularity=kTask execution
+/// of run_with.
+void run_point_task_graph(const ParallelSweepConfig& config,
+                          const std::vector<std::size_t>& pending,
+                          const std::function<void(std::size_t)>& run_point);
+
+}  // namespace tgi::harness

@@ -1,0 +1,207 @@
+#include "util/task_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace tgi::util {
+
+TaskGraph::NodeId TaskGraph::add_node(std::string label,
+                                      std::function<void()> fn) {
+  TGI_REQUIRE(static_cast<bool>(fn), "TaskGraph::add_node: empty task");
+  TGI_REQUIRE(!executed_, "TaskGraph is single-use; it already ran");
+  nodes_.push_back(Node{std::move(label), std::move(fn), {}, 0});
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::add_edge(NodeId from, NodeId to) {
+  TGI_REQUIRE(from < nodes_.size() && to < nodes_.size(),
+              "TaskGraph::add_edge: node id out of range (" << from << " -> "
+                                                            << to << ")");
+  TGI_REQUIRE(!executed_, "TaskGraph is single-use; it already ran");
+  nodes_[from].successors.push_back(to);
+  ++nodes_[to].dependencies;
+}
+
+void TaskGraph::check_acyclic() const {
+  // Kahn's algorithm over a scratch indegree copy: if the peel-off misses
+  // any node, the remainder contains a cycle — a construction bug.
+  std::vector<std::size_t> indegree(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    indegree[n] = nodes_[n].dependencies;
+  }
+  std::deque<NodeId> ready;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (indegree[n] == 0) ready.push_back(n);
+  }
+  std::size_t peeled = 0;
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    ++peeled;
+    for (const NodeId succ : nodes_[n].successors) {
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  TGI_CHECK(peeled == nodes_.size(),
+            "TaskGraph contains a cycle (" << nodes_.size() - peeled
+                                           << " of " << nodes_.size()
+                                           << " nodes unreachable)");
+}
+
+void TaskGraph::finish_node(NodeId id, Status status,
+                            std::vector<NodeId>& ready) {
+  // Iterative cascade: a finished node may unblock successors, and a
+  // failed/skipped one poisons them — a poisoned node whose dependencies
+  // all finished is skipped immediately (its body never runs) and its own
+  // successors are processed in turn.
+  std::vector<std::pair<NodeId, Status>> stack{{id, status}};
+  while (!stack.empty()) {
+    const auto [n, s] = stack.back();
+    stack.pop_back();
+    status_[n] = s;
+    for (const NodeId succ : nodes_[n].successors) {
+      if (s != Status::kRan) poisoned_[succ] = true;
+      TGI_CHECK(waiting_[succ] > 0, "TaskGraph dependency count underflow");
+      if (--waiting_[succ] == 0) {
+        if (poisoned_[succ]) {
+          stack.emplace_back(succ, Status::kSkipped);
+        } else {
+          ready.push_back(succ);
+        }
+      }
+    }
+  }
+  std::sort(ready.begin(), ready.end());
+}
+
+void TaskGraph::record_error(NodeId id, std::exception_ptr error) {
+  errors_.emplace_back(id, std::move(error));
+}
+
+void TaskGraph::rethrow_first_error() {
+  if (errors_.empty()) return;
+  // Deterministic error priority: the smallest node id, not whichever
+  // worker lost the race — several failing nodes rethrow the same error
+  // at every thread count.
+  const auto first = std::min_element(
+      errors_.begin(), errors_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::exception_ptr error = first->second;
+  errors_.clear();
+  std::rethrow_exception(error);
+}
+
+void TaskGraph::run_serial(const ThreadPool::TaskHook& hook) {
+  std::vector<NodeId> ready;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (waiting_[n] == 0) ready.push_back(n);
+  }
+  std::sort(ready.begin(), ready.end());
+  std::size_t sequence = 0;
+  while (!ready.empty()) {
+    // Lowest ready id first: the reference serial order task-granularity
+    // sweeps are byte-compared against.
+    const NodeId n = ready.front();
+    ready.erase(ready.begin());
+    Status status = Status::kRan;
+    try {
+      if (hook) hook(0, sequence, true);
+      nodes_[n].fn();
+    } catch (...) {
+      record_error(n, std::current_exception());
+      status = Status::kFailed;
+    }
+    try {
+      if (hook) hook(0, sequence, false);
+    } catch (...) {
+      if (status == Status::kRan) {
+        record_error(n, std::current_exception());
+        status = Status::kFailed;
+      }
+    }
+    ++sequence;
+    finish_node(n, status, ready);
+  }
+  rethrow_first_error();
+}
+
+void TaskGraph::run_parallel(std::size_t threads,
+                             const ThreadPool::TaskHook& hook) {
+  std::vector<NodeId> initial;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (waiting_[n] == 0) initial.push_back(n);
+  }
+  {
+    // The pool drains before this scope exits (destructor joins), so every
+    // node body — and every finish_node cascade — happens-before the
+    // rethrow below.
+    ThreadPool pool(threads < nodes_.size() ? threads : nodes_.size());
+    if (hook) pool.set_task_hook(hook);
+    // The submit closure reenters itself for newly ready successors, so it
+    // must be named before it is defined; a std::function self-reference
+    // does that without recursion depth concerns (submission, not nesting).
+    std::function<void(NodeId)> submit_node = [this, &pool,
+                                               &submit_node](NodeId id) {
+      pool.submit([this, &submit_node, id] {
+        Status status = Status::kRan;
+        try {
+          nodes_[id].fn();
+        } catch (...) {
+          std::unique_lock lock(mu_);
+          record_error(id, std::current_exception());
+          status = Status::kFailed;
+        }
+        std::vector<NodeId> ready;
+        {
+          std::unique_lock lock(mu_);
+          finish_node(id, status, ready);
+        }
+        // Submitting from the worker keeps the pool saturated; the pool's
+        // queue mutex sequences these submits, and wait()/~ThreadPool only
+        // returns once in-flight work (including these) drains.
+        for (const NodeId next : ready) submit_node(next);
+      });
+    };
+    for (const NodeId n : initial) submit_node(n);
+    pool.wait();
+  }
+  rethrow_first_error();
+}
+
+void TaskGraph::run(std::size_t threads, const ThreadPool::TaskHook& hook) {
+  TGI_REQUIRE(!executed_, "TaskGraph is single-use; it already ran");
+  executed_ = true;
+  check_acyclic();
+  status_.assign(nodes_.size(), Status::kPending);
+  poisoned_.assign(nodes_.size(), false);
+  waiting_.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    waiting_[n] = nodes_[n].dependencies;
+  }
+  if (nodes_.empty()) return;
+  if (threads == 0) threads = ThreadPool::default_thread_count();
+  if (threads <= 1 || nodes_.size() <= 1) {
+    run_serial(hook);
+  } else {
+    run_parallel(threads, hook);
+  }
+}
+
+bool TaskGraph::ran(NodeId id) const {
+  TGI_REQUIRE(id < status_.size(), "TaskGraph node id out of range");
+  return status_[id] == Status::kRan;
+}
+
+bool TaskGraph::skipped(NodeId id) const {
+  TGI_REQUIRE(id < status_.size(), "TaskGraph node id out of range");
+  return status_[id] == Status::kSkipped;
+}
+
+bool TaskGraph::failed(NodeId id) const {
+  TGI_REQUIRE(id < status_.size(), "TaskGraph node id out of range");
+  return status_[id] == Status::kFailed;
+}
+
+}  // namespace tgi::util

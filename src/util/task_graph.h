@@ -1,0 +1,109 @@
+// Deterministic dependency-graph executor over the fixed worker pool.
+//
+// The sweep engine's unit of parallelism used to be a whole sweep point:
+// parallel_for over points, a barrier at the end, everything inside a
+// point serial. This executor makes the unit a NODE — any callable with
+// explicit dependency edges — so a point can decompose into per-benchmark
+// tasks (harness/taskgraph.h) while the scheduling stays as boring as the
+// determinism contract (DESIGN.md §3b, §12) demands: nodes are identified
+// by their insertion index, ready nodes are dispatched through the one
+// sanctioned util::ThreadPool (no new raw threads, no work stealing), and
+// every result-bearing merge happens inside a successor node in fixed
+// index order — never completion order.
+//
+// Execution semantics:
+//  - run(threads <= 1) executes on the calling thread, always picking the
+//    LOWEST-id ready node next — the reference serial order.
+//  - run(threads > 1) seeds the pool with the ready set in id order;
+//    each completing node submits its newly ready successors from the
+//    worker (ThreadPool::submit is thread-safe). Which node runs where is
+//    scheduling noise; anything that reaches an artifact must flow through
+//    a join node's index-ordered merge.
+//  - A cycle is an InternalError (graph construction bug), detected before
+//    any node runs.
+//  - A throwing node poisons its transitive dependents: they are SKIPPED
+//    (never run), every other node still executes, and run() rethrows the
+//    error of the smallest failed node id — deterministic at every thread
+//    count even when several nodes throw.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tgi::util {
+
+/// A single-use DAG of tasks. Build with add_node/add_edge, execute with
+/// run(). Not thread-safe during construction; run() synchronizes
+/// internally.
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Adds a node and returns its id (insertion index — the id order is the
+  /// serial reference order and the error-priority order). `label` names
+  /// the node in errors and profiles; `fn` must be non-null.
+  NodeId add_node(std::string label, std::function<void()> fn);
+
+  /// Declares that `from` must complete before `to` may start.
+  /// Precondition: both ids exist. Self-edges and duplicate edges are
+  /// legal input; a self-edge simply makes the graph cyclic, which run()
+  /// rejects.
+  void add_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Executes the graph. `threads` follows the sweep-engine convention:
+  /// 0 = ThreadPool::default_thread_count(), 1 = inline serial execution,
+  /// N > 1 = a pool clamped to the node count. `hook` brackets every
+  /// executed node body (ThreadPool::TaskHook semantics; worker 0 and the
+  /// serial execution index in serial mode) — observation only, and a
+  /// throwing hook is treated like a throwing node. Single-use: a graph
+  /// that has run cannot run again.
+  void run(std::size_t threads, const ThreadPool::TaskHook& hook = {});
+
+  /// Post-run inspection (primarily for tests): whether a node's body
+  /// executed to completion, was skipped because a transitive dependency
+  /// failed, or threw.
+  [[nodiscard]] bool ran(NodeId id) const;
+  [[nodiscard]] bool skipped(NodeId id) const;
+  [[nodiscard]] bool failed(NodeId id) const;
+
+ private:
+  enum class Status : unsigned char { kPending, kRan, kFailed, kSkipped };
+
+  struct Node {
+    std::string label;
+    std::function<void()> fn;
+    std::vector<NodeId> successors;
+    std::size_t dependencies = 0;  // incoming-edge count
+  };
+
+  void check_acyclic() const;
+  void run_serial(const ThreadPool::TaskHook& hook);
+  void run_parallel(std::size_t threads, const ThreadPool::TaskHook& hook);
+  /// Marks `id` finished with `status`, decrements successors, cascades
+  /// skips through poisoned dependents, and appends newly runnable node
+  /// ids to `ready` in ascending id order. Caller holds whatever lock
+  /// guards the status arrays (none in serial mode).
+  void finish_node(NodeId id, Status status, std::vector<NodeId>& ready);
+  void record_error(NodeId id, std::exception_ptr error);
+  void rethrow_first_error();
+
+  std::vector<Node> nodes_;
+  bool executed_ = false;
+  // run() working state (guarded by mu_ in parallel mode).
+  std::vector<Status> status_;
+  std::vector<std::size_t> waiting_;   // unfinished-dependency counts
+  std::vector<bool> poisoned_;         // some dependency failed or skipped
+  std::vector<std::pair<NodeId, std::exception_ptr>> errors_;
+  std::mutex mu_;
+};
+
+}  // namespace tgi::util

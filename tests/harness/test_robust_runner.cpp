@@ -397,6 +397,82 @@ TEST(RobustSuiteRunner, SurvivorsFeedPartialTgiWithRenormalizedWeights) {
       << "fault seed produced no partially-degraded point; adjust the spec";
 }
 
+/// A failure-only spec whose seed yields, at point 0: HPL and STREAM clean
+/// on attempt 0, IOzone drawing kBenchmarkFailure on every attempt — the
+/// retry-exhaustion-AFTER-a-success pattern (early members publish, the
+/// last one drops).
+FaultSpec late_exhaustion_spec() {
+  FaultSpec spec;
+  spec.failure_rate = 0.5;
+  for (std::uint64_t seed = 0; seed < 20000; ++seed) {
+    spec.seed = seed;
+    const FaultPlan plan(spec);
+    const auto kind = [&](std::uint64_t b, std::uint64_t a) {
+      return plan.run_fault(0, b, a).kind;
+    };
+    if (kind(0, 0) != RunFaultKind::kNone) continue;
+    if (kind(1, 0) != RunFaultKind::kNone) continue;
+    bool all_fail = true;
+    for (std::uint64_t a = 0; a < 3 && all_fail; ++a) {
+      if (kind(2, a) != RunFaultKind::kBenchmarkFailure) all_fail = false;
+    }
+    if (all_fail) return spec;
+  }
+  ADD_FAILURE() << "no seed under 20000 produces the needed fault pattern";
+  return spec;
+}
+
+TEST(RobustSuiteRunner, RetryExhaustionAfterASuccessRenormalizesExactly) {
+  const FaultSpec spec = late_exhaustion_spec();
+  power::WattsUpConfig wcfg;
+  wcfg.seed = 17;
+  power::WattsUpMeter meter(wcfg);
+  RobustSuiteRunner runner(sim::fire_cluster(), meter, FaultPlan(spec));
+  const RobustSuitePoint point = runner.run_suite(64);
+  EXPECT_TRUE(point.degraded());
+  const std::vector<std::string> expected_missing = {"IOzone"};
+  ASSERT_EQ(point.missing, expected_missing);
+  ASSERT_EQ(point.point.measurements.size(), 2u);
+  EXPECT_EQ(point.point.measurements[0].benchmark, "HPL");
+  EXPECT_EQ(point.point.measurements[1].benchmark, "STREAM");
+  // HPL and STREAM first-try; IOzone burns 1 + max_retries attempts.
+  EXPECT_EQ(point.counters.attempts, 5u);
+  EXPECT_EQ(point.counters.retries, 2u);
+  EXPECT_EQ(point.counters.run_faults, 3u);
+  EXPECT_EQ(point.counters.dropped_benchmarks, 1u);
+
+  power::ModelMeter ref_meter(util::seconds(0.5));
+  const auto reference = reference_measurements(sim::system_g(), ref_meter);
+  const core::TgiCalculator calc(reference);
+  const core::PartialTgiResult partial = calc.compute_partial(
+      point.point.measurements, core::WeightScheme::kTime);
+  EXPECT_TRUE(partial.partial());
+  EXPECT_EQ(partial.missing, point.missing);
+  // The renormalized weights are EXACTLY t_i / sum(t) over the survivors
+  // (stats::proportional_weights' in-order fold) — not the full-roster
+  // weights with the hole patched over. Bitwise, no tolerance.
+  double total = 0.0;
+  for (const auto& m : point.point.measurements) {
+    total += m.execution_time.value();
+  }
+  ASSERT_EQ(partial.result.components.size(), 2u);
+  for (std::size_t i = 0; i < partial.result.components.size(); ++i) {
+    EXPECT_EQ(partial.result.components[i].weight,
+              point.point.measurements[i].execution_time.value() / total);
+  }
+  // And the partial result IS the plain TGI a calculator built on just
+  // the surviving reference subset would publish.
+  std::vector<core::BenchmarkMeasurement> subset_reference;
+  for (const auto& m : reference) {
+    if (m.benchmark != "IOzone") subset_reference.push_back(m);
+  }
+  const core::TgiCalculator subset_calc(subset_reference);
+  EXPECT_EQ(partial.result.tgi,
+            subset_calc
+                .compute(point.point.measurements, core::WeightScheme::kTime)
+                .tgi);
+}
+
 ParallelSweepConfig sweep_config(std::size_t threads) {
   ParallelSweepConfig cfg;
   cfg.threads = threads;
@@ -467,6 +543,30 @@ TEST(RobustSweepDeterminism, FaultedSweepIsThreadCountInvariant) {
     total_faults += point.counters.run_faults + point.counters.meter_faults;
   }
   EXPECT_GT(total_faults, 0u);
+}
+
+TEST(RobustSweepDeterminism, TaskGranularityChainsMatchPointGranularity) {
+  // granularity=kTask runs each robust point as a benchmark CHAIN
+  // (harness/taskgraph.h): the FaultyMeter stream is a serial per-point
+  // resource, so the chain must consume it exactly like the serial loop —
+  // bitwise, at every thread count.
+  const auto run_task = [](std::size_t threads) {
+    power::WattsUpConfig base;
+    base.seed = 0x5eedULL;
+    const RobustConfig robust;
+    ParallelSweepConfig cfg = sweep_config(threads);
+    cfg.granularity = SweepGranularity::kTask;
+    ParallelSweep engine(
+        sim::fire_cluster(),
+        wattsup_meter_factory(base,
+                              robust_measurements_per_point({}, robust)),
+        cfg);
+    return engine.run_robust(kSweep, FaultPlan(mixed_spec()), robust);
+  };
+  const auto point = run_robust_with_threads(1, mixed_spec());
+  expect_identical(point, run_task(1));
+  expect_identical(point, run_task(2));
+  expect_identical(point, run_task(8));
 }
 
 TEST(RobustSweepDeterminism, MatchesAManualSerialRunnerLoop) {

@@ -1,0 +1,295 @@
+// util::TaskGraph: the dependency-graph executor under the sweep engine's
+// task granularity (DESIGN.md §12). The load-bearing properties pinned
+// here: identical topological results and join merge order at threads=
+// 1/2/8 (including on seeded random DAGs), cycle detection as an internal
+// error, and exception propagation that skips dependents, drains cleanly,
+// and rethrows the smallest failed node id.
+#include "util/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::util {
+namespace {
+
+TEST(TaskGraph, EmptyGraphRunsAsANoOpAtEveryThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    graph.run(threads);
+    EXPECT_EQ(graph.node_count(), 0u);
+  }
+}
+
+TEST(TaskGraph, ChainExecutesInOrderAndJoinSeesAllPredecessors) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    std::vector<int> order;
+    std::vector<TaskGraph::NodeId> chain;
+    for (int i = 0; i < 5; ++i) {
+      chain.push_back(graph.add_node(
+          "link" + std::to_string(i),
+          [&order, i] { order.push_back(i); }));
+      if (i > 0) graph.add_edge(chain[static_cast<std::size_t>(i) - 1],
+                                chain[static_cast<std::size_t>(i)]);
+    }
+    graph.run(threads);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}))
+        << "threads=" << threads;
+  }
+}
+
+TEST(TaskGraph, DiamondMergesInIndexOrderNotCompletionOrder) {
+  // top -> {left, right} -> join; the join reads its inputs by index, so
+  // the merged string must be identical no matter which branch finished
+  // first.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    std::vector<std::string> slot(2);
+    std::string merged;
+    const auto top = graph.add_node("top", [&slot] { slot.assign(2, ""); });
+    const auto left =
+        graph.add_node("left", [&slot] { slot[0] = "left"; });
+    const auto right =
+        graph.add_node("right", [&slot] { slot[1] = "right"; });
+    const auto join = graph.add_node("join", [&slot, &merged] {
+      merged = slot[0] + "+" + slot[1];
+    });
+    graph.add_edge(top, left);
+    graph.add_edge(top, right);
+    graph.add_edge(left, join);
+    graph.add_edge(right, join);
+    graph.run(threads);
+    EXPECT_EQ(merged, "left+right") << "threads=" << threads;
+    EXPECT_TRUE(graph.ran(join));
+  }
+}
+
+TEST(TaskGraph, SerialModePicksTheLowestReadyIdFirst) {
+  // Three independent roots added out of "priority" order: serial
+  // execution must visit them by id, the reference order task-granularity
+  // sweeps are byte-compared against.
+  TaskGraph graph;
+  std::vector<int> order;
+  graph.add_node("a", [&order] { order.push_back(0); });
+  graph.add_node("b", [&order] { order.push_back(1); });
+  graph.add_node("c", [&order] { order.push_back(2); });
+  graph.run(1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+/// Builds a seeded random DAG (edges only from lower to higher id, so it
+/// is acyclic by construction) where node n computes
+/// value[n] = n + sum(value of direct dependencies, in ascending id
+/// order). The result vector is a deterministic function of the topology
+/// alone — any scheduling leak shows up as a diff between thread counts.
+std::vector<long long> run_random_dag(std::uint64_t seed,
+                                      std::size_t node_count,
+                                      std::size_t threads) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<std::size_t>> deps(node_count);
+  for (std::size_t n = 1; n < node_count; ++n) {
+    // 0..3 dependencies per node: mixes chains, diamonds, fan-in/fan-out,
+    // and isolated roots across seeds.
+    const std::uint64_t fan = rng.uniform_index(4);
+    for (std::uint64_t d = 0; d < fan; ++d) {
+      deps[n].push_back(static_cast<std::size_t>(rng.uniform_index(n)));
+    }
+  }
+  TaskGraph graph;
+  std::vector<long long> value(node_count, 0);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const std::vector<std::size_t>& mine = deps[n];
+    graph.add_node("node" + std::to_string(n), [&value, &mine, n] {
+      long long sum = static_cast<long long>(n);
+      for (const std::size_t d : mine) sum += value[d];
+      value[n] = sum;
+    });
+  }
+  for (std::size_t n = 0; n < node_count; ++n) {
+    for (const std::size_t d : deps[n]) graph.add_edge(d, n);
+  }
+  graph.run(threads);
+  return value;
+}
+
+TEST(TaskGraph, RandomDagsProduceIdenticalResultsAtEveryThreadCount) {
+  for (const std::uint64_t seed : {0x7a5cULL, 42ULL, 0xfeedULL,
+                                   0x9e3779b97f4a7c15ULL}) {
+    const std::vector<long long> serial = run_random_dag(seed, 64, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+      EXPECT_EQ(run_random_dag(seed, 64, threads), serial)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskGraph, CycleIsAnInternalErrorBeforeAnyNodeRuns) {
+  TaskGraph graph;
+  bool touched = false;
+  const auto a = graph.add_node("a", [&touched] { touched = true; });
+  const auto b = graph.add_node("b", [&touched] { touched = true; });
+  graph.add_edge(a, b);
+  graph.add_edge(b, a);
+  EXPECT_THROW(graph.run(1), InternalError);
+  EXPECT_FALSE(touched) << "cycle detection must precede execution";
+}
+
+TEST(TaskGraph, SelfEdgeIsACycle) {
+  TaskGraph graph;
+  const auto a = graph.add_node("a", [] {});
+  graph.add_edge(a, a);
+  EXPECT_THROW(graph.run(2), InternalError);
+}
+
+TEST(TaskGraph, ThrowingNodeSkipsDependentsAndRunsTheRest) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    std::atomic<int> survivors{0};
+    const auto boom = graph.add_node("boom", [] {
+      throw TgiError("boom");
+    });
+    const auto child = graph.add_node(
+        "child", [&survivors] { survivors.fetch_add(1); });
+    const auto grandchild = graph.add_node(
+        "grandchild", [&survivors] { survivors.fetch_add(1); });
+    const auto bystander = graph.add_node(
+        "bystander", [&survivors] { survivors.fetch_add(1); });
+    graph.add_edge(boom, child);
+    graph.add_edge(child, grandchild);
+    EXPECT_THROW(graph.run(threads), TgiError);
+    EXPECT_TRUE(graph.failed(boom)) << "threads=" << threads;
+    EXPECT_TRUE(graph.skipped(child));
+    EXPECT_TRUE(graph.skipped(grandchild)) << "skip must cascade";
+    EXPECT_TRUE(graph.ran(bystander)) << "unrelated work must drain";
+    EXPECT_EQ(survivors.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(TaskGraph, PartiallyPoisonedJoinIsSkipped) {
+  // join depends on one failing and one succeeding branch: the healthy
+  // branch runs, but the join must never execute on partial inputs.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    bool joined = false;
+    const auto ok = graph.add_node("ok", [] {});
+    const auto bad = graph.add_node("bad", [] { throw TgiError("bad"); });
+    const auto join = graph.add_node("join", [&joined] { joined = true; });
+    graph.add_edge(ok, join);
+    graph.add_edge(bad, join);
+    EXPECT_THROW(graph.run(threads), TgiError);
+    EXPECT_TRUE(graph.ran(ok));
+    EXPECT_TRUE(graph.skipped(join));
+    EXPECT_FALSE(joined);
+  }
+}
+
+TEST(TaskGraph, SmallestFailedNodeIdWinsTheRethrowAtEveryThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TaskGraph graph;
+    // Two independent failures; the one with the smaller id must be the
+    // error the caller sees, regardless of completion order.
+    graph.add_node("first", [] { throw TgiError("first failure"); });
+    graph.add_node("second", [] { throw TgiError("second failure"); });
+    try {
+      graph.run(threads);
+      FAIL() << "expected a rethrow at threads=" << threads;
+    } catch (const TgiError& e) {
+      EXPECT_STREQ(e.what(), "first failure") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskGraph, RandomDagFuzzWithInjectedFailuresStaysDeterministic) {
+  // Same random topologies as the results fuzz, but node 7 always throws:
+  // the set of ran/skipped/failed nodes — and the surviving values — must
+  // match the serial reference at every thread count.
+  const auto run_faulty = [](std::uint64_t seed, std::size_t threads,
+                             std::vector<long long>& value,
+                             std::string& statuses) {
+    Xoshiro256 rng(seed);
+    const std::size_t node_count = 48;
+    std::vector<std::vector<std::size_t>> deps(node_count);
+    for (std::size_t n = 1; n < node_count; ++n) {
+      const std::uint64_t fan = rng.uniform_index(3);
+      for (std::uint64_t d = 0; d < fan; ++d) {
+        deps[n].push_back(static_cast<std::size_t>(rng.uniform_index(n)));
+      }
+    }
+    TaskGraph graph;
+    value.assign(node_count, 0);
+    for (std::size_t n = 0; n < node_count; ++n) {
+      const std::vector<std::size_t>& mine = deps[n];
+      graph.add_node("node" + std::to_string(n), [&value, &mine, n] {
+        if (n == 7) throw TgiError("node 7 down");
+        long long sum = static_cast<long long>(n);
+        for (const std::size_t d : mine) sum += value[d];
+        value[n] = sum;
+      });
+    }
+    for (std::size_t n = 0; n < node_count; ++n) {
+      for (const std::size_t d : deps[n]) graph.add_edge(d, n);
+    }
+    EXPECT_THROW(graph.run(threads), TgiError);
+    statuses.clear();
+    for (std::size_t n = 0; n < node_count; ++n) {
+      statuses += graph.ran(n) ? 'r' : graph.skipped(n) ? 's' : 'f';
+    }
+  };
+  for (const std::uint64_t seed : {3ull, 0xabcdefULL, 77ull}) {
+    std::vector<long long> serial_value;
+    std::string serial_status;
+    run_faulty(seed, 1, serial_value, serial_status);
+    EXPECT_EQ(serial_status[7], 'f');
+    for (const std::size_t threads : {2u, 8u}) {
+      std::vector<long long> value;
+      std::string status;
+      run_faulty(seed, threads, value, status);
+      EXPECT_EQ(status, serial_status) << "seed=" << seed;
+      EXPECT_EQ(value, serial_value) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(TaskGraph, RejectsEmptyTasksBadEdgeIdsAndReuse) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.add_node("empty", nullptr), PreconditionError);
+  const auto a = graph.add_node("a", [] {});
+  EXPECT_THROW(graph.add_edge(a, a + 1), PreconditionError);
+  graph.run(1);
+  EXPECT_TRUE(graph.ran(a));
+  EXPECT_THROW(graph.run(1), PreconditionError);
+  EXPECT_THROW(graph.add_node("late", [] {}), PreconditionError);
+}
+
+TEST(TaskGraph, HookBracketsExecutedNodesOnly) {
+  TaskGraph graph;
+  const auto bad = graph.add_node("bad", [] { throw TgiError("x"); });
+  const auto child = graph.add_node("child", [] {});
+  graph.add_edge(bad, child);
+  std::mutex mu;
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  EXPECT_THROW(
+      graph.run(1,
+                [&mu, &begins, &ends](std::size_t /*worker*/,
+                                      std::size_t /*task*/, bool begin) {
+                  const std::unique_lock lock(mu);
+                  (begin ? begins : ends) += 1;
+                }),
+      TgiError);
+  // The skipped child never reaches the pool, so only the failing node is
+  // bracketed — and its end call fired despite the throw.
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  EXPECT_TRUE(graph.skipped(child));
+}
+
+}  // namespace
+}  // namespace tgi::util

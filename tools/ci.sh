@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Eight stages, fail-fast:
+# Nine stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -29,7 +29,11 @@
 #      faulted checkpointed sweep is SIGKILLed partway, then resumed at a
 #      different thread count and byte-diffed against an uninterrupted
 #      run; a second variant truncates the journal mid-record and checks
-#      the torn record is quarantined and recomputed, byte-identically.
+#      the torn record is quarantined and recomputed, byte-identically;
+#   9. tsan-taskgraph: the task-graph executor (DESIGN.md §12) under TSan —
+#      the randomized-DAG fuzz suite plus the granularity=task sweep-engine
+#      equivalence tests, then a granularity=task faulted+traced sweep
+#      byte-diffed against granularity=point at several thread counts.
 #
 # Usage: tools/ci.sh [jobs]          (from the repo root)
 set -eu
@@ -38,33 +42,33 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/8] tier-1: build + ctest =="
+echo "== [1/9] tier-1: build + ctest =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/8] lint: tgi-lint convention analyzer + waiver audit =="
+echo "== [2/9] lint: tgi-lint convention analyzer + waiver audit =="
 ./build/tools/tgi_lint root="$ROOT" audit_waivers=1 out=build/lint.json
 
-echo "== [3/8] golden: figure/table transcripts byte-identical =="
+echo "== [3/9] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/8] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/9] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/8] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/9] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/8] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/9] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
 
-echo "== [7/8] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+echo "== [7/9] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
 TRACE_SCRATCH="build-tsan/trace_gate"
 rm -rf "$TRACE_SCRATCH"
 for t in 1 2 8; do
@@ -83,7 +87,7 @@ for t in 2 8; do
       "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
 done
 
-echo "== [8/8] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
+echo "== [8/9] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
 CKPT_SCRATCH="build-tsan/checkpoint_gate"
 rm -rf "$CKPT_SCRATCH"
 mkdir -p "$CKPT_SCRATCH"
@@ -143,5 +147,34 @@ cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
     "$CKPT_SCRATCH/healed/faults_summary.csv"
 cmp "$CKPT_SCRATCH/base_trace/trace.json" \
     "$CKPT_SCRATCH/healed_trace/trace.json"
+
+echo "== [9/9] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
+# The randomized-DAG fuzz suite and the sweep-engine equivalence tests on
+# the TSan build (they also ran in stage 5; rerunning them here keeps this
+# gate meaningful when stages are cherry-picked).
+./build-tsan/tests/util_tests --gtest_filter='TaskGraph*' > /dev/null
+./build-tsan/tests/harness_tests \
+  --gtest_filter='TaskGranularity*:*TaskGranularity*' > /dev/null
+# A granularity=task faulted+traced sweep must be byte-identical to the
+# stage-7 granularity=point runs — same seed, same spec, every artifact.
+TG_SCRATCH="build-tsan/taskgraph_gate"
+rm -rf "$TG_SCRATCH"
+for t in 1 2 8; do
+  ./build-tsan/tools/tgi_sweep threads="$t" granularity=task \
+    --faults dropout=0.2,failure=0.1,timeout=0.05,truncation=0.05 \
+    sweep=16,48,80 seed=7 outdir="$TG_SCRATCH/results_t$t" \
+    trace="$TG_SCRATCH/trace_t$t" > /dev/null
+  cmp "$TRACE_SCRATCH/trace_t1/trace.json" "$TG_SCRATCH/trace_t$t/trace.json"
+  cmp "$TRACE_SCRATCH/trace_t1/metrics.csv" "$TG_SCRATCH/trace_t$t/metrics.csv"
+  cmp "$TRACE_SCRATCH/results_t1/faults_summary.csv" \
+      "$TG_SCRATCH/results_t$t/faults_summary.csv"
+done
+# Plain (fault-free) path too: granularity=task figure CSVs must match the
+# granularity=point ones byte for byte.
+for g in point task; do
+  ./build-tsan/tools/tgi_sweep threads=8 granularity="$g" \
+    sweep=16,48,80 seed=7 outdir="$TG_SCRATCH/plain_$g" > /dev/null
+done
+diff -r "$TG_SCRATCH/plain_point" "$TG_SCRATCH/plain_task"
 
 echo "ci.sh: all gates passed"
