@@ -1,0 +1,96 @@
+// Content-addressed result cache over the checkpoint journal format.
+//
+// The campaign engine (DESIGN.md §13) deduplicates sweep points across
+// many requests: a point is keyed by (spec_hash, point_index), where the
+// spec hash is the same FNV-1a digest the checkpoint journal stamps into
+// its header — but computed over a cache-specific canonical text that
+// ADDITIONALLY includes the sweep values. The journal's own hash excludes
+// them (they live in the header record), which is sound for resume because
+// resume re-supplies the same values; a cache shared across campaigns
+// cannot assume that, and a point's RNG streams are keyed on its *index*
+// in the value list, so two sweeps with different value lists must never
+// collide. cache_spec_text is the one canonicalizer; tests/harness/
+// test_cache_key.cpp pins its digests so accidental drift (which would
+// silently invalidate every cache on disk) fails loudly.
+//
+// On-disk representation: one journal file per spec at
+// <dir>/<hash16>.tgij — the exact header+point record format of
+// harness/checkpoint.h (DESIGN.md §11), published atomically via
+// util::AtomicFile (the cache, unlike the mid-sweep journal, is only ever
+// written whole). Reads inherit the journal trust policy: a record is
+// fully valid or it is quarantined with a reason and its point recomputed;
+// a shard whose header disagrees with the hash in its own filename is
+// foreign or tampered and is quarantined wholesale. lookup() never throws
+// on damaged bytes — damage is data, not an error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/faults.h"
+#include "harness/suite.h"
+#include "sim/machine.h"
+
+namespace tgi::harness {
+
+/// The canonical spec text whose journal_spec_hash() keys the result
+/// cache. Layout mirrors tgi_sweep's checkpoint spec text (meter, seed,
+/// suite roster, fault plane + recovery policy, cluster config) plus the
+/// `sweep=` value list — everything that determines a point's bytes,
+/// including its position-keyed RNG streams. `faults` may be null
+/// (fault-free sweep); `stuck_run_limit` is only recorded alongside
+/// faults, matching the journal spec.
+[[nodiscard]] std::string cache_spec_text(
+    const sim::ClusterSpec& cluster, std::uint64_t seed, bool exact_meter,
+    const SuiteConfig& suite, const FaultSpec* faults,
+    std::size_t stuck_run_limit, const std::vector<std::size_t>& values);
+
+/// One lookup's outcome: the valid completed points (first valid record
+/// per index wins, exactly like journal resume) and every quarantined
+/// record with its reason. Damage has already been logged at WARN.
+struct CacheLookup {
+  std::map<std::size_t, PointRecord> completed;
+  std::vector<JournalDamage> damage;
+
+  [[nodiscard]] bool hit(std::size_t index) const {
+    return completed.find(index) != completed.end();
+  }
+};
+
+/// A persistent, content-addressed store of completed sweep points.
+class ResultCache {
+ public:
+  /// `directory` is created lazily on the first store().
+  explicit ResultCache(std::string directory);
+
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+  /// Shard file for a spec: <directory>/<hash16>.tgij.
+  [[nodiscard]] std::string shard_path(std::uint64_t spec_hash) const;
+
+  /// Reads the spec's shard. A missing shard is an empty (all-miss)
+  /// lookup; damaged records — torn, bit-flipped, duplicated, foreign —
+  /// are quarantined into `damage` and treated as misses. Never throws on
+  /// bad bytes.
+  [[nodiscard]] CacheLookup lookup(
+      std::uint64_t spec_hash, const std::string& mode,
+      const std::vector<std::size_t>& values) const;
+
+  /// Publishes the spec's shard atomically: header + `records` in index
+  /// order. `records` may be partial (a campaign cut short by a worker
+  /// failure still banks what finished); the next lookup simply misses the
+  /// rest. Callers pass the union of prior hits and fresh computes — the
+  /// cache itself never merges, so a store is a deterministic function of
+  /// its arguments.
+  void store(std::uint64_t spec_hash, const std::string& mode,
+             const std::vector<std::size_t>& values,
+             const std::map<std::size_t, PointRecord>& records) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace tgi::harness

@@ -166,10 +166,11 @@ std::vector<SuitePoint> SuiteRunner::sweep(
 
 std::vector<core::BenchmarkMeasurement> reference_measurements(
     const sim::ClusterSpec& reference_cluster, power::PowerMeter& meter,
-    SuiteConfig config) {
+    SuiteConfig config, obs::PointRecorder* recorder) {
   // Reference runs meter the participating subset (see SuiteConfig docs).
   config.tuning.meter_active_nodes_only = true;
   SuiteRunner runner(reference_cluster, meter, config);
+  runner.attach_recorder(recorder);
   std::vector<core::BenchmarkMeasurement> measurements;
   measurements.push_back(runner.run_hpl(reference_cluster.total_cores()));
   measurements.push_back(runner.run_stream(reference_cluster.total_cores()));

@@ -130,9 +130,13 @@ class SuiteRunner {
 };
 
 /// Reference measurements: the full suite at the reference cluster's full
-/// scale — what SystemG provides in the paper (Table I).
+/// scale — what SystemG provides in the paper (Table I). When `recorder`
+/// is non-null the run records benchmark spans on it (observational, never
+/// changes a measurement) — the campaign engine journals reference runs
+/// into its result cache, and journal records carry the observability
+/// section (DESIGN.md §11, §13).
 [[nodiscard]] std::vector<core::BenchmarkMeasurement> reference_measurements(
     const sim::ClusterSpec& reference_cluster, power::PowerMeter& meter,
-    SuiteConfig config = {});
+    SuiteConfig config = {}, obs::PointRecorder* recorder = nullptr);
 
 }  // namespace tgi::harness

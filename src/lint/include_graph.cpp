@@ -176,6 +176,7 @@ layer sim
 layer kernels
 layer core
 layer harness
+layer serve
 layer lint
 only lint: util
 )");

@@ -303,7 +303,7 @@ class CoutInLibraryRule final : public Rule {
 // --- nonatomic-output-write -----------------------------------------------
 
 /// Direct std::ofstream use in the output-emitting layers (src/harness,
-/// src/obs, tools). A bare ofstream that dies mid-write (crash, SIGKILL,
+/// src/obs, src/serve, tools). A bare ofstream that dies mid-write (crash, SIGKILL,
 /// ENOSPC) leaves a truncated file where a good one may have stood;
 /// results, traces, and figure CSVs must go through util::AtomicFile /
 /// util::atomic_write_file (write-to-temp + rename, DESIGN.md §11).
@@ -315,13 +315,14 @@ class NonatomicOutputWriteRule final : public Rule {
     return "nonatomic-output-write";
   }
   [[nodiscard]] std::string_view description() const override {
-    return "direct std::ofstream in src/harness, src/obs, or tools "
-           "(publish files through util::AtomicFile)";
+    return "direct std::ofstream in src/harness, src/obs, src/serve, or "
+           "tools (publish files through util::AtomicFile)";
   }
 
   void check(const SourceFile& file, std::vector<Violation>& out) const override {
     if (!starts_with(file.path, "src/harness/") &&
         !starts_with(file.path, "src/obs/") &&
+        !starts_with(file.path, "src/serve/") &&
         !starts_with(file.path, "tools/")) {
       return;
     }
@@ -469,7 +470,8 @@ std::size_t matching_angle(std::string_view text, std::size_t open) {
 // --- unordered-iteration-in-output ----------------------------------------
 
 /// Range-for over a std::unordered_map / std::unordered_set in the layers
-/// that feed published artifacts (src/harness, src/obs, src/core, tools).
+/// that feed published artifacts (src/harness, src/obs, src/core,
+/// src/serve, tools).
 /// Hash-table iteration order is unspecified and may differ across
 /// standard libraries and runs, so letting it reach a CSV row order, a
 /// trace event order, or a stdout transcript silently breaks the
@@ -492,6 +494,7 @@ class UnorderedIterationRule final : public Rule {
     if (!starts_with(file.path, "src/harness/") &&
         !starts_with(file.path, "src/obs/") &&
         !starts_with(file.path, "src/core/") &&
+        !starts_with(file.path, "src/serve/") &&
         !starts_with(file.path, "tools/")) {
       return;
     }

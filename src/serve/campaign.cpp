@@ -1,0 +1,451 @@
+#include "serve/campaign.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "core/tgi.h"
+#include "harness/cache.h"
+#include "harness/checkpoint.h"
+#include "harness/measurement_io.h"
+#include "harness/suite.h"
+#include "obs/trace.h"
+#include "power/meter.h"
+#include "serve/worker.h"
+#include "sim/spec_io.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/log.h"
+#include "util/subprocess.h"
+#include "util/table.h"
+
+namespace tgi::serve {
+
+namespace {
+
+using harness::PointRecord;
+
+std::string hash_hex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buffer);
+}
+
+std::string join_indices(const std::vector<std::size_t>& indices) {
+  std::string text;
+  for (const std::size_t index : indices) {
+    if (!text.empty()) text += ',';
+    text += std::to_string(index);
+  }
+  return text;
+}
+
+/// Reads a worker journal and returns its valid records for this spec.
+/// Damage (including a torn tail from a SIGKILLed worker, or a missing
+/// file from one that died before the header) is counted, WARNed, and
+/// treated as absence — the caller recomputes whatever is missing.
+std::map<std::size_t, PointRecord> merge_journal(
+    const std::string& journal_path, std::uint64_t hash,
+    const std::string& mode, const std::vector<std::size_t>& values,
+    CampaignStats& stats) {
+  std::map<std::size_t, PointRecord> records;
+  std::error_code ec;
+  if (!std::filesystem::exists(journal_path, ec) || ec) return records;
+  std::vector<harness::JournalDamage> damage;
+  try {
+    const harness::JournalContents contents =
+        harness::read_journal_file(journal_path);
+    harness::JournalState state =
+        harness::reconcile_journal(contents, hash, mode, values);
+    records = std::move(state.completed);
+    damage = std::move(state.damage);
+  } catch (const util::TgiError& ex) {
+    damage.push_back(harness::JournalDamage{
+        0, std::string("worker journal rejected: ") + ex.what()});
+  }
+  for (const harness::JournalDamage& d : damage) {
+    TGI_LOG_WARN("serve: quarantined worker record (" << journal_path
+                                                      << " line " << d.line
+                                                      << "): " << d.reason);
+  }
+  stats.quarantined += damage.size();
+  return records;
+}
+
+/// Computes the entry's reference point (tgi_sweep's make_meter(1) +
+/// reference_measurements, wrapped as a journal record so it can ride the
+/// cache like any sweep point).
+PointRecord compute_reference_record(const CampaignSpec& spec) {
+  std::unique_ptr<power::PowerMeter> meter;
+  if (spec.exact_meter) {
+    meter = std::make_unique<power::ModelMeter>(util::seconds(0.5));
+  } else {
+    power::WattsUpConfig wcfg;
+    wcfg.seed = spec.seed + 1;
+    meter = std::make_unique<power::WattsUpMeter>(wcfg);
+  }
+  const std::size_t cores = spec.reference.total_cores();
+  obs::PointRecorder recorder(0, std::to_string(cores));
+  harness::SuitePoint point;
+  point.processes = cores;
+  point.nodes = spec.reference.nodes;
+  point.measurements =
+      harness::reference_measurements(spec.reference, *meter, {}, &recorder);
+  return harness::make_point_record(0, cores, point, &recorder);
+}
+
+}  // namespace
+
+std::string CampaignStats::summary() const {
+  return "entries=" + std::to_string(entries) +
+         " points=" + std::to_string(points) +
+         " hits=" + std::to_string(cache_hits) +
+         " computed=" + std::to_string(computed) +
+         " quarantined=" + std::to_string(quarantined) +
+         " worker_failures=" + std::to_string(worker_failures);
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {
+  TGI_REQUIRE(!config_.cache_dir.empty(), "campaign needs cache_dir");
+  TGI_REQUIRE(!config_.outdir.empty(), "campaign needs outdir");
+  TGI_REQUIRE(config_.workers == 0 || !config_.worker_exe.empty(),
+              "workers > 0 needs a worker executable");
+}
+
+namespace {
+
+/// Per-entry provenance, accumulated for outdir/provenance.json.
+struct EntryProvenance {
+  std::string name;
+  std::uint64_t spec;
+  std::uint64_t reference_spec;
+  std::size_t points;
+  std::size_t hits;
+  std::size_t computed;
+};
+
+/// Shards `pending` round-robin, spawns one `tgi_serve --worker` per
+/// non-empty shard, waits in fixed shard order, and merges the shard
+/// journals (shard order; first valid record per index wins). Failed
+/// workers are WARNed and their completed prefix is still banked.
+std::map<std::size_t, PointRecord> run_worker_shards(
+    const CampaignConfig& config, const CampaignSpec& spec,
+    std::uint64_t hash, const std::string& mode,
+    const std::vector<std::size_t>& pending, const std::string& scratch,
+    CampaignStats& stats) {
+  std::vector<std::vector<std::size_t>> shards(config.workers);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    shards[i % config.workers].push_back(pending[i]);
+  }
+  const std::string cluster_path = scratch + "/cluster.conf";
+  const std::string spec_path = scratch + "/spec.conf";
+  std::filesystem::create_directories(scratch);
+  util::atomic_write_file(cluster_path, sim::cluster_to_config(spec.cluster));
+  // The handoff names the cluster file relative to the spec file's own
+  // directory (load_worker_spec resolves it there) — relocatable scratch.
+  util::atomic_write_file(spec_path, worker_spec_config(spec, "cluster.conf"));
+
+  struct Shard {
+    std::size_t index;
+    std::string dir;
+    std::unique_ptr<util::Subprocess> child;
+  };
+  std::vector<Shard> live;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].empty()) continue;
+    const std::string dir = scratch + "/shard" + std::to_string(s);
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> argv{
+        config.worker_exe,
+        "--worker",
+        "spec=" + spec_path,
+        "indices=" + join_indices(shards[s]),
+        "journal=" + dir,
+        "threads=" + std::to_string(config.threads),
+        "shard=" + std::to_string(s)};
+    util::SubprocessOptions options;
+    options.stdout_path = dir + "/worker.out";
+    options.stderr_path = dir + "/worker.err";
+    live.push_back(Shard{s, dir,
+                         std::make_unique<util::Subprocess>(
+                             std::move(argv), std::move(options))});
+  }
+
+  std::map<std::size_t, PointRecord> merged;
+  for (Shard& shard : live) {
+    const util::ExitStatus& status = shard.child->wait();
+    if (!status.success()) {
+      ++stats.worker_failures;
+      TGI_LOG_WARN("serve: worker shard "
+                   << shard.index << " for [" << spec.name << "] died ("
+                   << status.describe() << "); merging its partial journal"
+                   << " (stderr: " << shard.dir << "/worker.err)");
+    }
+    std::map<std::size_t, PointRecord> records = merge_journal(
+        shard.dir + "/journal.tgij", hash, mode, spec.sweep, stats);
+    for (auto& [index, record] : records) {
+      merged.emplace(index, std::move(record));
+    }
+  }
+  return merged;
+}
+
+/// Writes one entry's artifacts and report lines from DECODED cache
+/// records only — the single emission path both cold and warm runs share.
+/// Report lines carry the entry name, never a filesystem path, so the
+/// report stream is byte-stable across output directories.
+void emit_entry(const CampaignConfig& config, const CampaignSpec& entry,
+                const std::map<std::size_t, PointRecord>& records,
+                const PointRecord& reference, std::ostream& out) {
+  const std::string dir = config.outdir + "/" + entry.name;
+  std::filesystem::create_directories(dir);
+  out << "[" << entry.name << "] system: " << entry.cluster.name << " ("
+      << entry.cluster.total_cores()
+      << " cores), reference: " << entry.reference.name << "\n";
+  harness::write_measurements_file(dir + "/reference.csv",
+                                   reference.point.measurements);
+  const core::TgiCalculator calc(reference.point.measurements);
+
+  std::size_t measurement_csvs = 1;  // reference.csv
+  if (entry.faulted()) {
+    util::AtomicFile fault_file(dir + "/faults_summary.csv");
+    util::CsvWriter fcsv(fault_file.stream());
+    fcsv.write_row({"cores", "tgi_am", "missing", "attempts", "retries",
+                    "run_faults", "meter_faults", "rejected_readings",
+                    "dropped_benchmarks", "backoff_s", "stalled_s"});
+    for (std::size_t k = 0; k < entry.sweep.size(); ++k) {
+      const PointRecord& record = records.at(k);
+      std::string missing;
+      for (const std::string& name : record.missing) {
+        if (!missing.empty()) missing += '+';
+        missing += name;
+      }
+      std::string tgi_am = "nan";
+      if (!record.point.measurements.empty()) {
+        const core::PartialTgiResult partial = calc.compute_partial(
+            record.point.measurements, core::WeightScheme::kArithmeticMean);
+        tgi_am = util::fixed(partial.result.tgi, 6);
+        harness::write_measurements_file(
+            dir + "/point_" + std::to_string(entry.sweep[k]) + ".csv",
+            record.point.measurements);
+        ++measurement_csvs;
+      }
+      const harness::PointCounters& c = record.counters;
+      fcsv.write_row({std::to_string(entry.sweep[k]), tgi_am, missing,
+                      std::to_string(c.attempts), std::to_string(c.retries),
+                      std::to_string(c.run_faults),
+                      std::to_string(c.meter_faults),
+                      std::to_string(c.rejected_readings),
+                      std::to_string(c.dropped_benchmarks),
+                      util::fixed(c.backoff.value(), 1),
+                      util::fixed(c.stalled.value(), 1)});
+      out << "[" << entry.name << "] cores " << entry.sweep[k] << ": TGI(AM) "
+          << tgi_am
+          << (record.missing.empty() ? ""
+                                     : " [partial: missing " + missing + "]")
+          << " attempts=" << c.attempts << " retries=" << c.retries
+          << " faults=" << c.run_faults + c.meter_faults << "\n";
+    }
+    fault_file.commit();
+  } else {
+    const std::vector<core::WeightScheme> schemes{
+        core::WeightScheme::kArithmeticMean, core::WeightScheme::kTime,
+        core::WeightScheme::kEnergy, core::WeightScheme::kPower};
+    util::AtomicFile summary_file(dir + "/sweep_summary.csv");
+    util::CsvWriter summary(summary_file.stream());
+    summary.write_row({"cores", "tgi_am", "tgi_time", "tgi_energy",
+                       "tgi_power", "hpl_mflops", "hpl_watts", "stream_mbps",
+                       "stream_watts", "iozone_mbps", "iozone_watts"});
+    for (std::size_t k = 0; k < entry.sweep.size(); ++k) {
+      const PointRecord& record = records.at(k);
+      harness::write_measurements_file(
+          dir + "/point_" + std::to_string(entry.sweep[k]) + ".csv",
+          record.point.measurements);
+      ++measurement_csvs;
+      std::vector<std::string> row{std::to_string(entry.sweep[k])};
+      double tgi_am = 0.0;
+      for (const core::WeightScheme scheme : schemes) {
+        const double value =
+            calc.compute(record.point.measurements, scheme).tgi;
+        if (scheme == core::WeightScheme::kArithmeticMean) tgi_am = value;
+        row.push_back(util::fixed(value, 6));
+      }
+      for (const char* name : {"HPL", "STREAM", "IOzone"}) {
+        const core::BenchmarkMeasurement& m =
+            core::find_measurement(record.point.measurements, name);
+        row.push_back(util::fixed(m.performance, 3));
+        row.push_back(util::fixed(m.average_power.value(), 3));
+      }
+      summary.write_row(row);
+      out << "[" << entry.name << "] cores " << entry.sweep[k] << ": TGI(AM) "
+          << util::fixed(tgi_am, 4) << "\n";
+    }
+    summary_file.commit();
+  }
+
+  if (config.trace) {
+    std::vector<obs::PointRecorder> recorders;
+    recorders.reserve(entry.sweep.size());
+    for (std::size_t k = 0; k < entry.sweep.size(); ++k) {
+      obs::PointRecorder recorder(k, std::to_string(entry.sweep[k]));
+      harness::restore_recorder(records.at(k), recorder);
+      recorders.push_back(std::move(recorder));
+    }
+    const obs::SweepTrace trace =
+        obs::SweepTrace::merge(std::move(recorders));
+    const std::string trace_dir = dir + "/trace";
+    std::filesystem::create_directories(trace_dir);
+    util::AtomicFile trace_json(trace_dir + "/trace.json");
+    trace.write_chrome_trace(trace_json.stream());
+    trace_json.commit();
+    util::AtomicFile metrics(trace_dir + "/metrics.csv");
+    trace.write_metrics_csv(metrics.stream());
+    metrics.commit();
+    out << "[" << entry.name << "] wrote trace (" << trace.event_count()
+        << " events) and metrics\n";
+  }
+  out << "[" << entry.name << "] wrote "
+      << (entry.faulted() ? "faults_summary.csv" : "sweep_summary.csv")
+      << " and " << measurement_csvs << " measurement CSVs\n";
+}
+
+}  // namespace
+
+CampaignStats CampaignEngine::run(const std::vector<CampaignSpec>& entries,
+                                  std::ostream& out) {
+  TGI_REQUIRE(!entries.empty(), "campaign has no entries");
+  const harness::ResultCache cache(config_.cache_dir);
+  CampaignStats stats;
+  std::vector<EntryProvenance> provenance;
+  std::filesystem::create_directories(config_.outdir);
+
+  for (const CampaignSpec& entry : entries) {
+    ++stats.entries;
+    EntryProvenance prov;
+    prov.name = entry.name;
+    const std::uint64_t hash = spec_hash(entry);
+    const std::string mode = spec_mode(entry);
+    prov.spec = hash;
+    const std::size_t hits_before = stats.cache_hits;
+    const std::size_t computed_before = stats.computed;
+
+    // 1. Cache lookup: valid records are hits, damage becomes misses.
+    harness::CacheLookup cached = cache.lookup(hash, mode, entry.sweep);
+    stats.quarantined += cached.damage.size();
+    std::vector<std::size_t> pending;
+    for (std::size_t k = 0; k < entry.sweep.size(); ++k) {
+      if (!cached.hit(k)) pending.push_back(k);
+    }
+    stats.points += entry.sweep.size();
+    stats.cache_hits += entry.sweep.size() - pending.size();
+
+    // 2+3. Compute the misses: worker shards, then an in-process pass for
+    // anything a dead worker left behind.
+    std::map<std::size_t, PointRecord> records = std::move(cached.completed);
+    if (!pending.empty()) {
+      const std::string scratch =
+          config_.cache_dir + "/work/" + entry.name;
+      if (config_.workers > 0) {
+        std::map<std::size_t, PointRecord> fresh = run_worker_shards(
+            config_, entry, hash, mode, pending, scratch, stats);
+        for (auto& [index, record] : fresh) {
+          records.emplace(index, std::move(record));
+        }
+      }
+      std::vector<std::size_t> missing;
+      for (const std::size_t k : pending) {
+        if (records.find(k) == records.end()) missing.push_back(k);
+      }
+      if (!missing.empty()) {
+        WorkerAssignment local;
+        local.indices = missing;
+        local.journal_dir = scratch + "/local";
+        local.threads = config_.threads;
+        (void)run_worker(entry, local);
+        std::map<std::size_t, PointRecord> fresh = merge_journal(
+            local.journal_dir + "/journal.tgij", hash, mode, entry.sweep,
+            stats);
+        for (auto& [index, record] : fresh) {
+          records.emplace(index, std::move(record));
+        }
+      }
+      stats.computed += pending.size();
+      // TGI_SERVE_KEEP_SCRATCH (env, debugging): keep worker spec files,
+      // journals, and stderr captures instead of cleaning the scratch tree.
+      if (std::getenv("TGI_SERVE_KEEP_SCRATCH") == nullptr) {
+        std::error_code ec;
+        std::filesystem::remove_all(scratch, ec);
+      }
+    }
+
+    // 4. Publish, then re-read: emission consumes only decoded cache
+    // bytes, so cold and warm runs emit from identical inputs.
+    cache.store(hash, mode, entry.sweep, records);
+    harness::CacheLookup final_state = cache.lookup(hash, mode, entry.sweep);
+    for (std::size_t k = 0; k < entry.sweep.size(); ++k) {
+      TGI_CHECK(final_state.hit(k), "campaign entry ["
+                                        << entry.name << "] point " << k
+                                        << " missing after compute");
+    }
+
+    // 5. Reference run, cached under its own key.
+    const std::uint64_t ref_hash = reference_spec_hash(entry);
+    prov.reference_spec = ref_hash;
+    const std::vector<std::size_t> ref_values{
+        entry.reference.total_cores()};
+    ++stats.points;
+    harness::CacheLookup ref_cached =
+        cache.lookup(ref_hash, "plain", ref_values);
+    stats.quarantined += ref_cached.damage.size();
+    if (ref_cached.hit(0)) {
+      ++stats.cache_hits;
+    } else {
+      std::map<std::size_t, PointRecord> ref_records;
+      ref_records.emplace(0, compute_reference_record(entry));
+      cache.store(ref_hash, "plain", ref_values, ref_records);
+      ++stats.computed;
+      ref_cached = cache.lookup(ref_hash, "plain", ref_values);
+      stats.quarantined += ref_cached.damage.size();
+    }
+    TGI_CHECK(ref_cached.hit(0), "campaign entry ["
+                                     << entry.name
+                                     << "] reference missing after compute");
+
+    emit_entry(config_, entry, final_state.completed,
+               ref_cached.completed.at(0), out);
+    prov.points = entry.sweep.size() + 1;
+    prov.hits = stats.cache_hits - hits_before;
+    prov.computed = stats.computed - computed_before;
+    provenance.push_back(prov);
+  }
+
+  // Provenance: cache-dependent facts live here and on stderr, never in
+  // the report stream (mirrors checkpoint resume.json).
+  util::AtomicFile json(config_.outdir + "/provenance.json");
+  json.stream() << "{\n  \"campaign\": {\"entries\": " << stats.entries
+                << ", \"points\": " << stats.points << ", \"cache_hits\": "
+                << stats.cache_hits << ", \"computed\": " << stats.computed
+                << ", \"quarantined\": " << stats.quarantined
+                << ", \"worker_failures\": " << stats.worker_failures
+                << "},\n  \"entries\": [";
+  for (std::size_t i = 0; i < provenance.size(); ++i) {
+    const EntryProvenance& p = provenance[i];
+    json.stream() << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << p.name
+                  << "\", \"spec\": \"" << hash_hex(p.spec)
+                  << "\", \"reference_spec\": \""
+                  << hash_hex(p.reference_spec) << "\", \"points\": "
+                  << p.points << ", \"hits\": " << p.hits
+                  << ", \"computed\": " << p.computed << "}";
+  }
+  json.stream() << "\n  ]\n}\n";
+  json.commit();
+  return stats;
+}
+
+}  // namespace tgi::serve

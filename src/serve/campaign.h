@@ -1,0 +1,88 @@
+// The campaign engine (DESIGN.md §13): many sweep specs in, deduplicated
+// through the content-addressed result cache, cache misses sharded across
+// worker processes, every artifact byte-identical to a cold serial run.
+//
+// Execution of one entry:
+//   1. look the spec's shard up in the ResultCache — valid records are
+//      cache hits, damaged ones are quarantined (WARN) and become misses;
+//   2. shard the missing GLOBAL indices round-robin across `workers`
+//      `tgi_serve --worker` processes (0 = compute in-process), each
+//      journaling into its own scratch directory;
+//   3. merge worker journals in FIXED SHARD ORDER (first valid record per
+//      index wins — order only matters for damage accounting, since a
+//      point's record bytes are identical whichever worker computed them);
+//      a worker that died (ci.sh stage 10 kills one with SIGKILL) is
+//      WARNed, its partial journal is still merged, and whatever is still
+//      missing is recomputed in-process — the campaign self-heals;
+//   4. publish hits ∪ fresh records back to the cache atomically, then
+//      re-read the shard and emit ONLY from the decoded records. Cold and
+//      warm runs therefore run the identical emission code on identical
+//      bytes — byte-identical stdout/CSVs/trace.json is structural, not
+//      incidental;
+//   5. the entry's reference run is cached the same way under its own key
+//      (reference_spec_text), so repeated reference machines across
+//      entries and campaigns are hits too.
+//
+// Cache-dependent facts (hit/miss counts, worker failures, quarantines)
+// never reach the report stream: they go to stderr and to
+// outdir/provenance.json, which — like checkpoint resume.json — is
+// excluded from all byte comparisons.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/spec.h"
+
+namespace tgi::serve {
+
+struct CampaignConfig {
+  /// Result cache directory (shards + worker scratch live here).
+  std::string cache_dir;
+  /// Output directory: one subdirectory per entry + provenance.json.
+  std::string outdir;
+  /// Worker processes per entry's miss set; 0 = compute in-process.
+  std::size_t workers = 0;
+  /// Sweep threads per compute (in-process and per worker); 0 = ThreadPool
+  /// default, 1 = serial.
+  std::size_t threads = 1;
+  /// Worker executable (tgi_serve); required when workers > 0.
+  std::string worker_exe;
+  /// Write per-entry trace/trace.json + trace/metrics.csv (DESIGN.md §10),
+  /// rebuilt from the journaled observability sections.
+  bool trace = false;
+};
+
+/// What a campaign run did. `computed` is the recompute counter the hit-
+/// semantics tests pin to zero on a warm cache.
+struct CampaignStats {
+  std::size_t entries = 0;
+  std::size_t points = 0;           ///< sweep points + reference runs
+  std::size_t cache_hits = 0;       ///< served from the cache
+  std::size_t computed = 0;         ///< actually recomputed this run
+  std::size_t quarantined = 0;      ///< damaged cache/journal records
+  std::size_t worker_failures = 0;  ///< worker processes that died
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(CampaignConfig config);
+
+  /// Runs the campaign. The human-readable report goes to `out` and is
+  /// byte-identical for every thread count, worker count, and cache state;
+  /// per-entry artifacts land under outdir/<entry>/. Returns the run's
+  /// stats (also written to outdir/provenance.json).
+  CampaignStats run(const std::vector<CampaignSpec>& entries,
+                    std::ostream& out);
+
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace tgi::serve

@@ -1,0 +1,100 @@
+// Campaign specs: what one batch request to the campaign engine asks for.
+//
+// A campaign file lists many sweep specs — the HEP-benchmark-suite shape
+// of the paper's methodology: the same (cluster, suite, seed, faults)
+// points recurring across multi-day, multi-site requests. Format
+// (DESIGN.md §13):
+//
+//   # one [entry] section per sweep spec
+//   [fire-baseline]
+//   cluster = fire            # builtin name, or a clusters/*.conf path
+//   sweep = 16,48,80          # process counts (required)
+//   seed = 7                  # meter RNG seed (default 0x9e3779b9)
+//   meter = wattsup           # wattsup | model
+//   faults = dropout=0.2,failure=0.1   # optional: robust sweep
+//   granularity = task        # task | point (default task — §13)
+//   reference = systemg       # reference machine for TGI (default systemg)
+//
+// Entry names are directory-safe ([A-Za-z0-9._-]) and unique; unknown
+// keys fail loudly (util::require_known_keys). `granularity` defaults to
+// `task` here and in tgi_serve's worker mode — the service arc is the
+// consumer ROADMAP item 2 gated that flip on; tgi_sweep and the bench
+// harnesses keep `point`.
+//
+// The same grammar minus [sections] doubles as the engine→worker handoff
+// file (worker_spec_config / load_worker_spec): the engine serializes the
+// entry with its cluster inlined as a spec-file path and the fault spec as
+// the user's original text, so the worker re-parses bit-identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/faults.h"
+#include "harness/parallel.h"
+#include "harness/robust.h"
+#include "sim/machine.h"
+
+namespace tgi::serve {
+
+/// One campaign entry: everything that determines a sweep's bytes, plus
+/// its presentation name and the reference machine (which only affects
+/// derived TGI output, never the cached raw measurements).
+struct CampaignSpec {
+  std::string name;
+  sim::ClusterSpec cluster;
+  sim::ClusterSpec reference;
+  std::vector<std::size_t> sweep;
+  std::uint64_t seed = 0x9e3779b9ULL;
+  bool exact_meter = false;  ///< meter=model (noise-free ModelMeter)
+  /// The user's fault spec text, verbatim (empty = fault-free sweep).
+  /// Kept as text so the engine→worker handoff re-parses the exact same
+  /// spec; `faults()` derives the parsed form.
+  std::string fault_text;
+  harness::SweepGranularity granularity =
+      harness::SweepGranularity::kTask;
+
+  [[nodiscard]] bool faulted() const { return !fault_text.empty(); }
+  /// Parsed fault plane; requires faulted().
+  [[nodiscard]] harness::FaultSpec faults() const;
+};
+
+/// "plain" or "robust" — the journal/cache mode this entry runs under.
+[[nodiscard]] const char* spec_mode(const CampaignSpec& spec);
+
+/// The recovery policy the entry's robust sweeps use (mirrors tgi_sweep:
+/// stuck_run_limit=8 on the noisy WattsUp instrument, 0 on ModelMeter).
+[[nodiscard]] harness::RobustConfig spec_robust_config(
+    const CampaignSpec& spec);
+
+/// Canonical cache-key text for the entry's sweep points
+/// (harness::cache_spec_text) and its FNV-1a digest.
+[[nodiscard]] std::string canonical_spec_text(const CampaignSpec& spec);
+[[nodiscard]] std::uint64_t spec_hash(const CampaignSpec& spec);
+
+/// Canonical cache-key text for the entry's REFERENCE run and its digest.
+/// A reference run is not a plain sweep point of the reference cluster —
+/// it meters only active nodes, runs IOzone on a node slice, and salts the
+/// meter seed (+1) — so its key carries a `reference=1` marker line that
+/// keeps it from ever colliding with a sweep over the same machine.
+[[nodiscard]] std::string reference_spec_text(const CampaignSpec& spec);
+[[nodiscard]] std::uint64_t reference_spec_hash(const CampaignSpec& spec);
+
+/// Parses a campaign file. `base_dir` resolves relative cluster paths
+/// (pass the campaign file's directory). Throws on malformed entries,
+/// duplicate or unsafe names, and unknown keys.
+[[nodiscard]] std::vector<CampaignSpec> parse_campaign(
+    const std::string& text, const std::string& base_dir);
+[[nodiscard]] std::vector<CampaignSpec> load_campaign_file(
+    const std::string& path);
+
+/// Serializes one entry as a worker handoff file (section-free campaign
+/// grammar; the cluster rides as a path to a spec file the engine wrote).
+[[nodiscard]] std::string worker_spec_config(const CampaignSpec& spec,
+                                             const std::string& cluster_path);
+/// Loads a worker handoff file. The worker never needs the reference
+/// machine, so the returned spec's `reference` is the builtin default.
+[[nodiscard]] CampaignSpec load_worker_spec(const std::string& path);
+
+}  // namespace tgi::serve

@@ -1,0 +1,163 @@
+#include "serve/worker.h"
+
+#include <csignal>
+#include <memory>
+#include <utility>
+
+#include "harness/checkpoint.h"
+#include "harness/parallel.h"
+#include "harness/robust.h"
+#include "harness/suite.h"
+#include "harness/taskgraph.h"
+#include "power/meter.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace tgi::serve {
+
+namespace {
+
+/// Mirrors tgi_sweep's make_meter(0): the sweep meter factory with the
+/// engine-wide per-point stride.
+harness::MeterFactory point_meter_factory(const CampaignSpec& spec,
+                                          std::size_t stride) {
+  if (spec.exact_meter) {
+    return harness::model_meter_factory(util::seconds(0.5));
+  }
+  power::WattsUpConfig wcfg;
+  wcfg.seed = spec.seed;
+  return harness::wattsup_meter_factory(wcfg, stride);
+}
+
+/// Runs body(0 .. count-1) with the engine's execution discipline: inline
+/// when serial, else the sanctioned pool.
+void execute_assignment(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (threads == 0) threads = util::ThreadPool::default_thread_count();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  util::ThreadPool pool(threads < count ? threads : count);
+  util::parallel_for(pool, count, body);
+}
+
+}  // namespace
+
+std::size_t run_worker(const CampaignSpec& spec, const WorkerAssignment& a) {
+  const std::vector<std::size_t>& values = spec.sweep;
+  TGI_REQUIRE(!a.indices.empty(), "worker assignment is empty");
+  for (std::size_t i = 0; i < a.indices.size(); ++i) {
+    TGI_REQUIRE(a.indices[i] < values.size(),
+                "worker index " << a.indices[i] << " is outside the sweep");
+    TGI_REQUIRE(i == 0 || a.indices[i - 1] < a.indices[i],
+                "worker indices must be strictly increasing");
+  }
+  TGI_REQUIRE(!a.journal_dir.empty(), "worker needs a journal directory");
+
+  const std::string mode = spec_mode(spec);
+  harness::CheckpointConfig ccfg;
+  ccfg.directory = a.journal_dir;
+  ccfg.resume = false;
+  harness::CheckpointJournal journal(std::move(ccfg), spec_hash(spec), mode,
+                                     values);
+
+  // Full preallocation, global labels — exactly ParallelSweep's
+  // make_recorders, so a shard's trace section is byte-identical to the
+  // record an unsharded sweep would journal for the same point.
+  std::vector<obs::PointRecorder> recorders;
+  recorders.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    recorders.emplace_back(k, std::to_string(values[k]));
+  }
+
+  const harness::SuiteConfig suite;
+
+  if (spec.faulted()) {
+    const harness::FaultSpec fspec = spec.faults();
+    const harness::FaultPlan plan(fspec);
+    const harness::RobustConfig robust = spec_robust_config(spec);
+    const harness::MeterFactory factory = point_meter_factory(
+        spec, harness::robust_measurements_per_point(suite, robust));
+    std::vector<harness::RobustSuitePoint> results(values.size());
+    const auto run_point = [&spec, &a, &values, &recorders, &results, &plan,
+                            &robust, &suite, &factory,
+                            &journal](std::size_t i) {
+      const std::size_t k = a.indices[i];
+      const std::unique_ptr<power::PowerMeter> meter = factory(k);
+      harness::RobustSuiteRunner runner(spec.cluster, *meter, plan, robust,
+                                        suite, k);
+      runner.attach_recorder(&recorders[k]);
+      results[k] = runner.run_suite(values[k]);
+      journal.record(harness::make_robust_point_record(k, values[k],
+                                                       results[k],
+                                                       &recorders[k]));
+    };
+    if (a.die_after > 0) {
+      // Serial, in assignment order: "journaled N then died" must mean
+      // exactly the first N records are on disk.
+      for (std::size_t i = 0; i < a.indices.size(); ++i) {
+        run_point(i);
+        if (i + 1 >= a.die_after) std::raise(SIGKILL);
+      }
+    } else if (spec.granularity == harness::SweepGranularity::kTask) {
+      harness::ParallelSweepConfig cfg;
+      cfg.suite = suite;
+      cfg.threads = a.threads;
+      cfg.checkpoint = &journal;
+      cfg.granularity = harness::SweepGranularity::kTask;
+      const harness::TaskSweepInputs inputs{spec.cluster, cfg,       factory,
+                                            values,       a.indices, recorders,
+                                            &journal};
+      run_robust_task_graph(inputs, plan, robust, results);
+    } else {
+      execute_assignment(a.indices.size(), a.threads, run_point);
+    }
+    journal.finalize();
+    return a.indices.size();
+  }
+
+  const harness::MeterFactory factory =
+      point_meter_factory(spec, harness::suite_benchmarks(suite).size());
+  std::vector<harness::SuitePoint> results(values.size());
+  const auto run_point = [&spec, &a, &values, &recorders, &results, &suite,
+                          &factory, &journal](std::size_t i) {
+    const std::size_t k = a.indices[i];
+    const std::unique_ptr<power::PowerMeter> meter = factory(k);
+    harness::SuiteRunner runner(spec.cluster, *meter, suite);
+    runner.attach_recorder(&recorders[k]);
+    results[k] = runner.run_suite(values[k]);
+    journal.record(
+        harness::make_point_record(k, values[k], results[k], &recorders[k]));
+  };
+  if (a.die_after > 0) {
+    for (std::size_t i = 0; i < a.indices.size(); ++i) {
+      run_point(i);
+      if (i + 1 >= a.die_after) std::raise(SIGKILL);
+    }
+  } else if (spec.granularity == harness::SweepGranularity::kTask) {
+    harness::ParallelSweepConfig cfg;
+    cfg.suite = suite;
+    cfg.threads = a.threads;
+    cfg.checkpoint = &journal;
+    cfg.granularity = harness::SweepGranularity::kTask;
+    if (spec.exact_meter) {
+      cfg.task_meters = harness::model_task_meter_factory(util::seconds(0.5));
+    } else {
+      power::WattsUpConfig wcfg;
+      wcfg.seed = spec.seed;
+      cfg.task_meters = harness::wattsup_task_meter_factory(
+          wcfg, harness::suite_benchmarks(suite).size());
+    }
+    const harness::TaskSweepInputs inputs{spec.cluster, cfg,       factory,
+                                          values,       a.indices, recorders,
+                                          &journal};
+    run_plain_task_graph(inputs, /*extended=*/false, results);
+  } else {
+    execute_assignment(a.indices.size(), a.threads, run_point);
+  }
+  journal.finalize();
+  return a.indices.size();
+}
+
+}  // namespace tgi::serve

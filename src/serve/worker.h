@@ -1,0 +1,46 @@
+// The campaign worker: computes an assigned subset of one spec's sweep
+// points and journals them (DESIGN.md §13).
+//
+// A worker — whether a `tgi_serve --worker` shard process or the engine's
+// in-process fallback — is handed GLOBAL point indices. It must reproduce
+// exactly the bytes ParallelSweep would have produced for those indices in
+// a full sweep: meters are built from the global index (WattsUp run_offset
+// = k * measurements_per_point), fault and robust streams key on the
+// global index, recorders are preallocated for the FULL value list so the
+// task-graph path can address them, and every completed point is appended
+// to a fresh CheckpointJournal in `journal_dir` — the engine merges shard
+// journals in fixed shard order and banks the records in the result cache.
+// Because the journal record is the canonical byte representation, a
+// worker's output is granularity- and thread-count-invariant by the same
+// §3b/§12 arguments the sweep engine carries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/spec.h"
+
+namespace tgi::serve {
+
+/// One worker's work order.
+struct WorkerAssignment {
+  /// Global sweep-point indices to compute; strictly increasing.
+  std::vector<std::size_t> indices;
+  /// Directory for the worker's journal (journal.tgij inside).
+  std::string journal_dir;
+  /// Sweep threads (0 = ThreadPool default, 1 = serial).
+  std::size_t threads = 1;
+  /// Deterministic process-fault hook (ci.sh stage 10): after journaling
+  /// this many points, the worker raises SIGKILL — a real mid-campaign
+  /// kill with none of the sleep-and-poll raciness. Forces the serial
+  /// point-granularity path (records are granularity-invariant, so the
+  /// journal bytes are unchanged). 0 = off.
+  std::size_t die_after = 0;
+};
+
+/// Computes the assignment and returns the number of points journaled.
+/// With die_after > 0 this call may not return at all.
+std::size_t run_worker(const CampaignSpec& spec, const WorkerAssignment& a);
+
+}  // namespace tgi::serve

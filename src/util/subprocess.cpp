@@ -1,0 +1,116 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace tgi::util {
+
+namespace {
+
+/// Opens `path` for truncating write and dup2s it onto `target_fd`.
+/// Child-side only: failures _exit(127) because throwing across fork is
+/// meaningless.
+void redirect_or_die(const std::string& path, int target_fd) {
+  if (path.empty()) return;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) ::_exit(127);
+  if (::dup2(fd, target_fd) < 0) ::_exit(127);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (exited) return "exit " + std::to_string(code);
+  std::string text = "signal " + std::to_string(signal);
+  const char* name = ::strsignal(signal);
+  if (name != nullptr) text += std::string(" (") + name + ")";
+  return text;
+}
+
+Subprocess::Subprocess(std::vector<std::string> argv,
+                       SubprocessOptions options) {
+  TGI_REQUIRE(!argv.empty(), "Subprocess needs a non-empty argv");
+  const pid_t pid = ::fork();
+  TGI_CHECK(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec; any failure exits
+    // with the shell's conventional "command not found" code.
+    redirect_or_die(options.stdout_path, STDOUT_FILENO);
+    redirect_or_die(options.stderr_path, STDERR_FILENO);
+    for (const std::string& entry : options.extra_env) {
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos) ::_exit(127);
+      const std::string name = entry.substr(0, eq);
+      const std::string value = entry.substr(eq + 1);
+      if (::setenv(name.c_str(), value.c_str(), 1) != 0) ::_exit(127);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string& arg : argv) cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  pid_ = static_cast<long>(pid);
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ >= 0 && !waited_) wait();
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), waited_(other.waited_), status_(other.status_) {
+  other.pid_ = -1;
+  other.waited_ = true;
+}
+
+const ExitStatus& Subprocess::wait() {
+  if (waited_) return status_;
+  TGI_CHECK(pid_ >= 0, "wait on a moved-from Subprocess");
+  int raw = 0;
+  pid_t got = -1;
+  do {
+    got = ::waitpid(static_cast<pid_t>(pid_), &raw, 0);
+  } while (got < 0 && errno == EINTR);
+  TGI_CHECK(got == static_cast<pid_t>(pid_),
+            "waitpid failed: " << std::strerror(errno));
+  waited_ = true;
+  if (WIFEXITED(raw)) {
+    status_.exited = true;
+    status_.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status_.exited = false;
+    status_.signal = WTERMSIG(raw);
+  } else {
+    status_.exited = false;
+    status_.signal = 0;
+  }
+  return status_;
+}
+
+ExitStatus run_process(std::vector<std::string> argv,
+                       SubprocessOptions options) {
+  Subprocess child(std::move(argv), std::move(options));
+  return child.wait();
+}
+
+std::string current_executable() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  TGI_CHECK(n > 0, "readlink(/proc/self/exe) failed: "
+                       << std::strerror(errno));
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+}  // namespace tgi::util

@@ -1,0 +1,77 @@
+// The sanctioned process-spawn primitive — util::Subprocess is to child
+// processes what util::ThreadPool is to threads.
+//
+// The campaign engine (DESIGN.md §13) shards sweep points across worker
+// *processes*; anything that forks must keep the repo's determinism
+// auditable, so process creation is concentrated here the same way raw
+// threads are concentrated in util/thread_pool*. A spawned child gets an
+// explicit argv, optional stdout/stderr redirection to files, and optional
+// extra environment variables; the parent observes only the exit
+// disposition. No shells, no PATH-dependent surprises beyond execvp's
+// documented lookup, no inherited stream interleaving unless asked for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tgi::util {
+
+/// Exit disposition of a finished child process.
+struct ExitStatus {
+  bool exited = false;  ///< true: normal exit; false: killed by a signal
+  int code = -1;        ///< exit code when `exited`
+  int signal = 0;       ///< terminating signal when not `exited`
+
+  [[nodiscard]] bool success() const { return exited && code == 0; }
+  /// Human-readable summary, e.g. "exit 0" or "signal 9 (SIGKILL)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Spawn-time options.
+struct SubprocessOptions {
+  /// Redirect the child's stdout/stderr to these files (truncating).
+  /// Empty = inherit the parent's stream.
+  std::string stdout_path;
+  std::string stderr_path;
+  /// Extra `NAME=VALUE` environment entries set in the child on top of the
+  /// inherited environment.
+  std::vector<std::string> extra_env;
+};
+
+/// One child process: spawned on construction, joined by wait(). The
+/// destructor waits if the caller has not — a Subprocess can never outlive
+/// its handle unsupervised (mirror of ThreadPool's join-on-destruction).
+class Subprocess {
+ public:
+  /// Spawns `argv` (argv[0] is the executable; execvp lookup rules).
+  /// Throws TgiError when the spawn itself fails. An exec failure inside
+  /// the child surfaces as exit code 127.
+  explicit Subprocess(std::vector<std::string> argv,
+                      SubprocessOptions options = {});
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&&) = delete;
+
+  /// Blocks until the child exits and returns its disposition. Idempotent.
+  const ExitStatus& wait();
+
+  [[nodiscard]] long pid() const { return pid_; }
+
+ private:
+  long pid_ = -1;
+  bool waited_ = false;
+  ExitStatus status_;
+};
+
+/// Convenience: spawn, wait, return the disposition.
+[[nodiscard]] ExitStatus run_process(std::vector<std::string> argv,
+                                     SubprocessOptions options = {});
+
+/// Absolute path of the running executable (/proc/self/exe) — how
+/// tgi_serve re-spawns itself in --worker mode without trusting argv[0].
+[[nodiscard]] std::string current_executable();
+
+}  // namespace tgi::util

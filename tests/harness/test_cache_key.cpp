@@ -1,0 +1,119 @@
+// Cache-key canonicalization (DESIGN.md §13): cache_spec_text is the one
+// canonicalizer keying the result cache, so its FNV-1a digests are pinned
+// — accidental drift silently invalidates every cache on disk — and
+// near-miss specs (seed±1, a fault-rate tick, a reordered or extended
+// sweep list) must always map to distinct keys.
+#include "harness/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/faults.h"
+#include "sim/catalog.h"
+#include "sim/machine.h"
+
+namespace tgi::harness {
+namespace {
+
+const std::vector<std::size_t> kSweep = {16, 48, 80, 128};
+
+std::uint64_t key(const sim::ClusterSpec& cluster, std::uint64_t seed,
+                  bool exact_meter, const FaultSpec* faults,
+                  std::size_t stuck_run_limit,
+                  const std::vector<std::size_t>& values) {
+  return journal_spec_hash(cache_spec_text(cluster, seed, exact_meter, {},
+                                           faults, stuck_run_limit, values));
+}
+
+FaultSpec mild_faults() {
+  FaultSpec spec;
+  spec.dropout_burst_rate = 0.2;
+  spec.failure_rate = 0.05;
+  return spec;
+}
+
+TEST(CacheKey, TextPinsEveryIdentityInput) {
+  const std::string text = cache_spec_text(sim::fire_cluster(), 7, false, {},
+                                           nullptr, 0, {16, 48});
+  // Layout: meter, seed, suite roster, sweep values, then the cluster
+  // config verbatim. The journal spec stops before `sweep=`; the cache key
+  // must not (point k's RNG streams key on k's position in the list).
+  EXPECT_EQ(text.rfind("meter=wattsup\nseed=7\nsuite=", 0), 0u) << text;
+  EXPECT_NE(text.find("\nsweep=16,48\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("Fire"), std::string::npos) << text;
+  EXPECT_EQ(text.find("faults="), std::string::npos) << text;
+
+  const FaultSpec faults = mild_faults();
+  const std::string faulted = cache_spec_text(sim::fire_cluster(), 7, false,
+                                              {}, &faults, 8, {16, 48});
+  EXPECT_NE(faulted.find("\nfaults="), std::string::npos) << faulted;
+  EXPECT_NE(faulted.find("\nstuck_run_limit=8\n"), std::string::npos)
+      << faulted;
+
+  const std::string exact = cache_spec_text(sim::fire_cluster(), 7, true, {},
+                                            nullptr, 0, {16, 48});
+  EXPECT_EQ(exact.rfind("meter=model\n", 0), 0u) << exact;
+}
+
+TEST(CacheKey, DigestsArePinned) {
+  // Default-constructed cluster: structural defaults, not paper-shape
+  // tuning, so these digests only move when the canonicalizer (or the
+  // spec serialization it embeds) changes — which is exactly the drift
+  // this test exists to catch. Regenerate deliberately, never casually:
+  // every cache on disk dies with the old constants.
+  const sim::ClusterSpec generic;
+  EXPECT_EQ(key(generic, 7, false, nullptr, 0, kSweep),
+            0xa3dd66e0c6a451aaULL);
+  EXPECT_EQ(key(generic, 7, true, nullptr, 0, kSweep),
+            0x97cc146abfca7b17ULL);
+  const FaultSpec faults = mild_faults();
+  EXPECT_EQ(key(generic, 7, false, &faults, 8, kSweep),
+            0xa804ee6cb801329aULL);
+}
+
+TEST(CacheKey, SameSpecAlwaysProducesTheSameKey) {
+  const std::uint64_t first =
+      key(sim::fire_cluster(), 7, false, nullptr, 0, kSweep);
+  const std::uint64_t second =
+      key(sim::fire_cluster(), 7, false, nullptr, 0, kSweep);
+  EXPECT_EQ(first, second);
+}
+
+TEST(CacheKey, NearMissSpecsAreAlwaysDistinct) {
+  const FaultSpec faults = mild_faults();
+  FaultSpec ticked = faults;
+  ticked.dropout_burst_rate = 0.25;  // one fault-rate tick
+  std::vector<std::uint64_t> keys;
+  keys.push_back(key(sim::fire_cluster(), 7, false, nullptr, 0, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 6, false, nullptr, 0, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 8, false, nullptr, 0, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 7, true, nullptr, 0, kSweep));
+  keys.push_back(key(sim::system_g(), 7, false, nullptr, 0, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 7, false, &faults, 8, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 7, false, &faults, 0, kSweep));
+  keys.push_back(key(sim::fire_cluster(), 7, false, &ticked, 8, kSweep));
+  const std::set<std::uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), keys.size());
+}
+
+TEST(CacheKey, SweepListIsPartOfThePointIdentity) {
+  // Point k's RNG streams key on its position: the same value in a
+  // different list position is a DIFFERENT point, so any change to the
+  // list — order, length, membership — must change the key.
+  std::vector<std::uint64_t> keys;
+  for (const std::vector<std::size_t>& values :
+       {std::vector<std::size_t>{16, 48}, {48, 16}, {16, 48, 80}, {16},
+        {48}}) {
+    keys.push_back(key(sim::fire_cluster(), 7, false, nullptr, 0, values));
+  }
+  const std::set<std::uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), keys.size());
+}
+
+}  // namespace
+}  // namespace tgi::harness

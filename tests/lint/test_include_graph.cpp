@@ -103,7 +103,8 @@ TEST(DefaultSpec, MatchesTheDocumentedModuleMap) {
   EXPECT_LT(spec.layer_of("sim"), spec.layer_of("kernels"));
   EXPECT_LT(spec.layer_of("kernels"), spec.layer_of("core"));
   EXPECT_LT(spec.layer_of("core"), spec.layer_of("harness"));
-  EXPECT_LT(spec.layer_of("harness"), spec.layer_of("lint"));
+  EXPECT_LT(spec.layer_of("harness"), spec.layer_of("serve"));
+  EXPECT_LT(spec.layer_of("serve"), spec.layer_of("lint"));
   ASSERT_NE(spec.only_deps("lint"), nullptr);
   EXPECT_EQ(spec.only_deps("lint")->size(), 1u);
   EXPECT_EQ(spec.only_deps("lint")->count("util"), 1u);

@@ -1,0 +1,255 @@
+// The campaign engine end to end (DESIGN.md §13): a warm cache rerun is a
+// byte-identical NO-OP — zero recomputations (the engine's own counter
+// pins it) and byte-identical report/CSVs/trace at every thread and worker
+// count, plain and faulted; corrupted cache shards and dead worker
+// processes cost recomputation, never bytes.
+//
+// TGI_SERVE_BIN (injected by CMake) is the tgi_serve executable the
+// worker-process scenarios spawn.
+#include "serve/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/spec.h"
+#include "util/error.h"
+
+namespace tgi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("tgi_campaign_test_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string dir(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static void spill(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  /// Every emitted artifact under an entry's outdir, relative path →
+  /// bytes. provenance.json is cache-dependent by design and excluded.
+  [[nodiscard]] static std::map<std::string, std::string> artifacts(
+      const std::string& outdir) {
+    std::map<std::string, std::string> files;
+    for (const auto& entry : fs::recursive_directory_iterator(outdir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          fs::relative(entry.path(), outdir).generic_string();
+      if (rel == "provenance.json") continue;
+      files.emplace(rel, slurp(entry.path().string()));
+    }
+    return files;
+  }
+
+  CampaignConfig config(const std::string& cache, const std::string& out,
+                        std::size_t workers, std::size_t threads) const {
+    CampaignConfig cfg;
+    cfg.cache_dir = dir(cache);
+    cfg.outdir = dir(out);
+    cfg.workers = workers;
+    cfg.threads = threads;
+    cfg.worker_exe = TGI_SERVE_BIN;
+    cfg.trace = true;
+    return cfg;
+  }
+
+  struct RunResult {
+    CampaignStats stats;
+    std::string report;
+    std::map<std::string, std::string> files;
+  };
+
+  RunResult run(const std::vector<CampaignSpec>& entries,
+                const CampaignConfig& cfg) const {
+    CampaignEngine engine(cfg);
+    std::ostringstream report;
+    RunResult result;
+    result.stats = engine.run(entries, report);
+    result.report = report.str();
+    result.files = artifacts(cfg.outdir);
+    return result;
+  }
+
+  fs::path root_;
+};
+
+std::vector<CampaignSpec> plain_campaign() {
+  return parse_campaign(
+      "[alpha]\ncluster = fire\nsweep = 16,48\nseed = 7\n"
+      "[beta]\ncluster = fire\nsweep = 16\nseed = 7\ngranularity = point\n",
+      "");
+}
+
+std::vector<CampaignSpec> faulted_campaign() {
+  return parse_campaign(
+      "[hot]\ncluster = fire\nsweep = 16,48\nseed = 7\n"
+      "faults = dropout=0.25,failure=0.1\n",
+      "");
+}
+
+void expect_same_bytes(const std::map<std::string, std::string>& got,
+                       const std::map<std::string, std::string>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [rel, bytes] : want) {
+    ASSERT_TRUE(got.count(rel)) << rel;
+    EXPECT_EQ(got.at(rel), bytes) << rel;
+  }
+}
+
+TEST_F(CampaignTest, WarmRerunIsAByteIdenticalNoOp) {
+  const auto entries = plain_campaign();
+  const auto cold = run(entries, config("cache", "cold", 0, 2));
+  // Cold: 3 sweep points + alpha's reference computed; beta shares the
+  // reference machine, so its reference is already a hit WITHIN the run.
+  EXPECT_EQ(cold.stats.entries, 2u);
+  EXPECT_EQ(cold.stats.points, 5u);
+  EXPECT_EQ(cold.stats.computed, 4u);
+  EXPECT_EQ(cold.stats.cache_hits, 1u);
+  EXPECT_EQ(cold.stats.quarantined, 0u);
+  EXPECT_FALSE(cold.files.empty());
+
+  std::size_t tag = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const auto warm = run(
+        entries, config("cache", "warm" + std::to_string(tag++), 0, threads));
+    // THE acceptance invariant: zero recomputations, identical bytes.
+    EXPECT_EQ(warm.stats.computed, 0u) << "threads=" << threads;
+    EXPECT_EQ(warm.stats.cache_hits, 5u) << "threads=" << threads;
+    EXPECT_EQ(warm.report, cold.report) << "threads=" << threads;
+    expect_same_bytes(warm.files, cold.files);
+  }
+}
+
+TEST_F(CampaignTest, WorkerProcessShardsMatchInProcessByteForByte) {
+  const auto entries = plain_campaign();
+  const auto in_process = run(entries, config("cache_ip", "ip", 0, 2));
+  std::size_t tag = 0;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const std::string suffix = std::to_string(tag++);
+    const auto sharded =
+        run(entries, config("cache_w" + suffix, "w" + suffix, workers, 2));
+    EXPECT_EQ(sharded.stats.worker_failures, 0u) << "workers=" << workers;
+    EXPECT_EQ(sharded.report, in_process.report) << "workers=" << workers;
+    expect_same_bytes(sharded.files, in_process.files);
+    // And the warm rerun over the worker-built cache is still a no-op.
+    const auto warm = run(
+        entries, config("cache_w" + suffix, "ww" + suffix, workers, 8));
+    EXPECT_EQ(warm.stats.computed, 0u) << "workers=" << workers;
+    expect_same_bytes(warm.files, in_process.files);
+  }
+}
+
+TEST_F(CampaignTest, FaultedCampaignIsCachedAndByteStable) {
+  const auto entries = faulted_campaign();
+  const auto cold = run(entries, config("cache", "cold", 2, 2));
+  EXPECT_EQ(cold.stats.worker_failures, 0u);
+  EXPECT_NE(cold.report.find("[hot]"), std::string::npos);
+  ASSERT_TRUE(cold.files.count("hot/faults_summary.csv"));
+  const auto warm = run(entries, config("cache", "warm", 0, 1));
+  EXPECT_EQ(warm.stats.computed, 0u);
+  EXPECT_EQ(warm.report, cold.report);
+  expect_same_bytes(warm.files, cold.files);
+}
+
+TEST_F(CampaignTest, CorruptedShardIsQuarantinedRecomputedAndHealed) {
+  const auto entries = plain_campaign();
+  const auto cold = run(entries, config("cache", "cold", 0, 2));
+  // Bit-flip the last record of every shard in the cache.
+  std::size_t flipped = 0;
+  for (const auto& file : fs::directory_iterator(dir("cache"))) {
+    if (file.path().extension() != ".tgij") continue;
+    std::string text = slurp(file.path().string());
+    const std::size_t last = text.rfind("\nTGIJ1 point");
+    ASSERT_NE(last, std::string::npos);
+    text[last + 20] ^= 0x04;
+    spill(file.path().string(), text);
+    ++flipped;
+  }
+  ASSERT_GT(flipped, 0u);
+  const auto healed = run(entries, config("cache", "healed", 0, 2));
+  EXPECT_GE(healed.stats.quarantined, flipped);
+  EXPECT_GT(healed.stats.computed, 0u);
+  EXPECT_EQ(healed.report, cold.report);
+  expect_same_bytes(healed.files, cold.files);
+  // The heal re-published pristine shards: the next rerun is a no-op.
+  const auto warm = run(entries, config("cache", "warm", 0, 1));
+  EXPECT_EQ(warm.stats.computed, 0u);
+  EXPECT_EQ(warm.stats.quarantined, 0u);
+  expect_same_bytes(warm.files, cold.files);
+}
+
+TEST_F(CampaignTest, DeadWorkersAreHealedInProcessWithIdenticalBytes) {
+  const auto entries = plain_campaign();
+  const auto baseline = run(entries, config("cache_ok", "ok", 0, 2));
+  // A worker executable that cannot exec dies with code 127 before
+  // journaling anything: every shard fails, the engine must WARN, heal
+  // in-process, and still produce identical bytes.
+  CampaignConfig broken = config("cache_broken", "broken", 2, 2);
+  broken.worker_exe = dir("no_such_binary");
+  const auto healed = run(entries, broken);
+  EXPECT_GT(healed.stats.worker_failures, 0u);
+  EXPECT_EQ(healed.report, baseline.report);
+  expect_same_bytes(healed.files, baseline.files);
+  // The healed cache is complete: a warm rerun recomputes nothing.
+  const auto warm = run(entries, config("cache_broken", "warm", 2, 2));
+  EXPECT_EQ(warm.stats.computed, 0u);
+  expect_same_bytes(warm.files, baseline.files);
+}
+
+TEST_F(CampaignTest, ReportNamesEntriesNeverPaths) {
+  const auto entries = plain_campaign();
+  const auto cold = run(entries, config("cache", "cold", 0, 1));
+  // The report stream must stay byte-stable across output directories, so
+  // it may never leak a filesystem path.
+  EXPECT_EQ(cold.report.find(dir("")), std::string::npos);
+  EXPECT_EQ(cold.report.find("cold"), std::string::npos);
+  EXPECT_NE(cold.report.find("[alpha]"), std::string::npos);
+  EXPECT_NE(cold.report.find("[beta]"), std::string::npos);
+}
+
+TEST_F(CampaignTest, RejectsMisconfiguration) {
+  CampaignConfig no_cache;
+  no_cache.outdir = dir("out");
+  EXPECT_THROW(CampaignEngine{no_cache}, util::TgiError);
+  CampaignConfig no_exe;
+  no_exe.cache_dir = dir("cache");
+  no_exe.outdir = dir("out");
+  no_exe.workers = 2;
+  EXPECT_THROW(CampaignEngine{no_exe}, util::TgiError);
+  CampaignEngine engine(config("cache", "out", 0, 1));
+  std::ostringstream report;
+  EXPECT_THROW((void)engine.run({}, report), util::TgiError);
+}
+
+}  // namespace
+}  // namespace tgi::serve

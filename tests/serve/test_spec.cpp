@@ -1,0 +1,164 @@
+// Campaign spec parsing (DESIGN.md §13): the [entry] grammar, its
+// defaults (granularity=task — the ROADMAP item 2 flip lives HERE and in
+// worker mode, never in tgi_sweep), loud failures on malformed input, the
+// engine→worker handoff round-trip, and the key-space separation between
+// sweep, faulted, and reference runs.
+#include "serve/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/cache.h"
+#include "harness/checkpoint.h"
+#include "sim/catalog.h"
+#include "sim/spec_io.h"
+#include "util/error.h"
+
+namespace tgi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<CampaignSpec> parse(const std::string& text) {
+  return parse_campaign(text, "");
+}
+
+TEST(CampaignSpec, ParsesEntriesWithDefaults) {
+  const auto entries = parse(
+      "# comment\n"
+      "[alpha]\n"
+      "cluster = fire\n"
+      "sweep = 16,48\n"
+      "\n"
+      "[beta]\n"
+      "sweep = 80\n"
+      "seed = 11\n"
+      "meter = model\n"
+      "granularity = point\n");
+  ASSERT_EQ(entries.size(), 2u);
+  const CampaignSpec& alpha = entries[0];
+  EXPECT_EQ(alpha.name, "alpha");
+  EXPECT_EQ(alpha.cluster.name, sim::fire_cluster().name);
+  EXPECT_EQ(alpha.reference.name, sim::system_g().name);
+  EXPECT_EQ(alpha.sweep, (std::vector<std::size_t>{16, 48}));
+  EXPECT_EQ(alpha.seed, 0x9e3779b9ULL);
+  EXPECT_FALSE(alpha.exact_meter);
+  EXPECT_FALSE(alpha.faulted());
+  // The granularity default flips to `task` here (and in tgi_serve's
+  // worker mode) only — the service arc is the consumer ROADMAP item 2
+  // gated the flip on; tgi_sweep and the bench harnesses keep `point`.
+  EXPECT_EQ(alpha.granularity, harness::SweepGranularity::kTask);
+
+  const CampaignSpec& beta = entries[1];
+  EXPECT_EQ(beta.seed, 11u);
+  EXPECT_TRUE(beta.exact_meter);
+  EXPECT_EQ(beta.granularity, harness::SweepGranularity::kPoint);
+}
+
+TEST(CampaignSpec, ParsesAndValidatesFaultText) {
+  const auto entries = parse(
+      "[hot]\n"
+      "sweep = 16\n"
+      "faults = dropout=0.2,failure=0.1\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].faulted());
+  EXPECT_EQ(entries[0].fault_text, "dropout=0.2,failure=0.1");
+  EXPECT_EQ(entries[0].faults().dropout_burst_rate, 0.2);
+  EXPECT_STREQ(spec_mode(entries[0]), "robust");
+  EXPECT_STREQ(spec_mode(parse("[p]\nsweep = 16\n")[0]), "plain");
+  // Malformed fault text dies at PARSE time, not mid-campaign.
+  EXPECT_THROW(parse("[x]\nsweep = 16\nfaults = nonsense=1\n"),
+               util::TgiError);
+}
+
+TEST(CampaignSpec, RejectsMalformedCampaigns) {
+  EXPECT_THROW(parse(""), util::TgiError);               // no sections
+  EXPECT_THROW(parse("sweep = 16\n"), util::TgiError);   // line before section
+  EXPECT_THROW(parse("[a]\n"), util::TgiError);          // missing sweep
+  EXPECT_THROW(parse("[a]\nsweep = 0\n"), util::TgiError);
+  EXPECT_THROW(parse("[a]\nsweep = 16\nwat = 1\n"), util::TgiError);
+  EXPECT_THROW(parse("[a]\nsweep = 16\n[a]\nsweep = 16\n"), util::TgiError);
+  EXPECT_THROW(parse("[bad/name]\nsweep = 16\n"), util::TgiError);
+  EXPECT_THROW(parse("[a\nsweep = 16\n"), util::TgiError);
+  EXPECT_THROW(parse("[a]\nsweep = 16\nmeter = therm\n"), util::TgiError);
+  EXPECT_THROW(parse("[a]\nsweep = 16\ngranularity = jumbo\n"),
+               util::TgiError);
+}
+
+TEST(CampaignSpec, RobustConfigMirrorsTgiSweep) {
+  const auto wattsup = parse("[a]\nsweep = 16\n")[0];
+  EXPECT_EQ(spec_robust_config(wattsup).stuck_run_limit, 8u);
+  const auto model = parse("[a]\nsweep = 16\nmeter = model\n")[0];
+  EXPECT_EQ(spec_robust_config(model).stuck_run_limit, 0u);
+}
+
+TEST(CampaignSpec, HashSeparatesSweepFaultedAndReferenceKeySpaces) {
+  const auto plain = parse("[a]\ncluster = fire\nsweep = 16,48\n")[0];
+  const auto faulted =
+      parse("[a]\ncluster = fire\nsweep = 16,48\nfaults = dropout=0.2\n")[0];
+  EXPECT_NE(spec_hash(plain), spec_hash(faulted));
+  EXPECT_NE(spec_hash(plain), reference_spec_hash(plain));
+
+  // The reference key must never collide with a PLAIN SWEEP of the
+  // reference machine at the reference's salted seed — the marker line is
+  // the separator.
+  EXPECT_EQ(reference_spec_text(plain).rfind("reference=1\n", 0), 0u);
+  const std::string sweep_alike = harness::cache_spec_text(
+      plain.reference, plain.seed + 1, plain.exact_meter, {}, nullptr, 0,
+      {plain.reference.total_cores()});
+  EXPECT_EQ("reference=1\n" + sweep_alike, reference_spec_text(plain));
+  EXPECT_NE(harness::journal_spec_hash(sweep_alike),
+            reference_spec_hash(plain));
+}
+
+TEST(CampaignSpec, WorkerHandoffRoundTripsTheCacheKey) {
+  const fs::path root =
+      fs::temp_directory_path() / "tgi_serve_spec_roundtrip";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const auto original = parse(
+      "[gamma]\n"
+      "cluster = fire\n"
+      "sweep = 16,48,80\n"
+      "seed = 23\n"
+      "faults = dropout=0.2,failure=0.1\n"
+      "granularity = point\n")[0];
+  {
+    std::ofstream cluster((root / "cluster.conf").string());
+    cluster << sim::cluster_to_config(original.cluster);
+    std::ofstream spec((root / "spec.conf").string());
+    spec << worker_spec_config(original, "cluster.conf");
+  }
+  const CampaignSpec loaded = load_worker_spec((root / "spec.conf").string());
+  // The handoff must re-parse to bit-identical sweep inputs: same cache
+  // key, same fault text, same granularity, same mode.
+  EXPECT_EQ(canonical_spec_text(loaded), canonical_spec_text(original));
+  EXPECT_EQ(spec_hash(loaded), spec_hash(original));
+  EXPECT_EQ(loaded.fault_text, original.fault_text);
+  EXPECT_EQ(loaded.granularity, original.granularity);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_STREQ(spec_mode(loaded), spec_mode(original));
+  fs::remove_all(root);
+}
+
+TEST(CampaignSpec, WorkerSpecDefaultsToTaskGranularity) {
+  const fs::path root = fs::temp_directory_path() / "tgi_serve_spec_default";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  {
+    std::ofstream cluster((root / "cluster.conf").string());
+    cluster << sim::cluster_to_config(sim::fire_cluster());
+    std::ofstream spec((root / "spec.conf").string());
+    spec << "cluster = cluster.conf\nsweep = 16\n";
+  }
+  const CampaignSpec loaded = load_worker_spec((root / "spec.conf").string());
+  EXPECT_EQ(loaded.granularity, harness::SweepGranularity::kTask);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace tgi::serve

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Nine stages, fail-fast:
+# Ten stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -33,7 +33,13 @@
 #   9. tsan-taskgraph: the task-graph executor (DESIGN.md §12) under TSan —
 #      the randomized-DAG fuzz suite plus the granularity=task sweep-engine
 #      equivalence tests, then a granularity=task faulted+traced sweep
-#      byte-diffed against granularity=point at several thread counts.
+#      byte-diffed against granularity=point at several thread counts;
+#  10. tsan-serve: the campaign engine + result cache (DESIGN.md §13)
+#      under TSan — a cold faulted traced campaign (worker processes),
+#      warm reruns at different worker/thread counts byte-diffed against
+#      it with computed=0 (a cache hit is a byte-identical no-op), and a
+#      SIGKILLed worker shard whose partial journal is banked and healed
+#      in-process, again byte-identically.
 #
 # Usage: tools/ci.sh [jobs]          (from the repo root)
 set -eu
@@ -42,33 +48,33 @@ JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/9] tier-1: build + ctest =="
+echo "== [1/10] tier-1: build + ctest =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/9] lint: tgi-lint convention analyzer + waiver audit =="
+echo "== [2/10] lint: tgi-lint convention analyzer + waiver audit =="
 ./build/tools/tgi_lint root="$ROOT" audit_waivers=1 out=build/lint.json
 
-echo "== [3/9] golden: figure/table transcripts byte-identical =="
+echo "== [3/10] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/9] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/10] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/9] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/10] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/9] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/10] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
 
-echo "== [7/9] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+echo "== [7/10] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
 TRACE_SCRATCH="build-tsan/trace_gate"
 rm -rf "$TRACE_SCRATCH"
 for t in 1 2 8; do
@@ -87,7 +93,7 @@ for t in 2 8; do
       "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
 done
 
-echo "== [8/9] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
+echo "== [8/10] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
 CKPT_SCRATCH="build-tsan/checkpoint_gate"
 rm -rf "$CKPT_SCRATCH"
 mkdir -p "$CKPT_SCRATCH"
@@ -148,7 +154,7 @@ cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
 cmp "$CKPT_SCRATCH/base_trace/trace.json" \
     "$CKPT_SCRATCH/healed_trace/trace.json"
 
-echo "== [9/9] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
+echo "== [9/10] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
 # The randomized-DAG fuzz suite and the sweep-engine equivalence tests on
 # the TSan build (they also ran in stage 5; rerunning them here keeps this
 # gate meaningful when stages are cherry-picked).
@@ -176,5 +182,63 @@ for g in point task; do
     sweep=16,48,80 seed=7 outdir="$TG_SCRATCH/plain_$g" > /dev/null
 done
 diff -r "$TG_SCRATCH/plain_point" "$TG_SCRATCH/plain_task"
+
+echo "== [10/10] tsan-serve: campaign cache — warm rerun is a byte-identical no-op =="
+SERVE_SCRATCH="build-tsan/serve_gate"
+rm -rf "$SERVE_SCRATCH"
+mkdir -p "$SERVE_SCRATCH"
+SERVE_FAULTS="dropout=0.2,failure=0.1,timeout=0.05,truncation=0.05"
+cat > "$SERVE_SCRATCH/campaign.conf" <<EOF
+[alpha]
+cluster = fire
+sweep = 16,48,80
+seed = 7
+meter = wattsup
+faults = $SERVE_FAULTS
+
+[beta]
+cluster = fire
+sweep = 16,48
+seed = 7
+meter = wattsup
+granularity = point
+faults = $SERVE_FAULTS
+EOF
+# Cold campaign (worker processes, traced): every sweep point and alpha's
+# reference computed once; beta's identical SystemG reference is already a
+# cross-entry cache hit within the same run.
+./build-tsan/tools/tgi_serve campaign="$SERVE_SCRATCH/campaign.conf" \
+  cache="$SERVE_SCRATCH/cache" outdir="$SERVE_SCRATCH/cold" \
+  workers=2 threads=2 trace=1 \
+  > "$SERVE_SCRATCH/cold.stdout" 2> "$SERVE_SCRATCH/cold.stderr"
+grep -qF "hits=1 computed=6" "$SERVE_SCRATCH/cold.stderr"
+grep -qF "worker_failures=0" "$SERVE_SCRATCH/cold.stderr"
+# Warm reruns: zero recomputation; stdout and every artifact byte-identical
+# at different worker and thread counts (provenance.json records the
+# cache-hit stats of THIS run and is the one exempt file).
+for wt in 0:1 4:8; do
+  W="${wt%:*}"
+  T="${wt#*:}"
+  WARM="$SERVE_SCRATCH/warm_w${W}_t${T}"
+  ./build-tsan/tools/tgi_serve campaign="$SERVE_SCRATCH/campaign.conf" \
+    cache="$SERVE_SCRATCH/cache" outdir="$WARM" \
+    workers="$W" threads="$T" trace=1 \
+    > "$WARM.stdout" 2> "$WARM.stderr"
+  grep -qF " computed=0" "$WARM.stderr"
+  cmp "$SERVE_SCRATCH/cold.stdout" "$WARM.stdout"
+  diff -r -x provenance.json "$SERVE_SCRATCH/cold" "$WARM"
+done
+# Worker kill self-heal: fresh cache; shard 0 of each entry is SIGKILLed
+# after one journaled point. The engine banks the partial journal,
+# recomputes the remainder in-process, and stays byte-identical.
+TGI_SERVE_WORKER_DIE_AFTER=0:1 ./build-tsan/tools/tgi_serve \
+  campaign="$SERVE_SCRATCH/campaign.conf" \
+  cache="$SERVE_SCRATCH/cache_killed" outdir="$SERVE_SCRATCH/killed" \
+  workers=2 threads=2 trace=1 \
+  > "$SERVE_SCRATCH/killed.stdout" 2> "$SERVE_SCRATCH/killed.stderr"
+grep -qF "died (signal 9" "$SERVE_SCRATCH/killed.stderr"
+grep -qF "merging its partial journal" "$SERVE_SCRATCH/killed.stderr"
+cmp "$SERVE_SCRATCH/cold.stdout" "$SERVE_SCRATCH/killed.stdout"
+diff -r -x provenance.json "$SERVE_SCRATCH/cold" "$SERVE_SCRATCH/killed"
 
 echo "ci.sh: all gates passed"

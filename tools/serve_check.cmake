@@ -1,0 +1,141 @@
+# Cache-hit determinism check for the tgi_serve campaign engine
+# (DESIGN.md §13), run as a CTest script:
+#
+#   cmake -DTGI_SERVE=<exe> -DOUT=<scratch-dir> [-DFAULTS=<spec>]
+#         -P serve_check.cmake
+#
+# Scenario:
+#   1. Cold campaign (workers=2, threads=2, traced) — the truth. Its
+#      stderr must report zero cache hits and zero worker failures.
+#   2. Warm reruns against the same cache at (workers=0, threads=1),
+#      (workers=1, threads=4), (workers=4, threads=8): stdout, every CSV,
+#      and trace.json must match the cold run byte for byte, and stderr
+#      must report computed=0 — a cache hit is a byte-identical no-op.
+#   3. Corruption: bit-flip one cached record. The next run must
+#      quarantine it (WARN on stderr), recompute, and still match.
+#   4. Worker kill: against a fresh cache, TGI_SERVE_WORKER_DIE_AFTER
+#      SIGKILLs shard 0 after one journaled point. The engine must WARN,
+#      bank the partial journal, self-heal in-process, and still produce
+#      byte-identical artifacts.
+if(NOT DEFINED TGI_SERVE OR NOT DEFINED OUT)
+  message(FATAL_ERROR "usage: cmake -DTGI_SERVE=<exe> -DOUT=<dir> "
+                      "[-DFAULTS=<spec>] -P serve_check.cmake")
+endif()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+# Two entries over the same cluster/seed but different sweep lists and
+# granularities — distinct cache keys, both execution paths.
+set(campaign_text "# serve_check campaign\n[alpha]\ncluster = fire\nsweep = 16,48,80\nseed = 7\nmeter = wattsup\n")
+if(DEFINED FAULTS AND NOT FAULTS STREQUAL "")
+  string(APPEND campaign_text "faults = ${FAULTS}\n")
+endif()
+string(APPEND campaign_text "\n[beta]\ncluster = fire\nsweep = 16,48\nseed = 7\nmeter = wattsup\ngranularity = point\n")
+if(DEFINED FAULTS AND NOT FAULTS STREQUAL "")
+  string(APPEND campaign_text "faults = ${FAULTS}\n")
+endif()
+file(WRITE "${OUT}/campaign.conf" "${campaign_text}")
+
+# Runs one campaign; captures stdout/stderr for the byte comparisons. The
+# report stream carries entry names, never paths, so no normalization is
+# needed — stdout must match byte for byte as-is.
+function(run_campaign outdir cache workers threads)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${ARGN}
+            ${TGI_SERVE} campaign=${OUT}/campaign.conf cache=${cache}
+            outdir=${outdir} workers=${workers} threads=${threads} trace=1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "tgi_serve failed (workers=${workers}, threads=${threads}, "
+            "rc=${rc}): ${err}")
+  endif()
+  file(WRITE "${outdir}.stdout" "${out}")
+  file(WRITE "${outdir}.stderr" "${err}")
+endfunction()
+
+function(expect_identical a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "byte mismatch: ${a} vs ${b}")
+  endif()
+endfunction()
+
+# Asserts outdir's stdout and every cold-run artifact (CSVs + traces,
+# excluding provenance.json) match the cold campaign byte for byte.
+function(expect_matches_cold outdir)
+  expect_identical("${OUT}/cold.stdout" "${outdir}.stdout")
+  file(GLOB_RECURSE artifacts RELATIVE "${OUT}/cold"
+       "${OUT}/cold/*.csv" "${OUT}/cold/*.json")
+  list(REMOVE_ITEM artifacts provenance.json)
+  if(artifacts STREQUAL "")
+    message(FATAL_ERROR "no artifacts under ${OUT}/cold")
+  endif()
+  foreach(a ${artifacts})
+    expect_identical("${OUT}/cold/${a}" "${outdir}/${a}")
+  endforeach()
+endfunction()
+
+function(expect_stderr_mentions outdir needle)
+  file(READ "${outdir}.stderr" err)
+  string(FIND "${err}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "expected stderr of ${outdir} to mention '${needle}', got: "
+            "${err}")
+  endif()
+endfunction()
+
+# 1. Cold campaign: all 5 sweep points and alpha's reference computed;
+# beta's identical reference machine is already a hit within the SAME cold
+# run — cross-entry dedup through the cache.
+run_campaign("${OUT}/cold" "${OUT}/cache" 2 2)
+expect_stderr_mentions("${OUT}/cold" "hits=1 computed=6")
+expect_stderr_mentions("${OUT}/cold" "worker_failures=0")
+if(NOT EXISTS "${OUT}/cold/provenance.json")
+  message(FATAL_ERROR "cold campaign left no provenance.json")
+endif()
+
+# 2. Warm reruns: zero recomputation, byte-identical at every worker and
+# thread count.
+foreach(wt "0;1" "1;4" "4;8")
+  list(GET wt 0 workers)
+  list(GET wt 1 threads)
+  set(outdir "${OUT}/warm_w${workers}_t${threads}")
+  run_campaign("${outdir}" "${OUT}/cache" ${workers} ${threads})
+  expect_matches_cold("${outdir}")
+  expect_stderr_mentions("${outdir}" " computed=0")
+endforeach()
+
+# 3. Corruption: flip a byte inside the last record of one cache shard;
+# the engine must quarantine it, recompute only that point, and still
+# match.
+file(GLOB shards "${OUT}/cache/*.tgij")
+list(GET shards 0 shard)
+file(READ "${shard}" shard_text)
+string(FIND "${shard_text}" "\nTGIJ1 point" last_rec REVERSE)
+if(last_rec EQUAL -1)
+  message(FATAL_ERROR "cache shard ${shard} has no point records")
+endif()
+math(EXPR split "${last_rec} + 1")
+string(SUBSTRING "${shard_text}" 0 ${split} prefix)
+string(SUBSTRING "${shard_text}" ${split} -1 last_line)
+file(WRITE "${shard}" "${prefix}x${last_line}")
+run_campaign("${OUT}/healed" "${OUT}/cache" 2 2)
+expect_matches_cold("${OUT}/healed")
+expect_stderr_mentions("${OUT}/healed" "cache: quarantined entry")
+
+# 4. Worker kill: fresh cache; shard 0 of each entry dies after one
+# journaled point. The engine banks the partial journals, recomputes the
+# rest in-process, and the artifacts still match.
+run_campaign("${OUT}/killed" "${OUT}/cache_killed" 2 2
+             "TGI_SERVE_WORKER_DIE_AFTER=0:1")
+expect_matches_cold("${OUT}/killed")
+expect_stderr_mentions("${OUT}/killed" "died (signal 9")
+expect_stderr_mentions("${OUT}/killed" "merging its partial journal")
+
+message(STATUS "campaign cache-hit determinism OK (${OUT})")

@@ -1,0 +1,176 @@
+// tgi_serve — the campaign engine CLI (DESIGN.md §13): many sweep specs
+// in one run, deduplicated through a persistent content-addressed result
+// cache, with cache misses sharded across worker processes.
+//
+// Engine mode:
+//
+//   tgi_serve campaign=FILE cache=DIR outdir=DIR [workers=N] [threads=N]
+//             [trace=1] [worker_exe=PATH]
+//
+// `campaign` lists sweep specs (see serve/spec.h for the format). Every
+// (spec, point) pair is keyed by the FNV-1a cache hash; points already in
+// `cache` are replayed from their journal records, the rest are computed —
+// by `workers` tgi_serve --worker processes (round-robin shards, journals
+// merged in fixed shard order), or in-process when workers=0 — and banked.
+// A rerun against a warm cache recomputes NOTHING and emits stdout, CSVs,
+// and trace.json byte-identical to the cold run, at every thread and
+// worker count, plain and faulted. Damaged cache entries are quarantined
+// (WARN on stderr) and recomputed; a worker killed mid-campaign is WARNed,
+// its completed points are banked, and the engine self-heals in-process.
+// Cache-dependent stats go to stderr and outdir/provenance.json only.
+//
+// Worker mode (spawned by the engine; usable standalone for tests):
+//
+//   tgi_serve --worker spec=FILE indices=I,J,... journal=DIR [threads=N]
+//             [granularity=point|task] [shard=K]
+//
+// Computes the GLOBAL sweep-point indices of the handoff spec and journals
+// them into DIR/journal.tgij. Worker mode defaults to granularity=task
+// (ROADMAP item 2's flip — the service arc is the consumer it waited for);
+// tgi_sweep and the bench harnesses keep `point`. The env hook
+// TGI_SERVE_WORKER_DIE_AFTER=<shard>:<n> makes exactly shard <shard> raise
+// SIGKILL after journaling <n> points — ci.sh stage 10's deterministic
+// mid-campaign process kill.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/campaign.h"
+#include "serve/spec.h"
+#include "serve/worker.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/subprocess.h"
+
+namespace {
+
+using namespace tgi;
+
+/// key=value tokens with `--flag VALUE` aliases (tgi_sweep's pattern).
+util::Config parse_tokens(int argc, const char* const* argv, bool& worker) {
+  std::vector<std::string> tokens;
+  worker = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--worker") {
+      worker = true;
+      continue;
+    }
+    bool aliased = false;
+    for (const char* key : {"campaign", "cache", "outdir", "workers",
+                            "threads", "spec", "indices", "journal",
+                            "granularity", "shard"}) {
+      const std::string flag = std::string("--") + key;
+      if (arg == flag && i + 1 < argc) {
+        tokens.push_back(std::string(key) + "=" + argv[++i]);
+        aliased = true;
+        break;
+      }
+      if (arg.rfind(flag + "=", 0) == 0) {
+        tokens.push_back(std::string(key) + "=" +
+                         arg.substr(flag.size() + 1));
+        aliased = true;
+        break;
+      }
+    }
+    if (!aliased) tokens.push_back(std::move(arg));
+  }
+  std::vector<const char*> args;
+  args.push_back(argc > 0 ? argv[0] : "tgi_serve");
+  for (const std::string& t : tokens) args.push_back(t.c_str());
+  return util::Config::from_args(static_cast<int>(args.size()), args.data());
+}
+
+/// Parses TGI_SERVE_WORKER_DIE_AFTER=<shard>:<n>; returns n when it names
+/// this worker's shard, else 0.
+std::size_t die_after_for_shard(std::size_t shard) {
+  const char* env = std::getenv("TGI_SERVE_WORKER_DIE_AFTER");
+  if (env == nullptr) return 0;
+  const std::string text(env);
+  const std::size_t colon = text.find(':');
+  TGI_REQUIRE(colon != std::string::npos,
+              "TGI_SERVE_WORKER_DIE_AFTER must be <shard>:<count>, got '"
+                  << text << "'");
+  const auto target = static_cast<std::size_t>(util::parse_int(
+      text.substr(0, colon), "TGI_SERVE_WORKER_DIE_AFTER shard"));
+  const auto count = static_cast<std::size_t>(util::parse_int(
+      text.substr(colon + 1), "TGI_SERVE_WORKER_DIE_AFTER count"));
+  return target == shard ? count : 0;
+}
+
+int run_worker_mode(const util::Config& cfg) {
+  util::require_known_keys(
+      cfg, {"spec", "indices", "journal", "threads", "granularity", "shard"},
+      "tgi_serve --worker");
+  TGI_REQUIRE(cfg.has("spec"), "worker mode needs spec=FILE");
+  TGI_REQUIRE(cfg.has("indices"), "worker mode needs indices=I,J,...");
+  TGI_REQUIRE(cfg.has("journal"), "worker mode needs journal=DIR");
+  serve::CampaignSpec spec = serve::load_worker_spec(*cfg.get("spec"));
+  if (cfg.has("granularity")) {
+    const std::string g = *cfg.get("granularity");
+    TGI_REQUIRE(g == "point" || g == "task",
+                "granularity must be 'point' or 'task', got '" << g << "'");
+    spec.granularity = (g == "task") ? harness::SweepGranularity::kTask
+                                     : harness::SweepGranularity::kPoint;
+  }
+  serve::WorkerAssignment assignment;
+  for (const long long index : cfg.get_int_list("indices", {})) {
+    TGI_REQUIRE(index >= 0, "indices must be >= 0");
+    assignment.indices.push_back(static_cast<std::size_t>(index));
+  }
+  assignment.journal_dir = *cfg.get("journal");
+  const long long threads = cfg.get_int("threads", 1);
+  TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
+  assignment.threads = static_cast<std::size_t>(threads);
+  const long long shard = cfg.get_int("shard", 0);
+  TGI_REQUIRE(shard >= 0, "shard must be >= 0");
+  assignment.die_after =
+      die_after_for_shard(static_cast<std::size_t>(shard));
+  const std::size_t journaled = serve::run_worker(spec, assignment);
+  std::cerr << "tgi_serve: worker journaled " << journaled << " points to "
+            << assignment.journal_dir << "\n";
+  return 0;
+}
+
+int run_engine_mode(const util::Config& cfg) {
+  util::require_known_keys(cfg,
+                           {"campaign", "cache", "outdir", "workers",
+                            "threads", "trace", "worker_exe"},
+                           "tgi_serve");
+  TGI_REQUIRE(cfg.has("campaign"), "tgi_serve needs campaign=FILE");
+  const std::vector<serve::CampaignSpec> entries =
+      serve::load_campaign_file(*cfg.get("campaign"));
+
+  serve::CampaignConfig config;
+  config.cache_dir = cfg.get_string("cache", "tgi_cache");
+  config.outdir = cfg.get_string("outdir", "tgi_campaign");
+  const long long workers = cfg.get_int("workers", 0);
+  TGI_REQUIRE(workers >= 0, "workers must be >= 0 (0 = in-process)");
+  config.workers = static_cast<std::size_t>(workers);
+  const long long threads = cfg.get_int("threads", 1);
+  TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
+  config.threads = static_cast<std::size_t>(threads);
+  config.trace = cfg.get_bool("trace", false);
+  config.worker_exe =
+      cfg.get_string("worker_exe", util::current_executable());
+
+  serve::CampaignEngine engine(std::move(config));
+  const serve::CampaignStats stats = engine.run(entries, std::cout);
+  std::cerr << "tgi_serve: " << stats.summary() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool worker = false;
+    const util::Config cfg = parse_tokens(argc, argv, worker);
+    return worker ? run_worker_mode(cfg) : run_engine_mode(cfg);
+  } catch (const std::exception& ex) {
+    std::cerr << "tgi_serve: error: " << ex.what() << "\n";
+    return 1;
+  }
+}
