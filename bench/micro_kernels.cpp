@@ -1,181 +1,274 @@
-// google-benchmark microbenchmarks of the computational kernels: the real
-// LU factorization, the STREAM kernels, and the statistics hot paths.
-#include <benchmark/benchmark.h>
+// Microbench: the SIMD kernel lanes, before vs after (DESIGN.md §14).
+//
+// Times each rewritten kernel inner loop against the exact loop it
+// replaced, on the same data:
+//
+//   * reduce_tree   — the strict serial left fold (one FP-add dependency
+//                     chain, unvectorizable without reordering) vs the
+//                     fixed-shape reduction tree `tree_transform_sum`
+//                     (kAccumulators independent chains, same bytes every
+//                     build). The STREAM validation scan runs this shape.
+//   * gups_verify   — the historical compare-and-break table scan vs the
+//                     branchless OR-accumulated scan run_gups() now uses.
+//   * stream_triad  — the plain std::vector triad loop vs the aligned
+//                     restrict Lane loop inside run_stream()'s workers.
+//
+// The speedups here are the recorded evidence for the §14 pass — they
+// come from single-thread ILP/vectorization, so they hold on one core.
+// Results land in BENCH_kernels.json (out=PATH to move it), written via
+// util::AtomicFile — part of the repo's recorded perf trajectory
+// (BENCH_*.json series, see ROADMAP); ci.sh collects and gates on it.
+#include "bench_common.h"
 
-#include <vector>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 
-#include "kernels/blas.h"
-#include "kernels/dgemm.h"
-#include "kernels/fft.h"
-#include "kernels/gups.h"
-#include "kernels/hpl.h"
-#include "kernels/hpl2d.h"
-#include "kernels/ptrans.h"
-#include "kernels/stream.h"
-#include "stats/correlation.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
-using namespace tgi;
+namespace simd = tgi::util::simd;
 
-void BM_LuFactorSerial(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto nb = static_cast<std::size_t>(state.range(1));
-  for (auto _ : state) {
-    state.PauseTiming();
-    kernels::HplProblem problem = kernels::make_hpl_problem(n, 7);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(kernels::lu_factor(problem.a, nb));
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(kernels::hpl_flop_count(n).value()));
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
 }
-BENCHMARK(BM_LuFactorSerial)
-    ->Args({64, 16})
-    ->Args({128, 32})
-    ->Args({256, 64})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_DistributedHpl(benchmark::State& state) {
-  const int procs = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_hpl_mpisim(128, 16, procs, 3));
-  }
-  state.SetLabel("n=128 nb=16");
+/// Compiler fence: forces `value` to exist in memory and clobbers the
+/// optimizer's view of it, so repeated timing iterations of a pure
+/// function cannot be hoisted or folded away (google-benchmark's
+/// DoNotOptimize, inlined here to keep the harness self-contained).
+template <typename T>
+void keep(T& value) {
+  asm volatile("" : "+m"(value) : : "memory");
 }
-BENCHMARK(BM_DistributedHpl)->Arg(1)->Arg(2)->Arg(4)->Unit(
-    benchmark::kMillisecond);
 
-void BM_Hpl2d(benchmark::State& state) {
-  kernels::Hpl2dConfig cfg;
-  cfg.n = 128;
-  cfg.block_size = 16;
-  cfg.prows = static_cast<int>(state.range(0));
-  cfg.pcols = static_cast<int>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_hpl_mpisim_2d(cfg));
-  }
-  state.SetLabel("n=128 nb=16");
-}
-BENCHMARK(BM_Hpl2d)->Args({1, 1})->Args({2, 2})->Args({2, 3})->Unit(
-    benchmark::kMillisecond);
+// Each variant is noinline so the timed region is the function as
+// compiled, not a caller-context specialization the other variant
+// doesn't get.
 
-void BM_Gups(benchmark::State& state) {
-  kernels::GupsConfig cfg;
-  cfg.log2_table_words = static_cast<unsigned>(state.range(0));
-  cfg.updates = 1u << 18;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_gups(cfg));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (2LL << 18));  // timed pass + verification pass
+__attribute__((noinline)) double reduce_serial_fold(const double* p,
+                                                    std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
 }
-BENCHMARK(BM_Gups)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
 
-void BM_Ptrans(benchmark::State& state) {
-  kernels::PtransConfig cfg;
-  cfg.n = static_cast<std::size_t>(state.range(0));
-  cfg.block_size = 16;
-  cfg.prows = 2;
-  cfg.pcols = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_ptrans_mpisim(cfg));
-  }
+__attribute__((noinline)) double reduce_fixed_tree(const double* p,
+                                                   std::size_t n) {
+  return simd::tree_transform_sum<double>(
+      n, [p](std::size_t i) { return p[i]; });
 }
-BENCHMARK(BM_Ptrans)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
-void BM_Dgemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Xoshiro256 rng(1);
-  std::vector<double> a(n * n);
-  std::vector<double> b(n * n);
-  std::vector<double> c(n * n);
-  for (double& v : a) v = rng.uniform();
-  for (double& v : b) v = rng.uniform();
-  for (auto _ : state) {
-    kernels::dgemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(), n);
-    benchmark::DoNotOptimize(c.data());
+__attribute__((noinline)) bool verify_early_exit(const std::uint64_t* t,
+                                                 std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (t[i] != i) return false;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * n * n * n));
+  return true;
 }
-BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256)->Unit(
-    benchmark::kMicrosecond);
 
-void BM_StreamTriadKernel(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<double> a(n, 1.0);
-  std::vector<double> b(n, 2.0);
-  std::vector<double> c(n, 0.5);
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 3.0 * c[i];
-    benchmark::DoNotOptimize(a.data());
-    benchmark::ClobberMemory();
-  }
-  state.SetBytesProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(
-          static_cast<double>(n) *
-          kernels::stream_bytes_per_element_triad()));
+__attribute__((noinline)) bool verify_branchless(const std::uint64_t* t,
+                                                 std::uint64_t n) {
+  const std::uint64_t* TGI_SIMD_RESTRICT p = simd::assume_aligned(t);
+  std::uint64_t deviation = 0;
+  for (std::uint64_t i = 0; i < n; ++i) deviation |= p[i] ^ i;
+  return deviation == 0;
 }
-BENCHMARK(BM_StreamTriadKernel)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_StreamFullSuite(benchmark::State& state) {
-  kernels::StreamConfig cfg;
-  cfg.array_elements = 1 << 18;
-  cfg.iterations = 2;
-  cfg.threads = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_stream(cfg));
-  }
+__attribute__((noinline)) void triad_plain(const double* b, const double* c,
+                                           double* a, std::size_t n,
+                                           double scalar) {
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
 }
-BENCHMARK(BM_StreamFullSuite)->Arg(1)->Arg(2)->Unit(
-    benchmark::kMillisecond);
 
-void BM_FftRadix2(benchmark::State& state) {
-  const auto n = std::size_t{1} << static_cast<unsigned>(state.range(0));
-  util::Xoshiro256 rng(2);
-  std::vector<std::complex<double>> base(n);
-  for (auto& x : base) x = {rng.uniform(), rng.uniform()};
-  std::vector<std::complex<double>> work;
-  for (auto _ : state) {
-    work = base;
-    kernels::fft_radix2(work, false);
-    benchmark::DoNotOptimize(work.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(kernels::fft_flop_count(n).value()));
+__attribute__((noinline)) void triad_lane(const double* b, const double* c,
+                                          double* a, std::size_t n,
+                                          double scalar) {
+  const double* TGI_SIMD_RESTRICT vb = simd::assume_aligned(b);
+  const double* TGI_SIMD_RESTRICT vc = simd::assume_aligned(c);
+  double* TGI_SIMD_RESTRICT va = simd::assume_aligned(a);
+  for (std::size_t i = 0; i < n; ++i) va[i] = vb[i] + scalar * vc[i];
 }
-BENCHMARK(BM_FftRadix2)->Arg(12)->Arg(16)->Arg(20)->Unit(
-    benchmark::kMicrosecond);
 
-void BM_DgemmVerified(benchmark::State& state) {
-  kernels::DgemmConfig cfg;
-  cfg.n = static_cast<std::size_t>(state.range(0));
-  cfg.iterations = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernels::run_dgemm(cfg));
+template <typename F>
+double best_seconds(std::size_t trials, F&& f) {
+  f();  // warm caches and the branch predictor outside the timing
+  double best = 1e300;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double t0 = now_seconds();
+    f();
+    best = std::min(best, now_seconds() - t0);
   }
+  return best;
 }
-BENCHMARK(BM_DgemmVerified)->Arg(64)->Arg(128)->Unit(
-    benchmark::kMillisecond);
 
-void BM_Pearson(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Xoshiro256 rng(5);
-  std::vector<double> x(n);
-  std::vector<double> y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = rng.uniform();
-    y[i] = rng.uniform();
+struct LaneResult {
+  std::string lane;
+  std::size_t elements = 0;
+  double before_s = 0.0;
+  double after_s = 0.0;
+  [[nodiscard]] double speedup() const {
+    return before_s / std::max(after_s, 1e-12);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(stats::pearson(x, y));
-  }
-}
-BENCHMARK(BM_Pearson)->Arg(64)->Arg(4096);
+};
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tgi;
+  return bench::run_harness(argc, argv, [](bench::Experiment& e) {
+    harness::print_banner(std::cout, "Microbench",
+                          "SIMD kernel lanes: before vs after throughput");
+    const auto reduce_n = std::size_t{1}
+                          << static_cast<unsigned>(
+                                 e.config.get_int("reduce_log2", 17));
+    const auto table_n = std::uint64_t{1}
+                         << static_cast<unsigned>(
+                                e.config.get_int("table_log2", 17));
+    const auto triad_n = std::size_t{1}
+                         << static_cast<unsigned>(
+                                e.config.get_int("triad_log2", 15));
+    const auto repeats =
+        static_cast<std::size_t>(e.config.get_int("repeats", 16));
+    const auto trials =
+        static_cast<std::size_t>(e.config.get_int("trials", 5));
+    const std::string out_path =
+        e.config.get_string("out", "BENCH_kernels.json");
+
+    std::vector<LaneResult> lanes;
+
+    // --- reduce_tree: serial fold vs fixed-shape tree --------------------
+    simd::Lane<double> data = simd::make_lane<double>(reduce_n);
+    {
+      util::Xoshiro256 rng(e.seed);
+      for (std::size_t i = 0; i < reduce_n; ++i) {
+        data[i] = rng.uniform(-1.0, 1.0);
+      }
+    }
+    double fold_value = 0.0;
+    double tree_value = 0.0;
+    const double* dp = data.data();
+    const double t_fold = best_seconds(trials, [&fold_value, dp, reduce_n,
+                                                repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        fold_value = reduce_serial_fold(dp, reduce_n);
+        keep(fold_value);
+      }
+    });
+    const double t_tree = best_seconds(trials, [&tree_value, dp, reduce_n,
+                                                repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        tree_value = reduce_fixed_tree(dp, reduce_n);
+        keep(tree_value);
+      }
+    });
+    lanes.push_back({"reduce_tree", reduce_n, t_fold, t_tree});
+
+    // --- gups_verify: compare-and-break vs branchless OR scan ------------
+    simd::Lane<std::uint64_t> table = simd::make_lane<std::uint64_t>(
+        static_cast<std::size_t>(table_n));
+    for (std::uint64_t i = 0; i < table_n; ++i) {
+      table[static_cast<std::size_t>(i)] = i;
+    }
+    bool early_ok = false;
+    bool branchless_ok = false;
+    const std::uint64_t* tp = table.data();
+    const double t_early = best_seconds(trials, [&early_ok, tp, table_n,
+                                                 repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        early_ok = verify_early_exit(tp, table_n);
+        keep(early_ok);
+      }
+    });
+    const double t_branchless = best_seconds(trials, [&branchless_ok, tp,
+                                                      table_n, repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        branchless_ok = verify_branchless(tp, table_n);
+        keep(branchless_ok);
+      }
+    });
+    lanes.push_back({"gups_verify", static_cast<std::size_t>(table_n),
+                     t_early, t_branchless});
+
+    // --- stream_triad: plain vectors vs aligned restrict lanes -----------
+    std::vector<double> pa(triad_n, 0.0), pb(triad_n, 2.0), pc(triad_n, 0.5);
+    simd::Lane<double> la = simd::make_lane<double>(triad_n, 0.0);
+    simd::Lane<double> lb = simd::make_lane<double>(triad_n, 2.0);
+    simd::Lane<double> lc = simd::make_lane<double>(triad_n, 0.5);
+    const double t_plain = best_seconds(trials, [&pa, &pb, &pc, triad_n,
+                                                 repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        triad_plain(pb.data(), pc.data(), pa.data(), triad_n, 3.0);
+        keep(pa[0]);
+      }
+    });
+    const double t_aligned = best_seconds(trials, [&la, &lb, &lc, triad_n,
+                                                   repeats] {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        triad_lane(lb.data(), lc.data(), la.data(), triad_n, 3.0);
+        keep(la[0]);
+      }
+    });
+    lanes.push_back({"stream_triad", triad_n, t_plain, t_aligned});
+
+    util::TextTable tbl({"lane", "elements", "before (ms)", "after (ms)",
+                         "speedup"});
+    double best_speedup = 0.0;
+    for (const LaneResult& lane : lanes) {
+      tbl.add_row({lane.lane, std::to_string(lane.elements),
+                   util::fixed(lane.before_s * 1e3, 3),
+                   util::fixed(lane.after_s * 1e3, 3),
+                   util::fixed(lane.speedup(), 2) + "x"});
+      best_speedup = std::max(best_speedup, lane.speedup());
+    }
+    std::cout << tbl;
+    std::cout << "\nbest of " << trials << " trials, " << repeats
+              << " passes per trial, single thread\n";
+
+    // Correctness of the rewritten lanes against their predecessors. The
+    // tree reduction *reorders* the fold, so the two sums agree to a
+    // rounding tolerance, not bitwise; the triad lanes run the identical
+    // per-element expression and must match exactly.
+    bench::print_check(
+        "fixed-shape tree agrees with the serial fold",
+        std::fabs(tree_value - fold_value) <=
+            1e-9 * std::max(1.0, std::fabs(fold_value)));
+    bench::print_check("branchless verify agrees with early-exit verify",
+                       early_ok && branchless_ok);
+    bench::print_check("aligned triad lane matches the plain loop bitwise",
+                       std::memcmp(pa.data(), la.data(),
+                                   triad_n * sizeof(double)) == 0);
+    const bool speedup_ok = best_speedup >= 1.5;
+    bench::print_check("at least one lane speeds up >= 1.5x", speedup_ok);
+
+    util::AtomicFile json(out_path);
+    json.stream() << "{\n"
+                  << "  \"bench\": \"micro_kernels\",\n"
+                  << "  \"trials\": " << trials << ",\n"
+                  << "  \"repeats\": " << repeats << ",\n"
+                  << "  \"lanes\": [\n";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const LaneResult& lane = lanes[i];
+      json.stream() << "    {\"lane\": \"" << lane.lane << "\", "
+                    << "\"elements\": " << lane.elements << ", "
+                    << "\"before_s\": " << util::fixed(lane.before_s, 6)
+                    << ", "
+                    << "\"after_s\": " << util::fixed(lane.after_s, 6)
+                    << ", "
+                    << "\"speedup\": " << util::fixed(lane.speedup(), 3)
+                    << "}" << (i + 1 < lanes.size() ? "," : "") << "\n";
+    }
+    json.stream() << "  ],\n"
+                  << "  \"best_speedup\": " << util::fixed(best_speedup, 3)
+                  << ",\n"
+                  << "  \"speedup_ok\": " << (speedup_ok ? "true" : "false")
+                  << "\n"
+                  << "}\n";
+    json.commit();
+    std::cout << "wrote " << out_path << "\n";
+  });
+}

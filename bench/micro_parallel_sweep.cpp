@@ -6,6 +6,10 @@
 // the spot: all three produce bit-identical SuitePoint vectors, and the
 // threaded run is just faster. The speedup check needs real cores, so it
 // reports "skipped" on boxes with fewer than 4.
+//
+// Results land in BENCH_parallel_sweep.json (out=PATH to move it),
+// written via util::AtomicFile — part of the recorded perf trajectory
+// (BENCH_*.json series) that ci.sh collects into build/bench_trajectory/.
 #include "bench_common.h"
 
 #include <algorithm>
@@ -113,17 +117,41 @@ int main(int argc, char** argv) {
               << util::fixed(speedup, 2) << "x with " << threads
               << " threads\n";
 
+    const bool identical_1 = sweeps_identical(serial, points_1);
+    const bool identical_n = sweeps_identical(serial, points_n);
     bench::print_check("ParallelSweep(threads=1) output identical to serial",
-                       sweeps_identical(serial, points_1));
+                       identical_1);
     bench::print_check("ParallelSweep(threads=N) output identical to serial",
-                       sweeps_identical(serial, points_n));
+                       identical_n);
     const unsigned cores =
         std::thread::hardware_concurrency();  // tgi-lint: allow(raw-thread)
-    if (cores >= 4 && threads >= 4) {
+    const bool speedup_checked = cores >= 4 && threads >= 4;
+    if (speedup_checked) {
       bench::print_check("speedup >= 2x on >= 4 cores", speedup >= 2.0);
     } else {
       std::cout << "[check] speedup >= 2x on >= 4 cores: skipped ("
                 << cores << " core(s) visible)\n";
     }
+
+    const std::string out_path =
+        e.config.get_string("out", "BENCH_parallel_sweep.json");
+    util::AtomicFile json(out_path);
+    json.stream() << "{\n"
+                  << "  \"bench\": \"micro_parallel_sweep\",\n"
+                  << "  \"threads\": " << threads << ",\n"
+                  << "  \"cores\": " << cores << ",\n"
+                  << "  \"points\": " << grid.size() << ",\n"
+                  << "  \"serial_s\": " << util::fixed(t_serial, 6) << ",\n"
+                  << "  \"parallel_1_s\": " << util::fixed(t_one, 6) << ",\n"
+                  << "  \"parallel_n_s\": " << util::fixed(t_many, 6)
+                  << ",\n"
+                  << "  \"speedup\": " << util::fixed(speedup, 3) << ",\n"
+                  << "  \"speedup_checked\": "
+                  << (speedup_checked ? "true" : "false") << ",\n"
+                  << "  \"identical\": "
+                  << (identical_1 && identical_n ? "true" : "false") << "\n"
+                  << "}\n";
+    json.commit();
+    std::cout << "wrote " << out_path << "\n";
   });
 }

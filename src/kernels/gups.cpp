@@ -1,9 +1,9 @@
 #include "kernels/gups.h"
 
 #include <chrono>
-#include <vector>
 
 #include "util/error.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace tgi::kernels {
@@ -29,9 +29,12 @@ std::uint64_t next_value(std::uint64_t x) {
 
 std::uint64_t gups_starts(std::int64_t n) {
   // HPCC's HPCC_starts: jump to position n in the sequence via the
-  // square-and-multiply recurrence over GF(2).
+  // square-and-multiply recurrence over GF(2). The wrap is >=, not >:
+  // the sequence has period kPeriod, so position kPeriod IS position 0
+  // (start value 1) — `n > kPeriod` would leave n == kPeriod unwrapped
+  // and feed the bit-scan a value off the sequence by one full period.
   while (n < 0) n += static_cast<std::int64_t>(kPeriod);
-  while (n > static_cast<std::int64_t>(kPeriod)) {
+  while (n >= static_cast<std::int64_t>(kPeriod)) {
     n -= static_cast<std::int64_t>(kPeriod);
   }
   if (n == 0) return 1ULL;
@@ -67,8 +70,14 @@ GupsResult run_gups(const GupsConfig& config) {
 
   const std::uint64_t table_words = 1ULL << config.log2_table_words;
   const std::uint64_t mask = table_words - 1;
-  std::vector<std::uint64_t> table(table_words);
-  for (std::uint64_t i = 0; i < table_words; ++i) table[i] = i;
+  // Aligned, lane-padded table (DESIGN.md §14). Updates are masked to
+  // [0, table_words), so the value-initialized padding is never written.
+  util::simd::Lane<std::uint64_t> table = util::simd::make_lane<std::uint64_t>(
+      static_cast<std::size_t>(table_words));
+  {
+    std::uint64_t* TGI_SIMD_RESTRICT t = util::simd::assume_aligned(table.data());
+    for (std::uint64_t i = 0; i < table_words; ++i) t[i] = i;
+  }
 
   const auto threads = static_cast<std::uint64_t>(config.threads);
   const std::uint64_t words_per_thread = table_words / threads;
@@ -77,17 +86,28 @@ GupsResult run_gups(const GupsConfig& config) {
   // Every thread replays the full update stream but touches only indices
   // in its own partition — an exact, race-free SPMD decomposition (the
   // redundant stream generation is the classic trade for correctness).
-  auto apply_stream = [&table, threads, words_per_thread, table_words, mask,
-                       updates = config.updates](int thread) {
+  // A partition covering the whole table (threads == 1) takes the
+  // unfiltered lane: the per-update bounds check is pure overhead there.
+  std::uint64_t* const table_base = util::simd::assume_aligned(table.data());
+  auto apply_stream = [table_base, threads, words_per_thread, table_words,
+                       mask, updates = config.updates](int thread) {
+    std::uint64_t* TGI_SIMD_RESTRICT tab = table_base;
     const auto t = static_cast<std::uint64_t>(thread);
     const std::uint64_t lo = t * words_per_thread;
     const std::uint64_t hi =
         (t + 1 == threads) ? table_words : lo + words_per_thread;
     std::uint64_t ran = gups_starts(0);
+    if (lo == 0 && hi == table_words) {
+      for (std::uint64_t u = 0; u < updates; ++u) {
+        ran = next_value(ran);
+        tab[ran & mask] ^= ran;
+      }
+      return;
+    }
     for (std::uint64_t u = 0; u < updates; ++u) {
       ran = next_value(ran);
       const std::uint64_t idx = ran & mask;
-      if (idx >= lo && idx < hi) table[idx] ^= ran;
+      if (idx >= lo && idx < hi) tab[idx] ^= ran;
     }
   };
 
@@ -110,14 +130,17 @@ GupsResult run_gups(const GupsConfig& config) {
                 result.elapsed.value() / 1e9;
 
   // Verification: XOR is self-inverse, so replaying the identical stream
-  // must restore the initial table exactly.
+  // must restore the initial table exactly. The scan is branchless —
+  // OR-accumulate every word's deviation instead of compare-and-break —
+  // so it vectorizes; bitwise OR is order-insensitive, no FP reduction
+  // to pin (bench/micro_kernels records this lane's before/after).
   run_pass();
-  result.validated = true;
-  for (std::uint64_t i = 0; i < table_words; ++i) {
-    if (table[i] != i) {
-      result.validated = false;
-      break;
-    }
+  {
+    const std::uint64_t* TGI_SIMD_RESTRICT tab =
+        util::simd::assume_aligned(table.data());
+    std::uint64_t deviation = 0;
+    for (std::uint64_t i = 0; i < table_words; ++i) deviation |= tab[i] ^ i;
+    result.validated = deviation == 0;
   }
   return result;
 }

@@ -4,14 +4,18 @@
 #include <barrier>
 #include <chrono>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace tgi::kernels {
 
 namespace {
+
+using util::simd::Real;
 
 double now_seconds() {
   // Native kernels time real execution, not the simulated timeline —
@@ -38,6 +42,33 @@ Slice slice_for(std::size_t total, int thread, int threads) {
 
 }  // namespace
 
+StreamExpected stream_closed_form(Real scalar, int iterations) {
+  StreamExpected e{Real{1}, Real{2}, Real{0}};
+  for (int it = 0; it < iterations; ++it) {
+    e.c = e.a;
+    e.b = scalar * e.c;
+    e.c = e.a + e.b;
+    e.a = e.b + scalar * e.c;
+  }
+  return e;
+}
+
+Real stream_validation_epsilon() {
+  // The reference STREAM tolerances: one rounding per kernel per
+  // iteration accumulates, so the bound scales with the element width.
+  if constexpr (std::is_same_v<Real, double>) {
+    return 1e-8;
+  } else {
+    return 1e-4f;
+  }
+}
+
+bool stream_error_within(Real abs_err, Real expected) {
+  const Real eps = stream_validation_epsilon();
+  const Real mag = std::fabs(expected);
+  return mag > Real{0} ? abs_err <= eps * mag : abs_err <= eps;
+}
+
 StreamResult run_stream(const StreamConfig& config) {
   TGI_REQUIRE(config.array_elements >= 1000,
               "STREAM arrays must have >= 1000 elements");
@@ -46,12 +77,14 @@ StreamResult run_stream(const StreamConfig& config) {
 
   const std::size_t n = config.array_elements;
   const int threads = config.threads;
-  std::vector<double> a(n), b(n), c(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] = 1.0;
-    b[i] = 2.0;
-    c[i] = 0.0;
-  }
+  // Aligned, lane-padded arrays (DESIGN.md §14): the kernels compute over
+  // [0, n) and never touch the padding.
+  util::simd::Lane<Real> a = util::simd::make_lane<Real>(n, Real{1});
+  util::simd::Lane<Real> b = util::simd::make_lane<Real>(n, Real{2});
+  util::simd::Lane<Real> c = util::simd::make_lane<Real>(n, Real{0});
+  Real* const pa = util::simd::assume_aligned(a.data());
+  Real* const pb = util::simd::assume_aligned(b.data());
+  Real* const pc = util::simd::assume_aligned(c.data());
 
   // One timing per (kernel, iteration); workers sync on a barrier and
   // thread 0 reads the clock at the sync points.
@@ -60,7 +93,7 @@ StreamResult run_stream(const StreamConfig& config) {
       kKernels, std::vector<double>(static_cast<std::size_t>(
                     config.iterations)));
   std::barrier sync(threads);
-  const double scalar = config.scalar;
+  const Real scalar = static_cast<Real>(config.scalar);
   const double t_start = now_seconds();
 
   {
@@ -69,8 +102,14 @@ StreamResult run_stream(const StreamConfig& config) {
     // ever needs a second task and the barrier cannot deadlock.
     util::ThreadPool pool(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.submit([&a, &b, &c, &sync, &times, n, scalar, t, threads,
+      pool.submit([pa, pb, pc, &sync, &times, n, scalar, t, threads,
                    iterations = config.iterations] {
+        // The three arrays are distinct allocations, so the worker-local
+        // restrict views are exact — gcc drops the overlap-check versions
+        // it would otherwise guard the vectorized kernels with.
+        Real* TGI_SIMD_RESTRICT va = pa;
+        Real* TGI_SIMD_RESTRICT vb = pb;
+        Real* TGI_SIMD_RESTRICT vc = pc;
         const Slice s = slice_for(n, t, threads);
         for (int it = 0; it < iterations; ++it) {
           const auto iu = static_cast<std::size_t>(it);
@@ -79,21 +118,21 @@ StreamResult run_stream(const StreamConfig& config) {
           sync.arrive_and_wait();
           if (t == 0) t0 = now_seconds();
           sync.arrive_and_wait();
-          for (std::size_t i = s.begin; i < s.end; ++i) c[i] = a[i];
+          for (std::size_t i = s.begin; i < s.end; ++i) vc[i] = va[i];
           sync.arrive_and_wait();
           if (t == 0) times[0][iu] = now_seconds() - t0;
 
           sync.arrive_and_wait();
           if (t == 0) t0 = now_seconds();
           sync.arrive_and_wait();
-          for (std::size_t i = s.begin; i < s.end; ++i) b[i] = scalar * c[i];
+          for (std::size_t i = s.begin; i < s.end; ++i) vb[i] = scalar * vc[i];
           sync.arrive_and_wait();
           if (t == 0) times[1][iu] = now_seconds() - t0;
 
           sync.arrive_and_wait();
           if (t == 0) t0 = now_seconds();
           sync.arrive_and_wait();
-          for (std::size_t i = s.begin; i < s.end; ++i) c[i] = a[i] + b[i];
+          for (std::size_t i = s.begin; i < s.end; ++i) vc[i] = va[i] + vb[i];
           sync.arrive_and_wait();
           if (t == 0) times[2][iu] = now_seconds() - t0;
 
@@ -101,7 +140,7 @@ StreamResult run_stream(const StreamConfig& config) {
           if (t == 0) t0 = now_seconds();
           sync.arrive_and_wait();
           for (std::size_t i = s.begin; i < s.end; ++i) {
-            a[i] = b[i] + scalar * c[i];
+            va[i] = vb[i] + scalar * vc[i];
           }
           sync.arrive_and_wait();
           if (t == 0) times[3][iu] = now_seconds() - t0;
@@ -128,21 +167,28 @@ StreamResult run_stream(const StreamConfig& config) {
   result.add = best_rate(2, stream_bytes_per_element_add());
   result.triad = best_rate(3, stream_bytes_per_element_triad());
 
-  // Validate against the closed form after `iterations` rounds.
-  double ea = 1.0;
-  double eb = 2.0;
-  double ec = 0.0;
-  for (int it = 0; it < config.iterations; ++it) {
-    ec = ea;
-    eb = scalar * ec;
-    ec = ea + eb;
-    ea = eb + scalar * ec;
-  }
-  const double tol = 1e-8 * std::fabs(ea);
-  result.validated = std::fabs(a[0] - ea) <= tol &&
-                     std::fabs(a[n - 1] - ea) <= tol &&
-                     std::fabs(b[n / 2] - eb) <= tol &&
-                     std::fabs(c[n / 3] - ec) <= tol;
+  // Validate against the closed form after `iterations` rounds: the
+  // reference STREAM check is each array's *average* per-element error,
+  // computed here through the fixed-shape reduction tree (util/simd.h) so
+  // the vectorized scan reduces in one pinned order. Each array's
+  // tolerance scales with its own closed-form magnitude
+  // (stream_error_within) — not a[]'s, which is wrongly loose when
+  // |a| >> |b| and exactly zero (wrongly tight) when a's closed form
+  // vanishes, e.g. scalar = -2 after one iteration.
+  const StreamExpected expect = stream_closed_form(scalar, config.iterations);
+  auto average_error = [n](const Real* base, Real expected) {
+    const Real* TGI_SIMD_RESTRICT p = util::simd::assume_aligned(base);
+    return util::simd::tree_transform_sum<Real>(
+               n,
+               [p, expected](std::size_t i) {
+                 return std::fabs(p[i] - expected);
+               }) /
+           static_cast<Real>(n);
+  };
+  result.validated =
+      stream_error_within(average_error(pa, expect.a), expect.a) &&
+      stream_error_within(average_error(pb, expect.b), expect.b) &&
+      stream_error_within(average_error(pc, expect.c), expect.c);
   return result;
 }
 

@@ -1,9 +1,21 @@
 #include "kernels/stream_model.h"
 
-#include "kernels/stream.h"
 #include "util/error.h"
 
 namespace tgi::kernels {
+
+namespace {
+
+// The *modeled* machine always runs the reference double-precision STREAM
+// (8-byte words; Triad reads b and c and writes a = 24 bytes/element) —
+// deliberately not kernels/stream.h's byte constants, which track the
+// native lanes' TGI_DTYPE toggle. Figure-feeding arithmetic never follows
+// that toggle (DESIGN.md §14), so the simulated workload is identical in
+// float and double builds and the goldens pin one shape.
+constexpr double kModelWordBytes = 8.0;
+constexpr double kModelTriadBytesPerElement = 3.0 * kModelWordBytes;
+
+}  // namespace
 
 sim::Workload make_stream_workload(const sim::ClusterSpec& cluster,
                                    const StreamModelParams& params) {
@@ -23,9 +35,8 @@ sim::Workload make_stream_workload(const sim::ClusterSpec& cluster,
   // element per iteration (read b, read c, write a).
   const double array_bytes_total =
       cluster.node.memory.value() * params.memory_fraction;
-  const double elements = array_bytes_total / (3.0 * 8.0);
-  const double triad_bytes_per_iter =
-      elements * stream_bytes_per_element_triad();
+  const double elements = array_bytes_total / (3.0 * kModelWordBytes);
+  const double triad_bytes_per_iter = elements * kModelTriadBytesPerElement;
 
   sim::Workload wl;
   wl.benchmark = "STREAM";

@@ -152,6 +152,53 @@ class RawUnitDoubleRule final : public Rule {
   }
 };
 
+// --- raw-aligned-alloc ----------------------------------------------------
+
+/// Raw aligned-allocation calls outside util/simd. The aligned-lane
+/// substrate (util/simd.h, DESIGN.md §14) is the one sanctioned home for
+/// alignment: its AlignedAllocator flows through the sized,
+/// alignment-aware global operators, so ASan tracks every byte and the
+/// deallocation always matches. Ad-hoc std::aligned_alloc /
+/// posix_memalign / _mm_malloc (and direct operator new with
+/// std::align_val_t) reintroduce malloc/free-family mismatches and
+/// scatter the alignment guarantee the kernels rely on.
+class RawAlignedAllocRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "raw-aligned-alloc";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw aligned allocation (aligned_alloc, posix_memalign, "
+           "_mm_malloc, operator new with std::align_val_t) outside "
+           "util/simd (use util::simd::Lane / AlignedAllocator)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/") && !starts_with(file.path, "tools/")) {
+      return;
+    }
+    if (starts_with(file.path, "src/util/simd")) return;  // the sanctioned home
+    static constexpr std::string_view kCalls[] = {
+        "aligned_alloc", "posix_memalign", "_mm_malloc"};
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kCalls) {
+        if (contains_call(line, name)) {
+          add(out, file, i + 1, id(),
+              std::string(name) +
+                  "() outside util/simd; aligned lanes come from "
+                  "util::simd::make_lane / AlignedAllocator");
+        }
+      }
+      if (contains_identifier(line, "align_val_t")) {
+        add(out, file, i + 1, id(),
+            "operator new(std::align_val_t) outside util/simd; aligned "
+            "lanes come from util::simd::make_lane / AlignedAllocator");
+      }
+    }
+  }
+};
+
 // --- raw-thread -----------------------------------------------------------
 
 /// std::thread / std::jthread / std::async outside util/thread_pool.
@@ -776,6 +823,7 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<BannedRandomRule>());
   rules.push_back(std::make_unique<CoutInLibraryRule>());
   rules.push_back(std::make_unique<NonatomicOutputWriteRule>());
+  rules.push_back(std::make_unique<RawAlignedAllocRule>());
   rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
   rules.push_back(std::make_unique<RefCaptureRule>());

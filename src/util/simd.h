@@ -1,0 +1,210 @@
+// SIMD / precision substrate for the kernel lanes (DESIGN.md §14).
+//
+// The native kernels (kernels/stream, kernels/gups) and the simulator's
+// roofline/contention inner loops burn the real cycles behind every sweep
+// point; the campaign engine multiplies that cost across hundreds of
+// cache-miss points per run. This header is the one sanctioned home for
+// the raw-speed machinery those loops share, in the H2Pack aligned-lane
+// idiom:
+//
+//   * Aligned allocation. `AlignedAllocator<T>` / `Lane<T>` guarantee
+//     every lane's base address is aligned to `kAlignment` (64 bytes: one
+//     cache line, one AVX-512 vector), so vector loads never straddle a
+//     line and the compiler can use aligned moves.
+//   * Lane padding. `make_lane<T>(n)` allocates `padded_size<T>(n)`
+//     elements — n rounded up to a multiple of `kLaneWidth<T>` — so a
+//     vectorized loop may always read a whole final vector. Padding
+//     elements are value-initialized and must never be *written* by
+//     kernels (results are defined over [0, n)).
+//   * A compile-time precision toggle. `Real` is `double`, or `float`
+//     when the build sets `-DTGI_DTYPE=float` (macro TGI_DTYPE_FLOAT) —
+//     the H2Pack DTYPE idiom, for lanes where double precision is not
+//     load-bearing (the native STREAM arrays: bandwidth is what is
+//     measured, the arithmetic only has to validate). The simulator and
+//     every figure-feeding path stay `double` unconditionally; goldens
+//     are pinned on the default-`double` build only.
+//   * Fixed-shape reductions. Vectorizing an FP reduction reorders it;
+//     a serial left fold forbids vectorization. `tree_sum` /
+//     `tree_transform_sum` pin one explicit reduction shape —
+//     `kAccumulators` interleaved partials combined by a fixed pairwise
+//     tree — that is byte-identical whether the compiler emits scalar or
+//     vector code, and `tree_sum(x, threads)` decomposes by *data size only*
+//     (fixed `kReduceBlock` blocks, partials combined in block order), so
+//     the result is byte-identical at every thread count, the same way
+//     src/obs pins its index-order merges.
+//
+// Raw aligned allocation (std::aligned_alloc, posix_memalign, _mm_malloc,
+// operator new(std::align_val_t)) anywhere else in src/ or tools/ is a
+// lint violation (rule `raw-aligned-alloc`): ASan/UBSan-clean ownership
+// and the alignment guarantee live here, once.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+// GNU-dialect restrict qualifier: the kernel lanes alias nothing, and
+// telling the compiler so removes the runtime overlap checks gcc would
+// otherwise version vectorized loops with.
+#define TGI_SIMD_RESTRICT __restrict__
+
+namespace tgi::util::simd {
+
+/// Element type of the DTYPE-toggleable kernel lanes. `double` by
+/// default; `float` when the build is configured with -DTGI_DTYPE=float.
+/// Only lanes documented DTYPE-toggleable (DESIGN.md §14) may use it —
+/// figure-feeding arithmetic is double, unconditionally.
+#if defined(TGI_DTYPE_FLOAT)
+using Real = float;
+#else
+using Real = double;
+#endif
+
+/// Base-address alignment of every Lane, in bytes: one cache line, one
+/// AVX-512 vector. Alignment guarantee: `lane.data()` from any Lane (or
+/// AlignedAllocator-backed container) is a multiple of kAlignment.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Elements of T per aligned vector lane (the H2Pack SIMD_LEN): 8 for
+/// double, 16 for float, 8 for std::uint64_t.
+template <typename T>
+inline constexpr std::size_t kLaneWidth = kAlignment / sizeof(T);
+
+/// `n` rounded up to a whole number of lanes — the allocated size of
+/// `make_lane<T>(n)`.
+template <typename T>
+[[nodiscard]] constexpr std::size_t padded_size(std::size_t n) {
+  return (n + kLaneWidth<T> - 1) / kLaneWidth<T> * kLaneWidth<T>;
+}
+
+/// Minimal allocator guaranteeing kAlignment-aligned storage. The one
+/// sanctioned aligned-allocation site in the repository (lint rule
+/// `raw-aligned-alloc`); everything flows through the sized, alignment-
+/// aware global operators so ASan tracks every byte.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// An aligned data lane: std::vector semantics, kAlignment-aligned base.
+template <typename T>
+using Lane = std::vector<T, AlignedAllocator<T>>;
+
+/// A lane sized for `n` elements plus lane padding, every element
+/// (padding included) initialized to `fill`. Kernels compute over
+/// [0, n) and must leave the padding untouched.
+template <typename T>
+[[nodiscard]] Lane<T> make_lane(std::size_t n, T fill = T{}) {
+  return Lane<T>(padded_size<T>(n), fill);
+}
+
+/// Tells the compiler `p` is kAlignment-aligned (true for any
+/// Lane::data()), enabling aligned vector loads without a peel loop.
+template <typename T>
+[[nodiscard]] inline T* assume_aligned(T* p) {
+  return static_cast<T*>(__builtin_assume_aligned(p, kAlignment));
+}
+template <typename T>
+[[nodiscard]] inline const T* assume_aligned(const T* p) {
+  return static_cast<const T*>(__builtin_assume_aligned(p, kAlignment));
+}
+
+/// Partial accumulators in the fixed reduction shape. Element i feeds
+/// partial i % kAccumulators; the partials are combined by the fixed
+/// pairwise tree ((p0+p1)+(p2+p3)) + ((p4+p5)+(p6+p7)). The shape is a
+/// compile-time constant — never derived from thread count, vector width,
+/// or data size — so the reduction order (and therefore every FP result)
+/// is identical for scalar code, vector code, and any pool size.
+inline constexpr std::size_t kAccumulators = 8;
+
+/// Fixed-shape sum of f(0) ... f(n-1). `f` must be pure (called exactly
+/// once per index, in unspecified order within an accumulator chain's
+/// fixed index sequence). Breaking the serial dependence into
+/// kAccumulators independent chains is also the throughput win: a strict
+/// left fold serializes on FP-add latency, the tree runs the chains in
+/// parallel in the vector units.
+template <typename T, typename F>
+[[nodiscard]] T tree_transform_sum(std::size_t n, F&& f) {
+  // The kAccumulators chains are spelled out (not an inner j-loop) so
+  // each lives in its own register at -O2, where the un-unrolled loop
+  // would keep the partials in a stack array and serialize on it.
+  T partial[kAccumulators] = {};
+  const std::size_t whole = n / kAccumulators * kAccumulators;
+  static_assert(kAccumulators == 8, "unrolled body assumes 8 chains");
+  for (std::size_t i = 0; i < whole; i += kAccumulators) {
+    partial[0] += f(i);
+    partial[1] += f(i + 1);
+    partial[2] += f(i + 2);
+    partial[3] += f(i + 3);
+    partial[4] += f(i + 4);
+    partial[5] += f(i + 5);
+    partial[6] += f(i + 6);
+    partial[7] += f(i + 7);
+  }
+  for (std::size_t i = whole; i < n; ++i) partial[i - whole] += f(i);
+  const T q0 = partial[0] + partial[1];
+  const T q1 = partial[2] + partial[3];
+  const T q2 = partial[4] + partial[5];
+  const T q3 = partial[6] + partial[7];
+  return (q0 + q1) + (q2 + q3);
+}
+
+/// Block size of the reduction decomposition. Fixed: block boundaries
+/// depend on data size only — never on thread count or vector width — so
+/// serial and parallel evaluation walk the identical tree.
+inline constexpr std::size_t kReduceBlock = 4096;
+
+/// Fixed-shape sum of a data lane: per-block tree sums (kReduceBlock
+/// leaves each), block partials combined by the same pairwise tree over
+/// *block index*. `threads` only chooses who computes each block partial;
+/// the tree — and therefore every bit of the result — is the same for
+/// threads = 1, 2, N (pinned by tests/util/test_simd.cpp).
+template <typename T>
+[[nodiscard]] T tree_sum(std::span<const T> x, std::size_t threads = 1) {
+  // No alignment assumption: callers may reduce arbitrary spans. Lanes
+  // still vectorize (unaligned vector loads), they just may not use the
+  // aligned-move fast path.
+  const T* TGI_SIMD_RESTRICT p = x.data();
+  const std::size_t n = x.size();
+  if (n <= kReduceBlock) {
+    return tree_transform_sum<T>(n, [p](std::size_t i) { return p[i]; });
+  }
+  const std::size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<T> partials = parallel_map(
+      blocks,
+      [p, n](std::size_t b) {
+        const std::size_t begin = b * kReduceBlock;
+        const std::size_t len = std::min(kReduceBlock, n - begin);
+        return tree_transform_sum<T>(
+            len, [p, begin](std::size_t i) { return p[begin + i]; });
+      },
+      threads);
+  // The block partials are the leaves of the same fixed pairwise tree.
+  const T* q = partials.data();
+  return tree_transform_sum<T>(partials.size(),
+                               [q](std::size_t i) { return q[i]; });
+}
+
+}  // namespace tgi::util::simd

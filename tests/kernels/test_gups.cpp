@@ -30,6 +30,37 @@ TEST(GupsStarts, JumpIsConsistentWithStepping) {
   EXPECT_EQ(gups_starts(75), x);
 }
 
+TEST(GupsStarts, ReferenceAnchors) {
+  // HPCC reference values: positions 0..63 are plain doublings (the MSB
+  // first matters when stepping *from* 2^63).
+  EXPECT_EQ(gups_starts(0), 1ULL);
+  EXPECT_EQ(gups_starts(1), 2ULL);
+  EXPECT_EQ(gups_starts(63), 0x8000000000000000ULL);
+}
+
+TEST(GupsStarts, PeriodWrapRegression) {
+  // The sequence's period: position kPeriod IS position 0. The historical
+  // `while (n > kPeriod)` wrap left n == kPeriod unwrapped, one full
+  // period off the normalized position.
+  constexpr std::int64_t kPeriod = 1317624576693539401LL;
+
+  // The last position before the wrap is the unique predecessor of 1
+  // under the invertible LFSR step: (1 ^ POLY) >> 1 with the MSB set.
+  const std::uint64_t last = gups_starts(kPeriod - 1);
+  EXPECT_EQ(last, 0x8000000000000003ULL);
+  std::uint64_t x = last;
+  x = (x << 1) ^ ((static_cast<std::int64_t>(x) < 0) ? 7ULL : 0ULL);
+  EXPECT_EQ(x, 1ULL);  // stepping once closes the cycle
+
+  EXPECT_EQ(gups_starts(kPeriod), 1ULL);
+  EXPECT_EQ(gups_starts(kPeriod + 1), 2ULL);
+  EXPECT_EQ(gups_starts(kPeriod + 100), gups_starts(100));
+
+  // Negative offsets wrap backwards onto the same cycle.
+  EXPECT_EQ(gups_starts(-1), last);
+  EXPECT_EQ(gups_starts(-kPeriod), 1ULL);
+}
+
 GupsConfig small_config() {
   GupsConfig cfg;
   cfg.log2_table_words = 12;  // 4096 words = 32 KiB

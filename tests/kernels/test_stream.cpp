@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace tgi::kernels {
 namespace {
+
+using util::simd::Real;
 
 StreamConfig small_config() {
   StreamConfig cfg;
@@ -46,10 +50,61 @@ TEST(Stream, UnevenSliceStillValidates) {
 }
 
 TEST(Stream, ByteAccountingConstants) {
-  EXPECT_DOUBLE_EQ(stream_bytes_per_element_copy(), 16.0);
-  EXPECT_DOUBLE_EQ(stream_bytes_per_element_scale(), 16.0);
-  EXPECT_DOUBLE_EQ(stream_bytes_per_element_add(), 24.0);
-  EXPECT_DOUBLE_EQ(stream_bytes_per_element_triad(), 24.0);
+  // 2 words for Copy/Scale, 3 for Add/Triad — in words of the configured
+  // lane element type (16/24 bytes on the default double build).
+  const double word = static_cast<double>(sizeof(Real));
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_copy(), 2.0 * word);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_scale(), 2.0 * word);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_add(), 3.0 * word);
+  EXPECT_DOUBLE_EQ(stream_bytes_per_element_triad(), 3.0 * word);
+}
+
+TEST(Stream, ClosedFormMatchesKernelRecurrence) {
+  const StreamExpected e = stream_closed_form(Real{3}, 2);
+  // One round from a=1, b=2, c=0: c=1, b=3, c=4, a=15; second round:
+  // c=15, b=45, c=60, a=225 — exact in either Real width.
+  EXPECT_EQ(e.a, Real{225});
+  EXPECT_EQ(e.b, Real{45});
+  EXPECT_EQ(e.c, Real{60});
+}
+
+TEST(Stream, ToleranceScalesWithEachArraysOwnMagnitude) {
+  // scalar = 100, one iteration: a = 10200, b = 100, c = 101. The
+  // historical check scaled every array's tolerance by |a|, accepting a
+  // corruption of b two orders of magnitude above b's own bound; the
+  // fixed check scales by each array's own closed form.
+  const StreamExpected e = stream_closed_form(Real{100}, 1);
+  EXPECT_EQ(e.a, Real{10200});
+  EXPECT_EQ(e.b, Real{100});
+  EXPECT_EQ(e.c, Real{101});
+  const Real eps = stream_validation_epsilon();
+  const Real err_b = eps * std::fabs(e.b) * Real{2};  // 2x b's own bound
+  EXPECT_LT(err_b, eps * std::fabs(e.a));  // ...the old bound passed it
+  EXPECT_FALSE(stream_error_within(err_b, e.b));
+  EXPECT_TRUE(stream_error_within(eps * std::fabs(e.b) / Real{2}, e.b));
+
+  StreamConfig cfg = small_config();
+  cfg.scalar = 100.0;
+  EXPECT_TRUE(run_stream(cfg).validated);
+}
+
+TEST(Stream, ToleranceZeroClosedFormFallsBackToAbsolute) {
+  // scalar = -2, one iteration: a's closed form is exactly 0 (b = -2,
+  // c = -1). The historical tolerance 1e-8 * |a| was exactly zero, so any
+  // rounding in a[] failed validation; a zero expectation now falls back
+  // to the absolute epsilon.
+  const StreamExpected e = stream_closed_form(Real{-2}, 1);
+  EXPECT_EQ(e.a, Real{0});
+  EXPECT_EQ(e.b, Real{-2});
+  EXPECT_EQ(e.c, Real{-1});
+  const Real eps = stream_validation_epsilon();
+  EXPECT_TRUE(stream_error_within(eps / Real{2}, e.a));
+  EXPECT_FALSE(stream_error_within(eps * Real{2}, e.a));
+
+  StreamConfig cfg = small_config();
+  cfg.scalar = -2.0;
+  cfg.iterations = 1;
+  EXPECT_TRUE(run_stream(cfg).validated);
 }
 
 TEST(Stream, Validation) {

@@ -164,6 +164,58 @@ TEST(CoutInLibrary, AllowsExecutablesLogSinkAndLogging) {
                         "cout-in-library"));
 }
 
+// --- raw-aligned-alloc ----------------------------------------------------
+
+TEST(RawAlignedAlloc, FlagsRawAlignedAllocationInSrcAndTools) {
+  EXPECT_TRUE(has_rule(
+      lint("src/kernels/k.cpp",
+           "double* p = static_cast<double*>(std::aligned_alloc(64, n));\n"),
+      "raw-aligned-alloc"));
+  EXPECT_TRUE(has_rule(
+      lint("src/sim/s.cpp", "posix_memalign(&p, 64, bytes);\n"),
+      "raw-aligned-alloc"));
+  EXPECT_TRUE(has_rule(
+      lint("tools/t.cpp", "void* p = _mm_malloc(bytes, 64);\n"),
+      "raw-aligned-alloc"));
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/h.cpp",
+           "void* p = ::operator new(n, std::align_val_t{64});\n"),
+      "raw-aligned-alloc"));
+}
+
+TEST(RawAlignedAlloc, AllowsSimdHomeOtherTreesAndLookalikes) {
+  // The one sanctioned home.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/simd.h",
+           "::operator new(n, std::align_val_t{kAlignment});\n"),
+      "raw-aligned-alloc"));
+  // bench/tests may allocate however they like.
+  EXPECT_FALSE(has_rule(
+      lint("tests/util/t.cpp", "std::aligned_alloc(64, n);\n"),
+      "raw-aligned-alloc"));
+  EXPECT_FALSE(has_rule(
+      lint("bench/b.cpp", "posix_memalign(&p, 64, bytes);\n"),
+      "raw-aligned-alloc"));
+  // Longer identifiers, comments, and strings never match.
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "my_aligned_alloc_wrapper(64, n);\n"),
+      "raw-aligned-alloc"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "// std::aligned_alloc(64, n) is banned\n"),
+      "raw-aligned-alloc"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp",
+           "const char* doc = \"use std::align_val_t here\";\n"),
+      "raw-aligned-alloc"));
+}
+
+TEST(RawAlignedAlloc, AllowMarkerWaives) {
+  EXPECT_FALSE(has_rule(
+      lint("src/kernels/k.cpp",
+           "std::aligned_alloc(64, n);  // tgi-lint: allow(raw-aligned-alloc)\n"),
+      "raw-aligned-alloc"));
+}
+
 // --- raw-thread -----------------------------------------------------------
 
 TEST(RawThread, FlagsRawThreadPrimitivesEverywhere) {
@@ -511,7 +563,7 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 12u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }
@@ -519,7 +571,7 @@ TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
 
 TEST(RuleSet, CatalogCoversPerFileGraphAndAuditRules) {
   const std::vector<RuleInfo> catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 15u);  // 11 per-file + 2 graph + 2 audit
+  ASSERT_EQ(catalog.size(), 16u);  // 12 per-file + 2 graph + 2 audit
   for (std::size_t i = 1; i < catalog.size(); ++i) {
     EXPECT_LT(catalog[i - 1].id, catalog[i].id);
   }

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Ten stages, fail-fast:
+# Eleven stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -39,42 +39,53 @@
 #      warm reruns at different worker/thread counts byte-diffed against
 #      it with computed=0 (a cache hit is a byte-identical no-op), and a
 #      SIGKILLed worker shard whose partial journal is banked and healed
-#      in-process, again byte-identically.
+#      in-process, again byte-identically;
+#  11. bench-trajectory: every bench/micro_* microbench runs and drops its
+#      BENCH_*.json into build/bench_trajectory/ (micro_substrate via
+#      google-benchmark's --benchmark_out, the harness benches via out=);
+#      a microbench without its JSON emitter fails the gate, and
+#      BENCH_kernels.json must record the >= 1.5x kernel-lane speedup
+#      ("speedup_ok": true) from the DESIGN.md §14 SIMD pass.
 #
-# Usage: tools/ci.sh [jobs]          (from the repo root)
+# Usage: [TGI_DTYPE=float] tools/ci.sh [jobs]          (from the repo root)
+#
+# TGI_DTYPE (default double) selects the kernel-lane precision toggle
+# (DESIGN.md §14) and is plumbed into all three build trees. Goldens are
+# pinned on the default double build; both configurations must pass.
 set -eu
 
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+DTYPE="${TGI_DTYPE:-double}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/10] tier-1: build + ctest =="
-cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON
+echo "== [1/11] tier-1: build + ctest (TGI_DTYPE=$DTYPE) =="
+cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/10] lint: tgi-lint convention analyzer + waiver audit =="
+echo "== [2/11] lint: tgi-lint convention analyzer + waiver audit =="
 ./build/tools/tgi_lint root="$ROOT" audit_waivers=1 out=build/lint.json
 
-echo "== [3/10] golden: figure/table transcripts byte-identical =="
+echo "== [3/11] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/10] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/11] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
-  -DTGI_WARNINGS_AS_ERRORS=ON
+  -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/10] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/11] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
-  -DTGI_WARNINGS_AS_ERRORS=ON
+  -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/10] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/11] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
 
-echo "== [7/10] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+echo "== [7/11] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
 TRACE_SCRATCH="build-tsan/trace_gate"
 rm -rf "$TRACE_SCRATCH"
 for t in 1 2 8; do
@@ -93,7 +104,7 @@ for t in 2 8; do
       "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
 done
 
-echo "== [8/10] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
+echo "== [8/11] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
 CKPT_SCRATCH="build-tsan/checkpoint_gate"
 rm -rf "$CKPT_SCRATCH"
 mkdir -p "$CKPT_SCRATCH"
@@ -154,7 +165,7 @@ cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
 cmp "$CKPT_SCRATCH/base_trace/trace.json" \
     "$CKPT_SCRATCH/healed_trace/trace.json"
 
-echo "== [9/10] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
+echo "== [9/11] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
 # The randomized-DAG fuzz suite and the sweep-engine equivalence tests on
 # the TSan build (they also ran in stage 5; rerunning them here keeps this
 # gate meaningful when stages are cherry-picked).
@@ -183,7 +194,7 @@ for g in point task; do
 done
 diff -r "$TG_SCRATCH/plain_point" "$TG_SCRATCH/plain_task"
 
-echo "== [10/10] tsan-serve: campaign cache — warm rerun is a byte-identical no-op =="
+echo "== [10/11] tsan-serve: campaign cache — warm rerun is a byte-identical no-op =="
 SERVE_SCRATCH="build-tsan/serve_gate"
 rm -rf "$SERVE_SCRATCH"
 mkdir -p "$SERVE_SCRATCH"
@@ -240,5 +251,29 @@ grep -qF "died (signal 9" "$SERVE_SCRATCH/killed.stderr"
 grep -qF "merging its partial journal" "$SERVE_SCRATCH/killed.stderr"
 cmp "$SERVE_SCRATCH/cold.stdout" "$SERVE_SCRATCH/killed.stdout"
 diff -r -x provenance.json "$SERVE_SCRATCH/cold" "$SERVE_SCRATCH/killed"
+
+echo "== [11/11] bench-trajectory: every microbench emits its BENCH_*.json =="
+TRAJ="build/bench_trajectory"
+rm -rf "$TRAJ"
+mkdir -p "$TRAJ"
+for bin in build/bench/micro_*; do
+  name="${bin##*/micro_}"
+  case "$name" in
+    substrate)
+      # google-benchmark harness: JSON comes from its own reporter.
+      "$bin" --benchmark_out="$TRAJ/BENCH_substrate.json" \
+             --benchmark_out_format=json > /dev/null
+      ;;
+    *)
+      "$bin" out="$TRAJ/BENCH_$name.json" > /dev/null
+      ;;
+  esac
+  if ! [ -s "$TRAJ/BENCH_$name.json" ]; then
+    echo "ci.sh: micro_$name did not emit BENCH_$name.json" >&2
+    exit 1
+  fi
+done
+# The §14 SIMD pass must keep its recorded lane speedup.
+grep -qF '"speedup_ok": true' "$TRAJ/BENCH_kernels.json"
 
 echo "ci.sh: all gates passed"
