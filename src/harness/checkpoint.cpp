@@ -10,6 +10,7 @@
 #include "harness/measurement_io.h"
 #include "util/atomic_file.h"
 #include "util/error.h"
+#include "util/io_faults.h"
 #include "util/log.h"
 
 namespace tgi::harness {
@@ -736,6 +737,20 @@ void CheckpointJournal::record(const PointRecord& record) {
               "journal record mode does not match the journal");
   const std::string line = encode_point_record(record);
   const std::lock_guard<std::mutex> lock(mu_);
+  // Deterministic I/O fault injection (DESIGN.md §15): tear this append
+  // exactly the way ENOSPC/EIO/a crash mid-write would. A short write
+  // leaves a prefix with no trailing newline — the same torn tail a
+  // SIGKILL leaves — and the per-record CRC quarantines it on read.
+  const util::IoFaultKind fault = util::next_io_fault();
+  if (fault != util::IoFaultKind::kNone) {
+    if (fault == util::IoFaultKind::kShortWrite) {
+      out_ << line.substr(0, line.size() / 2);
+      out_.flush();
+    }
+    throw util::TgiError(std::string("journal append failed (injected ") +
+                         util::io_fault_name(fault) + ") for '" +
+                         journal_path_ + "'");
+  }
   out_ << line;
   out_.flush();
   TGI_CHECK(out_.good(), "journal append failed for '" << journal_path_

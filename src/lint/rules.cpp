@@ -199,6 +199,53 @@ class RawAlignedAllocRule final : public Rule {
   }
 };
 
+// --- raw-process-spawn ----------------------------------------------------
+
+/// Raw process-control calls outside util/subprocess. util::Subprocess is
+/// the one sanctioned home for fork/exec/waitpid (DESIGN.md §15): it owns
+/// the fd redirection, the non-blocking try_wait()/kill() supervision
+/// surface, and a destructor that SIGTERM→SIGKILL-escalates instead of
+/// blocking forever on a hung child. Ad-hoc fork()/system()/popen() calls
+/// bypass all of that — an unsupervised child is exactly the campaign-hang
+/// failure mode the Supervisor exists to close — and system()/popen()
+/// additionally launder argv through an unauditable shell.
+class RawProcessSpawnRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "raw-process-spawn";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw process control (fork, exec*, waitpid, system, popen, "
+           "posix_spawn) outside util/subprocess (spawn children through "
+           "util::Subprocess)";
+  }
+
+  void check(const SourceFile& file, std::vector<Violation>& out) const override {
+    if (!starts_with(file.path, "src/") && !starts_with(file.path, "tools/")) {
+      return;
+    }
+    // The one sanctioned home for process control.
+    if (starts_with(file.path, "src/util/subprocess")) return;
+    static constexpr std::string_view kCalls[] = {
+        "fork",   "vfork",   "execl",       "execlp",
+        "execle", "execv",   "execvp",      "execvpe",
+        "execve", "fexecve", "waitpid",     "wait3",
+        "wait4",  "system",  "popen",       "posix_spawn",
+        "posix_spawnp"};
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view name : kCalls) {
+        if (contains_call(line, name)) {
+          add(out, file, i + 1, id(),
+              std::string(name) +
+                  "() outside util/subprocess; spawn and supervise "
+                  "children through util::Subprocess");
+        }
+      }
+    }
+  }
+};
+
 // --- raw-thread -----------------------------------------------------------
 
 /// std::thread / std::jthread / std::async outside util/thread_pool.
@@ -824,6 +871,7 @@ RuleSet default_rules() {
   rules.push_back(std::make_unique<CoutInLibraryRule>());
   rules.push_back(std::make_unique<NonatomicOutputWriteRule>());
   rules.push_back(std::make_unique<RawAlignedAllocRule>());
+  rules.push_back(std::make_unique<RawProcessSpawnRule>());
   rules.push_back(std::make_unique<RawThreadRule>());
   rules.push_back(std::make_unique<RawUnitDoubleRule>());
   rules.push_back(std::make_unique<RefCaptureRule>());

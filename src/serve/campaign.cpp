@@ -14,13 +14,13 @@
 #include "harness/suite.h"
 #include "obs/trace.h"
 #include "power/meter.h"
+#include "serve/supervisor.h"
 #include "serve/worker.h"
 #include "sim/spec_io.h"
 #include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/format.h"
 #include "util/log.h"
-#include "util/subprocess.h"
 #include "util/table.h"
 
 namespace tgi::serve {
@@ -107,7 +107,10 @@ std::string CampaignStats::summary() const {
          " hits=" + std::to_string(cache_hits) +
          " computed=" + std::to_string(computed) +
          " quarantined=" + std::to_string(quarantined) +
-         " worker_failures=" + std::to_string(worker_failures);
+         " worker_failures=" + std::to_string(worker_failures) +
+         " worker_restarts=" + std::to_string(worker_restarts) +
+         " worker_hangs=" + std::to_string(worker_hangs) +
+         " worker_quarantined=" + std::to_string(worker_quarantined);
 }
 
 CampaignEngine::CampaignEngine(CampaignConfig config)
@@ -128,17 +131,20 @@ struct EntryProvenance {
   std::size_t points;
   std::size_t hits;
   std::size_t computed;
+  std::vector<ShardReport> shards;  ///< supervision taxonomy, workers > 0
 };
 
-/// Shards `pending` round-robin, spawns one `tgi_serve --worker` per
-/// non-empty shard, waits in fixed shard order, and merges the shard
-/// journals (shard order; first valid record per index wins). Failed
-/// workers are WARNed and their completed prefix is still banked.
+/// Shards `pending` round-robin and runs one supervised `tgi_serve
+/// --worker` per non-empty shard (serve::Supervisor, DESIGN.md §15):
+/// hung workers are killed, failed attempts are restarted over the
+/// still-missing indices, crash-looping shards are quarantined. Attempt
+/// journals merge per shard in attempt order; shards fold in fixed shard
+/// order (first valid record per index wins).
 std::map<std::size_t, PointRecord> run_worker_shards(
     const CampaignConfig& config, const CampaignSpec& spec,
     std::uint64_t hash, const std::string& mode,
     const std::vector<std::size_t>& pending, const std::string& scratch,
-    CampaignStats& stats) {
+    CampaignStats& stats, std::vector<ShardReport>& reports) {
   std::vector<std::vector<std::size_t>> shards(config.workers);
   for (std::size_t i = 0; i < pending.size(); ++i) {
     shards[i % config.workers].push_back(pending[i]);
@@ -151,47 +157,50 @@ std::map<std::size_t, PointRecord> run_worker_shards(
   // directory (load_worker_spec resolves it there) — relocatable scratch.
   util::atomic_write_file(spec_path, worker_spec_config(spec, "cluster.conf"));
 
-  struct Shard {
-    std::size_t index;
-    std::string dir;
-    std::unique_ptr<util::Subprocess> child;
-  };
-  std::vector<Shard> live;
+  std::vector<ShardJob> jobs;
   for (std::size_t s = 0; s < shards.size(); ++s) {
     if (shards[s].empty()) continue;
-    const std::string dir = scratch + "/shard" + std::to_string(s);
-    std::filesystem::create_directories(dir);
-    std::vector<std::string> argv{
-        config.worker_exe,
-        "--worker",
-        "spec=" + spec_path,
-        "indices=" + join_indices(shards[s]),
-        "journal=" + dir,
-        "threads=" + std::to_string(config.threads),
-        "shard=" + std::to_string(s)};
-    util::SubprocessOptions options;
-    options.stdout_path = dir + "/worker.out";
-    options.stderr_path = dir + "/worker.err";
-    live.push_back(Shard{s, dir,
-                         std::make_unique<util::Subprocess>(
-                             std::move(argv), std::move(options))});
+    ShardJob job;
+    job.shard = s;
+    job.label = "[" + spec.name + "]";
+    job.indices = shards[s];
+    job.dir = scratch + "/shard" + std::to_string(s);
+    const std::string worker_exe = config.worker_exe;
+    const std::size_t threads = config.threads;
+    job.argv = [worker_exe, spec_path, threads, s](
+                   const std::vector<std::size_t>& remaining,
+                   const std::string& journal_dir, std::size_t) {
+      return std::vector<std::string>{
+          worker_exe,
+          "--worker",
+          "spec=" + spec_path,
+          "indices=" + join_indices(remaining),
+          "journal=" + journal_dir,
+          "threads=" + std::to_string(threads),
+          "shard=" + std::to_string(s)};
+    };
+    job.merge = [hash, &mode, &spec,
+                 &stats](const std::string& journal_path) {
+      return merge_journal(journal_path, hash, mode, spec.sweep, stats);
+    };
+    jobs.push_back(std::move(job));
   }
 
+  Supervisor supervisor(config.supervisor);
+  std::vector<SupervisedShard> supervised = supervisor.run(jobs);
+
   std::map<std::size_t, PointRecord> merged;
-  for (Shard& shard : live) {
-    const util::ExitStatus& status = shard.child->wait();
-    if (!status.success()) {
-      ++stats.worker_failures;
-      TGI_LOG_WARN("serve: worker shard "
-                   << shard.index << " for [" << spec.name << "] died ("
-                   << status.describe() << "); merging its partial journal"
-                   << " (stderr: " << shard.dir << "/worker.err)");
-    }
-    std::map<std::size_t, PointRecord> records = merge_journal(
-        shard.dir + "/journal.tgij", hash, mode, spec.sweep, stats);
-    for (auto& [index, record] : records) {
+  for (SupervisedShard& shard : supervised) {
+    for (auto& [index, record] : shard.records) {
       merged.emplace(index, std::move(record));
     }
+    for (const ShardAttempt& attempt : shard.report.attempts) {
+      if (attempt.failed) ++stats.worker_failures;
+      if (attempt.outcome == ShardOutcome::kHung) ++stats.worker_hangs;
+    }
+    stats.worker_restarts += shard.report.restarts;
+    if (shard.report.quarantined()) ++stats.worker_quarantined;
+    reports.push_back(std::move(shard.report));
   }
   return merged;
 }
@@ -353,7 +362,8 @@ CampaignStats CampaignEngine::run(const std::vector<CampaignSpec>& entries,
           config_.cache_dir + "/work/" + entry.name;
       if (config_.workers > 0) {
         std::map<std::size_t, PointRecord> fresh = run_worker_shards(
-            config_, entry, hash, mode, pending, scratch, stats);
+            config_, entry, hash, mode, pending, scratch, stats,
+            prov.shards);
         for (auto& [index, record] : fresh) {
           records.emplace(index, std::move(record));
         }
@@ -433,6 +443,9 @@ CampaignStats CampaignEngine::run(const std::vector<CampaignSpec>& entries,
                 << stats.cache_hits << ", \"computed\": " << stats.computed
                 << ", \"quarantined\": " << stats.quarantined
                 << ", \"worker_failures\": " << stats.worker_failures
+                << ", \"worker_restarts\": " << stats.worker_restarts
+                << ", \"worker_hangs\": " << stats.worker_hangs
+                << ", \"worker_quarantined\": " << stats.worker_quarantined
                 << "},\n  \"entries\": [";
   for (std::size_t i = 0; i < provenance.size(); ++i) {
     const EntryProvenance& p = provenance[i];
@@ -441,7 +454,27 @@ CampaignStats CampaignEngine::run(const std::vector<CampaignSpec>& entries,
                   << "\", \"reference_spec\": \""
                   << hash_hex(p.reference_spec) << "\", \"points\": "
                   << p.points << ", \"hits\": " << p.hits
-                  << ", \"computed\": " << p.computed << "}";
+                  << ", \"computed\": " << p.computed;
+    // The supervision taxonomy (DESIGN.md §15) — like every other
+    // cache/worker-dependent fact, it lives here and on stderr only.
+    json.stream() << ", \"shards\": [";
+    for (std::size_t s = 0; s < p.shards.size(); ++s) {
+      const ShardReport& r = p.shards[s];
+      json.stream() << (s == 0 ? "" : ", ") << "{\"shard\": " << r.shard
+                    << ", \"outcome\": \"" << outcome_name(r.outcome)
+                    << "\", \"restarts\": " << r.restarts
+                    << ", \"backoff_s\": " << util::fixed(r.backoff.value(), 1)
+                    << ", \"attempts\": [";
+      for (std::size_t a = 0; a < r.attempts.size(); ++a) {
+        const ShardAttempt& att = r.attempts[a];
+        json.stream() << (a == 0 ? "" : ", ") << "{\"outcome\": \""
+                      << outcome_name(att.outcome) << "\", \"detail\": \""
+                      << att.detail << "\", \"banked\": " << att.banked
+                      << "}";
+      }
+      json.stream() << "]}";
+    }
+    json.stream() << "]}";
   }
   json.stream() << "\n  ]\n}\n";
   json.commit();

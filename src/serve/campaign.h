@@ -8,12 +8,16 @@
 //   2. shard the missing GLOBAL indices round-robin across `workers`
 //      `tgi_serve --worker` processes (0 = compute in-process), each
 //      journaling into its own scratch directory;
-//   3. merge worker journals in FIXED SHARD ORDER (first valid record per
-//      index wins — order only matters for damage accounting, since a
-//      point's record bytes are identical whichever worker computed them);
-//      a worker that died (ci.sh stage 10 kills one with SIGKILL) is
-//      WARNed, its partial journal is still merged, and whatever is still
-//      missing is recomputed in-process — the campaign self-heals;
+//   3. supervise every shard through serve::Supervisor (DESIGN.md §15):
+//      a progress watchdog SIGTERM→SIGKILLs hung workers, failed attempts
+//      (signal / nonzero / hang / clean-but-incomplete journal) are WARNed
+//      and restarted over ONLY the still-missing indices with accounted
+//      exponential backoff, and a crash-looping shard is quarantined.
+//      Attempt journals merge in FIXED SHARD-then-ATTEMPT ORDER (first
+//      valid record per index wins — order only matters for damage
+//      accounting, since a point's record bytes are identical whichever
+//      worker computed them); whatever a quarantined shard still owes is
+//      recomputed in-process — the campaign self-heals;
 //   4. publish hits ∪ fresh records back to the cache atomically, then
 //      re-read the shard and emit ONLY from the decoded records. Cold and
 //      warm runs therefore run the identical emission code on identical
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "serve/spec.h"
+#include "serve/supervisor.h"
 
 namespace tgi::serve {
 
@@ -53,6 +58,9 @@ struct CampaignConfig {
   /// Write per-entry trace/trace.json + trace/metrics.csv (DESIGN.md §10),
   /// rebuilt from the journaled observability sections.
   bool trace = false;
+  /// Worker supervision policy (DESIGN.md §15): progress watchdog, bounded
+  /// restarts with accounted backoff, crash-loop quarantine.
+  SupervisorConfig supervisor;
 };
 
 /// What a campaign run did. `computed` is the recompute counter the hit-
@@ -63,7 +71,10 @@ struct CampaignStats {
   std::size_t cache_hits = 0;       ///< served from the cache
   std::size_t computed = 0;         ///< actually recomputed this run
   std::size_t quarantined = 0;      ///< damaged cache/journal records
-  std::size_t worker_failures = 0;  ///< worker processes that died
+  std::size_t worker_failures = 0;  ///< failed worker attempts (any strike)
+  std::size_t worker_restarts = 0;  ///< supervised restarts performed
+  std::size_t worker_hangs = 0;     ///< attempts killed by the watchdog
+  std::size_t worker_quarantined = 0;  ///< shards that exhausted restarts
 
   [[nodiscard]] std::string summary() const;
 };

@@ -1,8 +1,12 @@
 #include "serve/worker.h"
 
 #include <csignal>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <utility>
+
+#include <unistd.h>
 
 #include "harness/checkpoint.h"
 #include "harness/parallel.h"
@@ -27,6 +31,39 @@ harness::MeterFactory point_meter_factory(const CampaignSpec& spec,
   power::WattsUpConfig wcfg;
   wcfg.seed = spec.seed;
   return harness::wattsup_meter_factory(wcfg, stride);
+}
+
+/// True when any deterministic process-fault hook is armed (DESIGN.md
+/// §15); an armed hook forces the serial assignment-order path.
+bool fault_hook_armed(const WorkerAssignment& a) {
+  return a.die_after > 0 || a.hang_after > 0 || a.exit_after > 0 ||
+         a.garbage_after > 0;
+}
+
+/// Fires whichever process-fault hook has come due after `done` points
+/// were journaled; returns only when none has.
+void maybe_fire_fault_hook(const WorkerAssignment& a, std::size_t done) {
+  if (a.die_after > 0 && done >= a.die_after) std::raise(SIGKILL);
+  if (a.exit_after > 0 && done >= a.exit_after) std::_Exit(3);
+  if (a.hang_after > 0 && done >= a.hang_after) {
+    // Stop journaling but refuse SIGTERM: the only way this process ends
+    // is the supervisor's watchdog escalating to SIGKILL.
+    std::signal(SIGTERM, SIG_IGN);
+    for (;;) ::pause();
+  }
+  if (a.garbage_after > 0 && done >= a.garbage_after) {
+    // Tear the journal the way a crash mid-append would — a record with
+    // no trailing newline — then exit CLEAN. The journal reader
+    // quarantines the torn tail and the supervisor still strikes the
+    // shard for its missing points: trust is journal-driven, never
+    // exit-status-driven. Deliberate raw append, like the journal's own
+    // handle.
+    std::ofstream tail(  // tgi-lint: allow(nonatomic-output-write)
+        a.journal_dir + "/journal.tgij", std::ios::binary | std::ios::app);
+    tail << "TGIJ1 point deadbeef {\"torn\":";
+    tail.flush();
+    std::_Exit(0);
+  }
 }
 
 /// Runs body(0 .. count-1) with the engine's execution discipline: inline
@@ -93,12 +130,12 @@ std::size_t run_worker(const CampaignSpec& spec, const WorkerAssignment& a) {
                                                        results[k],
                                                        &recorders[k]));
     };
-    if (a.die_after > 0) {
-      // Serial, in assignment order: "journaled N then died" must mean
+    if (fault_hook_armed(a)) {
+      // Serial, in assignment order: "journaled N then faulted" must mean
       // exactly the first N records are on disk.
       for (std::size_t i = 0; i < a.indices.size(); ++i) {
         run_point(i);
-        if (i + 1 >= a.die_after) std::raise(SIGKILL);
+        maybe_fire_fault_hook(a, i + 1);
       }
     } else if (spec.granularity == harness::SweepGranularity::kTask) {
       harness::ParallelSweepConfig cfg;
@@ -130,10 +167,10 @@ std::size_t run_worker(const CampaignSpec& spec, const WorkerAssignment& a) {
     journal.record(
         harness::make_point_record(k, values[k], results[k], &recorders[k]));
   };
-  if (a.die_after > 0) {
+  if (fault_hook_armed(a)) {
     for (std::size_t i = 0; i < a.indices.size(); ++i) {
       run_point(i);
-      if (i + 1 >= a.die_after) std::raise(SIGKILL);
+      maybe_fire_fault_hook(a, i + 1);
     }
   } else if (spec.granularity == harness::SweepGranularity::kTask) {
     harness::ParallelSweepConfig cfg;

@@ -31,16 +31,27 @@ struct WorkerAssignment {
   std::string journal_dir;
   /// Sweep threads (0 = ThreadPool default, 1 = serial).
   std::size_t threads = 1;
-  /// Deterministic process-fault hook (ci.sh stage 10): after journaling
-  /// this many points, the worker raises SIGKILL — a real mid-campaign
-  /// kill with none of the sleep-and-poll raciness. Forces the serial
-  /// point-granularity path (records are granularity-invariant, so the
-  /// journal bytes are unchanged). 0 = off.
+
+  // Deterministic process-fault hooks (DESIGN.md §15, ci.sh stages 10/12):
+  // each fires after journaling exactly that many points, so "N points
+  // then the fault" is a precise statement about what's on disk. Any armed
+  // hook forces the serial point-granularity path (records are
+  // granularity-invariant, so the journal bytes are unchanged). 0 = off.
+  /// Raise SIGKILL — a real mid-campaign kill, no sleep-and-poll raciness.
   std::size_t die_after = 0;
+  /// Stop journaling and ignore SIGTERM forever: exercises the
+  /// supervisor's progress watchdog and its SIGTERM→SIGKILL escalation.
+  std::size_t hang_after = 0;
+  /// _Exit(3) — a nonzero exit with the journal intact up to this point.
+  std::size_t exit_after = 0;
+  /// Append a torn garbage record (no trailing newline) to the journal,
+  /// then _Exit(0): a CLEAN exit with an incomplete, damaged journal.
+  /// Proves supervision trust is journal-driven, never exit-status-driven.
+  std::size_t garbage_after = 0;
 };
 
 /// Computes the assignment and returns the number of points journaled.
-/// With die_after > 0 this call may not return at all.
+/// With a process-fault hook armed this call may not return at all.
 std::size_t run_worker(const CampaignSpec& spec, const WorkerAssignment& a);
 
 }  // namespace tgi::serve

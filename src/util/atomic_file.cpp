@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/error.h"
+#include "util/io_faults.h"
 
 namespace tgi::util {
 
@@ -48,6 +49,22 @@ void atomic_write_file(const std::string& path, std::string_view content) {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) {
       throw TgiError("atomic_write_file: cannot open staging file '" + temp +
+                     "' for '" + path + "'");
+    }
+    // Deterministic I/O fault injection (DESIGN.md §15): the fault hits
+    // the STAGING write, so however it fails — torn prefix or nothing —
+    // the rename never happens and the visible file keeps its old bytes.
+    const IoFaultKind fault = next_io_fault();
+    if (fault != IoFaultKind::kNone) {
+      if (fault == IoFaultKind::kShortWrite) {
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size() / 2));
+        out.flush();
+      }
+      out.close();
+      std::remove(temp.c_str());
+      throw TgiError(std::string("atomic_write_file: injected ") +
+                     io_fault_name(fault) + " while staging '" + temp +
                      "' for '" + path + "'");
     }
     out.write(content.data(), static_cast<std::streamsize>(content.size()));

@@ -1,0 +1,125 @@
+#include "util/io_faults.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/config.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tgi::util {
+
+namespace {
+
+struct ShimState {
+  std::mutex mu;
+  bool installed = false;
+  IoFaultSpec spec;
+  std::atomic<std::uint64_t> ops{0};
+};
+
+ShimState& shim() {
+  static ShimState state;
+  return state;
+}
+
+}  // namespace
+
+const char* io_fault_name(IoFaultKind kind) {
+  switch (kind) {
+    case IoFaultKind::kNone:
+      return "none";
+    case IoFaultKind::kShortWrite:
+      return "short-write";
+    case IoFaultKind::kEnospc:
+      return "enospc";
+    case IoFaultKind::kEio:
+      return "eio";
+  }
+  return "none";
+}
+
+void IoFaultSpec::validate() const {
+  TGI_REQUIRE(rate >= 0.0 && rate <= 1.0,
+              "io-fault rate must be in [0, 1], got " << rate);
+}
+
+IoFaultSpec parse_io_fault_spec(const std::string& text) {
+  IoFaultSpec spec;
+  TGI_REQUIRE(!text.empty(), "empty io-fault spec (want '<rate>' or "
+                             "'seed=N,rate=P')");
+  if (text.find('=') == std::string::npos) {
+    spec.rate = parse_double(text, "io-fault rate");
+  } else {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t comma = text.find(',', start);
+      const std::string item =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      const std::size_t eq = item.find('=');
+      TGI_REQUIRE(eq != std::string::npos,
+                  "io-fault spec item '" << item
+                                         << "' is not key=value (valid "
+                                            "keys: seed, rate)");
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      if (key == "seed") {
+        spec.seed = static_cast<std::uint64_t>(
+            parse_int(value, "io-fault seed"));
+      } else if (key == "rate") {
+        spec.rate = parse_double(value, "io-fault rate");
+      } else {
+        TGI_REQUIRE(false, "unknown io-fault spec key '"
+                               << key << "' (valid keys: seed, rate)");
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+void install_io_faults(const IoFaultSpec& spec) {
+  spec.validate();
+  ShimState& state = shim();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.installed = true;
+  state.spec = spec;
+  state.ops.store(0);
+}
+
+void clear_io_faults() {
+  ShimState& state = shim();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.installed = false;
+  state.spec = IoFaultSpec{};
+}
+
+bool io_faults_installed() {
+  ShimState& state = shim();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  return state.installed;
+}
+
+IoFaultKind next_io_fault() {
+  ShimState& state = shim();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.installed || state.spec.rate <= 0.0) return IoFaultKind::kNone;
+  // One independent, reproducible draw per operation index: the decision
+  // for op n never depends on which thread got there first.
+  const std::uint64_t n = state.ops.fetch_add(1);
+  Xoshiro256 rng(state.spec.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1)));
+  if (rng.uniform() >= state.spec.rate) return IoFaultKind::kNone;
+  switch (rng.uniform_index(3)) {
+    case 0:
+      return IoFaultKind::kShortWrite;
+    case 1:
+      return IoFaultKind::kEnospc;
+    default:
+      return IoFaultKind::kEio;
+  }
+}
+
+}  // namespace tgi::util

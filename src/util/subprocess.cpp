@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <utility>
 
 #include "util/error.h"
@@ -25,6 +27,36 @@ void redirect_or_die(const std::string& path, int target_fd) {
   if (fd < 0) ::_exit(127);
   if (::dup2(fd, target_fd) < 0) ::_exit(127);
   ::close(fd);
+}
+
+/// One supervision poll tick: 2 ms of nanosleep. Deliberately NOT a clock
+/// read — the destructor's grace period is counted in ticks, and nothing
+/// deterministic ever depends on how long a tick really took.
+void sleep_poll_tick() {
+  struct timespec ts;
+  ts.tv_sec = 0;
+  ts.tv_nsec = 2'000'000;
+  ::nanosleep(&ts, nullptr);
+}
+
+/// SIGTERM → grace → SIGKILL ticks: ~0.5 s for a child that handles
+/// SIGTERM promptly, bounded for one that ignores it.
+constexpr int kDestructorGraceTicks = 250;
+
+/// Decodes a raw waitpid status word.
+ExitStatus decode_status(int raw) {
+  ExitStatus status;
+  if (WIFEXITED(raw)) {
+    status.exited = true;
+    status.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status.exited = false;
+    status.signal = WTERMSIG(raw);
+  } else {
+    status.exited = false;
+    status.signal = 0;
+  }
+  return status;
 }
 
 }  // namespace
@@ -65,7 +97,18 @@ Subprocess::Subprocess(std::vector<std::string> argv,
 }
 
 Subprocess::~Subprocess() {
-  if (pid_ >= 0 && !waited_) wait();
+  if (pid_ < 0 || waited_) return;
+  // A destructor that blocks in wait() forever on a hung child wedges the
+  // whole engine. Escalate instead: ask politely, give a bounded grace
+  // period, then force the exit and reap.
+  if (try_wait() != nullptr) return;
+  kill(SIGTERM);
+  for (int tick = 0; tick < kDestructorGraceTicks; ++tick) {
+    if (try_wait() != nullptr) return;
+    sleep_poll_tick();
+  }
+  kill(SIGKILL);
+  wait();
 }
 
 Subprocess::Subprocess(Subprocess&& other) noexcept
@@ -85,17 +128,34 @@ const ExitStatus& Subprocess::wait() {
   TGI_CHECK(got == static_cast<pid_t>(pid_),
             "waitpid failed: " << std::strerror(errno));
   waited_ = true;
-  if (WIFEXITED(raw)) {
-    status_.exited = true;
-    status_.code = WEXITSTATUS(raw);
-  } else if (WIFSIGNALED(raw)) {
-    status_.exited = false;
-    status_.signal = WTERMSIG(raw);
-  } else {
-    status_.exited = false;
-    status_.signal = 0;
-  }
+  status_ = decode_status(raw);
   return status_;
+}
+
+const ExitStatus* Subprocess::try_wait() {
+  if (waited_) return &status_;
+  TGI_CHECK(pid_ >= 0, "try_wait on a moved-from Subprocess");
+  int raw = 0;
+  pid_t got = -1;
+  do {
+    got = ::waitpid(static_cast<pid_t>(pid_), &raw, WNOHANG);
+  } while (got < 0 && errno == EINTR);
+  TGI_CHECK(got >= 0, "waitpid(WNOHANG) failed: " << std::strerror(errno));
+  if (got == 0) return nullptr;  // still running
+  waited_ = true;
+  status_ = decode_status(raw);
+  return &status_;
+}
+
+void Subprocess::kill(int sig) {
+  if (waited_ || pid_ < 0) return;
+  // ESRCH here means the child exited between our probe and the signal;
+  // the next try_wait()/wait() reaps it. Any other failure is a caller
+  // bug (bad signal number).
+  if (::kill(static_cast<pid_t>(pid_), sig) != 0) {
+    TGI_CHECK(errno == ESRCH,
+              "kill(" << sig << ") failed: " << std::strerror(errno));
+  }
 }
 
 ExitStatus run_process(std::vector<std::string> argv,

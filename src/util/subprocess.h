@@ -38,9 +38,13 @@ struct SubprocessOptions {
   std::vector<std::string> extra_env;
 };
 
-/// One child process: spawned on construction, joined by wait(). The
-/// destructor waits if the caller has not — a Subprocess can never outlive
-/// its handle unsupervised (mirror of ThreadPool's join-on-destruction).
+/// One child process: spawned on construction, supervisable afterwards.
+/// wait() joins; try_wait() probes without blocking; kill() signals. The
+/// destructor never blocks forever: an unreaped child is asked to exit
+/// (SIGTERM), given a bounded grace period, then SIGKILLed and reaped — a
+/// Subprocess can never outlive its handle unsupervised (mirror of
+/// ThreadPool's join-on-destruction), and a hung child cannot wedge the
+/// parent on the way out.
 class Subprocess {
  public:
   /// Spawns `argv` (argv[0] is the executable; execvp lookup rules).
@@ -57,6 +61,17 @@ class Subprocess {
 
   /// Blocks until the child exits and returns its disposition. Idempotent.
   const ExitStatus& wait();
+
+  /// Non-blocking probe: reaps and returns the disposition when the child
+  /// has exited (idempotent afterwards), nullptr while it is still
+  /// running. The supervision poll primitive — watchdogs call this between
+  /// progress checks instead of blocking in wait().
+  const ExitStatus* try_wait();
+
+  /// Sends `sig` to the child. No-op once the child has been reaped (the
+  /// pid may have been recycled); a signal racing the child's own exit is
+  /// benign and ignored.
+  void kill(int sig);
 
   [[nodiscard]] long pid() const { return pid_; }
 

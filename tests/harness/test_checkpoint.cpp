@@ -23,6 +23,7 @@
 #include "power/meter.h"
 #include "sim/catalog.h"
 #include "util/error.h"
+#include "util/io_faults.h"
 #include "util/rng.h"
 
 namespace tgi::harness {
@@ -665,6 +666,102 @@ TEST_F(CheckpointTest, FuzzedJournalsNeverCorruptAResumedSweep) {
       // Acceptable: corruption in the header can masquerade as a
       // different spec, which resume must refuse to trust.
     }
+  }
+}
+
+// ------------------------------------------------- I/O fault shim (§15)
+
+/// First seed whose first shim draw at rate=1 is `want`.
+std::uint64_t seed_with_first(util::IoFaultKind want) {
+  for (std::uint64_t seed = 0;; ++seed) {
+    util::IoFaultSpec spec;
+    spec.seed = seed;
+    spec.rate = 1.0;
+    util::ScopedIoFaults scoped(spec);
+    if (util::next_io_fault() == want) return seed;
+  }
+}
+
+PointRecord record_for(std::size_t index) {
+  PointRecord record = sample_record();
+  record.index = index;
+  record.value = kSweep[index];
+  record.point.processes = kSweep[index];
+  return record;
+}
+
+TEST_F(CheckpointTest, InjectedShortWriteTearsOneAppendAndIsQuarantined) {
+  {
+    CheckpointJournal journal(CheckpointConfig{dir("cp"), false}, kSpec,
+                              "plain", kSweep);
+    journal.record(record_for(0));
+    journal.record(record_for(1));
+    util::IoFaultSpec spec;
+    spec.seed = seed_with_first(util::IoFaultKind::kShortWrite);
+    spec.rate = 1.0;
+    util::ScopedIoFaults scoped(spec);
+    EXPECT_THROW(journal.record(record_for(2)), util::TgiError);
+  }
+  // The torn half-record must read exactly like a SIGKILL mid-append:
+  // quarantined tail, both earlier records intact.
+  CheckpointJournal reopened(CheckpointConfig{dir("cp"), true}, kSpec,
+                             "plain", kSweep);
+  EXPECT_EQ(reopened.completed_count(), 2u);
+  ASSERT_FALSE(reopened.damage().empty());
+  EXPECT_NE(reopened.damage().back().reason.find("torn"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, InjectedEnospcAndEioAbortTheAppendCleanly) {
+  for (const util::IoFaultKind kind :
+       {util::IoFaultKind::kEnospc, util::IoFaultKind::kEio}) {
+    const std::string cp = dir(std::string("cp_") + util::io_fault_name(kind));
+    {
+      CheckpointJournal journal(CheckpointConfig{cp, false}, kSpec, "plain",
+                                kSweep);
+      journal.record(record_for(0));
+      util::IoFaultSpec spec;
+      spec.seed = seed_with_first(kind);
+      spec.rate = 1.0;
+      util::ScopedIoFaults scoped(spec);
+      EXPECT_THROW(journal.record(record_for(1)), util::TgiError);
+    }
+    // Nothing was appended: one valid record, zero damage.
+    CheckpointJournal reopened(CheckpointConfig{cp, true}, kSpec, "plain",
+                               kSweep);
+    EXPECT_EQ(reopened.completed_count(), 1u) << util::io_fault_name(kind);
+    EXPECT_TRUE(reopened.damage().empty()) << util::io_fault_name(kind);
+  }
+}
+
+TEST_F(CheckpointTest, FaultFuzzedJournalsAlwaysKeepTheBankedPrefix) {
+  // Whatever the seed draws (short write, ENOSPC, EIO), a faulted append
+  // may cost the one record — never a previously banked one, and never a
+  // silently checksum-invalid record.
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    const std::string cp = dir("fuzz" + std::to_string(seed));
+    {
+      CheckpointJournal journal(CheckpointConfig{cp, false}, kSpec, "plain",
+                                kSweep);
+      journal.record(record_for(0));
+      journal.record(record_for(1));
+      util::IoFaultSpec spec;
+      spec.seed = seed;
+      spec.rate = 1.0;
+      util::ScopedIoFaults scoped(spec);
+      EXPECT_THROW(journal.record(record_for(2)), util::TgiError)
+          << "seed " << seed;
+    }
+    CheckpointJournal reopened(CheckpointConfig{cp, true}, kSpec, "plain",
+                               kSweep);
+    EXPECT_EQ(reopened.completed_count(), 2u) << "seed " << seed;
+    const JournalContents contents =
+        read_journal_file(cp + "/journal.tgij");
+    const JournalState state =
+        reconcile_journal(contents, kSpec, "plain", kSweep);
+    EXPECT_EQ(state.completed.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(state.completed.count(0), 1u) << "seed " << seed;
+    EXPECT_EQ(state.completed.count(1), 1u) << "seed " << seed;
   }
 }
 

@@ -216,6 +216,59 @@ TEST(RawAlignedAlloc, AllowMarkerWaives) {
       "raw-aligned-alloc"));
 }
 
+// --- raw-process-spawn ----------------------------------------------------
+
+TEST(RawProcessSpawn, FlagsRawProcessControlInSrcAndTools) {
+  EXPECT_TRUE(has_rule(lint("src/serve/s.cpp", "const pid_t pid = ::fork();\n"),
+                       "raw-process-spawn"));
+  EXPECT_TRUE(has_rule(
+      lint("src/harness/h.cpp", "::execvp(argv[0], argv.data());\n"),
+      "raw-process-spawn"));
+  EXPECT_TRUE(has_rule(lint("src/serve/s.cpp", "waitpid(pid, &raw, 0);\n"),
+                       "raw-process-spawn"));
+  EXPECT_TRUE(has_rule(lint("tools/t.cpp", "std::system(cmd.c_str());\n"),
+                       "raw-process-spawn"));
+  EXPECT_TRUE(has_rule(lint("tools/t.cpp", "FILE* p = popen(cmd, \"r\");\n"),
+                       "raw-process-spawn"));
+  EXPECT_TRUE(has_rule(
+      lint("src/util/x.cpp", "posix_spawn(&pid, path, 0, 0, a, e);\n"),
+      "raw-process-spawn"));
+}
+
+TEST(RawProcessSpawn, AllowsSubprocessHomeOtherTreesAndLookalikes) {
+  // The one sanctioned home.
+  EXPECT_FALSE(has_rule(
+      lint("src/util/subprocess.cpp", "const pid_t pid = ::fork();\n"),
+      "raw-process-spawn"));
+  EXPECT_FALSE(has_rule(
+      lint("src/util/subprocess.cpp", "got = ::waitpid(pid, &raw, 0);\n"),
+      "raw-process-spawn"));
+  // tests/bench may spawn however they like.
+  EXPECT_FALSE(has_rule(lint("tests/serve/t.cpp", "::fork();\n"),
+                        "raw-process-spawn"));
+  EXPECT_FALSE(has_rule(lint("bench/b.cpp", "std::system(cmd);\n"),
+                        "raw-process-spawn"));
+  // Longer identifiers, non-calls, comments, and strings never match.
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "const double reference_system(16);\n"),
+      "raw-process-spawn"));
+  EXPECT_FALSE(has_rule(lint("src/sim/s.cpp", "my_fork_helper(tree);\n"),
+                        "raw-process-spawn"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "// fork() is banned outside util/subprocess\n"),
+      "raw-process-spawn"));
+  EXPECT_FALSE(has_rule(
+      lint("src/sim/s.cpp", "const char* doc = \"never call system()\";\n"),
+      "raw-process-spawn"));
+}
+
+TEST(RawProcessSpawn, AllowMarkerWaives) {
+  EXPECT_FALSE(has_rule(
+      lint("src/serve/s.cpp",
+           "::fork();  // tgi-lint: allow(raw-process-spawn)\n"),
+      "raw-process-spawn"));
+}
+
 // --- raw-thread -----------------------------------------------------------
 
 TEST(RawThread, FlagsRawThreadPrimitivesEverywhere) {
@@ -563,7 +616,7 @@ TEST(RuleSet, FormatViolationMatchesPromisedShape) {
 
 TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
   const RuleSet rules = default_rules();
-  ASSERT_EQ(rules.size(), 12u);
+  ASSERT_EQ(rules.size(), 13u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1]->id(), rules[i]->id());
   }
@@ -571,7 +624,7 @@ TEST(RuleSet, DefaultRulesHaveStableUniqueIds) {
 
 TEST(RuleSet, CatalogCoversPerFileGraphAndAuditRules) {
   const std::vector<RuleInfo> catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 16u);  // 12 per-file + 2 graph + 2 audit
+  ASSERT_EQ(catalog.size(), 17u);  // 13 per-file + 2 graph + 2 audit
   for (std::size_t i = 1; i < catalog.size(); ++i) {
     EXPECT_LT(catalog[i - 1].id, catalog[i].id);
   }

@@ -226,6 +226,114 @@ TEST_F(CampaignTest, DeadWorkersAreHealedInProcessWithIdenticalBytes) {
   expect_same_bytes(warm.files, baseline.files);
 }
 
+/// setenv/unsetenv RAII so a failing assertion never leaks a fault hook
+/// into the next test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// Three sweep points so worker shard 0 gets indices {0, 2} at workers=2:
+/// a fault after one journaled point leaves a genuine missing suffix for
+/// the restart to recompute.
+std::vector<CampaignSpec> supervised_campaign() {
+  return parse_campaign(
+      "[alpha]\ncluster = fire\nsweep = 16,48,80\nseed = 7\n", "");
+}
+
+/// The §15 supervision acceptance harness: run the faulted scenario twice
+/// (cold, then warm over the same cache) and require byte-identity with
+/// the undisturbed baseline plus a computed=0 warm rerun.
+class SupervisedCampaignTest : public CampaignTest {
+ protected:
+  CampaignConfig supervised(const std::string& cache, const std::string& out,
+                            std::size_t workers, std::size_t threads) const {
+    CampaignConfig cfg = config(cache, out, workers, threads);
+    // ~1 s stall deadline: generous against point compute (~ms), tiny
+    // against a deliberate hang.
+    cfg.supervisor.stall_polls = 500;
+    return cfg;
+  }
+
+  void expect_heals_byte_identically(const RunResult& baseline,
+                                     const std::string& tag) {
+    const auto entries = supervised_campaign();
+    const auto faulted =
+        run(entries, supervised("cache_" + tag, tag, 2, 2));
+    EXPECT_EQ(faulted.report, baseline.report) << tag;
+    expect_same_bytes(faulted.files, baseline.files);
+    // The healed cache is complete: the warm rerun recomputes nothing.
+    const auto warm =
+        run(entries, supervised("cache_" + tag, tag + "_warm", 2, 2));
+    EXPECT_EQ(warm.stats.computed, 0u) << tag;
+    EXPECT_EQ(warm.stats.worker_failures, 0u) << tag;
+    expect_same_bytes(warm.files, baseline.files);
+  }
+};
+
+TEST_F(SupervisedCampaignTest, WorkerFaultPlaneHealsByteIdentically) {
+  const auto baseline =
+      run(supervised_campaign(), supervised("cache_base", "base", 0, 2));
+
+  {  // SIGKILL after one journaled point (first attempt only).
+    ScopedEnv hook("TGI_SERVE_WORKER_DIE_AFTER", "0:1");
+    expect_heals_byte_identically(baseline, "die");
+  }
+  {  // Nonzero exit after one journaled point.
+    ScopedEnv hook("TGI_SERVE_WORKER_EXIT_AFTER", "0:1");
+    expect_heals_byte_identically(baseline, "exit");
+  }
+  {  // Hang: stops journaling, ignores SIGTERM; watchdog must escalate.
+    ScopedEnv hook("TGI_SERVE_WORKER_HANG_AFTER", "0:1");
+    expect_heals_byte_identically(baseline, "hang");
+  }
+  {  // Torn garbage tail + CLEAN exit: journal-driven trust.
+    ScopedEnv hook("TGI_SERVE_WORKER_GARBAGE_TAIL", "0:1");
+    expect_heals_byte_identically(baseline, "garbage");
+  }
+  {  // Injected I/O faults on every worker write (first attempt only).
+    ScopedEnv hook("TGI_SERVE_WORKER_IO_FAULTS", "0:1.0");
+    expect_heals_byte_identically(baseline, "io");
+  }
+}
+
+TEST_F(SupervisedCampaignTest, CrashLoopingShardIsQuarantinedAndHealed) {
+  const auto entries = supervised_campaign();
+  const auto baseline = run(entries, supervised("cache_base", "base", 0, 2));
+  // The hook stays armed for every attempt: the shard crash-loops through
+  // its restart budget, is quarantined, and heals in-process.
+  ScopedEnv hook("TGI_SERVE_WORKER_EXIT_AFTER", "0:1:99");
+  CampaignConfig cfg = supervised("cache_loop", "loop", 2, 2);
+  cfg.supervisor.max_restarts = 1;
+  const auto looped = run(entries, cfg);
+  EXPECT_GT(looped.stats.worker_failures, 0u);
+  EXPECT_EQ(looped.report, baseline.report);
+  expect_same_bytes(looped.files, baseline.files);
+}
+
+TEST_F(SupervisedCampaignTest, SupervisionCountersReachStatsNotStdout) {
+  const auto entries = supervised_campaign();
+  ScopedEnv hook("TGI_SERVE_WORKER_EXIT_AFTER", "0:1");
+  const auto faulted = run(entries, supervised("cache_st", "st", 2, 2));
+  EXPECT_GT(faulted.stats.worker_failures, 0u);
+  EXPECT_GT(faulted.stats.worker_restarts, 0u);
+  const std::string summary = faulted.stats.summary();
+  EXPECT_NE(summary.find("worker_restarts="), std::string::npos);
+  EXPECT_NE(summary.find("worker_hangs="), std::string::npos);
+  EXPECT_NE(summary.find("worker_quarantined="), std::string::npos);
+  // The taxonomy never reaches the report stream.
+  EXPECT_EQ(faulted.report.find("restart"), std::string::npos);
+  EXPECT_EQ(faulted.report.find("quarantine"), std::string::npos);
+}
+
 TEST_F(CampaignTest, ReportNamesEntriesNeverPaths) {
   const auto entries = plain_campaign();
   const auto cold = run(entries, config("cache", "cold", 0, 1));

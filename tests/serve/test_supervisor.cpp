@@ -1,0 +1,299 @@
+// serve::Supervisor in isolation (DESIGN.md §15), driven by scripted
+// /bin/sh workers and a toy line-per-index journal: restart over the
+// missing suffix, progress-watchdog hang kill, crash-loop quarantine, and
+// the journal-driven trust rule (a clean exit with an incomplete journal
+// is a strike).
+#include "serve/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tgi::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("tgi_supervisor_test_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string dir(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  fs::path root_;
+};
+
+/// Snappy test policy: ~50 ms stall deadline, one restart by default.
+SupervisorConfig test_config(std::size_t max_restarts = 1) {
+  SupervisorConfig config;
+  config.max_restarts = max_restarts;
+  config.stall_polls = 25;
+  config.grace_polls = 5;
+  return config;
+}
+
+/// `printf '0\n2\n' >> JOURNAL` for the given indices.
+std::string write_indices_cmd(const std::vector<std::size_t>& indices,
+                              const std::string& journal_dir) {
+  std::string script = "printf '";
+  for (const std::size_t index : indices) {
+    script += std::to_string(index) + "\\n";
+  }
+  script += "' >> " + journal_dir + "/journal.tgij";
+  return script;
+}
+
+/// The toy merge: one decoded record per "<index>\n" line.
+std::map<std::size_t, harness::PointRecord> toy_merge(
+    const std::string& journal_path) {
+  std::map<std::size_t, harness::PointRecord> records;
+  std::ifstream in(journal_path);
+  for (std::string line; std::getline(in, line);) {
+    harness::PointRecord record;
+    record.index = static_cast<std::size_t>(std::stoull(line));
+    records.emplace(record.index, record);
+  }
+  return records;
+}
+
+ShardJob toy_job(std::size_t shard, std::vector<std::size_t> indices,
+                 const std::string& dir,
+                 std::function<std::string(
+                     const std::vector<std::size_t>& remaining,
+                     const std::string& journal_dir, std::size_t attempt)>
+                     script) {
+  ShardJob job;
+  job.shard = shard;
+  job.label = "[toy]";
+  job.indices = std::move(indices);
+  job.dir = dir;
+  job.argv = [script](const std::vector<std::size_t>& remaining,
+                      const std::string& journal_dir, std::size_t attempt) {
+    return std::vector<std::string>{
+        "/bin/sh", "-c", script(remaining, journal_dir, attempt)};
+  };
+  job.merge = toy_merge;
+  return job;
+}
+
+TEST_F(SupervisorTest, CleanWorkersCompleteWithoutRestarts) {
+  Supervisor supervisor(test_config());
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(
+      0, {0, 2}, dir("shard0"),
+      [](const std::vector<std::size_t>& remaining,
+         const std::string& journal_dir, std::size_t) {
+        return write_indices_cmd(remaining, journal_dir);
+      }));
+  jobs.push_back(toy_job(
+      1, {1, 3}, dir("shard1"),
+      [](const std::vector<std::size_t>& remaining,
+         const std::string& journal_dir, std::size_t) {
+        return write_indices_cmd(remaining, journal_dir);
+      }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const SupervisedShard& shard : results) {
+    EXPECT_EQ(shard.report.outcome, ShardOutcome::kClean);
+    EXPECT_EQ(shard.report.restarts, 0u);
+    EXPECT_EQ(shard.report.backoff.value(), 0.0);
+    ASSERT_EQ(shard.report.attempts.size(), 1u);
+    EXPECT_FALSE(shard.report.attempts[0].failed);
+    EXPECT_EQ(shard.report.attempts[0].banked, 2u);
+  }
+  EXPECT_EQ(results[0].records.count(0), 1u);
+  EXPECT_EQ(results[0].records.count(2), 1u);
+  EXPECT_EQ(results[1].records.count(1), 1u);
+  EXPECT_EQ(results[1].records.count(3), 1u);
+}
+
+TEST_F(SupervisorTest, RestartRecomputesOnlyTheMissingSuffix) {
+  // Attempt 1 journals its first index and dies with a nonzero exit;
+  // attempt 2 must be handed ONLY the missing indices, and the supervisor
+  // must export its 1-based attempt counter to the child.
+  Supervisor supervisor(test_config());
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(
+      0, {0, 1, 2}, dir("shard0"),
+      [this](const std::vector<std::size_t>& remaining,
+             const std::string& journal_dir, std::size_t attempt) {
+        if (attempt == 1) {
+          return write_indices_cmd({remaining[0]}, journal_dir) + "; exit 3";
+        }
+        return write_indices_cmd(remaining, journal_dir) +
+               "; printf '%s' \"$TGI_SERVE_WORKER_ATTEMPT\" > " +
+               dir("attempt_env");
+      }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  const SupervisedShard& shard = results[0];
+  EXPECT_EQ(shard.report.outcome, ShardOutcome::kClean);
+  EXPECT_EQ(shard.report.restarts, 1u);
+  // Accounted backoff, never slept: base * 2^0 for the one restart.
+  EXPECT_EQ(shard.report.backoff.value(),
+            SupervisorConfig{}.backoff_base.value());
+  ASSERT_EQ(shard.report.attempts.size(), 2u);
+  EXPECT_EQ(shard.report.attempts[0].outcome, ShardOutcome::kNonzero);
+  EXPECT_TRUE(shard.report.attempts[0].failed);
+  EXPECT_EQ(shard.report.attempts[0].banked, 1u);
+  EXPECT_EQ(shard.report.attempts[1].outcome, ShardOutcome::kClean);
+  EXPECT_EQ(shard.report.attempts[1].banked, 2u);
+  EXPECT_EQ(shard.records.size(), 3u);
+  EXPECT_EQ(slurp(dir("attempt_env")), "2");
+}
+
+TEST_F(SupervisorTest, HungWorkerIsKilledByTheProgressWatchdog) {
+  // Attempt 1 journals one index, then stops making progress forever. The
+  // journal-growth watchdog must kill it and the restart must finish.
+  Supervisor supervisor(test_config());
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(
+      0, {0, 1}, dir("shard0"),
+      [](const std::vector<std::size_t>& remaining,
+         const std::string& journal_dir, std::size_t attempt) {
+        if (attempt == 1) {
+          return write_indices_cmd({remaining[0]}, journal_dir) +
+                 "; exec sleep 30";
+        }
+        return write_indices_cmd(remaining, journal_dir);
+      }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  const SupervisedShard& shard = results[0];
+  EXPECT_EQ(shard.report.outcome, ShardOutcome::kClean);
+  ASSERT_EQ(shard.report.attempts.size(), 2u);
+  EXPECT_EQ(shard.report.attempts[0].outcome, ShardOutcome::kHung);
+  EXPECT_NE(shard.report.attempts[0].detail.find("no journal growth"),
+            std::string::npos);
+  EXPECT_EQ(shard.records.size(), 2u);
+}
+
+TEST_F(SupervisorTest, CrashLoopIsQuarantinedAfterTheRestartBudget) {
+  Supervisor supervisor(test_config(/*max_restarts=*/1));
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(0, {0, 1}, dir("shard0"),
+                         [](const std::vector<std::size_t>&,
+                            const std::string&, std::size_t) {
+                           return std::string("exit 7");
+                         }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  const SupervisedShard& shard = results[0];
+  EXPECT_EQ(shard.report.outcome, ShardOutcome::kQuarantined);
+  EXPECT_TRUE(shard.report.quarantined());
+  EXPECT_EQ(shard.report.restarts, 1u);
+  ASSERT_EQ(shard.report.attempts.size(), 2u);
+  for (const ShardAttempt& attempt : shard.report.attempts) {
+    EXPECT_EQ(attempt.outcome, ShardOutcome::kNonzero);
+    EXPECT_TRUE(attempt.failed);
+  }
+  EXPECT_TRUE(shard.records.empty());
+}
+
+TEST_F(SupervisorTest, CleanExitWithAnIncompleteJournalIsAStrike) {
+  // Trust is journal-driven, never exit-status-driven: exit 0 without the
+  // assigned records counts as a failed attempt.
+  Supervisor supervisor(test_config(/*max_restarts=*/0));
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(0, {0, 1}, dir("shard0"),
+                         [](const std::vector<std::size_t>&,
+                            const std::string&, std::size_t) {
+                           return std::string("exit 0");
+                         }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  const SupervisedShard& shard = results.at(0);
+  EXPECT_EQ(shard.report.outcome, ShardOutcome::kQuarantined);
+  ASSERT_EQ(shard.report.attempts.size(), 1u);
+  EXPECT_EQ(shard.report.attempts[0].outcome, ShardOutcome::kClean);
+  EXPECT_TRUE(shard.report.attempts[0].failed);
+  EXPECT_NE(
+      shard.report.attempts[0].detail.find("missing from the journal"),
+      std::string::npos);
+}
+
+TEST_F(SupervisorTest, FailureAfterTheLastJournaledPointNeedsNoRestart) {
+  // The attempt died AFTER banking everything: the shard owes nothing, so
+  // no restart is spawned and the shard still counts as complete.
+  Supervisor supervisor(test_config());
+  std::vector<ShardJob> jobs;
+  jobs.push_back(toy_job(
+      0, {0, 1}, dir("shard0"),
+      [](const std::vector<std::size_t>& remaining,
+         const std::string& journal_dir, std::size_t) {
+        return write_indices_cmd(remaining, journal_dir) + "; exit 9";
+      }));
+  const std::vector<SupervisedShard> results = supervisor.run(jobs);
+  const SupervisedShard& shard = results.at(0);
+  EXPECT_EQ(shard.report.outcome, ShardOutcome::kClean);
+  EXPECT_EQ(shard.report.restarts, 0u);
+  ASSERT_EQ(shard.report.attempts.size(), 1u);
+  EXPECT_TRUE(shard.report.attempts[0].failed);
+  EXPECT_EQ(shard.records.size(), 2u);
+}
+
+TEST(SupervisorConfigValidate, RejectsOutOfRangeKnobs) {
+  SupervisorConfig config;
+  config.max_restarts = 17;
+  EXPECT_THROW(config.validate(), util::TgiError);
+  config = SupervisorConfig{};
+  config.stall_polls = 9;
+  EXPECT_THROW(config.validate(), util::TgiError);
+  config = SupervisorConfig{};
+  config.grace_polls = 0;
+  EXPECT_THROW(config.validate(), util::TgiError);
+  config = SupervisorConfig{};
+  config.backoff_base = util::Seconds(-1.0);
+  EXPECT_THROW(config.validate(), util::TgiError);
+  EXPECT_NO_THROW(SupervisorConfig{}.validate());
+}
+
+TEST(SupervisorRun, RejectsMalformedJobs) {
+  Supervisor supervisor(SupervisorConfig{});
+  std::vector<ShardJob> empty_indices(1);
+  empty_indices[0].argv = [](const std::vector<std::size_t>&,
+                             const std::string&, std::size_t) {
+    return std::vector<std::string>{"/bin/true"};
+  };
+  empty_indices[0].merge = toy_merge;
+  EXPECT_THROW((void)supervisor.run(empty_indices), util::TgiError);
+
+  std::vector<ShardJob> no_callbacks(1);
+  no_callbacks[0].indices = {0};
+  EXPECT_THROW((void)supervisor.run(no_callbacks), util::TgiError);
+}
+
+TEST(ShardOutcomeNames, AreStable) {
+  EXPECT_STREQ(outcome_name(ShardOutcome::kClean), "clean");
+  EXPECT_STREQ(outcome_name(ShardOutcome::kSignal), "signal");
+  EXPECT_STREQ(outcome_name(ShardOutcome::kNonzero), "nonzero");
+  EXPECT_STREQ(outcome_name(ShardOutcome::kHung), "hung");
+  EXPECT_STREQ(outcome_name(ShardOutcome::kQuarantined), "quarantined");
+}
+
+}  // namespace
+}  // namespace tgi::serve

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Canonical pre-merge gate for the TGI repository (recorded in ROADMAP.md).
 #
-# Eleven stages, fail-fast:
+# Twelve stages, fail-fast:
 #   1. tier-1: warning-clean RelWithDebInfo build + full ctest suite
 #      (includes the lint_repo convention check, the paper-shape
 #      integration tests, and the parallel-sweep determinism tests);
@@ -45,7 +45,15 @@
 #      google-benchmark's --benchmark_out, the harness benches via out=);
 #      a microbench without its JSON emitter fails the gate, and
 #      BENCH_kernels.json must record the >= 1.5x kernel-lane speedup
-#      ("speedup_ok": true) from the DESIGN.md §14 SIMD pass.
+#      ("speedup_ok": true) from the DESIGN.md §14 SIMD pass;
+#  12. tsan-supervise: the worker supervisor + process/I-O fault plane
+#      (DESIGN.md §15) under TSan — a fault-free campaign baseline, then a
+#      hung worker (progress-watchdog SIGTERM->SIGKILL), a zero-progress
+#      crash loop (quarantine + in-process heal), an I/O-faulted worker
+#      that restarts past the fault, and a garbage journal tail (torn
+#      record quarantined); every scenario byte-diffed against the
+#      baseline with a warm rerun at computed=0, plus the
+#      bench/ablation_supervisor byte-identity harness.
 #
 # Usage: [TGI_DTYPE=float] tools/ci.sh [jobs]          (from the repo root)
 #
@@ -59,33 +67,33 @@ DTYPE="${TGI_DTYPE:-double}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/11] tier-1: build + ctest (TGI_DTYPE=$DTYPE) =="
+echo "== [1/12] tier-1: build + ctest (TGI_DTYPE=$DTYPE) =="
 cmake -B build -G Ninja -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "== [2/11] lint: tgi-lint convention analyzer + waiver audit =="
+echo "== [2/12] lint: tgi-lint convention analyzer + waiver audit =="
 ./build/tools/tgi_lint root="$ROOT" audit_waivers=1 out=build/lint.json
 
-echo "== [3/11] golden: figure/table transcripts byte-identical =="
+echo "== [3/12] golden: figure/table transcripts byte-identical =="
 ctest --test-dir build -j "$JOBS" --output-on-failure -R '^golden_'
 
-echo "== [4/11] sanitize: ASan+UBSan build + ctest =="
+echo "== [4/12] sanitize: ASan+UBSan build + ctest =="
 cmake -B build-asan -G Ninja -DTGI_SANITIZE="address;undefined" \
   -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
 
-echo "== [5/11] tsan: ThreadSanitizer build + ctest =="
+echo "== [5/12] tsan: ThreadSanitizer build + ctest =="
 cmake -B build-tsan -G Ninja -DTGI_SANITIZE=thread \
   -DTGI_WARNINGS_AS_ERRORS=ON -DTGI_DTYPE="$DTYPE"
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan -j "$JOBS" --output-on-failure
 
-echo "== [6/11] tsan-faults: fault plane under ThreadSanitizer =="
+echo "== [6/12] tsan-faults: fault plane under ThreadSanitizer =="
 ./build-tsan/bench/ablation_faults threads=8
 
-echo "== [7/11] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
+echo "== [7/12] tsan-trace: traced faulted sweep under TSan, thread-count diff =="
 TRACE_SCRATCH="build-tsan/trace_gate"
 rm -rf "$TRACE_SCRATCH"
 for t in 1 2 8; do
@@ -104,7 +112,7 @@ for t in 2 8; do
       "$TRACE_SCRATCH/results_t$t/faults_summary.csv"
 done
 
-echo "== [8/11] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
+echo "== [8/12] tsan-resume: SIGKILLed checkpointed sweep resumes byte-identically =="
 CKPT_SCRATCH="build-tsan/checkpoint_gate"
 rm -rf "$CKPT_SCRATCH"
 mkdir -p "$CKPT_SCRATCH"
@@ -165,7 +173,7 @@ cmp "$CKPT_SCRATCH/base/faults_summary.csv" \
 cmp "$CKPT_SCRATCH/base_trace/trace.json" \
     "$CKPT_SCRATCH/healed_trace/trace.json"
 
-echo "== [9/11] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
+echo "== [9/12] tsan-taskgraph: task-graph executor under TSan, granularity diff =="
 # The randomized-DAG fuzz suite and the sweep-engine equivalence tests on
 # the TSan build (they also ran in stage 5; rerunning them here keeps this
 # gate meaningful when stages are cherry-picked).
@@ -194,7 +202,7 @@ for g in point task; do
 done
 diff -r "$TG_SCRATCH/plain_point" "$TG_SCRATCH/plain_task"
 
-echo "== [10/11] tsan-serve: campaign cache — warm rerun is a byte-identical no-op =="
+echo "== [10/12] tsan-serve: campaign cache — warm rerun is a byte-identical no-op =="
 SERVE_SCRATCH="build-tsan/serve_gate"
 rm -rf "$SERVE_SCRATCH"
 mkdir -p "$SERVE_SCRATCH"
@@ -252,7 +260,7 @@ grep -qF "merging its partial journal" "$SERVE_SCRATCH/killed.stderr"
 cmp "$SERVE_SCRATCH/cold.stdout" "$SERVE_SCRATCH/killed.stdout"
 diff -r -x provenance.json "$SERVE_SCRATCH/cold" "$SERVE_SCRATCH/killed"
 
-echo "== [11/11] bench-trajectory: every microbench emits its BENCH_*.json =="
+echo "== [11/12] bench-trajectory: every microbench emits its BENCH_*.json =="
 TRAJ="build/bench_trajectory"
 rm -rf "$TRAJ"
 mkdir -p "$TRAJ"
@@ -275,5 +283,64 @@ for bin in build/bench/micro_*; do
 done
 # The §14 SIMD pass must keep its recorded lane speedup.
 grep -qF '"speedup_ok": true' "$TRAJ/BENCH_kernels.json"
+
+echo "== [12/12] tsan-supervise: worker supervisor + process/I-O fault plane =="
+SUP_SCRATCH="build-tsan/supervise_gate"
+rm -rf "$SUP_SCRATCH"
+mkdir -p "$SUP_SCRATCH"
+cat > "$SUP_SCRATCH/campaign.conf" <<EOF
+[alpha]
+cluster = fire
+sweep = 16,48,80
+seed = 7
+meter = wattsup
+EOF
+# Fault-free truth: 3 points across 2 worker shards, so shard 0 holds a
+# genuine suffix ({0,2}) for the restart scenarios to recompute.
+# stall_polls=2000 keeps the hung-worker watchdog deadline a few seconds
+# under TSan; it never appears in stdout, so the baseline stays valid for
+# every scenario diff.
+./build-tsan/tools/tgi_serve campaign="$SUP_SCRATCH/campaign.conf" \
+  cache="$SUP_SCRATCH/cache_base" outdir="$SUP_SCRATCH/base" \
+  workers=2 threads=2 stall_polls=2000 \
+  > "$SUP_SCRATCH/base.stdout" 2> "$SUP_SCRATCH/base.stderr"
+grep -qF "worker_failures=0" "$SUP_SCRATCH/base.stderr"
+# Each scenario: fresh cache, one armed fault hook, the expected taxonomy
+# line on stderr — and stdout + every artifact byte-identical to the
+# fault-free truth, with the warm rerun over the healed cache a no-op.
+#   hang:    worker stops journaling -> progress watchdog, SIGTERM->SIGKILL
+#   ioloop:  every attempt's journal write faults -> zero-progress crash
+#            loop -> quarantine + in-process heal
+#   ioonce:  only attempt 1 faults -> one restart self-heals
+#   garbage: torn journal tail + clean exit -> journal-driven strike
+for scenario in \
+  "hang:TGI_SERVE_WORKER_HANG_AFTER=0:1:hung (no journal growth" \
+  "ioloop:TGI_SERVE_WORKER_IO_FAULTS=0:1.0:99:quarantined after" \
+  "ioonce:TGI_SERVE_WORKER_IO_FAULTS=0:1.0:1:restarting (attempt 2" \
+  "garbage:TGI_SERVE_WORKER_GARBAGE_TAIL=0:1:clean exit but"; do
+  NAME="${scenario%%:*}"
+  REST="${scenario#*:}"
+  HOOK="${REST%%=*}"
+  REST="${REST#*=}"
+  VALUE=$(printf '%s' "$REST" | sed 's/:[^:]*$//')
+  WANT="${REST##*:}"
+  env "$HOOK=$VALUE" ./build-tsan/tools/tgi_serve \
+    campaign="$SUP_SCRATCH/campaign.conf" \
+    cache="$SUP_SCRATCH/cache_$NAME" outdir="$SUP_SCRATCH/$NAME" \
+    workers=2 threads=2 stall_polls=2000 \
+    > "$SUP_SCRATCH/$NAME.stdout" 2> "$SUP_SCRATCH/$NAME.stderr"
+  grep -qF "$WANT" "$SUP_SCRATCH/$NAME.stderr"
+  cmp "$SUP_SCRATCH/base.stdout" "$SUP_SCRATCH/$NAME.stdout"
+  diff -r -x provenance.json "$SUP_SCRATCH/base" "$SUP_SCRATCH/$NAME"
+  ./build-tsan/tools/tgi_serve campaign="$SUP_SCRATCH/campaign.conf" \
+    cache="$SUP_SCRATCH/cache_$NAME" outdir="$SUP_SCRATCH/warm_$NAME" \
+    workers=0 threads=1 stall_polls=2000 \
+    > "$SUP_SCRATCH/warm_$NAME.stdout" 2> "$SUP_SCRATCH/warm_$NAME.stderr"
+  grep -qF " computed=0" "$SUP_SCRATCH/warm_$NAME.stderr"
+  cmp "$SUP_SCRATCH/base.stdout" "$SUP_SCRATCH/warm_$NAME.stdout"
+done
+# The supervision ablation harness: supervised-vs-unsupervised byte
+# identity plus the accounted (never slept) restart overhead table.
+./build-tsan/bench/ablation_supervisor
 
 echo "ci.sh: all gates passed"

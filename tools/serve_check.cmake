@@ -17,6 +17,20 @@
 #      SIGKILLs shard 0 after one journaled point. The engine must WARN,
 #      bank the partial journal, self-heal in-process, and still produce
 #      byte-identical artifacts.
+#   5. Worker hang: TGI_SERVE_WORKER_HANG_AFTER stops shard 0 journaling
+#      (SIGTERM ignored); the progress watchdog must escalate to SIGKILL,
+#      restart over the missing suffix, and stay byte-identical.
+#   6. Crash loop: TGI_SERVE_WORKER_IO_FAULTS at rate 1.0 on every
+#      attempt makes shard 0 a zero-progress crash loop; the supervisor
+#      must quarantine it after the restart budget and heal in-process —
+#      and the warm rerun over that healed cache must report computed=0.
+#   7. Garbage tail: TGI_SERVE_WORKER_GARBAGE_TAIL appends a torn record
+#      and exits 0; trust is journal-driven, so the clean exit still
+#      counts as a strike and the torn record is quarantined.
+#
+# Every run passes stall_polls=2000 so a hung worker is detected in a few
+# seconds even under TSan; the knob never reaches stdout, so the byte
+# comparisons are unaffected.
 if(NOT DEFINED TGI_SERVE OR NOT DEFINED OUT)
   message(FATAL_ERROR "usage: cmake -DTGI_SERVE=<exe> -DOUT=<dir> "
                       "[-DFAULTS=<spec>] -P serve_check.cmake")
@@ -45,6 +59,7 @@ function(run_campaign outdir cache workers threads)
     COMMAND ${CMAKE_COMMAND} -E env ${ARGN}
             ${TGI_SERVE} campaign=${OUT}/campaign.conf cache=${cache}
             outdir=${outdir} workers=${workers} threads=${threads} trace=1
+            stall_polls=2000
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
@@ -137,5 +152,37 @@ run_campaign("${OUT}/killed" "${OUT}/cache_killed" 2 2
 expect_matches_cold("${OUT}/killed")
 expect_stderr_mentions("${OUT}/killed" "died (signal 9")
 expect_stderr_mentions("${OUT}/killed" "merging its partial journal")
+
+# 5. Worker hang: shard 0 stops journaling after one point and ignores
+# SIGTERM; the progress watchdog must escalate to SIGKILL and the restart
+# recomputes only the missing suffix.
+run_campaign("${OUT}/hung" "${OUT}/cache_hung" 2 2
+             "TGI_SERVE_WORKER_HANG_AFTER=0:1")
+expect_matches_cold("${OUT}/hung")
+expect_stderr_mentions("${OUT}/hung" "hung (no journal growth")
+expect_stderr_mentions("${OUT}/hung" "SIGTERM escalated to SIGKILL")
+expect_stderr_mentions("${OUT}/hung" "restarting (attempt 2")
+
+# 6. Crash loop: every attempt's journal write faults (attempts=99 covers
+# the whole restart budget), so shard 0 makes zero progress, is
+# quarantined, and its points fall back to in-process compute.
+run_campaign("${OUT}/looped" "${OUT}/cache_looped" 2 2
+             "TGI_SERVE_WORKER_IO_FAULTS=0:1.0:99")
+expect_matches_cold("${OUT}/looped")
+expect_stderr_mentions("${OUT}/looped" "quarantined after")
+expect_stderr_mentions("${OUT}/looped" "fall back to in-process compute")
+# The heal published complete shards: a warm rerun recomputes nothing.
+run_campaign("${OUT}/looped_warm" "${OUT}/cache_looped" 0 1)
+expect_matches_cold("${OUT}/looped_warm")
+expect_stderr_mentions("${OUT}/looped_warm" " computed=0")
+
+# 7. Garbage tail: shard 0 appends a torn record and exits 0. Trust is
+# journal-driven — the clean exit with an incomplete journal is a strike,
+# and the torn record is quarantined rather than merged.
+run_campaign("${OUT}/garbage" "${OUT}/cache_garbage" 2 2
+             "TGI_SERVE_WORKER_GARBAGE_TAIL=0:1")
+expect_matches_cold("${OUT}/garbage")
+expect_stderr_mentions("${OUT}/garbage" "quarantined worker record")
+expect_stderr_mentions("${OUT}/garbage" "clean exit but")
 
 message(STATUS "campaign cache-hit determinism OK (${OUT})")

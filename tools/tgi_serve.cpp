@@ -5,7 +5,7 @@
 // Engine mode:
 //
 //   tgi_serve campaign=FILE cache=DIR outdir=DIR [workers=N] [threads=N]
-//             [trace=1] [worker_exe=PATH]
+//             [trace=1] [worker_exe=PATH] [restarts=N] [stall_polls=N]
 //
 // `campaign` lists sweep specs (see serve/spec.h for the format). Every
 // (spec, point) pair is keyed by the FNV-1a cache hash; points already in
@@ -15,8 +15,11 @@
 // A rerun against a warm cache recomputes NOTHING and emits stdout, CSVs,
 // and trace.json byte-identical to the cold run, at every thread and
 // worker count, plain and faulted. Damaged cache entries are quarantined
-// (WARN on stderr) and recomputed; a worker killed mid-campaign is WARNed,
-// its completed points are banked, and the engine self-heals in-process.
+// (WARN on stderr) and recomputed; every worker shard runs under
+// serve::Supervisor (DESIGN.md §15): hung workers are watchdog-killed,
+// failed attempts are WARNed and restarted over the still-missing points
+// (restarts= bounds the budget, stall_polls= the progress deadline), and
+// crash-looping shards are quarantined and healed in-process.
 // Cache-dependent stats go to stderr and outdir/provenance.json only.
 //
 // Worker mode (spawned by the engine; usable standalone for tests):
@@ -27,10 +30,20 @@
 // Computes the GLOBAL sweep-point indices of the handoff spec and journals
 // them into DIR/journal.tgij. Worker mode defaults to granularity=task
 // (ROADMAP item 2's flip — the service arc is the consumer it waited for);
-// tgi_sweep and the bench harnesses keep `point`. The env hook
-// TGI_SERVE_WORKER_DIE_AFTER=<shard>:<n> makes exactly shard <shard> raise
-// SIGKILL after journaling <n> points — ci.sh stage 10's deterministic
-// mid-campaign process kill.
+// tgi_sweep and the bench harnesses keep `point`.
+//
+// Deterministic worker fault plane (DESIGN.md §15, ci.sh stages 10/12) —
+// env hooks of the form <shard>:<n>[:<attempts>], firing only in the named
+// shard and only while the supervisor's attempt counter
+// (TGI_SERVE_WORKER_ATTEMPT, 1-based) is <= <attempts> (default 1, so a
+// restart self-heals; set it large to force a crash loop):
+//   TGI_SERVE_WORKER_DIE_AFTER      raise SIGKILL after journaling n points
+//   TGI_SERVE_WORKER_HANG_AFTER     stop journaling, ignore SIGTERM
+//   TGI_SERVE_WORKER_EXIT_AFTER     _Exit(3) after journaling n points
+//   TGI_SERVE_WORKER_GARBAGE_TAIL   append a torn record, then _Exit(0)
+//   TGI_SERVE_WORKER_IO_FAULTS=<shard>:<rate>[:<attempts>]   seeded I/O
+//       faults (short write / ENOSPC / EIO) on the worker's own journal
+//       appends and atomic publishes (util/io_faults.h)
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -42,6 +55,7 @@
 #include "serve/worker.h"
 #include "util/config.h"
 #include "util/error.h"
+#include "util/io_faults.h"
 #include "util/subprocess.h"
 
 namespace {
@@ -61,7 +75,8 @@ util::Config parse_tokens(int argc, const char* const* argv, bool& worker) {
     bool aliased = false;
     for (const char* key : {"campaign", "cache", "outdir", "workers",
                             "threads", "spec", "indices", "journal",
-                            "granularity", "shard"}) {
+                            "granularity", "shard", "restarts",
+                            "stall_polls"}) {
       const std::string flag = std::string("--") + key;
       if (arg == flag && i + 1 < argc) {
         tokens.push_back(std::string(key) + "=" + argv[++i]);
@@ -83,24 +98,91 @@ util::Config parse_tokens(int argc, const char* const* argv, bool& worker) {
   return util::Config::from_args(static_cast<int>(args.size()), args.data());
 }
 
-/// Parses TGI_SERVE_WORKER_DIE_AFTER=<shard>:<n>; returns n when it names
-/// this worker's shard, else 0.
-std::size_t die_after_for_shard(std::size_t shard) {
-  const char* env = std::getenv("TGI_SERVE_WORKER_DIE_AFTER");
+/// The supervisor's 1-based attempt counter for this worker process
+/// (TGI_SERVE_WORKER_ATTEMPT); 1 when launched by hand.
+std::size_t worker_attempt() {
+  const char* env = std::getenv("TGI_SERVE_WORKER_ATTEMPT");
+  if (env == nullptr) return 1;
+  const long long attempt = util::parse_int(env, "TGI_SERVE_WORKER_ATTEMPT");
+  TGI_REQUIRE(attempt >= 1, "TGI_SERVE_WORKER_ATTEMPT must be >= 1");
+  return static_cast<std::size_t>(attempt);
+}
+
+/// Splits an env hook value on ':' into its fields.
+std::vector<std::string> split_fields(const std::string& text) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+/// Parses a <shard>:<n>[:<attempts>] fault hook (DESIGN.md §15); returns
+/// n when it names this worker's shard AND the supervisor attempt counter
+/// is still <= <attempts> (default 1: first attempt only, so a restart
+/// self-heals), else 0.
+std::size_t hook_for_shard(const char* name, std::size_t shard,
+                           std::size_t attempt) {
+  const char* env = std::getenv(name);
   if (env == nullptr) return 0;
-  const std::string text(env);
-  const std::size_t colon = text.find(':');
-  TGI_REQUIRE(colon != std::string::npos,
-              "TGI_SERVE_WORKER_DIE_AFTER must be <shard>:<count>, got '"
-                  << text << "'");
-  const auto target = static_cast<std::size_t>(util::parse_int(
-      text.substr(0, colon), "TGI_SERVE_WORKER_DIE_AFTER shard"));
-  const auto count = static_cast<std::size_t>(util::parse_int(
-      text.substr(colon + 1), "TGI_SERVE_WORKER_DIE_AFTER count"));
-  return target == shard ? count : 0;
+  const std::vector<std::string> fields = split_fields(env);
+  TGI_REQUIRE(fields.size() == 2 || fields.size() == 3,
+              name << " must be <shard>:<count>[:<attempts>], got '" << env
+                   << "'");
+  const auto target = static_cast<std::size_t>(
+      util::parse_int(fields[0], std::string(name) + " shard"));
+  const auto count = static_cast<std::size_t>(
+      util::parse_int(fields[1], std::string(name) + " count"));
+  std::size_t attempts = 1;
+  if (fields.size() == 3) {
+    attempts = static_cast<std::size_t>(
+        util::parse_int(fields[2], std::string(name) + " attempts"));
+  }
+  if (target != shard || attempt > attempts) return 0;
+  return count;
+}
+
+/// Parses TGI_SERVE_WORKER_IO_FAULTS=<shard>:<rate>[:<attempts>] and
+/// installs the seeded I/O fault shim for this worker process when it
+/// applies. The engine process NEVER installs the shim, so the in-process
+/// heal path always converges.
+void maybe_install_io_faults(std::size_t shard, std::size_t attempt,
+                             std::uint64_t spec_seed) {
+  const char* env = std::getenv("TGI_SERVE_WORKER_IO_FAULTS");
+  if (env == nullptr) return;
+  const std::vector<std::string> fields = split_fields(env);
+  TGI_REQUIRE(fields.size() == 2 || fields.size() == 3,
+              "TGI_SERVE_WORKER_IO_FAULTS must be "
+              "<shard>:<rate>[:<attempts>], got '"
+                  << env << "'");
+  const auto target = static_cast<std::size_t>(
+      util::parse_int(fields[0], "TGI_SERVE_WORKER_IO_FAULTS shard"));
+  const double rate =
+      util::parse_double(fields[1], "TGI_SERVE_WORKER_IO_FAULTS rate");
+  std::size_t attempts = 1;
+  if (fields.size() == 3) {
+    attempts = static_cast<std::size_t>(
+        util::parse_int(fields[2], "TGI_SERVE_WORKER_IO_FAULTS attempts"));
+  }
+  if (target != shard || attempt > attempts) return;
+  util::IoFaultSpec spec;
+  // Different attempts draw different fault streams, like robust retries.
+  spec.seed = spec_seed + attempt;
+  spec.rate = rate;
+  util::install_io_faults(spec);
 }
 
 int run_worker_mode(const util::Config& cfg) {
+  TGI_REQUIRE(!cfg.has("campaign"),
+              "--worker and campaign= are contradictory: worker mode "
+              "computes one handoff spec (spec=FILE indices=I,J,... "
+              "journal=DIR); drop --worker to run a campaign");
   util::require_known_keys(
       cfg, {"spec", "indices", "journal", "threads", "granularity", "shard"},
       "tgi_serve --worker");
@@ -124,10 +206,19 @@ int run_worker_mode(const util::Config& cfg) {
   const long long threads = cfg.get_int("threads", 1);
   TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
   assignment.threads = static_cast<std::size_t>(threads);
-  const long long shard = cfg.get_int("shard", 0);
-  TGI_REQUIRE(shard >= 0, "shard must be >= 0");
+  const long long shard_raw = cfg.get_int("shard", 0);
+  TGI_REQUIRE(shard_raw >= 0, "shard must be >= 0");
+  const auto shard = static_cast<std::size_t>(shard_raw);
+  const std::size_t attempt = worker_attempt();
   assignment.die_after =
-      die_after_for_shard(static_cast<std::size_t>(shard));
+      hook_for_shard("TGI_SERVE_WORKER_DIE_AFTER", shard, attempt);
+  assignment.hang_after =
+      hook_for_shard("TGI_SERVE_WORKER_HANG_AFTER", shard, attempt);
+  assignment.exit_after =
+      hook_for_shard("TGI_SERVE_WORKER_EXIT_AFTER", shard, attempt);
+  assignment.garbage_after =
+      hook_for_shard("TGI_SERVE_WORKER_GARBAGE_TAIL", shard, attempt);
+  maybe_install_io_faults(shard, attempt, spec.seed);
   const std::size_t journaled = serve::run_worker(spec, assignment);
   std::cerr << "tgi_serve: worker journaled " << journaled << " points to "
             << assignment.journal_dir << "\n";
@@ -137,17 +228,20 @@ int run_worker_mode(const util::Config& cfg) {
 int run_engine_mode(const util::Config& cfg) {
   util::require_known_keys(cfg,
                            {"campaign", "cache", "outdir", "workers",
-                            "threads", "trace", "worker_exe"},
+                            "threads", "trace", "worker_exe", "restarts",
+                            "stall_polls"},
                            "tgi_serve");
   TGI_REQUIRE(cfg.has("campaign"), "tgi_serve needs campaign=FILE");
-  const std::vector<serve::CampaignSpec> entries =
-      serve::load_campaign_file(*cfg.get("campaign"));
 
+  // Validate every knob BEFORE touching the campaign file, so a typo'd
+  // bound is diagnosed even when the file path is also wrong.
   serve::CampaignConfig config;
   config.cache_dir = cfg.get_string("cache", "tgi_cache");
   config.outdir = cfg.get_string("outdir", "tgi_campaign");
   const long long workers = cfg.get_int("workers", 0);
-  TGI_REQUIRE(workers >= 0, "workers must be >= 0 (0 = in-process)");
+  TGI_REQUIRE(workers >= 0 && workers <= 128,
+              "workers must be in [0, 128] (0 = in-process), got "
+                  << workers);
   config.workers = static_cast<std::size_t>(workers);
   const long long threads = cfg.get_int("threads", 1);
   TGI_REQUIRE(threads >= 0, "threads must be >= 0 (0 = default)");
@@ -155,7 +249,25 @@ int run_engine_mode(const util::Config& cfg) {
   config.trace = cfg.get_bool("trace", false);
   config.worker_exe =
       cfg.get_string("worker_exe", util::current_executable());
+  const long long restarts =
+      cfg.get_int("restarts", static_cast<long long>(
+                                  serve::SupervisorConfig{}.max_restarts));
+  TGI_REQUIRE(restarts >= 0 && restarts <= 16,
+              "restarts must be in [0, 16] (restarts per shard after the "
+              "first attempt), got "
+                  << restarts);
+  config.supervisor.max_restarts = static_cast<std::size_t>(restarts);
+  const long long stall_polls =
+      cfg.get_int("stall_polls", static_cast<long long>(
+                                     serve::SupervisorConfig{}.stall_polls));
+  TGI_REQUIRE(stall_polls >= 10 && stall_polls <= 1000000,
+              "stall_polls must be in [10, 1000000] (supervision polls "
+              "without journal growth before a worker counts as hung), got "
+                  << stall_polls);
+  config.supervisor.stall_polls = static_cast<std::size_t>(stall_polls);
 
+  const std::vector<serve::CampaignSpec> entries =
+      serve::load_campaign_file(*cfg.get("campaign"));
   serve::CampaignEngine engine(std::move(config));
   const serve::CampaignStats stats = engine.run(entries, std::cout);
   std::cerr << "tgi_serve: " << stats.summary() << "\n";
